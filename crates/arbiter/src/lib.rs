@@ -1,0 +1,157 @@
+//! Switch arbitration policies for a single-stage high-radix switch.
+//!
+//! This crate implements both the paper's core mechanism and the
+//! background/baseline schedulers its §2.2 surveys:
+//!
+//! | Policy | Type | Paper role |
+//! |--------|------|-----------|
+//! | [`Lrg`] | least recently granted (matrix arbiter) | Swizzle Switch default / BE class / SSVC tie-break |
+//! | [`RoundRobin`] | rotating pointer | generic baseline |
+//! | [`FixedPriority`] | static order | building block of the 4-level scheme |
+//! | [`FourLevel`] | fixed priority across 4 levels, LRG within | prior Swizzle Switch QoS (Satpathy et al., DAC'12, ref \[14]) |
+//! | [`Gsf`] | globally-synchronized frames (local adaptation) | frame-based baseline (Lee et al., ISCA'08, ref \[8]) |
+//! | [`Wrr`] | weighted round robin | static-guarantee baseline (underutilizes leftover bandwidth) |
+//! | [`Dwrr`] | deficit weighted round robin | static-guarantee baseline |
+//! | [`Wfq`] | self-clocked fair queueing (WFQ family) | O(N) finish-time baseline |
+//! | [`VirtualClock`] | exact Virtual Clock (Zhang, SIGCOMM'90) | the algorithm SSVC adapts; "Original Virtual Clock" curve of Fig. 5 |
+//! | [`SsvcArbiter`] | coarse thermometer-coded Virtual Clock + LRG tie-break | **the paper's contribution** (§3.1) |
+//!
+//! All policies implement the [`Arbiter`] trait: given the set of inputs
+//! requesting one output channel this cycle, pick a winner and update
+//! internal state. Arbitration is work-conserving — a winner is returned
+//! whenever at least one input requests.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssq_arbiter::{Arbiter, Lrg, Request};
+//! use ssq_types::Cycle;
+//!
+//! let mut lrg = Lrg::new(4);
+//! let reqs = [Request::new(1, 8), Request::new(3, 8)];
+//! let first = lrg.arbitrate(Cycle::ZERO, &reqs).expect("work conserving");
+//! let second = lrg.arbitrate(Cycle::ZERO, &reqs).expect("work conserving");
+//! // After winning, an input becomes least preferred: the other wins next.
+//! assert_ne!(first, second);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dwrr;
+mod fixed;
+mod four_level;
+mod gsf;
+mod lrg;
+mod request;
+mod round_robin;
+mod ssvc;
+mod virtual_clock;
+mod wfq;
+mod wrr;
+
+pub use dwrr::Dwrr;
+pub use fixed::FixedPriority;
+pub use four_level::FourLevel;
+pub use gsf::Gsf;
+pub use lrg::Lrg;
+pub use request::Request;
+pub use round_robin::RoundRobin;
+pub use ssvc::{CounterPolicy, SsvcArbiter, SsvcConfig};
+pub use virtual_clock::{vtick_for_rate, VirtualClock};
+pub use wfq::Wfq;
+pub use wrr::Wrr;
+
+use ssq_types::Cycle;
+
+/// A single-resource arbiter: chooses which of the requesting inputs is
+/// granted one output channel for the next packet.
+///
+/// Implementations are *work conserving*: they return `Some` winner
+/// whenever `requests` is non-empty (the Virtual Clock family explicitly
+/// redistributes idle slots rather than wasting them, unlike strict TDM —
+/// paper §2.2).
+///
+/// The `now` argument carries the real-time clock for policies that
+/// consult it (Virtual Clock's anti-banking `max(auxVC, real time)`
+/// step); purely state-based policies ignore it.
+pub trait Arbiter {
+    /// Number of inputs this arbiter was sized for.
+    fn num_inputs(&self) -> usize;
+
+    /// Picks a winner among `requests` and updates arbitration state.
+    ///
+    /// Returns `None` only when `requests` is empty. Duplicate input
+    /// indices in `requests` are not allowed.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if a request's input index is out of
+    /// range — that is a harness bug, not a runtime condition.
+    fn arbitrate(&mut self, now: Cycle, requests: &[Request]) -> Option<usize>;
+
+    /// Advances per-cycle internal clocks, if the policy has any.
+    ///
+    /// The default implementation does nothing. [`SsvcArbiter`] uses this
+    /// to run the real-time subcounter of its *subtract real clock*
+    /// counter-management policy.
+    fn tick(&mut self) {}
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// Every policy must be usable as a trait object so the switch can be
+    /// configured with a policy at runtime.
+    #[test]
+    fn arbiters_are_object_safe() {
+        let arbiters: Vec<Box<dyn Arbiter>> = vec![
+            Box::new(Lrg::new(4)),
+            Box::new(RoundRobin::new(4)),
+            Box::new(FixedPriority::new(4)),
+            Box::new(Gsf::new(&[1, 2, 3, 4], 16)),
+            Box::new(Wrr::new(&[1, 2, 3, 4])),
+            Box::new(Dwrr::new(&[8, 8, 8, 8])),
+            Box::new(Wfq::new(&[1.0, 2.0, 3.0, 4.0])),
+            Box::new(VirtualClock::new(&[10.0, 20.0, 30.0, 40.0])),
+        ];
+        for mut a in arbiters {
+            assert_eq!(a.num_inputs(), 4);
+            assert_eq!(a.arbitrate(Cycle::ZERO, &[]), None);
+            let w = a.arbitrate(Cycle::ZERO, &[Request::new(2, 1)]);
+            assert_eq!(w, Some(2));
+        }
+    }
+
+    /// Work conservation: any non-empty request set yields a winner drawn
+    /// from the request set, for every policy.
+    #[test]
+    fn arbiters_are_work_conserving() {
+        let mut arbiters: Vec<Box<dyn Arbiter>> = vec![
+            Box::new(Lrg::new(8)),
+            Box::new(RoundRobin::new(8)),
+            Box::new(FixedPriority::new(8)),
+            Box::new(Gsf::new(&[4; 8], 64)),
+            Box::new(Wrr::new(&[1; 8])),
+            Box::new(Dwrr::new(&[4; 8])),
+            Box::new(Wfq::new(&[1.0; 8])),
+            Box::new(VirtualClock::new(&[8.0; 8])),
+        ];
+        let reqs: Vec<Request> = [0usize, 3, 5, 7]
+            .iter()
+            .map(|&i| Request::new(i, 4))
+            .collect();
+        for a in &mut arbiters {
+            for step in 0..32 {
+                let w = a
+                    .arbitrate(Cycle::new(step), &reqs)
+                    .expect("non-empty requests must produce a winner");
+                assert!(
+                    reqs.iter().any(|r| r.input() == w),
+                    "winner not a requester"
+                );
+            }
+        }
+    }
+}

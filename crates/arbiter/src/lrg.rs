@@ -1,0 +1,262 @@
+//! Least-recently-granted (LRG) matrix arbitration.
+
+use std::fmt;
+
+use ssq_types::Cycle;
+
+use crate::{Arbiter, Request};
+
+/// Least-recently-granted arbiter, as used by the baseline Swizzle Switch
+/// (Satpathy et al., ISSCC'12 — "self-updating least recently granted
+/// priority") and reused inside SSVC as the tie-breaker for equal
+/// thermometer codes.
+///
+/// The state is the classic *matrix arbiter*: one bit per ordered input
+/// pair, `beats(i, j)` meaning input `i` currently outranks input `j`.
+/// Granting a winner clears its row and sets its column, making it the
+/// least-preferred input — exactly the "least recently granted" update.
+/// In the silicon implementation each crosspoint stores its 63-bit row of
+/// this matrix (Table 1's "LRG (63 bits)" entry for a radix-64 switch).
+///
+/// The matrix always encodes a strict total order (a transitive
+/// tournament), so arbitration can never deadlock or pick two winners.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_arbiter::{Arbiter, Lrg, Request};
+/// use ssq_types::Cycle;
+///
+/// let mut lrg = Lrg::new(3);
+/// let all: Vec<Request> = (0..3).map(|i| Request::new(i, 1)).collect();
+/// // Fresh state prefers lower indices; winners rotate to the back.
+/// assert_eq!(lrg.arbitrate(Cycle::ZERO, &all), Some(0));
+/// assert_eq!(lrg.arbitrate(Cycle::ZERO, &all), Some(1));
+/// assert_eq!(lrg.arbitrate(Cycle::ZERO, &all), Some(2));
+/// assert_eq!(lrg.arbitrate(Cycle::ZERO, &all), Some(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lrg {
+    n: usize,
+    /// Row-major pairwise bits; `beats[i * n + j]` = input i outranks j.
+    beats: Vec<bool>,
+}
+
+impl Lrg {
+    /// Creates an LRG arbiter over `n` inputs with the initial priority
+    /// order `0 > 1 > … > n−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one input");
+        let mut beats = vec![false; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                beats[i * n + j] = true;
+            }
+        }
+        Lrg { n, beats }
+    }
+
+    /// Whether input `i` currently outranks input `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or `i == j`.
+    #[must_use]
+    pub fn beats(&self, i: usize, j: usize) -> bool {
+        assert!(
+            i < self.n && j < self.n && i != j,
+            "invalid pair ({i}, {j})"
+        );
+        self.beats[i * self.n + j]
+    }
+
+    /// Selects the highest-priority member of `candidates` *without*
+    /// updating state. Returns `None` for an empty candidate set.
+    ///
+    /// Exposed separately because SSVC consults LRG priority to break
+    /// thermometer-code ties, and the bit-level circuit model needs to
+    /// read the same pairwise bits the behavioural model uses.
+    #[must_use]
+    pub fn peek(&self, candidates: &[usize]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for &c in candidates {
+            assert!(c < self.n, "input {c} out of range for radix {}", self.n);
+            best = Some(match best {
+                None => c,
+                Some(b) if self.beats(c, b) => c,
+                Some(b) => b,
+            });
+        }
+        best
+    }
+
+    /// Records that `winner` was granted: it now loses to every other
+    /// input (becomes most recently granted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `winner` is out of range.
+    pub fn grant(&mut self, winner: usize) {
+        assert!(winner < self.n, "input {winner} out of range");
+        for other in 0..self.n {
+            if other != winner {
+                self.beats[winner * self.n + other] = false;
+                self.beats[other * self.n + winner] = true;
+            }
+        }
+    }
+
+    /// The current total priority order, highest first. Costs O(n²); meant
+    /// for tests and debugging.
+    #[must_use]
+    pub fn priority_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n).collect();
+        // `beats` is a strict total order, so sorting by pairwise wins is
+        // well defined.
+        order.sort_by(|&a, &b| {
+            if a == b {
+                std::cmp::Ordering::Equal
+            } else if self.beats(a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        order
+    }
+}
+
+impl Arbiter for Lrg {
+    fn num_inputs(&self) -> usize {
+        self.n
+    }
+
+    fn arbitrate(&mut self, _now: Cycle, requests: &[Request]) -> Option<usize> {
+        let candidates: Vec<usize> = requests.iter().map(|r| r.input()).collect();
+        let winner = self.peek(&candidates)?;
+        self.grant(winner);
+        Some(winner)
+    }
+}
+
+impl fmt::Display for Lrg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LRG({} inputs, order {:?})",
+            self.n,
+            self.priority_order()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reqs(inputs: &[usize]) -> Vec<Request> {
+        inputs.iter().map(|&i| Request::new(i, 1)).collect()
+    }
+
+    #[test]
+    fn initial_order_prefers_low_indices() {
+        let lrg = Lrg::new(4);
+        assert_eq!(lrg.priority_order(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn winner_becomes_least_preferred() {
+        let mut lrg = Lrg::new(4);
+        lrg.grant(0);
+        assert_eq!(lrg.priority_order(), vec![1, 2, 3, 0]);
+        lrg.grant(2);
+        assert_eq!(lrg.priority_order(), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn round_robin_emerges_under_full_load() {
+        let mut lrg = Lrg::new(3);
+        let all = reqs(&[0, 1, 2]);
+        let winners: Vec<_> = (0..6)
+            .map(|_| lrg.arbitrate(Cycle::ZERO, &all).unwrap())
+            .collect();
+        assert_eq!(winners, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn non_requesting_inputs_are_skipped() {
+        let mut lrg = Lrg::new(4);
+        lrg.grant(1); // order 0,2,3,1
+        assert_eq!(lrg.arbitrate(Cycle::ZERO, &reqs(&[1, 3])), Some(3));
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let lrg = Lrg::new(4);
+        assert_eq!(lrg.peek(&[2, 3]), Some(2));
+        assert_eq!(lrg.peek(&[2, 3]), Some(2));
+        assert_eq!(lrg.peek(&[]), None);
+    }
+
+    #[test]
+    fn matrix_is_antisymmetric() {
+        let mut lrg = Lrg::new(8);
+        for w in [3, 1, 4, 1, 5] {
+            lrg.grant(w);
+        }
+        for i in 0..8 {
+            for j in 0..8 {
+                if i != j {
+                    assert_ne!(lrg.beats(i, j), lrg.beats(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_stays_transitive_under_grants() {
+        let mut lrg = Lrg::new(6);
+        for w in [0, 5, 2, 2, 4, 1, 3, 0] {
+            lrg.grant(w);
+        }
+        for a in 0..6 {
+            for b in 0..6 {
+                for c in 0..6 {
+                    if a != b && b != c && a != c && lrg.beats(a, b) && lrg.beats(b, c) {
+                        assert!(lrg.beats(a, c), "intransitive after grants");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn starvation_freedom_under_continuous_load() {
+        // With all inputs always requesting, each input wins exactly once
+        // per n grants.
+        let mut lrg = Lrg::new(5);
+        let all = reqs(&[0, 1, 2, 3, 4]);
+        let mut wins = [0u32; 5];
+        for _ in 0..100 {
+            wins[lrg.arbitrate(Cycle::ZERO, &all).unwrap()] += 1;
+        }
+        assert!(wins.iter().all(|&w| w == 20), "wins {wins:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grant_rejects_bad_index() {
+        Lrg::new(2).grant(2);
+    }
+
+    #[test]
+    fn single_input_arbiter_works() {
+        let mut lrg = Lrg::new(1);
+        assert_eq!(lrg.arbitrate(Cycle::ZERO, &reqs(&[0])), Some(0));
+    }
+}

@@ -1,0 +1,111 @@
+//! The request descriptor handed to arbiters.
+
+use std::fmt;
+
+/// One input's request for an output channel during an arbitration cycle.
+///
+/// Carries the metadata the various policies consume: the requesting
+/// input index, the head packet's length in flits (used by DWRR/WFQ/
+/// Virtual Clock to account bandwidth in flits rather than packets), and
+/// an optional priority level (used only by the 4-level scheme of
+/// ref \[14]).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_arbiter::Request;
+///
+/// let r = Request::new(3, 8).with_level(2);
+/// assert_eq!(r.input(), 3);
+/// assert_eq!(r.len_flits(), 8);
+/// assert_eq!(r.level(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    input: usize,
+    len_flits: u64,
+    level: u8,
+}
+
+impl Request {
+    /// Creates a request from input `input` whose head packet is
+    /// `len_flits` long, at the default (lowest) priority level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_flits` is zero.
+    #[must_use]
+    pub fn new(input: usize, len_flits: u64) -> Self {
+        assert!(len_flits > 0, "a request must carry at least one flit");
+        Request {
+            input,
+            len_flits,
+            level: 0,
+        }
+    }
+
+    /// Returns the same request with an explicit priority level (only the
+    /// [`FourLevel`](crate::FourLevel) scheme reads it).
+    #[must_use]
+    pub const fn with_level(mut self, level: u8) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// The requesting input index.
+    #[must_use]
+    pub const fn input(self) -> usize {
+        self.input
+    }
+
+    /// Head-packet length in flits.
+    #[must_use]
+    pub const fn len_flits(self) -> u64 {
+        self.len_flits
+    }
+
+    /// Message priority level for level-based schemes.
+    #[must_use]
+    pub const fn level(self) -> u8 {
+        self.level
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "In{} ({} flits, L{})",
+            self.input, self.len_flits, self.level
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let r = Request::new(5, 4).with_level(3);
+        assert_eq!(r.input(), 5);
+        assert_eq!(r.len_flits(), 4);
+        assert_eq!(r.level(), 3);
+    }
+
+    #[test]
+    fn default_level_is_zero() {
+        assert_eq!(Request::new(0, 1).level(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_rejected() {
+        let _ = Request::new(0, 0);
+    }
+
+    #[test]
+    fn display_mentions_input() {
+        assert!(Request::new(7, 2).to_string().contains("In7"));
+    }
+}

@@ -1,0 +1,686 @@
+//! SSVC: the Swizzle Switch-Virtual Clock arbitration (paper §3.1).
+
+use std::fmt;
+
+use ssq_types::Cycle;
+
+use crate::{Arbiter, Lrg, Request};
+
+/// Finite-counter management policy for the `auxVC` registers (§3.1,
+/// "Finite Counters and Real Time Clock" + "Improving Latency Fairness").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CounterPolicy {
+    /// Keep `auxVC` relative to a real-time clock of the same granularity
+    /// as its low bits: every time the real-time subcounter wraps, every
+    /// `auxVC` is decremented by one MSB step (flooring at zero) and all
+    /// thermometer codes shift down one lane. This is the paper's
+    /// modified step 1, `auxVC ← max(auxVC, real time) − real time`,
+    /// implemented without per-transfer subtraction.
+    #[default]
+    SubtractRealClock,
+    /// When any `auxVC` saturates, divide all of them by two (shift right;
+    /// the top half of each thermometer code is copied to the bottom half
+    /// and the top reset). Halving collapses distinct thermometer values
+    /// together, so more contention resolves through the fair LRG
+    /// tie-break — the mechanism behind Fig. 5's flatter latency curve.
+    Halve,
+    /// When any `auxVC` saturates, reset all of them (and all thermometer
+    /// codes) to zero. Most aggressive collapse; the paper observes it has
+    /// the least latency variance across bandwidth allocations.
+    Reset,
+}
+
+impl fmt::Display for CounterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CounterPolicy::SubtractRealClock => "subtract-real-clock",
+            CounterPolicy::Halve => "halve",
+            CounterPolicy::Reset => "reset",
+        })
+    }
+}
+
+/// Static configuration of an SSVC arbiter.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_arbiter::{CounterPolicy, SsvcConfig};
+///
+/// // Fig. 1's crosspoint state: a 12-bit auxVC whose top 3 bits form the
+/// // thermometer code.
+/// let cfg = SsvcConfig::new(12, 3, CounterPolicy::SubtractRealClock);
+/// assert_eq!(cfg.num_lanes(), 8);
+/// assert_eq!(cfg.saturation_cap(), (1 << 12) - 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SsvcConfig {
+    counter_bits: u32,
+    sig_bits: u32,
+    policy: CounterPolicy,
+}
+
+impl SsvcConfig {
+    /// Creates a configuration with a `counter_bits`-wide `auxVC` whose
+    /// top `sig_bits` bits are compared during arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < sig_bits < counter_bits <= 32`. The paper's
+    /// configurations are 12-bit counters with 3 significant bits (Fig. 1)
+    /// and 11-bit counters ("3+8 bits", Table 1); Fig. 4 uses 4
+    /// significant bits.
+    #[must_use]
+    pub fn new(counter_bits: u32, sig_bits: u32, policy: CounterPolicy) -> Self {
+        assert!(
+            sig_bits > 0 && sig_bits < counter_bits && counter_bits <= 32,
+            "need 0 < sig_bits ({sig_bits}) < counter_bits ({counter_bits}) <= 32"
+        );
+        SsvcConfig {
+            counter_bits,
+            sig_bits,
+            policy,
+        }
+    }
+
+    /// Total `auxVC` width in bits.
+    #[must_use]
+    pub const fn counter_bits(self) -> u32 {
+        self.counter_bits
+    }
+
+    /// Number of most-significant bits compared by arbitration.
+    #[must_use]
+    pub const fn sig_bits(self) -> u32 {
+        self.sig_bits
+    }
+
+    /// The counter-management policy.
+    #[must_use]
+    pub const fn policy(self) -> CounterPolicy {
+        self.policy
+    }
+
+    /// Width of the low (sub-lane) portion of the counter.
+    #[must_use]
+    pub const fn lsb_bits(self) -> u32 {
+        self.counter_bits - self.sig_bits
+    }
+
+    /// Number of GB arbitration lanes the thermometer code addresses:
+    /// `2^sig_bits`.
+    #[must_use]
+    pub const fn num_lanes(self) -> usize {
+        1 << self.sig_bits
+    }
+
+    /// Maximum representable `auxVC` value, at which saturation-triggered
+    /// policies fire.
+    #[must_use]
+    pub const fn saturation_cap(self) -> u64 {
+        (1 << self.counter_bits) - 1
+    }
+
+    /// One MSB step: the amount subtracted from every counter when the
+    /// real-time subcounter wraps.
+    #[must_use]
+    pub const fn msb_step(self) -> u64 {
+        1 << self.lsb_bits()
+    }
+}
+
+/// The SSVC arbiter: the paper's single-cycle combination of coarse
+/// Virtual Clock comparison and LRG tie-breaking (§3.1).
+///
+/// Per crosspoint (here: per input, since this arbiter serves one output
+/// channel) the hardware keeps a `Vtick` register, an `auxVC` counter, a
+/// thermometer-code register derived from the counter's significant bits,
+/// and a replica of the LRG state. During arbitration:
+///
+/// 1. the requesting input with the **smallest** thermometer code (=
+///    smallest significant `auxVC` bits = most under-served flow) defeats
+///    all inputs with larger codes;
+/// 2. ties between equal codes are resolved by **LRG**.
+///
+/// On a win, the winner's `auxVC` increases by its `Vtick` (one virtual
+/// time step per transmitted packet) and the finite counters are managed
+/// per [`CounterPolicy`].
+///
+/// The coarse comparison is precisely what improves latency fairness over
+/// the exact algorithm: flows whose `auxVC`s differ only below the
+/// significant bits look identical and share bandwidth fairly through
+/// LRG, so low-rate flows stop paying the full Virtual Clock latency
+/// penalty (Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_arbiter::{Arbiter, CounterPolicy, Request, SsvcArbiter, SsvcConfig};
+/// use ssq_types::Cycle;
+///
+/// let cfg = SsvcConfig::new(12, 4, CounterPolicy::SubtractRealClock);
+/// // Fig. 4b reservations: 40/20/10/10/5/5/5/5 % of an 8-flit-packet channel.
+/// let rates = [0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05];
+/// let vticks: Vec<u64> = rates.iter().map(|r| SsvcArbiter::quantized_vtick(*r, 8)).collect();
+/// let mut ssvc = SsvcArbiter::new(cfg, &vticks);
+///
+/// let all: Vec<Request> = (0..8).map(|i| Request::new(i, 8)).collect();
+/// let mut wins = [0u32; 8];
+/// for c in 0..4000u64 {
+///     ssvc.tick();
+///     wins[ssvc.arbitrate(Cycle::new(c), &all).unwrap()] += 1;
+/// }
+/// // The 40% flow wins roughly twice as often as the 20% flow.
+/// assert!(wins[0] > wins[1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsvcArbiter {
+    config: SsvcConfig,
+    vticks: Vec<u64>,
+    aux: Vec<u64>,
+    lrg: Lrg,
+    /// Real-time subcounter for [`CounterPolicy::SubtractRealClock`],
+    /// with the granularity of the `auxVC` low bits.
+    real_lsb: u64,
+}
+
+impl SsvcArbiter {
+    /// Creates an SSVC arbiter with one `Vtick` (in cycles, LSB
+    /// granularity) per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vticks` is empty or any `Vtick` is zero.
+    #[must_use]
+    pub fn new(config: SsvcConfig, vticks: &[u64]) -> Self {
+        assert!(!vticks.is_empty(), "need at least one input");
+        assert!(vticks.iter().all(|&v| v > 0), "Vticks must be positive");
+        SsvcArbiter {
+            config,
+            vticks: vticks.to_vec(),
+            aux: vec![0; vticks.len()],
+            lrg: Lrg::new(vticks.len()),
+            real_lsb: 0,
+        }
+    }
+
+    /// Quantizes the ideal `Vtick = len_flits / rate` to the integer
+    /// cycle granularity of the hardware counter (minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    #[must_use]
+    pub fn quantized_vtick(rate: f64, len_flits: u64) -> u64 {
+        let ideal = crate::vtick_for_rate(rate, len_flits);
+        (ideal.round() as u64).max(1)
+    }
+
+    /// `Vtick` for a flow reserving fraction `rate` of a channel on which
+    /// each packet occupies `slot_cycles` cycles end to end.
+    ///
+    /// In the Swizzle Switch an `L`-flit packet holds the channel for
+    /// `L + 1` cycles (one arbitration cycle plus `L` data cycles — the
+    /// 0.89 flits/cycle ceiling of Fig. 4). A flow served at exactly its
+    /// reserved share then wins once every `slot_cycles / rate` cycles, so
+    /// with this `Vtick` its `auxVC` advances at precisely one count per
+    /// cycle — tracking the real-time clock, as the original algorithm
+    /// intends ("its VirtualClock should approximately equal the real
+    /// time clock").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]` or `slot_cycles` is zero.
+    #[must_use]
+    pub fn slot_vtick(rate: f64, slot_cycles: u64) -> u64 {
+        assert!(slot_cycles > 0, "a packet slot spans at least one cycle");
+        assert!(
+            rate > 0.0 && rate <= 1.0 && rate.is_finite(),
+            "reserved rate {rate} outside (0, 1]"
+        );
+        ((slot_cycles as f64 / rate).round() as u64).max(1)
+    }
+
+    /// The static configuration.
+    #[must_use]
+    pub const fn config(&self) -> SsvcConfig {
+        self.config
+    }
+
+    /// Current `auxVC` counter of `input`.
+    #[must_use]
+    pub fn aux_vc(&self, input: usize) -> u64 {
+        self.aux[input]
+    }
+
+    /// Rewrites `input`'s `Vtick` register — the hardware operation behind
+    /// live QoS renegotiation: changing a flow's reservation is one
+    /// register write at its crosspoint, taking effect at the next
+    /// transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vtick` is zero.
+    pub fn set_vtick(&mut self, input: usize, vtick: u64) {
+        assert!(vtick > 0, "Vtick must be positive");
+        self.vticks[input] = vtick;
+    }
+
+    /// Current `Vtick` of `input`.
+    #[must_use]
+    pub fn vtick(&self, input: usize) -> u64 {
+        self.vticks[input]
+    }
+
+    /// Overwrites `input`'s counter — used by the bit-level circuit
+    /// verification (paper §4.1) to enumerate arbitrary counter states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds the saturation cap.
+    pub fn set_aux_vc(&mut self, input: usize, value: u64) {
+        assert!(
+            value <= self.config.saturation_cap(),
+            "auxVC {value} exceeds cap {}",
+            self.config.saturation_cap()
+        );
+        self.aux[input] = value;
+    }
+
+    /// The significant (thermometer) bits of `input`'s counter: the lane
+    /// its sense wire sits in.
+    #[must_use]
+    pub fn msb_value(&self, input: usize) -> u64 {
+        self.aux[input] >> self.config.lsb_bits()
+    }
+
+    /// The thermometer code of `input` as a bitmask: bit `j` is set iff
+    /// `j <= msb_value(input)` — the unary "shift up by 1 each time the
+    /// most significant bits change" register of Fig. 2.
+    #[must_use]
+    pub fn thermometer_code(&self, input: usize) -> u64 {
+        let m = self.msb_value(input);
+        if m + 1 >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (m + 1)) - 1
+        }
+    }
+
+    /// Read access to the replicated LRG state (shared with the circuit
+    /// model so both compare identical pairwise bits).
+    #[must_use]
+    pub fn lrg(&self) -> &Lrg {
+        &self.lrg
+    }
+
+    /// Selects a winner without mutating state: smallest significant
+    /// `auxVC` bits, ties by LRG. This is the pure decision function the
+    /// bit-level circuit model must agree with.
+    #[must_use]
+    pub fn peek(&self, candidates: &[usize]) -> Option<usize> {
+        let min_msb = candidates.iter().map(|&c| self.msb_value(c)).min()?;
+        let tied: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&c| self.msb_value(c) == min_msb)
+            .collect();
+        self.lrg.peek(&tied)
+    }
+
+    /// Records a win: LRG update, `auxVC += Vtick` (saturating), and
+    /// counter-management policy actions.
+    pub fn commit_win(&mut self, winner: usize) {
+        self.lrg.grant(winner);
+        let cap = self.config.saturation_cap();
+        self.aux[winner] = (self.aux[winner] + self.vticks[winner]).min(cap);
+        match self.config.policy() {
+            CounterPolicy::SubtractRealClock => {}
+            CounterPolicy::Halve => {
+                if self.aux[winner] == cap {
+                    for a in &mut self.aux {
+                        *a >>= 1;
+                    }
+                }
+            }
+            CounterPolicy::Reset => {
+                if self.aux[winner] == cap {
+                    self.aux.fill(0);
+                }
+            }
+        }
+    }
+}
+
+impl Arbiter for SsvcArbiter {
+    fn num_inputs(&self) -> usize {
+        self.vticks.len()
+    }
+
+    fn arbitrate(&mut self, _now: Cycle, requests: &[Request]) -> Option<usize> {
+        let candidates: Vec<usize> = requests
+            .iter()
+            .map(|r| {
+                assert!(
+                    r.input() < self.aux.len(),
+                    "input {} out of range",
+                    r.input()
+                );
+                r.input()
+            })
+            .collect();
+        let winner = self.peek(&candidates)?;
+        self.commit_win(winner);
+        Some(winner)
+    }
+
+    /// Advances the real-time subcounter. Under
+    /// [`CounterPolicy::SubtractRealClock`], when the subcounter wraps,
+    /// one MSB step is subtracted from every `auxVC` (flooring at zero),
+    /// which shifts every thermometer code down by one position — keeping
+    /// the counters relative to real time so idle flows cannot bank
+    /// priority and busy counters never saturate.
+    fn tick(&mut self) {
+        if self.config.policy() != CounterPolicy::SubtractRealClock {
+            return;
+        }
+        self.real_lsb += 1;
+        if self.real_lsb >= self.config.msb_step() {
+            self.real_lsb = 0;
+            let step = self.config.msb_step();
+            for a in &mut self.aux {
+                *a = a.saturating_sub(step);
+            }
+        }
+    }
+}
+
+impl fmt::Display for SsvcArbiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SSVC({} inputs, {}+{} bits, {})",
+            self.vticks.len(),
+            self.config.sig_bits(),
+            self.config.lsb_bits(),
+            self.config.policy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: CounterPolicy) -> SsvcConfig {
+        SsvcConfig::new(12, 3, policy)
+    }
+
+    fn reqs(inputs: &[usize]) -> Vec<Request> {
+        inputs.iter().map(|&i| Request::new(i, 8)).collect()
+    }
+
+    #[test]
+    fn config_derivations() {
+        let c = cfg(CounterPolicy::SubtractRealClock);
+        assert_eq!(c.lsb_bits(), 9);
+        assert_eq!(c.num_lanes(), 8);
+        assert_eq!(c.saturation_cap(), 4095);
+        assert_eq!(c.msb_step(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "sig_bits")]
+    fn config_rejects_degenerate_widths() {
+        let _ = SsvcConfig::new(8, 8, CounterPolicy::Reset);
+    }
+
+    #[test]
+    fn smallest_aux_vc_wins() {
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[100, 100, 100]);
+        s.set_aux_vc(0, 3000);
+        s.set_aux_vc(1, 100);
+        s.set_aux_vc(2, 2000);
+        assert_eq!(s.arbitrate(Cycle::ZERO, &reqs(&[0, 1, 2])), Some(1));
+    }
+
+    #[test]
+    fn coarse_comparison_ignores_low_bits() {
+        // auxVC 0 and 511 share MSB value 0 on a 3+9 bit counter, so LRG
+        // (not the counter) must decide between them.
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[1, 1]);
+        s.set_aux_vc(0, 511);
+        s.set_aux_vc(1, 0);
+        // Fresh LRG prefers input 0 despite its larger exact auxVC — the
+        // coarse comparison deliberately cannot see the difference.
+        assert_eq!(s.peek(&[0, 1]), Some(0));
+    }
+
+    #[test]
+    fn figure1_example_decision() {
+        // Fig. 1(a): MSB values In0=6, In1=6, In2=4, In5=4, In6=4 (among
+        // requesters); In2 wins because 4 < 6 and LRG prefers 2 over 5, 6.
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[1; 8]);
+        let msbs = [6u64, 6, 4, 0, 1, 4, 4, 7];
+        for (i, &m) in msbs.iter().enumerate() {
+            s.set_aux_vc(i, m << 9);
+        }
+        assert_eq!(s.peek(&[0, 1, 2, 5, 6]), Some(2));
+    }
+
+    #[test]
+    fn win_increments_by_vtick() {
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[20, 40]);
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.aux_vc(0), 20);
+        assert_eq!(s.aux_vc(1), 0);
+    }
+
+    #[test]
+    fn ties_rotate_through_lrg() {
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[512, 512, 512]);
+        // Identical Vticks land all flows in the same lane between
+        // subtractions, so service should rotate fairly.
+        let mut wins = [0u32; 3];
+        for _ in 0..30 {
+            // Reset counters to an identical state to isolate the tie-break.
+            for i in 0..3 {
+                s.set_aux_vc(i, 0);
+            }
+            wins[s.arbitrate(Cycle::ZERO, &reqs(&[0, 1, 2])).unwrap()] += 1;
+        }
+        assert_eq!(wins, [10, 10, 10]);
+    }
+
+    #[test]
+    fn bandwidth_shares_follow_reservations() {
+        let rates = [0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05];
+        // 8-flit packets occupy 9 channel cycles each (1 arb + 8 data).
+        let vticks: Vec<u64> = rates
+            .iter()
+            .map(|&r| SsvcArbiter::slot_vtick(r, 9))
+            .collect();
+        let mut s = SsvcArbiter::new(
+            SsvcConfig::new(12, 4, CounterPolicy::SubtractRealClock),
+            &vticks,
+        );
+        let all = reqs(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut wins = [0u64; 8];
+        let mut now = Cycle::ZERO;
+        for _ in 0..8000 {
+            // Each 8-flit packet occupies 9 channel cycles (1 arb + 8 data).
+            for _ in 0..9 {
+                s.tick();
+                now = now.next();
+            }
+            wins[s.arbitrate(now, &all).unwrap()] += 1;
+        }
+        let total: u64 = wins.iter().sum();
+        for (i, &rate) in rates.iter().enumerate() {
+            let share = wins[i] as f64 / total as f64;
+            assert!(
+                (share - rate).abs() < 0.03,
+                "flow {i}: share {share:.3} vs reserved {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn subtract_policy_decays_counters() {
+        let c = cfg(CounterPolicy::SubtractRealClock);
+        let mut s = SsvcArbiter::new(c, &[1, 1]);
+        s.set_aux_vc(0, 1024); // MSB value 2
+        for _ in 0..c.msb_step() {
+            s.tick();
+        }
+        assert_eq!(s.aux_vc(0), 512); // one MSB step subtracted
+        assert_eq!(s.msb_value(0), 1);
+        for _ in 0..2 * c.msb_step() {
+            s.tick();
+        }
+        assert_eq!(s.aux_vc(0), 0, "floors at zero");
+    }
+
+    #[test]
+    fn halve_policy_triggers_on_saturation() {
+        let c = cfg(CounterPolicy::Halve);
+        let mut s = SsvcArbiter::new(c, &[4095, 10]);
+        s.set_aux_vc(1, 3000);
+        // Input 0's win saturates its counter, halving everyone.
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.aux_vc(0), 4095 >> 1);
+        assert_eq!(s.aux_vc(1), 1500);
+    }
+
+    #[test]
+    fn reset_policy_clears_all_counters() {
+        let c = cfg(CounterPolicy::Reset);
+        let mut s = SsvcArbiter::new(c, &[4095, 10]);
+        s.set_aux_vc(1, 3000);
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.aux_vc(0), 0);
+        assert_eq!(s.aux_vc(1), 0);
+    }
+
+    #[test]
+    fn counters_never_exceed_cap() {
+        let c = cfg(CounterPolicy::SubtractRealClock);
+        let mut s = SsvcArbiter::new(c, &[4000]);
+        for _ in 0..10 {
+            let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+            assert!(s.aux_vc(0) <= c.saturation_cap());
+        }
+    }
+
+    #[test]
+    fn thermometer_code_is_unary() {
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[1]);
+        s.set_aux_vc(0, 5 << 9); // MSB value 5
+        assert_eq!(s.thermometer_code(0), 0b0011_1111);
+        s.set_aux_vc(0, 0);
+        assert_eq!(s.thermometer_code(0), 0b1);
+    }
+
+    #[test]
+    fn quantized_vtick_matches_figure4_rates() {
+        assert_eq!(SsvcArbiter::quantized_vtick(0.4, 8), 20);
+        assert_eq!(SsvcArbiter::quantized_vtick(0.05, 8), 160);
+        assert_eq!(SsvcArbiter::quantized_vtick(1.0, 1), 1);
+    }
+
+    #[test]
+    fn halve_preserves_bystander_order() {
+        // Halving is the paper's order-preserving compression: among the
+        // inputs that did not win (the winner is first charged its Vtick,
+        // which may reorder it), a < b before the halve implies
+        // a/2 <= b/2 after.
+        let c = cfg(CounterPolicy::Halve);
+        let mut s = SsvcArbiter::new(c, &[4095, 1, 1, 1]);
+        s.set_aux_vc(1, 100);
+        s.set_aux_vc(2, 2000);
+        s.set_aux_vc(3, 4000);
+        let before: Vec<u64> = (0..4).map(|i| s.aux_vc(i)).collect();
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0])); // saturates, halves all
+        for i in 1..4 {
+            for j in 1..4 {
+                if before[i] < before[j] {
+                    assert!(
+                        s.aux_vc(i) <= s.aux_vc(j),
+                        "order inverted: {} vs {}",
+                        s.aux_vc(i),
+                        s.aux_vc(j)
+                    );
+                }
+            }
+        }
+        assert_eq!(s.aux_vc(1), 50);
+        assert_eq!(s.aux_vc(2), 1000);
+        // The winner itself: charged to the cap, then halved like the rest.
+        assert_eq!(s.aux_vc(0), c.saturation_cap() >> 1);
+    }
+
+    #[test]
+    fn subtract_epoch_boundary_is_exact() {
+        // The decay fires exactly when the subcounter completes an MSB
+        // step, not one tick early or late.
+        let c = cfg(CounterPolicy::SubtractRealClock);
+        let mut s = SsvcArbiter::new(c, &[1]);
+        s.set_aux_vc(0, 1000);
+        for _ in 0..c.msb_step() - 1 {
+            s.tick();
+        }
+        assert_eq!(s.aux_vc(0), 1000, "decayed early");
+        s.tick();
+        assert_eq!(s.aux_vc(0), 1000 - c.msb_step(), "missed the boundary");
+    }
+
+    #[test]
+    fn saturation_exactly_at_cap_triggers_policies() {
+        // A win that lands exactly on the cap (not beyond) still fires
+        // the halve/reset management.
+        for policy in [CounterPolicy::Halve, CounterPolicy::Reset] {
+            let c = cfg(policy);
+            let cap = c.saturation_cap();
+            let mut s = SsvcArbiter::new(c, &[5]);
+            s.set_aux_vc(0, cap - 5);
+            let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+            let expected = match policy {
+                CounterPolicy::Halve => cap >> 1,
+                CounterPolicy::Reset => 0,
+                CounterPolicy::SubtractRealClock => unreachable!(),
+            };
+            assert_eq!(s.aux_vc(0), expected, "{policy}");
+        }
+    }
+
+    #[test]
+    fn near_cap_win_without_saturation_does_not_trigger() {
+        let c = cfg(CounterPolicy::Reset);
+        let cap = c.saturation_cap();
+        let mut s = SsvcArbiter::new(c, &[5, 1]);
+        s.set_aux_vc(0, cap - 6);
+        s.set_aux_vc(1, cap - 1);
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.aux_vc(0), cap - 1, "no reset expected");
+        assert_eq!(s.aux_vc(1), cap - 1, "bystander must be untouched");
+    }
+
+    #[test]
+    fn vtick_rewrite_changes_future_charging_only() {
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[10, 10]);
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.aux_vc(0), 10);
+        s.set_vtick(0, 100);
+        assert_eq!(s.vtick(0), 100);
+        assert_eq!(s.aux_vc(0), 10, "rewrite must not touch the counter");
+        // Make input 0 the sole candidate again: next win charges 100.
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.aux_vc(0), 110);
+    }
+
+    #[test]
+    fn display_mentions_policy() {
+        let s = SsvcArbiter::new(cfg(CounterPolicy::Reset), &[1]);
+        assert!(s.to_string().contains("reset"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over the arbitration policies.
+
+use proptest::prelude::*;
+
+use ssq_arbiter::{
+    Arbiter, CounterPolicy, Dwrr, FixedPriority, FourLevel, Gsf, Lrg, Request, RoundRobin,
+    SsvcArbiter, SsvcConfig, VirtualClock, Wfq, Wrr,
+};
+use ssq_types::Cycle;
+
+/// A request pattern: non-empty subset of inputs with packet lengths.
+fn request_pattern(n: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::btree_set(0..n, 1..=n).prop_flat_map(move |inputs| {
+        let inputs: Vec<usize> = inputs.into_iter().collect();
+        let k = inputs.len();
+        prop::collection::vec(1u64..=16, k).prop_map(move |lens| {
+            inputs
+                .iter()
+                .zip(&lens)
+                .map(|(&i, &l)| Request::new(i, l))
+                .collect()
+        })
+    })
+}
+
+fn all_arbiters(n: usize) -> Vec<Box<dyn Arbiter>> {
+    vec![
+        Box::new(Lrg::new(n)),
+        Box::new(RoundRobin::new(n)),
+        Box::new(FixedPriority::new(n)),
+        Box::new(FourLevel::new(n)),
+        Box::new(Gsf::new(&vec![8; n], 128)),
+        Box::new(Wrr::new(&vec![2; n])),
+        Box::new(Dwrr::new(&vec![8; n])),
+        Box::new(Wfq::new(&vec![1.0; n])),
+        Box::new(VirtualClock::new(&vec![n as f64; n])),
+        Box::new(SsvcArbiter::new(
+            SsvcConfig::new(12, 3, CounterPolicy::SubtractRealClock),
+            &vec![9; n],
+        )),
+        Box::new(SsvcArbiter::new(
+            SsvcConfig::new(12, 3, CounterPolicy::Halve),
+            &vec![9; n],
+        )),
+        Box::new(SsvcArbiter::new(
+            SsvcConfig::new(12, 3, CounterPolicy::Reset),
+            &vec![9; n],
+        )),
+    ]
+}
+
+proptest! {
+    /// Every policy always grants exactly one requesting input, for any
+    /// sequence of request patterns.
+    #[test]
+    fn winners_are_always_requesters(
+        patterns in prop::collection::vec(request_pattern(8), 1..50)
+    ) {
+        for mut arb in all_arbiters(8) {
+            for (step, reqs) in patterns.iter().enumerate() {
+                arb.tick();
+                let w = arb
+                    .arbitrate(Cycle::new(step as u64), reqs)
+                    .expect("work conserving");
+                prop_assert!(reqs.iter().any(|r| r.input() == w));
+            }
+        }
+    }
+
+    /// LRG's pairwise matrix stays a strict total order under any grant
+    /// sequence.
+    #[test]
+    fn lrg_stays_a_total_order(grants in prop::collection::vec(0usize..6, 0..100)) {
+        let mut lrg = Lrg::new(6);
+        for g in grants {
+            lrg.grant(g);
+        }
+        let order = lrg.priority_order();
+        // The order must be a permutation consistent with every pairwise bit.
+        for (pos_a, &a) in order.iter().enumerate() {
+            for &b in &order[pos_a + 1..] {
+                prop_assert!(lrg.beats(a, b));
+                prop_assert!(!lrg.beats(b, a));
+            }
+        }
+    }
+
+    /// Under continuous full load, no LRG input ever waits more than n−1
+    /// grants between wins (bounded starvation).
+    #[test]
+    fn lrg_waiting_time_is_bounded(n in 2usize..10) {
+        let mut lrg = Lrg::new(n);
+        let all: Vec<Request> = (0..n).map(|i| Request::new(i, 1)).collect();
+        let mut last_win = vec![0usize; n];
+        for step in 1..=(n * 10) {
+            let w = lrg.arbitrate(Cycle::ZERO, &all).unwrap();
+            prop_assert!(step - last_win[w] <= n, "input {w} waited too long");
+            last_win[w] = step;
+        }
+    }
+
+    /// SSVC counters never exceed the saturation cap under any workload,
+    /// for every counter-management policy.
+    #[test]
+    fn ssvc_counters_stay_bounded(
+        patterns in prop::collection::vec(request_pattern(8), 1..200),
+        policy_idx in 0usize..3,
+        sig_bits in 1u32..5,
+    ) {
+        let policy = [
+            CounterPolicy::SubtractRealClock,
+            CounterPolicy::Halve,
+            CounterPolicy::Reset,
+        ][policy_idx];
+        let cfg = SsvcConfig::new(10, sig_bits, policy);
+        let mut ssvc = SsvcArbiter::new(cfg, &[3, 17, 200, 999, 5, 64, 1, 40]);
+        for (step, reqs) in patterns.iter().enumerate() {
+            ssvc.tick();
+            let _ = ssvc.arbitrate(Cycle::new(step as u64), reqs);
+            for i in 0..8 {
+                prop_assert!(ssvc.aux_vc(i) <= cfg.saturation_cap());
+                prop_assert!(ssvc.msb_value(i) < cfg.num_lanes() as u64);
+            }
+        }
+    }
+
+    /// SSVC's decision always favours a strictly smaller significant-bit
+    /// value: no input with a higher thermometer code than another
+    /// requester can win.
+    #[test]
+    fn ssvc_never_grants_dominated_input(
+        aux in prop::collection::vec(0u64..4096, 8),
+        subset in prop::collection::btree_set(0usize..8, 1..=8),
+    ) {
+        let cfg = SsvcConfig::new(12, 3, CounterPolicy::SubtractRealClock);
+        let mut ssvc = SsvcArbiter::new(cfg, &[1; 8]);
+        for (i, &a) in aux.iter().enumerate() {
+            ssvc.set_aux_vc(i, a);
+        }
+        let candidates: Vec<usize> = subset.into_iter().collect();
+        let w = ssvc.peek(&candidates).unwrap();
+        let min_msb = candidates.iter().map(|&c| ssvc.msb_value(c)).min().unwrap();
+        prop_assert_eq!(ssvc.msb_value(w), min_msb);
+    }
+
+    /// Virtual Clock stamps are monotonically increasing within a flow,
+    /// regardless of arrival times.
+    #[test]
+    fn virtual_clock_stamps_monotonic(arrivals in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut vc = VirtualClock::new(&[7.5]);
+        let mut prev = f64::NEG_INFINITY;
+        for t in sorted {
+            let stamp = vc.on_arrival(0, Cycle::new(t));
+            prop_assert!(stamp > prev);
+            prev = stamp;
+        }
+    }
+
+    /// WRR long-run shares converge to the weight proportions under
+    /// saturation.
+    #[test]
+    fn wrr_shares_match_weights(weights in prop::collection::vec(1u64..8, 2..6)) {
+        let mut wrr = Wrr::new(&weights);
+        let n = weights.len();
+        let all: Vec<Request> = (0..n).map(|i| Request::new(i, 1)).collect();
+        let total_weight: u64 = weights.iter().sum();
+        let rounds = 50;
+        let mut wins = vec![0u64; n];
+        for _ in 0..rounds * total_weight {
+            wins[wrr.arbitrate(Cycle::ZERO, &all).unwrap()] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            prop_assert_eq!(wins[i], rounds * w, "input {} of weights {:?}", i, &weights);
+        }
+    }
+
+    /// DWRR flit shares converge to quantum proportions under saturation
+    /// with uniform packet sizes.
+    #[test]
+    fn dwrr_shares_match_quanta(quanta in prop::collection::vec(4u64..32, 2..5)) {
+        let mut dwrr = Dwrr::new(&quanta);
+        let n = quanta.len();
+        let all: Vec<Request> = (0..n).map(|i| Request::new(i, 4)).collect();
+        let mut flits = vec![0u64; n];
+        for _ in 0..2000 {
+            let w = dwrr.arbitrate(Cycle::ZERO, &all).unwrap();
+            flits[w] += 4;
+        }
+        let total_q: u64 = quanta.iter().sum();
+        let total_f: u64 = flits.iter().sum();
+        for (i, &q) in quanta.iter().enumerate() {
+            let expect = q as f64 / total_q as f64;
+            let got = flits[i] as f64 / total_f as f64;
+            prop_assert!(
+                (got - expect).abs() < 0.05,
+                "input {} got {:.3} expected {:.3} (quanta {:?})",
+                i, got, expect, &quanta
+            );
+        }
+    }
+}

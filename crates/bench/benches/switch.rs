@@ -1,0 +1,114 @@
+//! Criterion benchmark: simulated cycles per second of the full switch
+//! model across radices and policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ssq_arbiter::CounterPolicy;
+use ssq_core::{Policy, QosSwitch, SwitchConfig};
+use ssq_sim::CycleModel;
+use ssq_traffic::{FixedDest, Injector, Saturating, UniformDest};
+use ssq_types::{Cycle, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+fn hotspot_switch(radix: usize, policy: Policy) -> QosSwitch {
+    let width = Geometry::min_bus_width(radix, 3).max(128);
+    let geometry = Geometry::new(radix, width).expect("valid geometry");
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(policy)
+        .gb_buffer_flits(16)
+        .build()
+        .expect("valid config");
+    let share = 1.0 / radix as f64;
+    for i in 0..radix {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(i),
+                OutputId::new(0),
+                Rate::new(share).unwrap(),
+                8,
+            )
+            .unwrap();
+    }
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+    for i in 0..radix {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(0))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    switch
+}
+
+fn bench_radix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_cycles_per_sec");
+    for radix in [8usize, 16, 32, 64] {
+        group.throughput(Throughput::Elements(1));
+        let mut switch = hotspot_switch(radix, Policy::Ssvc(CounterPolicy::SubtractRealClock));
+        let mut now = Cycle::ZERO;
+        group.bench_with_input(BenchmarkId::new("ssvc_hotspot", radix), &radix, |b, _| {
+            b.iter(|| {
+                switch.step(black_box(now));
+                now = now.next();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_policy_cost");
+    for (name, policy) in [
+        ("lrg", Policy::LrgOnly),
+        ("ssvc", Policy::Ssvc(CounterPolicy::SubtractRealClock)),
+        ("exact_vc", Policy::ExactVirtualClock),
+        ("wfq", Policy::Wfq),
+    ] {
+        let mut switch = hotspot_switch(16, policy);
+        let mut now = Cycle::ZERO;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                switch.step(black_box(now));
+                now = now.next();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_uniform_traffic(c: &mut Criterion) {
+    // All-to-all uniform traffic exercises every output channel at once.
+    let mut group = c.benchmark_group("switch_uniform_radix16");
+    let geometry = Geometry::new(16, 128).expect("valid geometry");
+    let config = SwitchConfig::builder(geometry)
+        .policy(Policy::LrgOnly)
+        .gb_buffer_flits(16)
+        .build()
+        .expect("valid config");
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+    for i in 0..16 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(4)),
+                Box::new(UniformDest::new(16, i as u64)),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    let mut now = Cycle::ZERO;
+    group.bench_function("step", |b| {
+        b.iter(|| {
+            switch.step(black_box(now));
+            now = now.next();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_radix, bench_policies, bench_uniform_traffic);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Regenerates the **§4.4 scalability analysis**: the lane budget
+//! `num_lanes = bus_width / radix`, which radix/width pairs support all
+//! three QoS classes, and the accuracy-vs-lanes ablation ("the accuracy
+//! of the SSVC technique increases with more lanes of arbitration").
+
+use ssq_arbiter::CounterPolicy;
+use ssq_bench::{emit, FIG4_PACKET_FLITS, FIG4_RATES};
+use ssq_core::{Policy, QosSwitch, SwitchConfig};
+use ssq_sim::{sweep, Runner, Schedule};
+use ssq_stats::{jain_fairness_index, Table};
+use ssq_traffic::{FixedDest, Injector, Saturating};
+use ssq_types::{Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+fn lane_budget_table() -> Table {
+    let mut t = Table::with_columns(&[
+        "radix",
+        "bus width",
+        "lanes",
+        "3 QoS classes?",
+        "min width for 3 classes",
+    ]);
+    t.numeric();
+    for &radix in &[8usize, 16, 32, 64] {
+        for &width in &[128usize, 256, 512] {
+            let g = Geometry::new(radix, width).expect("valid geometry");
+            t.row(vec![
+                format!("{radix}x{radix}"),
+                width.to_string(),
+                g.num_lanes().to_string(),
+                if g.supports_classes(3) { "yes" } else { "no" }.to_owned(),
+                Geometry::min_bus_width(radix, 3).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Rate-adherence error and latency fairness as a function of the number
+/// of significant `auxVC` bits (lanes = 2^sig_bits).
+fn sig_bits_ablation() -> Table {
+    let sig_bits: Vec<u32> = (1..=4).collect();
+    let rows = sweep(&sig_bits, |&sig| {
+        let geometry = Geometry::new(8, 128).expect("valid geometry");
+        let mut config = SwitchConfig::builder(geometry)
+            .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+            .gb_buffer_flits(16)
+            .sig_bits(sig)
+            .counter_bits(sig + 8)
+            .build()
+            .expect("valid config");
+        for (i, &r) in FIG4_RATES.iter().enumerate() {
+            config
+                .reservations_mut()
+                .reserve_gb(
+                    InputId::new(i),
+                    OutputId::new(0),
+                    Rate::new(r).unwrap(),
+                    FIG4_PACKET_FLITS,
+                )
+                .unwrap();
+        }
+        let mut switch = QosSwitch::new(config).expect("valid switch");
+        for i in 0..8 {
+            switch.add_injector(
+                Injector::new(
+                    Box::new(Saturating::new(FIG4_PACKET_FLITS)),
+                    Box::new(FixedDest::new(OutputId::new(0))),
+                    TrafficClass::GuaranteedBandwidth,
+                )
+                .for_input(InputId::new(i)),
+            );
+        }
+        let end =
+            Runner::new(Schedule::new(Cycles::new(5_000), Cycles::new(50_000))).run(&mut switch);
+        let capacity = FIG4_PACKET_FLITS as f64 / (FIG4_PACKET_FLITS + 1) as f64;
+        let mut worst = 0.0f64;
+        let mut latencies = Vec::new();
+        for (i, &r) in FIG4_RATES.iter().enumerate() {
+            let m = switch
+                .gb_metrics()
+                .flow(FlowId::new(InputId::new(i), OutputId::new(0)));
+            worst = worst.max((m.throughput(end) - r * capacity).abs());
+            latencies.push(m.mean_latency());
+        }
+        (worst, jain_fairness_index(&latencies))
+    });
+
+    let mut t = Table::with_columns(&[
+        "sig bits",
+        "GB lanes",
+        "worst rate deviation",
+        "latency fairness (Jain)",
+    ]);
+    t.numeric();
+    for (&sig, &(worst, jain)) in sig_bits.iter().zip(&rows) {
+        t.row(vec![
+            sig.to_string(),
+            (1u32 << sig).to_string(),
+            format!("{worst:.4}"),
+            format!("{jain:.3}"),
+        ]);
+    }
+    t
+}
+
+/// Rate adherence at every radix of the Table 2 grid: distinct
+/// reservations on a saturated hot output, minimum legal bus width.
+fn radix_sweep() -> Table {
+    let radices: Vec<usize> = vec![8, 16, 32, 64];
+    let rows = sweep(&radices, |&radix| {
+        let width = Geometry::min_bus_width(radix, 3).max(128);
+        let geometry = Geometry::new(radix, width).expect("valid geometry");
+        let mut config = SwitchConfig::builder(geometry)
+            .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+            .gb_buffer_flits(16)
+            .build()
+            .expect("valid config");
+        // Distinct reservations proportional to 1 + i, summing to 95%.
+        let raw: Vec<f64> = (0..radix).map(|i| 1.0 + i as f64).collect();
+        let total: f64 = raw.iter().sum();
+        let rates: Vec<f64> = raw.into_iter().map(|w| 0.95 * w / total).collect();
+        for (i, &r) in rates.iter().enumerate() {
+            config
+                .reservations_mut()
+                .reserve_gb(
+                    InputId::new(i),
+                    OutputId::new(0),
+                    Rate::new(r).unwrap(),
+                    FIG4_PACKET_FLITS,
+                )
+                .unwrap();
+        }
+        let mut switch = QosSwitch::new(config).expect("valid switch");
+        for i in 0..radix {
+            switch.add_injector(
+                Injector::new(
+                    Box::new(Saturating::new(FIG4_PACKET_FLITS)),
+                    Box::new(FixedDest::new(OutputId::new(0))),
+                    TrafficClass::GuaranteedBandwidth,
+                )
+                .for_input(InputId::new(i)),
+            );
+        }
+        let end = Runner::new(Schedule::new(Cycles::new(10_000), Cycles::new(100_000)))
+            .run(&mut switch);
+        let capacity = FIG4_PACKET_FLITS as f64 / (FIG4_PACKET_FLITS + 1) as f64;
+        let worst = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let t = switch
+                    .gb_metrics()
+                    .flow(FlowId::new(InputId::new(i), OutputId::new(0)))
+                    .throughput(end);
+                (t - r * capacity).abs()
+            })
+            .fold(0.0f64, f64::max);
+        (width, worst)
+    });
+    let mut t = Table::with_columns(&["radix", "bus width", "worst rate deviation"]);
+    t.numeric();
+    for (&radix, &(width, worst)) in radices.iter().zip(&rows) {
+        t.row(vec![
+            format!("{radix}x{radix}"),
+            width.to_string(),
+            format!("{worst:.4}"),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    emit(
+        "S4.4: lane budget (num_lanes = bus_width / radix); radix-64 needs 256-bit for 3 classes",
+        &lane_budget_table(),
+    );
+    emit(
+        "S4.4 ablation: SSVC accuracy vs lanes of arbitration (Fig. 4 reservations, saturated)",
+        &sig_bits_ablation(),
+    );
+    emit(
+        "S4.4: rate adherence across the radix grid (distinct reservations, saturated hot output)",
+        &radix_sweep(),
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Table 1**: SSVC storage requirements for a 64×64
+//! switch with 512-bit output buses.
+
+use ssq_bench::emit;
+use ssq_physical::StorageModel;
+use ssq_stats::Table;
+
+fn main() {
+    let m = StorageModel::paper_table1();
+    let radix = m.geometry().radix() as u64;
+
+    let mut t = Table::with_columns(&["item", "bytes", "paper"]);
+    t.numeric();
+    t.row(vec![
+        "BE buffering / input (4 flits, 64 B/flit)".into(),
+        m.be_buffer_bytes_per_input().to_string(),
+        "256".into(),
+    ]);
+    t.row(vec![
+        "GB buffering / input (4 flits/out, 64 outs)".into(),
+        m.gb_buffer_bytes_per_input().to_string(),
+        "16384".into(),
+    ]);
+    t.row(vec![
+        "GL buffering / input (4 flits)".into(),
+        m.gl_buffer_bytes_per_input().to_string(),
+        "256".into(),
+    ]);
+    t.row(vec![
+        format!("Total buffering, all {radix} inputs (KiB)"),
+        (m.total_buffering_bytes() / 1024).to_string(),
+        "1056 K".into(),
+    ]);
+    t.row(vec![
+        "auxVC / crosspoint (3+8 bits, B)".into(),
+        format!("{:.3}", 11.0 / 8.0),
+        "1.375".into(),
+    ]);
+    t.row(vec![
+        "thermometer / crosspoint (8 bits, B)".into(),
+        "1".into(),
+        "1".into(),
+    ]);
+    t.row(vec![
+        "Vtick / crosspoint (8 bits, B)".into(),
+        "1".into(),
+        "1".into(),
+    ]);
+    t.row(vec![
+        format!("LRG / crosspoint ({} bits, B)", m.lrg_bits()),
+        format!("{:.3}", m.lrg_bits() as f64 / 8.0),
+        "7.875".into(),
+    ]);
+    t.row(vec![
+        "per-crosspoint total (B)".into(),
+        format!("{:.2}", m.crosspoint_bytes()),
+        "11.25".into(),
+    ]);
+    t.row(vec![
+        "Total crosspoint state, 4096 crosspoints (KiB)".into(),
+        (m.total_crosspoint_bytes() / 1024).to_string(),
+        "45 K".into(),
+    ]);
+    t.row(vec![
+        "Total switch storage (KiB)".into(),
+        (m.total_bytes() / 1024).to_string(),
+        "1101 K (~1 MB)".into(),
+    ]);
+    emit(
+        "Table 1: SSVC storage for a 64x64 switch with 512-bit buses",
+        &t,
+    );
+}

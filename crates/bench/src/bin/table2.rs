@@ -1,0 +1,99 @@
+//! Regenerates **Table 2** and the §4.5 area analysis: frequency with
+//! and without SSVC across the radix × channel-width grid, from the
+//! calibrated Elmore delay model (see `ssq-physical` for the
+//! SPICE-substitution details).
+
+use ssq_bench::emit;
+use ssq_physical::{AreaModel, DelayModel, PowerModel, TABLE2_RADICES, TABLE2_WIDTHS};
+use ssq_stats::Table;
+
+fn main() {
+    let delay = DelayModel::calibrated_32nm();
+
+    let mut t = Table::with_columns(&[
+        "radix",
+        "width (bits)",
+        "SS (GHz)",
+        "SSVC (GHz)",
+        "slowdown",
+    ]);
+    t.numeric();
+    for &width in &TABLE2_WIDTHS {
+        for &radix in &TABLE2_RADICES {
+            t.row(vec![
+                format!("{radix}x{radix}"),
+                width.to_string(),
+                format!("{:.2}", delay.ss_frequency_ghz(radix, width)),
+                format!("{:.2}", delay.ssvc_frequency_ghz(radix, width)),
+                format!("{:.1}%", delay.slowdown(radix, width) * 100.0),
+            ]);
+        }
+    }
+    emit("Table 2: frequency with and without SSVC", &t);
+
+    let worst = TABLE2_RADICES
+        .iter()
+        .flat_map(|&r| TABLE2_WIDTHS.iter().map(move |&w| (r, w)))
+        .max_by(|a, b| {
+            delay
+                .slowdown(a.0, a.1)
+                .total_cmp(&delay.slowdown(b.0, b.1))
+        })
+        .expect("non-empty grid");
+    println!(
+        "worst slowdown: {:.1}% at {}x{} with {}-bit channels (paper: 8.4% at 8x8, 256-bit)",
+        delay.slowdown(worst.0, worst.1) * 100.0,
+        worst.0,
+        worst.0,
+        worst.1
+    );
+    println!(
+        "calibration anchor: SS 64x64 @128-bit = {:.2} GHz (paper: 1.5 GHz in 32nm)",
+        delay.ss_frequency_ghz(64, 128)
+    );
+    println!();
+
+    let area = AreaModel::new();
+    let mut a = Table::with_columns(&["width (bits)", "area overhead", "equivalent channel"]);
+    a.numeric();
+    for &width in &TABLE2_WIDTHS {
+        a.row(vec![
+            width.to_string(),
+            format!("{:.1}%", area.overhead_fraction(width) * 100.0),
+            format!("{} bits", area.equivalent_channel_bits(width)),
+        ]);
+    }
+    emit(
+        "S4.5 area: crosspoint overhead of the SSVC logic (paper: 2% at 128-bit => 131-bit equivalent; none at 256/512)",
+        &a,
+    );
+
+    // Context: the fabric's headline bandwidth/power (calibrated to the
+    // ISSCC'12 silicon's 3.4 Tb/s/W, the paper's ref [15]).
+    let power = PowerModel::calibrated_45nm();
+    let mut p = Table::with_columns(&[
+        "radix",
+        "width",
+        "peak bandwidth (Tb/s)",
+        "power (W)",
+        "SSVC energy overhead",
+    ]);
+    p.numeric();
+    for &width in &TABLE2_WIDTHS {
+        for &radix in &TABLE2_RADICES {
+            let f = delay.ssvc_frequency_ghz(radix, width);
+            let bw = PowerModel::aggregate_bandwidth_tbps(radix, width, f);
+            p.row(vec![
+                format!("{radix}x{radix}"),
+                width.to_string(),
+                format!("{bw:.1}"),
+                format!("{:.2}", power.power_w(bw)),
+                format!("{:.1}%", power.ssvc_energy_overhead(width) * 100.0),
+            ]);
+        }
+    }
+    emit(
+        "Context: aggregate bandwidth and power at SSVC frequencies (3.4 Tb/s/W calibration from ref [15])",
+        &p,
+    );
+}

@@ -1,0 +1,244 @@
+//! Precharged wires and the bitline array.
+
+use std::fmt;
+
+/// One precharged bitline.
+///
+/// At the start of an arbitration cycle the wire is precharged (logic
+/// high); any input may pull it down during the cycle. Discharging is
+/// monotonic — once pulled down, a wire stays down until the next
+/// precharge — which the type enforces by construction.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_circuit::Wire;
+///
+/// let mut w = Wire::precharged();
+/// assert!(w.is_charged());
+/// w.discharge();
+/// w.discharge(); // idempotent, like parallel pull-down transistors
+/// assert!(!w.is_charged());
+/// w.precharge();
+/// assert!(w.is_charged());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wire {
+    charged: bool,
+}
+
+impl Wire {
+    /// A freshly precharged wire.
+    #[must_use]
+    pub const fn precharged() -> Self {
+        Wire { charged: true }
+    }
+
+    /// Whether the wire still holds its precharge.
+    #[must_use]
+    pub const fn is_charged(self) -> bool {
+        self.charged
+    }
+
+    /// Pulls the wire down. Idempotent.
+    pub fn discharge(&mut self) {
+        self.charged = false;
+    }
+
+    /// Recharges the wire for the next arbitration cycle.
+    pub fn precharge(&mut self) {
+        self.charged = true;
+    }
+}
+
+impl Default for Wire {
+    fn default() -> Self {
+        Wire::precharged()
+    }
+}
+
+/// The repurposed output-bus bitlines, grouped into lanes of `radix`
+/// wires each (a lane has "exactly the number of bitlines required to
+/// perform LRG arbitration; usually equal to the number of inputs" —
+/// paper footnote 2).
+///
+/// Wire addressing follows Fig. 1(c): the wire sensed by input `i` in
+/// lane `l` is wire `l * radix + i`.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_circuit::Bitlines;
+///
+/// let mut b = Bitlines::new(8, 8); // radix-8, 8 lanes = 64 bitlines
+/// assert_eq!(b.width(), 64);
+/// b.discharge(4, 2); // lane 4, position 2 => wire 34 of Fig. 1(c)
+/// assert!(!b.is_charged(4, 2));
+/// assert!(b.is_charged(4, 3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitlines {
+    radix: usize,
+    wires: Vec<Wire>,
+}
+
+impl Bitlines {
+    /// Creates a precharged bitline array of `lanes` lanes for a switch
+    /// with `radix` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` or `lanes` is zero.
+    #[must_use]
+    pub fn new(radix: usize, lanes: usize) -> Self {
+        assert!(radix > 0, "radix must be positive");
+        assert!(lanes > 0, "need at least one lane");
+        Bitlines {
+            radix,
+            wires: vec![Wire::precharged(); radix * lanes],
+        }
+    }
+
+    /// Number of inputs (wires per lane).
+    #[must_use]
+    pub const fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.wires.len() / self.radix
+    }
+
+    /// Total number of bitlines.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Discharges the wire at (`lane`, `position`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn discharge(&mut self, lane: usize, position: usize) {
+        let idx = self.index(lane, position);
+        self.wires[idx].discharge();
+    }
+
+    /// Whether the wire at (`lane`, `position`) is still charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn is_charged(&self, lane: usize, position: usize) -> bool {
+        self.wires[self.index(lane, position)].is_charged()
+    }
+
+    /// Recharges every wire for the next arbitration cycle.
+    pub fn precharge_all(&mut self) {
+        for w in &mut self.wires {
+            w.precharge();
+        }
+    }
+
+    /// Number of wires still charged — used by tests to check discharge
+    /// activity.
+    #[must_use]
+    pub fn charged_count(&self) -> usize {
+        self.wires.iter().filter(|w| w.is_charged()).count()
+    }
+
+    /// The flat bus index of (`lane`, `position`), per Fig. 1(c)'s layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn index(&self, lane: usize, position: usize) -> usize {
+        assert!(
+            position < self.radix,
+            "position {position} >= radix {}",
+            self.radix
+        );
+        let idx = lane * self.radix + position;
+        assert!(idx < self.wires.len(), "lane {lane} out of range");
+        idx
+    }
+}
+
+impl fmt::Display for Bitlines {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} bitlines ({} lanes x {}), {} charged",
+            self.width(),
+            self.lanes(),
+            self.radix,
+            self.charged_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_lifecycle() {
+        let mut w = Wire::default();
+        assert!(w.is_charged());
+        w.discharge();
+        assert!(!w.is_charged());
+        w.precharge();
+        assert!(w.is_charged());
+    }
+
+    #[test]
+    fn figure1c_wire_numbering() {
+        // "If N = 2, the sense amp will sense wires 2, 10, 18, 26, 34, 42,
+        // 50, and 58" for a radix-8 switch with a 64-bit bus.
+        let b = Bitlines::new(8, 8);
+        let sensed: Vec<usize> = (0..8).map(|lane| b.index(lane, 2)).collect();
+        assert_eq!(sensed, vec![2, 10, 18, 26, 34, 42, 50, 58]);
+    }
+
+    #[test]
+    fn discharge_is_local() {
+        let mut b = Bitlines::new(4, 2);
+        b.discharge(1, 3);
+        assert!(!b.is_charged(1, 3));
+        assert!(b.is_charged(1, 2));
+        assert!(b.is_charged(0, 3));
+        assert_eq!(b.charged_count(), 7);
+    }
+
+    #[test]
+    fn precharge_all_restores_every_wire() {
+        let mut b = Bitlines::new(4, 4);
+        for l in 0..4 {
+            for p in 0..4 {
+                b.discharge(l, p);
+            }
+        }
+        assert_eq!(b.charged_count(), 0);
+        b.precharge_all();
+        assert_eq!(b.charged_count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_lane() {
+        let b = Bitlines::new(4, 2);
+        let _ = b.index(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "position")]
+    fn rejects_bad_position() {
+        let b = Bitlines::new(4, 2);
+        let _ = b.index(0, 4);
+    }
+}

@@ -1,0 +1,282 @@
+//! The crosspoint datapath: grant flip-flops and the crossbar's data
+//! routing.
+//!
+//! Arbitration (the rest of this crate) decides *who* may drive each
+//! output bus; the datapath is what then physically connects the
+//! winner's input bus to the output bus. In the Swizzle Switch each
+//! crosspoint holds a **granted flip-flop** (the "Granted FF" of
+//! Fig. 2): set when the crosspoint wins arbitration, it turns on the
+//! pass transistors that couple the buses for the duration of the
+//! packet, and is cleared at channel release.
+//!
+//! [`CrossbarDatapath`] models the whole `radix × radix` grant matrix
+//! and the resulting word routing, enforcing the structural invariant a
+//! crossbar guarantees by construction: **at most one granted crosspoint
+//! per output column** (two drivers on one bus would short). An input
+//! *may* drive several outputs at once — crossbars support multicast —
+//! even though the QoS switch's scheduler never requests it.
+
+use std::fmt;
+
+/// One crosspoint's grant flip-flop.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_circuit::Crosspoint;
+///
+/// let mut xp = Crosspoint::new();
+/// assert!(!xp.is_granted());
+/// xp.grant();
+/// assert!(xp.is_granted());
+/// xp.release();
+/// assert!(!xp.is_granted());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Crosspoint {
+    granted: bool,
+}
+
+impl Crosspoint {
+    /// A crosspoint with a cleared grant flip-flop.
+    #[must_use]
+    pub const fn new() -> Self {
+        Crosspoint { granted: false }
+    }
+
+    /// Whether the pass transistors currently couple the buses.
+    #[must_use]
+    pub const fn is_granted(self) -> bool {
+        self.granted
+    }
+
+    /// Sets the grant flip-flop (arbitration win).
+    pub fn grant(&mut self) {
+        self.granted = true;
+    }
+
+    /// Clears the grant flip-flop (channel release).
+    pub fn release(&mut self) {
+        self.granted = false;
+    }
+}
+
+/// The full crossbar datapath: a `radix × radix` matrix of
+/// [`Crosspoint`]s plus word routing.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_circuit::CrossbarDatapath;
+///
+/// let mut xbar = CrossbarDatapath::new(4);
+/// xbar.grant(2, 0); // input 2 drives output 0
+/// xbar.grant(2, 3); // multicast: the same input also drives output 3
+/// let outputs = xbar.route(&[0xA, 0xB, 0xC, 0xD]);
+/// assert_eq!(outputs, vec![Some(0xC), None, None, Some(0xC)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossbarDatapath {
+    radix: usize,
+    /// Row-major: `points[input * radix + output]`.
+    points: Vec<Crosspoint>,
+}
+
+impl CrossbarDatapath {
+    /// Creates an idle `radix × radix` datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero.
+    #[must_use]
+    pub fn new(radix: usize) -> Self {
+        assert!(radix > 0, "radix must be positive");
+        CrossbarDatapath {
+            radix,
+            points: vec![Crosspoint::new(); radix * radix],
+        }
+    }
+
+    /// Number of ports per side.
+    #[must_use]
+    pub const fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// The input currently granted onto `output`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range.
+    #[must_use]
+    pub fn driver_of(&self, output: usize) -> Option<usize> {
+        assert!(output < self.radix, "output {output} out of range");
+        (0..self.radix).find(|&i| self.points[i * self.radix + output].is_granted())
+    }
+
+    /// Grants crosspoint `(input, output)`, coupling the buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range, or if another input
+    /// already drives `output` — two drivers on one bus is the electrical
+    /// fault the arbitration exists to prevent, so it is a logic error
+    /// here.
+    pub fn grant(&mut self, input: usize, output: usize) {
+        assert!(input < self.radix, "input {input} out of range");
+        if let Some(existing) = self.driver_of(output) {
+            assert!(
+                existing == input,
+                "output {output} already driven by input {existing}"
+            );
+        }
+        self.points[input * self.radix + output].grant();
+    }
+
+    /// Releases whatever drives `output` (channel release at end of
+    /// packet). A no-op when the output is idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range.
+    pub fn release(&mut self, output: usize) {
+        if let Some(input) = self.driver_of(output) {
+            self.points[input * self.radix + output].release();
+        } else {
+            assert!(output < self.radix, "output {output} out of range");
+        }
+    }
+
+    /// Routes one cycle of data: `inputs[i]` is the word on input bus
+    /// `i`; the result is the word appearing on each output bus (`None`
+    /// when undriven).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not carry exactly `radix` words.
+    #[must_use]
+    pub fn route(&self, inputs: &[u64]) -> Vec<Option<u64>> {
+        assert_eq!(inputs.len(), self.radix, "one word per input bus");
+        (0..self.radix)
+            .map(|o| self.driver_of(o).map(|i| inputs[i]))
+            .collect()
+    }
+
+    /// Number of granted crosspoints.
+    #[must_use]
+    pub fn active_points(&self) -> usize {
+        self.points.iter().filter(|p| p.is_granted()).count()
+    }
+}
+
+impl fmt::Display for CrossbarDatapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} crossbar, {} active crosspoints",
+            self.radix,
+            self.radix,
+            self.active_points()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_datapath_routes_nothing() {
+        let xbar = CrossbarDatapath::new(3);
+        assert_eq!(xbar.route(&[1, 2, 3]), vec![None, None, None]);
+        assert_eq!(xbar.active_points(), 0);
+    }
+
+    #[test]
+    fn unicast_routing() {
+        let mut xbar = CrossbarDatapath::new(4);
+        xbar.grant(1, 0);
+        xbar.grant(3, 2);
+        let out = xbar.route(&[10, 11, 12, 13]);
+        assert_eq!(out, vec![Some(11), None, Some(13), None]);
+        assert_eq!(xbar.driver_of(0), Some(1));
+        assert_eq!(xbar.driver_of(1), None);
+    }
+
+    #[test]
+    fn multicast_from_one_input_is_legal() {
+        let mut xbar = CrossbarDatapath::new(4);
+        for o in 0..4 {
+            xbar.grant(2, o);
+        }
+        assert_eq!(xbar.route(&[0, 0, 7, 0]), vec![Some(7); 4]);
+        assert_eq!(xbar.active_points(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already driven")]
+    fn two_drivers_on_one_output_is_a_fault() {
+        let mut xbar = CrossbarDatapath::new(4);
+        xbar.grant(0, 1);
+        xbar.grant(2, 1);
+    }
+
+    #[test]
+    fn regrant_by_same_driver_is_idempotent() {
+        let mut xbar = CrossbarDatapath::new(2);
+        xbar.grant(0, 0);
+        xbar.grant(0, 0);
+        assert_eq!(xbar.active_points(), 1);
+    }
+
+    #[test]
+    fn release_frees_the_column() {
+        let mut xbar = CrossbarDatapath::new(3);
+        xbar.grant(0, 2);
+        xbar.release(2);
+        assert_eq!(xbar.driver_of(2), None);
+        // And a new driver can now take it.
+        xbar.grant(1, 2);
+        assert_eq!(xbar.driver_of(2), Some(1));
+    }
+
+    #[test]
+    fn release_of_idle_output_is_a_noop() {
+        let mut xbar = CrossbarDatapath::new(2);
+        xbar.release(1);
+        assert_eq!(xbar.active_points(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn release_checks_bounds() {
+        let mut xbar = CrossbarDatapath::new(2);
+        xbar.release(2);
+    }
+
+    /// Drive the datapath from a sequence of fabric arbitrations: the
+    /// structural exclusivity holds across an arbitrated packet schedule.
+    #[test]
+    fn arbitration_driven_schedule_keeps_exclusivity() {
+        use crate::{CircuitConfig, InhibitFabric, PortRequest};
+        use ssq_arbiter::Lrg;
+        let radix = 8;
+        let fabric = InhibitFabric::new(CircuitConfig::new(radix, 8, false));
+        let mut lrg = Lrg::new(radix);
+        let mut xbar = CrossbarDatapath::new(radix);
+        for round in 0..64u64 {
+            // Output 0's channel releases and re-arbitrates each round.
+            xbar.release(0);
+            let ports: Vec<PortRequest> = (0..radix)
+                .map(|i| PortRequest::Gb {
+                    msb_value: (i as u64 + round) % 8,
+                })
+                .collect();
+            let winner = fabric.arbitrate(&ports, &lrg, &lrg).winner().unwrap();
+            lrg.grant(winner);
+            xbar.grant(winner, 0);
+            assert_eq!(xbar.driver_of(0), Some(winner));
+            assert_eq!(xbar.active_points(), 1);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Guaranteed-latency mathematics: the worst-case waiting-time bound of
+//! Eq. 1 and the burst budgets of Eqs. 2–3 (paper §3.4).
+
+use std::fmt;
+
+/// Inputs to the GL latency-bound calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlScenario {
+    /// Maximum packet length in flits (`l_max`).
+    pub l_max: u64,
+    /// Minimum packet length in flits (`l_min`).
+    pub l_min: u64,
+    /// Number of inputs injecting GL packets to the output (`N_GL,o`).
+    pub n_gl: u64,
+    /// GL buffer depth per input in flits (`b`).
+    pub buffer_flits: u64,
+}
+
+impl GlScenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < l_min <= l_max`, `n_gl > 0`, and the buffer
+    /// holds at least one minimum-size packet.
+    #[must_use]
+    pub fn new(l_max: u64, l_min: u64, n_gl: u64, buffer_flits: u64) -> Self {
+        assert!(l_min > 0 && l_min <= l_max, "need 0 < l_min <= l_max");
+        assert!(n_gl > 0, "need at least one GL injector");
+        assert!(
+            buffer_flits >= l_min,
+            "GL buffer must hold at least one minimum-size packet"
+        );
+        GlScenario {
+            l_max,
+            l_min,
+            n_gl,
+            buffer_flits,
+        }
+    }
+}
+
+impl fmt::Display for GlScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} GL inputs, {}-flit buffers, packets {}..={} flits",
+            self.n_gl, self.buffer_flits, self.l_min, self.l_max
+        )
+    }
+}
+
+/// Eq. 1: the maximum waiting time `τ_GL` for a buffered GL packet at the
+/// switch:
+///
+/// ```text
+/// τ_GL <= l_max + N_GL,o * (b + b / l_min)
+/// ```
+///
+/// `l_max` covers the wait for channel release from a packet already
+/// holding the channel; `N_GL,o · b` the transmit latency of buffered
+/// flits ahead of this packet; `N_GL,o · b / l_min` the arbitration
+/// latency (one cycle per packet, at most `b / l_min` packets per
+/// buffer).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_core::gl::{latency_bound, GlScenario};
+///
+/// // One interrupt source with a 4-flit buffer and single-flit packets
+/// // waits at most 1 + 1*(4 + 4) = 9 cycles.
+/// let s = GlScenario::new(1, 1, 1, 4);
+/// assert_eq!(latency_bound(s), 9);
+/// ```
+#[must_use]
+pub fn latency_bound(scenario: GlScenario) -> u64 {
+    let GlScenario {
+        l_max,
+        l_min,
+        n_gl,
+        buffer_flits: b,
+    } = scenario;
+    l_max + n_gl * (b + b.div_ceil(l_min))
+}
+
+/// Eqs. 2–3: maximum burst sizes (in packets) for GL inputs with ordered
+/// latency constraints `L₁ <= L₂ <= … <= L_N` (tightest first):
+///
+/// ```text
+/// σ₁ = (L₁ − l_max) / ((l_max + 1) · N)
+/// σₙ = σₙ₋₁ + (Lₙ − Lₙ₋₁) / ((l_max + 1) · (N − n))        (n > 1)
+/// ```
+///
+/// The flow with constraint `Lₙ` "can burst as many flits as the flow
+/// with the `Lₙ₋₁` constraint but has to compete with the remaining
+/// `N_GL,o − n` flows with higher latency constraints". Results are
+/// floored to whole packets; a constraint too tight to admit even one
+/// packet yields 0. For the loosest flow (`n = N`) the divisor `N − n`
+/// is zero, meaning no *other* flow constrains it beyond its own
+/// constraint; the budget is then limited by its own latency headroom
+/// against the already-granted bursts.
+///
+/// # Panics
+///
+/// Panics if `constraints` is empty or not sorted ascending.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_core::gl::burst_budgets;
+///
+/// // Two GL flows with 1-flit packets; the tighter flow gets the smaller
+/// // budget.
+/// let budgets = burst_budgets(&[40, 100], 1);
+/// assert!(budgets[0] <= budgets[1]);
+/// ```
+#[must_use]
+pub fn burst_budgets(constraints: &[u64], l_max: u64) -> Vec<u64> {
+    assert!(!constraints.is_empty(), "need at least one constraint");
+    assert!(
+        constraints.windows(2).all(|w| w[0] <= w[1]),
+        "constraints must be sorted tightest (smallest) first"
+    );
+    let n = constraints.len() as u64;
+    let slot = l_max + 1;
+    let mut budgets = Vec::with_capacity(constraints.len());
+    // Eq. 2.
+    let sigma1 = constraints[0].saturating_sub(l_max) / (slot * n);
+    budgets.push(sigma1);
+    // Eq. 3.
+    for (idx, pair) in constraints.windows(2).enumerate() {
+        let k = (idx + 2) as u64; // this is σ_k for k = idx + 2
+        let prev = budgets[idx];
+        let delta = pair[1] - pair[0];
+        let competitors = n - k;
+        let extra = if competitors == 0 {
+            // The loosest flow competes with nobody beyond the bursts
+            // already granted: its headroom converts one-for-one into
+            // packet slots.
+            delta / slot
+        } else {
+            delta / (slot * competitors)
+        };
+        budgets.push(prev + extra);
+    }
+    budgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_components_add_up() {
+        // 8 inputs, 4-flit buffers, packets 1..=8 flits:
+        // 8 + 8*(4 + 4/1) = 8 + 64 = 72.
+        let s = GlScenario::new(8, 1, 8, 4);
+        assert_eq!(latency_bound(s), 72);
+    }
+
+    #[test]
+    fn bound_rounds_arbitration_count_up() {
+        // b=6, l_min=4: at most ceil(6/4)=2 buffered packets per input.
+        let s = GlScenario::new(4, 4, 2, 6);
+        assert_eq!(latency_bound(s), 4 + 2 * (6 + 2));
+    }
+
+    #[test]
+    fn bound_grows_with_each_parameter() {
+        let base = latency_bound(GlScenario::new(4, 2, 2, 8));
+        assert!(latency_bound(GlScenario::new(8, 2, 2, 8)) > base);
+        assert!(latency_bound(GlScenario::new(4, 2, 4, 8)) > base);
+        assert!(latency_bound(GlScenario::new(4, 2, 2, 16)) > base);
+        // Smaller minimum packets mean more arbitrations for the same
+        // buffered flits.
+        assert!(latency_bound(GlScenario::new(4, 1, 2, 8)) > base);
+    }
+
+    #[test]
+    #[should_panic(expected = "l_min")]
+    fn scenario_rejects_inverted_lengths() {
+        let _ = GlScenario::new(2, 4, 1, 8);
+    }
+
+    #[test]
+    fn single_flow_budget_matches_eq2() {
+        // σ1 = (L - l_max) / ((l_max+1) * 1); 1-flit packets, L=101:
+        // (101-1)/2 = 50 packets.
+        assert_eq!(burst_budgets(&[101], 1), vec![50]);
+    }
+
+    #[test]
+    fn eight_flow_budget_matches_eq2() {
+        // 8 flows, 1-flit packets, all with the same constraint L=201:
+        // σ1 = 200/(2*8) = 12 packets each (the paper's worked example
+        // shape: with 8 inputs each budget shrinks ~8x).
+        let budgets = burst_budgets(&[201; 8], 1);
+        assert_eq!(budgets[0], 12);
+        // Equal constraints add nothing in Eq. 3.
+        assert!(budgets.iter().all(|&b| b == 12));
+    }
+
+    #[test]
+    fn looser_constraints_earn_larger_budgets() {
+        let budgets = burst_budgets(&[50, 100, 400], 4);
+        assert!(budgets[0] <= budgets[1] && budgets[1] <= budgets[2]);
+        // Eq. 2: (50-4)/(5*3) = 3.
+        assert_eq!(budgets[0], 3);
+        // Eq. 3 for n=2: 3 + (100-50)/(5*1) = 13.
+        assert_eq!(budgets[1], 13);
+        // n=3 competes with nobody: 13 + (400-100)/5 = 73.
+        assert_eq!(budgets[2], 73);
+    }
+
+    #[test]
+    fn too_tight_constraint_yields_zero() {
+        assert_eq!(burst_budgets(&[3], 8)[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_constraints_rejected() {
+        let _ = burst_budgets(&[100, 50], 1);
+    }
+
+    #[test]
+    fn budgets_keep_total_burst_under_the_tightest_bound() {
+        // Consistency with Eq. 1 reasoning: serving all σ1·N tightest
+        // packets takes at most N·σ1·(l_max+1) + l_max cycles <= L1.
+        for l_max in [1u64, 4, 8] {
+            for n in [1u64, 2, 4, 8] {
+                let l1 = 500;
+                let budgets = burst_budgets(&vec![l1; n as usize], l_max);
+                let worst = l_max + n * budgets[0] * (l_max + 1);
+                assert!(
+                    worst <= l1,
+                    "l_max={l_max} n={n}: worst {worst} > bound {l1}"
+                );
+            }
+        }
+    }
+}

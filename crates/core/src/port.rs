@@ -1,0 +1,338 @@
+//! Input-port buffering: one BE queue, per-output GB virtual queues, and
+//! one GL queue (the buffering organization of Table 1).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ssq_types::{InputId, OutputId, TrafficClass};
+
+use crate::packet::Packet;
+
+/// A flit-accounted FIFO of packets.
+#[derive(Debug, Clone, Default)]
+struct ClassQueue {
+    capacity_flits: u64,
+    used_flits: u64,
+    packets: VecDeque<Packet>,
+}
+
+impl ClassQueue {
+    fn new(capacity_flits: u64) -> Self {
+        ClassQueue {
+            capacity_flits,
+            used_flits: 0,
+            packets: VecDeque::new(),
+        }
+    }
+
+    fn has_room(&self, len_flits: u64) -> bool {
+        self.used_flits + len_flits <= self.capacity_flits
+    }
+
+    fn push(&mut self, packet: Packet) -> bool {
+        if !self.has_room(packet.spec().len_flits()) {
+            return false;
+        }
+        self.used_flits += packet.spec().len_flits();
+        self.packets.push_back(packet);
+        true
+    }
+
+    fn head(&self) -> Option<&Packet> {
+        self.packets.front()
+    }
+
+    /// Transmits one flit of the head packet (freeing its buffer slot)
+    /// and pops the packet if it completed.
+    fn transmit_head_flit(&mut self) -> Option<Packet> {
+        let head = self.packets.front_mut().expect("transmit from empty queue");
+        self.used_flits -= 1;
+        if head.transmit_flit() {
+            self.packets.pop_front()
+        } else {
+            None
+        }
+    }
+}
+
+/// One input port of the switch with its per-class buffering:
+///
+/// * a single **BE** FIFO (4 flits in Table 1),
+/// * one **GB** virtual output queue per output ("GB 4 flits/out" —
+///   per-flow separation is what lets the crosspoint `auxVC` state track
+///   exactly one flow),
+/// * a single **GL** FIFO ("GL class packets should be buffered
+///   separately from GB class packets", §3.2).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_core::{InputPort, Packet};
+/// use ssq_types::*;
+///
+/// let mut port = InputPort::new(InputId::new(0), 4, 4, 16, 4);
+/// let spec = PacketSpec::new(
+///     PacketId::new(0),
+///     FlowId::new(InputId::new(0), OutputId::new(2)),
+///     TrafficClass::GuaranteedBandwidth,
+///     8,
+///     Cycle::ZERO,
+/// );
+/// assert!(port.try_enqueue(Packet::new(spec, Cycle::ZERO)));
+/// assert!(port
+///     .head(TrafficClass::GuaranteedBandwidth, OutputId::new(2))
+///     .is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InputPort {
+    input: InputId,
+    /// One shared FIFO (length 1) or per-output virtual queues (length
+    /// `radix`) — see [`InputPort::with_be_voq`].
+    be: Vec<ClassQueue>,
+    gb: Vec<ClassQueue>,
+    gl: ClassQueue,
+}
+
+impl InputPort {
+    /// Creates a port for `input` on a switch with `radix` outputs and
+    /// the given buffer depths in flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero.
+    #[must_use]
+    pub fn new(
+        input: InputId,
+        radix: usize,
+        be_buffer_flits: u64,
+        gb_buffer_flits: u64,
+        gl_buffer_flits: u64,
+    ) -> Self {
+        assert!(radix > 0, "radix must be positive");
+        InputPort {
+            input,
+            be: vec![ClassQueue::new(be_buffer_flits)],
+            gb: (0..radix)
+                .map(|_| ClassQueue::new(gb_buffer_flits))
+                .collect(),
+            gl: ClassQueue::new(gl_buffer_flits),
+        }
+    }
+
+    /// Replaces the shared BE FIFO with per-output virtual queues of the
+    /// same per-queue depth, eliminating BE head-of-line blocking at the
+    /// cost of `radix ×` the BE buffering (an ablation beyond the
+    /// paper's Table 1 organization).
+    #[must_use]
+    pub fn with_be_voq(mut self, radix: usize, be_buffer_flits: u64) -> Self {
+        self.be = (0..radix)
+            .map(|_| ClassQueue::new(be_buffer_flits))
+            .collect();
+        self
+    }
+
+    /// The port's input id.
+    #[must_use]
+    pub const fn input(&self) -> InputId {
+        self.input
+    }
+
+    /// Whether a packet of `len_flits` flits of `class` headed to
+    /// `output` would fit right now.
+    #[must_use]
+    pub fn has_room(&self, class: TrafficClass, output: OutputId, len_flits: u64) -> bool {
+        self.queue(class, output).has_room(len_flits)
+    }
+
+    /// Enqueues a packet into its class queue. Returns `false` (dropping
+    /// the packet) if the buffer lacks space.
+    pub fn try_enqueue(&mut self, packet: Packet) -> bool {
+        let class = packet.spec().class();
+        let output = packet.spec().flow().output();
+        self.queue_mut(class, output).push(packet)
+    }
+
+    /// The head packet of `class` that is requesting `output`, if any.
+    ///
+    /// For the single-FIFO classes (BE, GL) only the head's own
+    /// destination is requested — the head-of-line blocking a real shared
+    /// FIFO exhibits.
+    #[must_use]
+    pub fn head(&self, class: TrafficClass, output: OutputId) -> Option<&Packet> {
+        let q = self.queue(class, output);
+        q.head().filter(|p| p.spec().flow().output() == output)
+    }
+
+    /// Transmits one flit of the committed head packet; returns the
+    /// packet when its last flit leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no matching head packet — the channel committed
+    /// to a queue that does not hold one, which is a scheduling bug.
+    pub fn transmit_head_flit(&mut self, class: TrafficClass, output: OutputId) -> Option<Packet> {
+        assert!(
+            self.head(class, output).is_some(),
+            "no {class} head for {output} at {}",
+            self.input
+        );
+        self.queue_mut(class, output).transmit_head_flit()
+    }
+
+    /// Flits currently buffered in `class` toward `output` (for BE/GL the
+    /// shared queue's total occupancy).
+    #[must_use]
+    pub fn occupancy(&self, class: TrafficClass, output: OutputId) -> u64 {
+        self.queue(class, output).used_flits
+    }
+
+    /// Total flits buffered at this port across all classes and outputs.
+    #[must_use]
+    pub fn total_occupancy(&self) -> u64 {
+        self.be.iter().map(|q| q.used_flits).sum::<u64>()
+            + self.gl.used_flits
+            + self.gb.iter().map(|q| q.used_flits).sum::<u64>()
+    }
+
+    fn be_index(&self, output: OutputId) -> usize {
+        if self.be.len() == 1 {
+            0
+        } else {
+            output.index()
+        }
+    }
+
+    fn queue(&self, class: TrafficClass, output: OutputId) -> &ClassQueue {
+        match class {
+            TrafficClass::BestEffort => &self.be[self.be_index(output)],
+            TrafficClass::GuaranteedBandwidth => &self.gb[output.index()],
+            TrafficClass::GuaranteedLatency => &self.gl,
+        }
+    }
+
+    fn queue_mut(&mut self, class: TrafficClass, output: OutputId) -> &mut ClassQueue {
+        match class {
+            TrafficClass::BestEffort => {
+                let idx = self.be_index(output);
+                &mut self.be[idx]
+            }
+            TrafficClass::GuaranteedBandwidth => &mut self.gb[output.index()],
+            TrafficClass::GuaranteedLatency => &mut self.gl,
+        }
+    }
+}
+
+impl fmt::Display for InputPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: BE {}f, GB {}f, GL {}f buffered",
+            self.input,
+            self.be.iter().map(|q| q.used_flits).sum::<u64>(),
+            self.gb.iter().map(|q| q.used_flits).sum::<u64>(),
+            self.gl.used_flits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_types::{Cycle, FlowId, PacketId, PacketSpec};
+
+    fn make(id: u64, class: TrafficClass, output: usize, len: u64) -> Packet {
+        Packet::new(
+            PacketSpec::new(
+                PacketId::new(id),
+                FlowId::new(InputId::new(0), OutputId::new(output)),
+                class,
+                len,
+                Cycle::ZERO,
+            ),
+            Cycle::ZERO,
+        )
+    }
+
+    fn port() -> InputPort {
+        InputPort::new(InputId::new(0), 4, 4, 8, 4)
+    }
+
+    #[test]
+    fn gb_queues_are_per_output() {
+        let mut p = port();
+        assert!(p.try_enqueue(make(0, TrafficClass::GuaranteedBandwidth, 1, 8)));
+        assert!(p.try_enqueue(make(1, TrafficClass::GuaranteedBandwidth, 2, 8)));
+        // Each VOQ holds 8 flits; both fit despite 16 flits total.
+        assert!(p
+            .head(TrafficClass::GuaranteedBandwidth, OutputId::new(1))
+            .is_some());
+        assert!(p
+            .head(TrafficClass::GuaranteedBandwidth, OutputId::new(2))
+            .is_some());
+        assert!(p
+            .head(TrafficClass::GuaranteedBandwidth, OutputId::new(3))
+            .is_none());
+    }
+
+    #[test]
+    fn full_buffer_rejects() {
+        let mut p = port();
+        assert!(p.try_enqueue(make(0, TrafficClass::GuaranteedBandwidth, 0, 8)));
+        assert!(!p.try_enqueue(make(1, TrafficClass::GuaranteedBandwidth, 0, 1)));
+        assert!(!p.has_room(TrafficClass::GuaranteedBandwidth, OutputId::new(0), 1));
+    }
+
+    #[test]
+    fn be_fifo_exhibits_head_of_line_blocking() {
+        let mut p = port();
+        assert!(p.try_enqueue(make(0, TrafficClass::BestEffort, 1, 2)));
+        assert!(p.try_enqueue(make(1, TrafficClass::BestEffort, 2, 2)));
+        // The head targets output 1, so output 2 sees no BE request even
+        // though a packet for it is queued behind.
+        assert!(p.head(TrafficClass::BestEffort, OutputId::new(1)).is_some());
+        assert!(p.head(TrafficClass::BestEffort, OutputId::new(2)).is_none());
+    }
+
+    #[test]
+    fn transmission_frees_space_per_flit() {
+        let mut p = port();
+        assert!(p.try_enqueue(make(0, TrafficClass::GuaranteedLatency, 0, 4)));
+        assert!(!p.has_room(TrafficClass::GuaranteedLatency, OutputId::new(0), 1));
+        assert!(p
+            .transmit_head_flit(TrafficClass::GuaranteedLatency, OutputId::new(0))
+            .is_none());
+        // One flit freed mid-packet.
+        assert!(p.has_room(TrafficClass::GuaranteedLatency, OutputId::new(0), 1));
+        for _ in 0..2 {
+            assert!(p
+                .transmit_head_flit(TrafficClass::GuaranteedLatency, OutputId::new(0))
+                .is_none());
+        }
+        let done = p
+            .transmit_head_flit(TrafficClass::GuaranteedLatency, OutputId::new(0))
+            .expect("last flit completes the packet");
+        assert_eq!(done.spec().id(), PacketId::new(0));
+        assert_eq!(
+            p.occupancy(TrafficClass::GuaranteedLatency, OutputId::new(0)),
+            0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no GL head")]
+    fn transmitting_from_empty_queue_is_a_bug() {
+        let mut p = port();
+        let _ = p.transmit_head_flit(TrafficClass::GuaranteedLatency, OutputId::new(0));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut p = port();
+        assert!(p.try_enqueue(make(10, TrafficClass::GuaranteedBandwidth, 0, 2)));
+        assert!(p.try_enqueue(make(11, TrafficClass::GuaranteedBandwidth, 0, 2)));
+        let head = p
+            .head(TrafficClass::GuaranteedBandwidth, OutputId::new(0))
+            .unwrap();
+        assert_eq!(head.spec().id(), PacketId::new(10));
+    }
+}

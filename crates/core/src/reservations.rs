@@ -1,0 +1,273 @@
+//! Bandwidth allocation to traffic classes (paper §3.3).
+
+use std::fmt;
+
+use ssq_types::{InputId, OutputId, Rate};
+
+use crate::config::ConfigError;
+
+/// One GB flow's reservation: a fraction of the output channel's
+/// bandwidth and the nominal packet length the flow uses (needed to
+/// derive its `Vtick`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbReservation {
+    rate: Rate,
+    packet_flits: u64,
+}
+
+impl GbReservation {
+    /// The reserved fraction of the output channel's bandwidth.
+    #[must_use]
+    pub const fn rate(self) -> Rate {
+        self.rate
+    }
+
+    /// The flow's nominal packet length in flits.
+    #[must_use]
+    pub const fn packet_flits(self) -> u64 {
+        self.packet_flits
+    }
+}
+
+/// Per-output bandwidth allocations: "each individual input may request a
+/// fraction of the output channel's bandwidth; therefore, there can be as
+/// many GB flows per output as there are inputs. For the GL class, the
+/// output reserves a small fraction of bandwidth for any GL packet
+/// injected from any input … the sum of bandwidth allocated to all GB
+/// flows and the GL class should be less than or equal to the total
+/// bandwidth capacity of the output channel." (§3.3)
+///
+/// # Examples
+///
+/// ```
+/// use ssq_core::Reservations;
+/// use ssq_types::{InputId, OutputId, Rate};
+///
+/// let mut res = Reservations::new(4);
+/// res.reserve_gb(InputId::new(0), OutputId::new(1), Rate::new(0.5)?, 8)?;
+/// res.reserve_gl(OutputId::new(1), Rate::new(0.1)?)?;
+/// assert!((res.allocated(OutputId::new(1)) - 0.6).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservations {
+    radix: usize,
+    gb: Vec<Option<GbReservation>>,
+    gl: Vec<Rate>,
+}
+
+impl Reservations {
+    /// Creates an empty allocation table for a `radix × radix` switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is zero.
+    #[must_use]
+    pub fn new(radix: usize) -> Self {
+        assert!(radix > 0, "radix must be positive");
+        Reservations {
+            radix,
+            gb: vec![None; radix * radix],
+            gl: vec![Rate::ZERO; radix],
+        }
+    }
+
+    /// The switch radix this table covers.
+    #[must_use]
+    pub const fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Reserves `rate` of `output`'s bandwidth for the GB flow from
+    /// `input`, sending `packet_flits`-flit packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Oversubscribed`] if the output's total
+    /// allocation (GB flows + GL) would exceed its capacity, and
+    /// [`ConfigError::ZeroRate`] for an empty reservation (remove it by
+    /// not reserving instead).
+    pub fn reserve_gb(
+        &mut self,
+        input: InputId,
+        output: OutputId,
+        rate: Rate,
+        packet_flits: u64,
+    ) -> Result<(), ConfigError> {
+        assert!(input.index() < self.radix && output.index() < self.radix);
+        assert!(packet_flits > 0, "packets need at least one flit");
+        if rate.is_zero() {
+            return Err(ConfigError::ZeroRate { input, output });
+        }
+        let idx = input.index() * self.radix + output.index();
+        let previous = self.gb[idx];
+        self.gb[idx] = Some(GbReservation { rate, packet_flits });
+        if self.allocated(output) > 1.0 + 1e-9 {
+            self.gb[idx] = previous;
+            return Err(ConfigError::Oversubscribed {
+                output,
+                allocated: self.allocated(output) + rate.value(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reserves `rate` of `output`'s bandwidth for the GL class (shared
+    /// by all inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Oversubscribed`] if the output would exceed
+    /// its capacity.
+    pub fn reserve_gl(&mut self, output: OutputId, rate: Rate) -> Result<(), ConfigError> {
+        assert!(output.index() < self.radix);
+        let previous = self.gl[output.index()];
+        self.gl[output.index()] = rate;
+        if self.allocated(output) > 1.0 + 1e-9 {
+            self.gl[output.index()] = previous;
+            return Err(ConfigError::Oversubscribed {
+                output,
+                allocated: self.allocated(output),
+            });
+        }
+        Ok(())
+    }
+
+    /// The GB reservation of flow `(input, output)`, if any.
+    #[must_use]
+    pub fn gb(&self, input: InputId, output: OutputId) -> Option<GbReservation> {
+        assert!(input.index() < self.radix && output.index() < self.radix);
+        self.gb[input.index() * self.radix + output.index()]
+    }
+
+    /// The GL class allocation at `output`.
+    #[must_use]
+    pub fn gl(&self, output: OutputId) -> Rate {
+        assert!(output.index() < self.radix);
+        self.gl[output.index()]
+    }
+
+    /// Total fraction of `output`'s bandwidth currently allocated
+    /// (GB flows + GL class).
+    #[must_use]
+    pub fn allocated(&self, output: OutputId) -> f64 {
+        let gb_sum: f64 = (0..self.radix)
+            .filter_map(|i| self.gb[i * self.radix + output.index()])
+            .map(|r| r.rate().value())
+            .sum();
+        gb_sum + self.gl[output.index()].value()
+    }
+
+    /// Whether any GL bandwidth is reserved anywhere — determines whether
+    /// the switch needs a GL lane.
+    #[must_use]
+    pub fn any_gl(&self) -> bool {
+        self.gl.iter().any(|r| !r.is_zero())
+    }
+
+    /// Iterates over all GB reservations as `(input, output, reservation)`.
+    pub fn iter_gb(&self) -> impl Iterator<Item = (InputId, OutputId, GbReservation)> + '_ {
+        self.gb.iter().enumerate().filter_map(move |(idx, r)| {
+            r.map(|res| {
+                (
+                    InputId::new(idx / self.radix),
+                    OutputId::new(idx % self.radix),
+                    res,
+                )
+            })
+        })
+    }
+}
+
+impl fmt::Display for Reservations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let flows = self.iter_gb().count();
+        write!(
+            f,
+            "{} GB reservations on a {}x{} switch",
+            flows, self.radix, self.radix
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> InputId {
+        InputId::new(i)
+    }
+    fn out(o: usize) -> OutputId {
+        OutputId::new(o)
+    }
+    fn rate(r: f64) -> Rate {
+        Rate::new(r).unwrap()
+    }
+
+    #[test]
+    fn figure4b_reservation_vector_fits() {
+        let mut res = Reservations::new(8);
+        let rates = [0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05];
+        for (i, &r) in rates.iter().enumerate() {
+            res.reserve_gb(id(i), out(0), rate(r), 8).unwrap();
+        }
+        assert!((res.allocated(out(0)) - 1.0).abs() < 1e-9);
+        assert_eq!(res.iter_gb().count(), 8);
+    }
+
+    #[test]
+    fn oversubscription_is_rejected_and_rolled_back() {
+        let mut res = Reservations::new(2);
+        res.reserve_gb(id(0), out(0), rate(0.7), 8).unwrap();
+        let err = res.reserve_gb(id(1), out(0), rate(0.5), 8).unwrap_err();
+        assert!(matches!(err, ConfigError::Oversubscribed { .. }));
+        // The failed reservation must not stick.
+        assert!(res.gb(id(1), out(0)).is_none());
+        assert!((res.allocated(out(0)) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gl_counts_toward_the_output_budget() {
+        let mut res = Reservations::new(2);
+        res.reserve_gb(id(0), out(1), rate(0.95), 4).unwrap();
+        assert!(res.reserve_gl(out(1), rate(0.1)).is_err());
+        assert!(res.reserve_gl(out(1), rate(0.05)).is_ok());
+        assert!(res.any_gl());
+    }
+
+    #[test]
+    fn outputs_have_independent_budgets() {
+        let mut res = Reservations::new(2);
+        res.reserve_gb(id(0), out(0), rate(1.0), 8).unwrap();
+        res.reserve_gb(id(0), out(1), rate(1.0), 8).unwrap();
+        assert!((res.allocated(out(0)) - 1.0).abs() < 1e-9);
+        assert!((res.allocated(out(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn re_reserving_replaces_not_accumulates() {
+        let mut res = Reservations::new(2);
+        res.reserve_gb(id(0), out(0), rate(0.6), 8).unwrap();
+        res.reserve_gb(id(0), out(0), rate(0.8), 4).unwrap();
+        let r = res.gb(id(0), out(0)).unwrap();
+        assert_eq!(r.rate(), rate(0.8));
+        assert_eq!(r.packet_flits(), 4);
+        assert!((res.allocated(out(0)) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_reservation_rejected() {
+        let mut res = Reservations::new(2);
+        assert!(matches!(
+            res.reserve_gb(id(0), out(0), Rate::ZERO, 8),
+            Err(ConfigError::ZeroRate { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_table_reports_no_gl() {
+        let res = Reservations::new(4);
+        assert!(!res.any_gl());
+        assert_eq!(res.allocated(out(3)), 0.0);
+    }
+}

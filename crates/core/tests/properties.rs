@@ -1,0 +1,220 @@
+//! Property-based tests over the full switch model: conservation,
+//! capacity, buffer bounds, and reservation guarantees under randomized
+//! configurations and workloads.
+
+use proptest::prelude::*;
+
+use ssq_arbiter::CounterPolicy;
+use ssq_core::{Policy, QosSwitch, SwitchConfig};
+use ssq_sim::{CycleModel, Runner, Schedule};
+use ssq_traffic::{Bernoulli, FixedDest, Injector, Saturating, UniformDest};
+use ssq_types::{Cycle, Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::LrgOnly),
+        Just(Policy::Ssvc(CounterPolicy::SubtractRealClock)),
+        Just(Policy::Ssvc(CounterPolicy::Halve)),
+        Just(Policy::Ssvc(CounterPolicy::Reset)),
+        Just(Policy::ExactVirtualClock),
+        Just(Policy::Gsf),
+        Just(Policy::Wrr),
+        Just(Policy::Dwrr),
+        Just(Policy::Wfq),
+        Just(Policy::FourLevel),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct RandomWorkload {
+    policy: Policy,
+    radix_pow: u32,
+    rates: Vec<f64>,
+    len: u64,
+    seed: u64,
+    chaining: bool,
+}
+
+fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
+    (
+        policy_strategy(),
+        2u32..=3,                                  // radix 4 or 8
+        prop::collection::vec(0.02f64..0.2, 4),    // reservations
+        prop_oneof![Just(1u64), Just(4), Just(8)], // packet length
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(policy, radix_pow, rates, len, seed, chaining)| RandomWorkload {
+                policy,
+                radix_pow,
+                rates,
+                len,
+                seed,
+                chaining,
+            },
+        )
+}
+
+fn build(w: &RandomWorkload) -> QosSwitch {
+    let radix = 1usize << w.radix_pow;
+    let geometry = Geometry::new(radix, 128).expect("valid geometry");
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(w.policy)
+        .gb_buffer_flits(2 * w.len)
+        .be_buffer_flits(2 * w.len)
+        .packet_chaining(w.chaining)
+        .build()
+        .expect("valid config");
+    for (i, &r) in w.rates.iter().enumerate() {
+        let input = InputId::new(i % radix);
+        let output = OutputId::new(0);
+        // Reservations may legitimately collide/replace; ignore rejects.
+        let _ = config.reservations_mut().reserve_gb(
+            input,
+            output,
+            Rate::new(r).expect("in range"),
+            w.len,
+        );
+    }
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+    for i in 0..radix {
+        let class = if i % 3 == 2 {
+            TrafficClass::BestEffort
+        } else {
+            TrafficClass::GuaranteedBandwidth
+        };
+        switch.add_injector(
+            Injector::new(
+                Box::new(Bernoulli::new(
+                    0.2 + 0.1 * (i % 3) as f64,
+                    w.len,
+                    w.seed ^ (i as u64),
+                )),
+                Box::new(UniformDest::new(radix, w.seed.wrapping_add(i as u64))),
+                class,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    switch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any random configuration the switch never panics, conserves
+    /// packets, and never exceeds per-output or per-input capacity.
+    #[test]
+    fn conservation_and_capacity(w in workload_strategy()) {
+        let mut switch = build(&w);
+        let end = Runner::new(Schedule::new(Cycles::new(500), Cycles::new(8_000)))
+            .run(&mut switch);
+        let c = switch.counters();
+        // Packets staged/buffered before the measurement boundary may be
+        // accepted/delivered inside the window, so each stage of the
+        // pipeline can lead the previous one by at most the total
+        // queueing capacity ahead of it.
+        let radix = 1usize << w.radix_pow;
+        let per_input_packets =
+            64 + (2 * w.len + 2 * w.len * radix as u64 + 4) / w.len + 1;
+        let slack = radix as u64 * per_input_packets;
+        prop_assert!(
+            c.accepted_packets <= c.offered_packets + slack,
+            "accepted {} vs offered {} (+slack {})",
+            c.accepted_packets, c.offered_packets, slack
+        );
+        prop_assert!(
+            c.delivered_packets <= c.accepted_packets + slack,
+            "delivered {} vs accepted {} (+slack {})",
+            c.delivered_packets, c.accepted_packets, slack
+        );
+        prop_assert_eq!(c.delivered_flits, c.delivered_packets * w.len);
+        let arb = w.policy.arbitration_cycles();
+        let per_packet_ceiling = w.len as f64 / (w.len + arb) as f64;
+        // Chaining raises the deliverable ceiling toward 1 flit/cycle.
+        let ceiling = if w.chaining { 1.0 } else { per_packet_ceiling };
+        for o in 0..radix {
+            let t = switch.output_throughput(OutputId::new(o), end);
+            prop_assert!(t <= ceiling + 1e-9, "output {o}: {t}");
+        }
+        for i in 0..radix {
+            let t: f64 = (0..radix)
+                .map(|o| {
+                    let flow = FlowId::new(InputId::new(i), OutputId::new(o));
+                    switch.be_metrics().flow(flow).throughput(end)
+                        + switch.gb_metrics().flow(flow).throughput(end)
+                        + switch.gl_metrics().flow(flow).throughput(end)
+                })
+                .sum();
+            prop_assert!(t <= 1.0 + 1e-9, "input {i}: {t}");
+        }
+    }
+
+    /// Two identically-configured switches evolve identically.
+    #[test]
+    fn determinism(w in workload_strategy()) {
+        let mut a = build(&w);
+        let mut b = build(&w);
+        for step in 0..3_000u64 {
+            a.step(Cycle::new(step));
+            b.step(Cycle::new(step));
+        }
+        prop_assert_eq!(a.counters(), b.counters());
+    }
+
+    /// SSVC reservations are honoured under saturation for arbitrary
+    /// valid reservation vectors (the §4.2 property, randomized).
+    #[test]
+    fn ssvc_meets_random_reservations(
+        raw in prop::collection::vec(1u32..40, 8),
+        len in prop_oneof![Just(2u64), Just(8)],
+        policy_idx in 0usize..3,
+    ) {
+        let total: u32 = raw.iter().sum();
+        let rates: Vec<f64> = raw.iter().map(|&r| r as f64 / total as f64).collect();
+        let policy = [
+            CounterPolicy::SubtractRealClock,
+            CounterPolicy::Halve,
+            CounterPolicy::Reset,
+        ][policy_idx];
+        let geometry = Geometry::new(8, 128).expect("valid geometry");
+        let mut config = SwitchConfig::builder(geometry)
+            .policy(Policy::Ssvc(policy))
+            .gb_buffer_flits(2 * len)
+            .sig_bits(4)
+            .build()
+            .expect("valid config");
+        for (i, &r) in rates.iter().enumerate() {
+            config
+                .reservations_mut()
+                .reserve_gb(InputId::new(i), OutputId::new(0), Rate::new(r).unwrap(), len)
+                .expect("sums to 1");
+        }
+        let mut switch = QosSwitch::new(config).expect("valid switch");
+        for i in 0..8 {
+            switch.add_injector(
+                Injector::new(
+                    Box::new(Saturating::new(len)),
+                    Box::new(FixedDest::new(OutputId::new(0))),
+                    TrafficClass::GuaranteedBandwidth,
+                )
+                .for_input(InputId::new(i)),
+            );
+        }
+        let end = Runner::new(Schedule::new(Cycles::new(4_000), Cycles::new(30_000)))
+            .run(&mut switch);
+        let capacity = len as f64 / (len + 1) as f64;
+        for (i, &r) in rates.iter().enumerate() {
+            let got = switch
+                .gb_metrics()
+                .flow(FlowId::new(InputId::new(i), OutputId::new(0)))
+                .throughput(end);
+            prop_assert!(
+                got >= r * capacity - 0.02,
+                "flow {} got {:.4}, reserved {:.4} (rates {:?}, len {}, {:?})",
+                i, got, r * capacity, &rates, len, policy
+            );
+        }
+    }
+}

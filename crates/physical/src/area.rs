@@ -1,0 +1,115 @@
+//! Crosspoint area overhead of the SSVC logic (§4.5).
+
+use std::fmt;
+
+/// Crosspoint-area model.
+///
+/// In the Swizzle Switch "the switch arbitration logic … is located
+/// underneath the crosspoint on a separate metal layer. Without QoS
+/// support, the arbitration logic fits within the same area as the
+/// crosspoint width of a 128-bit channel." The SSVC additions — the
+/// `auxVC` counters, the `Vtick` adder, and the lane-select multiplexer
+/// before the sense amp — need area equivalent to a few extra bit
+/// slices. The paper measures the 128-bit crosspoint growing by 2 %,
+/// "equivalent to the area of a 131-bit channel", while 256- and 512-bit
+/// crosspoints "comfortably house the SSVC logic without additional area
+/// overhead".
+///
+/// The model: the SSVC logic occupies the area of
+/// [`AreaModel::SSVC_BIT_SLICES`] bit slices. A crosspoint of
+/// `width` bits has `width − 128` spare slices (the baseline logic fills
+/// a 128-bit footprint); overhead is whatever does not fit in the spare
+/// area.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_physical::AreaModel;
+///
+/// let m = AreaModel::new();
+/// assert!((m.overhead_fraction(128) - 3.0 / 128.0).abs() < 1e-12); // ~2.3%
+/// assert_eq!(m.overhead_fraction(256), 0.0);
+/// assert_eq!(m.equivalent_channel_bits(128), 131);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AreaModel;
+
+impl AreaModel {
+    /// Bit-slice equivalents occupied by the SSVC logic — the "131-bit
+    /// channel" datum minus the 128-bit baseline.
+    pub const SSVC_BIT_SLICES: usize = 3;
+
+    /// Channel width whose crosspoint the baseline arbitration logic
+    /// exactly fills.
+    pub const BASELINE_FIT_BITS: usize = 128;
+
+    /// Creates the model.
+    #[must_use]
+    pub const fn new() -> Self {
+        AreaModel
+    }
+
+    /// Fractional crosspoint-area overhead of adding SSVC at the given
+    /// channel width.
+    #[must_use]
+    pub fn overhead_fraction(self, width_bits: usize) -> f64 {
+        let spare = width_bits.saturating_sub(Self::BASELINE_FIT_BITS);
+        let unhoused = Self::SSVC_BIT_SLICES.saturating_sub(spare);
+        unhoused as f64 / width_bits as f64
+    }
+
+    /// The channel width whose crosspoint area equals the SSVC-equipped
+    /// crosspoint ("equivalent to the area of a 131-bit channel").
+    #[must_use]
+    pub fn equivalent_channel_bits(self, width_bits: usize) -> usize {
+        let spare = width_bits.saturating_sub(Self::BASELINE_FIT_BITS);
+        width_bits + Self::SSVC_BIT_SLICES.saturating_sub(spare)
+    }
+}
+
+impl fmt::Display for AreaModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SSVC logic = {} bit slices over a {}-bit baseline footprint",
+            Self::SSVC_BIT_SLICES,
+            Self::BASELINE_FIT_BITS
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_at_128_bits() {
+        let m = AreaModel::new();
+        // "the crosspoint area for the 128-bit channel increased by 2%,
+        // which is equivalent to the area of a 131-bit channel"
+        let overhead = m.overhead_fraction(128);
+        assert!((0.02..0.03).contains(&overhead), "got {overhead}");
+        assert_eq!(m.equivalent_channel_bits(128), 131);
+    }
+
+    #[test]
+    fn wide_channels_absorb_the_logic() {
+        let m = AreaModel::new();
+        assert_eq!(m.overhead_fraction(256), 0.0);
+        assert_eq!(m.overhead_fraction(512), 0.0);
+        assert_eq!(m.equivalent_channel_bits(512), 512);
+    }
+
+    #[test]
+    fn narrow_channels_pay_proportionally_more() {
+        let m = AreaModel::new();
+        assert!(m.overhead_fraction(64) > m.overhead_fraction(128));
+    }
+
+    #[test]
+    fn partial_spare_area_reduces_overhead() {
+        let m = AreaModel::new();
+        // A hypothetical 130-bit channel has 2 spare slices; 1 remains.
+        assert!((m.overhead_fraction(130) - 1.0 / 130.0).abs() < 1e-12);
+    }
+}

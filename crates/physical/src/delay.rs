@@ -1,0 +1,250 @@
+//! The Table 2 timing model: arbitration critical path with and without
+//! SSVC.
+
+use std::fmt;
+
+use crate::elmore::{elmore_delay_ps, WireParams};
+
+/// Critical-path model of the Swizzle Switch arbitration cycle.
+///
+/// The arbitration cycle of the baseline switch consists of fixed
+/// overhead (precharge enable, pull-down logic, sense amplification)
+/// plus two wire terms, both estimated with the Elmore model
+/// ([`crate::elmore`]):
+///
+/// * the **bitline** spanning all `radix` input rows (length
+///   `radix × row_pitch`), and
+/// * the **row wiring** spanning the output bus (length
+///   `width × bit_pitch`).
+///
+/// SSVC extends the path by the **lane-select multiplexer** in front of
+/// the sense amp (Fig. 2 — "the critical path is extended by the
+/// multiplexer before the sense amp"), one 2:1 stage per
+/// `log2(lanes)` with lanes capped at 32 (beyond 5 significant `auxVC`
+/// bits, extra lanes no longer improve SSVC accuracy, so wider buses
+/// leave them unused).
+///
+/// Calibration (documented substitution for the paper's 32 nm silicon +
+/// SPICE data): the fixed overhead is chosen so the unmodified
+/// 64×64/128-bit switch runs at the published 1.5 GHz, and the mux stage
+/// delay so the worst SSVC slowdown is 8.4 % at (8×8, 256-bit) — the two
+/// anchors §4.5 reports. Everything else in Table 2 follows from the
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_physical::DelayModel;
+///
+/// let m = DelayModel::calibrated_32nm();
+/// let base = m.ss_frequency_ghz(64, 128);
+/// assert!((base - 1.5).abs() < 0.01);
+/// assert!(m.ssvc_frequency_ghz(64, 128) < base);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    wire: WireParams,
+    /// Fixed per-cycle overhead: precharge + pull-down + sense, in ps.
+    overhead_ps: f64,
+    /// Crosspoint row pitch (height per input row), in mm.
+    row_pitch_mm: f64,
+    /// Crosspoint column pitch (width per bus bit), in mm.
+    bit_pitch_mm: f64,
+    /// Driver resistance for both wire stages, in ohms.
+    driver_ohm: f64,
+    /// Sense-amp input load, in fF.
+    load_ff: f64,
+    /// Delay of one 2:1 mux stage in the SSVC lane select, in ps.
+    mux_stage_ps: f64,
+    /// Lane count beyond which additional lanes stay unused.
+    max_useful_lanes: usize,
+}
+
+impl DelayModel {
+    /// The 32 nm-calibrated model described in the type-level docs.
+    #[must_use]
+    pub fn calibrated_32nm() -> Self {
+        let mut model = DelayModel {
+            wire: WireParams::nm32(),
+            overhead_ps: 0.0,
+            row_pitch_mm: 0.010,
+            bit_pitch_mm: 0.0015,
+            driver_ohm: 500.0,
+            load_ff: 10.0,
+            mux_stage_ps: 0.0,
+            max_useful_lanes: 32,
+        };
+        // Anchor 1: SS(64, 128) = 1.5 GHz.
+        let wires = model.bitline_ps(64) + model.row_ps(128);
+        model.overhead_ps = 1000.0 / 1.5 - wires;
+        // Anchor 2: SSVC slowdown at (8, 256) = 8.4%. A fractional
+        // frequency slowdown s needs a period extension of s/(1-s).
+        let base = model.ss_period_ps(8, 256);
+        let stages = f64::from(model.mux_stages(8, 256));
+        model.mux_stage_ps = base * (0.084 / (1.0 - 0.084)) / stages;
+        model
+    }
+
+    fn bitline_ps(&self, radix: usize) -> f64 {
+        elmore_delay_ps(
+            self.wire,
+            radix as f64 * self.row_pitch_mm,
+            self.driver_ohm,
+            self.load_ff,
+        )
+    }
+
+    fn row_ps(&self, width_bits: usize) -> f64 {
+        elmore_delay_ps(
+            self.wire,
+            width_bits as f64 * self.bit_pitch_mm,
+            self.driver_ohm,
+            self.load_ff,
+        )
+    }
+
+    /// Number of 2:1 mux stages the SSVC lane select adds.
+    #[must_use]
+    pub fn mux_stages(&self, radix: usize, width_bits: usize) -> u32 {
+        let lanes = (width_bits / radix).min(self.max_useful_lanes).max(1);
+        lanes.next_power_of_two().trailing_zeros()
+    }
+
+    /// Arbitration period of the unmodified Swizzle Switch, in ps.
+    #[must_use]
+    pub fn ss_period_ps(&self, radix: usize, width_bits: usize) -> f64 {
+        self.overhead_ps + self.bitline_ps(radix) + self.row_ps(width_bits)
+    }
+
+    /// Arbitration period with the SSVC QoS logic, in ps.
+    #[must_use]
+    pub fn ssvc_period_ps(&self, radix: usize, width_bits: usize) -> f64 {
+        self.ss_period_ps(radix, width_bits)
+            + self.mux_stage_ps * f64::from(self.mux_stages(radix, width_bits))
+    }
+
+    /// Baseline switch frequency in GHz.
+    #[must_use]
+    pub fn ss_frequency_ghz(&self, radix: usize, width_bits: usize) -> f64 {
+        1000.0 / self.ss_period_ps(radix, width_bits)
+    }
+
+    /// SSVC switch frequency in GHz.
+    #[must_use]
+    pub fn ssvc_frequency_ghz(&self, radix: usize, width_bits: usize) -> f64 {
+        1000.0 / self.ssvc_period_ps(radix, width_bits)
+    }
+
+    /// Fractional frequency slowdown introduced by SSVC.
+    #[must_use]
+    pub fn slowdown(&self, radix: usize, width_bits: usize) -> f64 {
+        1.0 - self.ssvc_period_ps(radix, width_bits).recip()
+            / self.ss_period_ps(radix, width_bits).recip()
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::calibrated_32nm()
+    }
+}
+
+impl fmt::Display for DelayModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "32nm Elmore delay model ({:.0} ps overhead, {:.1} ps/mux stage)",
+            self.overhead_ps, self.mux_stage_ps
+        )
+    }
+}
+
+/// The radix values of Table 2.
+pub const TABLE2_RADICES: [usize; 4] = [8, 16, 32, 64];
+
+/// The channel widths of Table 2.
+pub const TABLE2_WIDTHS: [usize; 3] = [128, 256, 512];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_one_64x64_128bit_at_1_5_ghz() {
+        let m = DelayModel::calibrated_32nm();
+        assert!((m.ss_frequency_ghz(64, 128) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchor_two_worst_slowdown_at_8x8_256bit() {
+        let m = DelayModel::calibrated_32nm();
+        assert!((m.slowdown(8, 256) - 0.084).abs() < 1e-9);
+        // And it is the worst across the whole Table 2 grid (§4.5: "the
+        // worst slowdown is 8.4% for the 256-bit channel, 8x8
+        // configuration").
+        for radix in TABLE2_RADICES {
+            for width in TABLE2_WIDTHS {
+                assert!(
+                    m.slowdown(radix, width) <= 0.084 + 1e-9,
+                    "({radix}, {width}) slowdown {:.4}",
+                    m.slowdown(radix, width)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_decreases_with_radix_and_width() {
+        let m = DelayModel::calibrated_32nm();
+        for width in TABLE2_WIDTHS {
+            for pair in TABLE2_RADICES.windows(2) {
+                assert!(m.ss_frequency_ghz(pair[0], width) > m.ss_frequency_ghz(pair[1], width));
+            }
+        }
+        for radix in TABLE2_RADICES {
+            for pair in TABLE2_WIDTHS.windows(2) {
+                assert!(m.ss_frequency_ghz(radix, pair[0]) > m.ss_frequency_ghz(radix, pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn ssvc_is_never_faster_than_baseline() {
+        let m = DelayModel::calibrated_32nm();
+        for radix in TABLE2_RADICES {
+            for width in TABLE2_WIDTHS {
+                assert!(m.ssvc_frequency_ghz(radix, width) < m.ss_frequency_ghz(radix, width));
+                assert!(m.slowdown(radix, width) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_shrinks_at_high_radix() {
+        // Fewer lanes per radix => shallower mux => smaller penalty; at
+        // radix 64 the paper's overhead should be a small single digit.
+        let m = DelayModel::calibrated_32nm();
+        assert!(m.slowdown(64, 128) < 0.02);
+        assert!(m.slowdown(64, 512) < 0.05);
+    }
+
+    #[test]
+    fn mux_stage_count_follows_lane_budget() {
+        let m = DelayModel::calibrated_32nm();
+        assert_eq!(m.mux_stages(64, 128), 1); // 2 lanes
+        assert_eq!(m.mux_stages(64, 512), 3); // 8 lanes
+        assert_eq!(m.mux_stages(8, 256), 5); // 32 lanes
+        assert_eq!(m.mux_stages(8, 512), 5); // 64 lanes capped at 32
+    }
+
+    #[test]
+    fn frequencies_are_in_a_plausible_ghz_band() {
+        let m = DelayModel::calibrated_32nm();
+        for radix in TABLE2_RADICES {
+            for width in TABLE2_WIDTHS {
+                let f = m.ss_frequency_ghz(radix, width);
+                assert!((1.0..3.0).contains(&f), "({radix},{width}) -> {f} GHz");
+            }
+        }
+    }
+}

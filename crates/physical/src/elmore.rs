@@ -1,0 +1,116 @@
+//! Distributed-RC (Elmore) wire-delay estimates.
+//!
+//! The paper collected wire delays from SPICE (§4.1); this module is the
+//! analytic stand-in. For a driver of resistance `R_drv` driving a
+//! uniform wire of total resistance `R_w` and capacitance `C_w` into a
+//! load `C_l`, the Elmore delay is
+//!
+//! ```text
+//! t = R_drv·(C_w + C_l) + R_w·(C_w/2 + C_l)
+//! ```
+//!
+//! The quadratic `length²` growth of the `R_w·C_w/2` term is what makes
+//! unrepeated crossbar bitlines the critical path at high radix, and why
+//! the Swizzle Switch's frequency drops as radix grows (Table 2).
+
+/// Typical 32 nm-class global-wire parameters used throughout the delay
+/// model (intermediate-layer metal at relaxed pitch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireParams {
+    /// Wire resistance per millimetre, in ohms.
+    pub r_ohm_per_mm: f64,
+    /// Wire capacitance per millimetre, in femtofarads.
+    pub c_ff_per_mm: f64,
+}
+
+impl WireParams {
+    /// Representative 32 nm intermediate-metal values: 1.2 kΩ/mm and
+    /// 200 fF/mm.
+    #[must_use]
+    pub const fn nm32() -> Self {
+        WireParams {
+            r_ohm_per_mm: 1200.0,
+            c_ff_per_mm: 200.0,
+        }
+    }
+}
+
+impl Default for WireParams {
+    fn default() -> Self {
+        WireParams::nm32()
+    }
+}
+
+/// Elmore delay in picoseconds of a driver + distributed wire + load.
+///
+/// # Panics
+///
+/// Panics on negative inputs.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_physical::elmore::{elmore_delay_ps, WireParams};
+///
+/// let w = WireParams::nm32();
+/// let short = elmore_delay_ps(w, 0.1, 100.0, 5.0);
+/// let long = elmore_delay_ps(w, 1.0, 100.0, 5.0);
+/// // Wire delay grows super-linearly with length.
+/// assert!(long > 8.0 * short / 2.0);
+/// ```
+#[must_use]
+pub fn elmore_delay_ps(wire: WireParams, length_mm: f64, driver_ohm: f64, load_ff: f64) -> f64 {
+    assert!(
+        length_mm >= 0.0 && driver_ohm >= 0.0 && load_ff >= 0.0,
+        "negative physical quantity"
+    );
+    let r_w = wire.r_ohm_per_mm * length_mm;
+    let c_w = wire.c_ff_per_mm * length_mm;
+    // ohm * fF = 1e-15 s = 1e-3 ps.
+    (driver_ohm * (c_w + load_ff) + r_w * (c_w / 2.0 + load_ff)) * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_leaves_driver_load_delay() {
+        let t = elmore_delay_ps(WireParams::nm32(), 0.0, 1000.0, 10.0);
+        assert!((t - 10.0 * 1000.0 * 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_is_monotonic_in_length() {
+        let w = WireParams::nm32();
+        let mut prev = 0.0;
+        for i in 1..20 {
+            let t = elmore_delay_ps(w, i as f64 * 0.1, 200.0, 5.0);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn wire_term_grows_quadratically() {
+        let w = WireParams::nm32();
+        // With no driver and no load, delay = 0.5 * R_w * C_w ~ len².
+        let t1 = elmore_delay_ps(w, 1.0, 0.0, 0.0);
+        let t2 = elmore_delay_ps(w, 2.0, 0.0, 0.0);
+        assert!((t2 / t1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn millimetre_wire_is_on_the_order_of_100ps() {
+        // Sanity: a 1 mm unrepeated 32 nm wire alone is ~120 ps — the
+        // scale that limits a ~1.5 GHz arbitration cycle.
+        let t = elmore_delay_ps(WireParams::nm32(), 1.0, 0.0, 0.0);
+        assert!((50.0..400.0).contains(&t), "got {t} ps");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_inputs_rejected() {
+        let _ = elmore_delay_ps(WireParams::nm32(), -1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Aggregate bandwidth and first-order power estimates.
+//!
+//! The Swizzle Switch silicon the paper builds on (Satpathy et al.,
+//! ISSCC'12 — the paper's ref \[15]) reports "4.5 Tb/s, 3.4 Tb/s/W" for
+//! the 64×64 fabric. This module derives the corresponding energy per
+//! transferred bit and applies it across configurations, so the QoS
+//! discussion can be placed in the fabric's headline bandwidth/power
+//! context. The SSVC logic's energy overhead is estimated first-order
+//! from its area overhead ([`crate::AreaModel`]): added state that is
+//! not there does not switch.
+
+use std::fmt;
+
+/// Tb/s and W estimates for a switch configuration.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_physical::PowerModel;
+///
+/// let m = PowerModel::calibrated_45nm();
+/// // The ISSCC'12 headline: 4.5 Tb/s at 3.4 Tb/s/W ≈ 1.3 W.
+/// let watts = m.power_w(4.5);
+/// assert!((watts - 4.5 / 3.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    pj_per_bit: f64,
+}
+
+impl PowerModel {
+    /// Calibrated to ISSCC'12's 3.4 Tb/s/W: `1 / 3.4e12 J/bit ≈
+    /// 0.294 pJ/bit` moved through the fabric.
+    #[must_use]
+    pub fn calibrated_45nm() -> Self {
+        PowerModel {
+            pj_per_bit: 1.0e12 / 3.4e12,
+        }
+    }
+
+    /// Energy per transferred bit in picojoules.
+    #[must_use]
+    pub const fn pj_per_bit(&self) -> f64 {
+        self.pj_per_bit
+    }
+
+    /// Peak aggregate bandwidth of a `radix × radix` switch with
+    /// `width_bits`-bit channels at `freq_ghz`, in Tb/s (all outputs
+    /// streaming simultaneously).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive frequency.
+    #[must_use]
+    pub fn aggregate_bandwidth_tbps(radix: usize, width_bits: usize, freq_ghz: f64) -> f64 {
+        assert!(freq_ghz > 0.0, "frequency must be positive");
+        radix as f64 * width_bits as f64 * freq_ghz / 1000.0
+    }
+
+    /// Power in watts to sustain `bandwidth_tbps`.
+    #[must_use]
+    pub fn power_w(&self, bandwidth_tbps: f64) -> f64 {
+        bandwidth_tbps * self.pj_per_bit
+    }
+
+    /// Energy efficiency in Tb/s per watt.
+    #[must_use]
+    pub fn efficiency_tbps_per_w(&self) -> f64 {
+        1.0 / self.pj_per_bit
+    }
+
+    /// First-order SSVC energy overhead: the QoS logic's switching energy
+    /// scales with its share of the crosspoint area
+    /// ([`crate::AreaModel::overhead_fraction`]), i.e. ≤2.3 % at 128-bit
+    /// channels and nil at 256/512-bit where existing area absorbs it.
+    #[must_use]
+    pub fn ssvc_energy_overhead(&self, width_bits: usize) -> f64 {
+        crate::AreaModel::new().overhead_fraction(width_bits)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::calibrated_45nm()
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} pJ/bit ({:.1} Tb/s/W)",
+            self.pj_per_bit,
+            self.efficiency_tbps_per_w()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayModel;
+
+    #[test]
+    fn isscc_calibration_point() {
+        let m = PowerModel::calibrated_45nm();
+        assert!((m.efficiency_tbps_per_w() - 3.4).abs() < 1e-12);
+        assert!((m.pj_per_bit() - 0.294).abs() < 0.001);
+    }
+
+    #[test]
+    fn bandwidth_formula() {
+        // 64 outputs x 128 bits x 1.5 GHz = 12.3 Tb/s peak.
+        let bw = PowerModel::aggregate_bandwidth_tbps(64, 128, 1.5);
+        assert!((bw - 12.288).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headline_bandwidth_is_in_terabit_class() {
+        // At the Table 2 frequencies, every configuration lands in the
+        // multi-Tb/s class the Swizzle Switch papers advertise.
+        let delay = DelayModel::calibrated_32nm();
+        for radix in [8usize, 16, 32, 64] {
+            for width in [128usize, 256, 512] {
+                let f = delay.ss_frequency_ghz(radix, width);
+                let bw = PowerModel::aggregate_bandwidth_tbps(radix, width, f);
+                assert!(bw > 1.0, "({radix},{width}) only {bw:.2} Tb/s");
+            }
+        }
+    }
+
+    #[test]
+    fn power_scales_linearly_with_bandwidth() {
+        let m = PowerModel::calibrated_45nm();
+        assert!((m.power_w(6.8) - 2.0).abs() < 1e-9);
+        assert!(m.power_w(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssvc_energy_overhead_follows_area() {
+        let m = PowerModel::calibrated_45nm();
+        assert!(m.ssvc_energy_overhead(128) > 0.02);
+        assert_eq!(m.ssvc_energy_overhead(512), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = PowerModel::aggregate_bandwidth_tbps(8, 128, 0.0);
+    }
+}

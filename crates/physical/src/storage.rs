@@ -1,0 +1,222 @@
+//! The Table 1 storage model.
+
+use std::fmt;
+
+use ssq_types::Geometry;
+
+/// Byte-exact storage accounting for a QoS-enabled Swizzle Switch
+/// (paper Table 1).
+///
+/// Input-port buffering per input:
+///
+/// * BE: `be_flits × flit_bytes`
+/// * GB: `gb_flits_per_output × radix × flit_bytes` (one virtual output
+///   queue per output)
+/// * GL: `gl_flits × flit_bytes`
+///
+/// Per-crosspoint SSVC state (in bits): the `auxVC` counter
+/// (`sig_bits + lsb_bits`), the thermometer-code register (one bit per
+/// lane), the `Vtick` register, and the replicated LRG row
+/// (`radix − 1` bits).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_physical::StorageModel;
+///
+/// // Table 1's configuration: 64x64, 512-bit buses, 64-byte flits,
+/// // 4-flit buffers, 3+8-bit auxVC.
+/// let m = StorageModel::paper_table1();
+/// assert_eq!(m.gb_buffer_bytes_per_input(), 16_384);
+/// assert_eq!(m.crosspoint_bytes() * 4096.0, 46_080.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageModel {
+    geometry: Geometry,
+    flit_bytes: u64,
+    be_flits: u64,
+    gb_flits_per_output: u64,
+    gl_flits: u64,
+    aux_vc_bits: u64,
+    thermometer_bits: u64,
+    vtick_bits: u64,
+}
+
+impl StorageModel {
+    /// Creates a storage model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // one argument per Table 1 parameter
+    pub fn new(
+        geometry: Geometry,
+        flit_bytes: u64,
+        be_flits: u64,
+        gb_flits_per_output: u64,
+        gl_flits: u64,
+        aux_vc_bits: u64,
+        thermometer_bits: u64,
+        vtick_bits: u64,
+    ) -> Self {
+        assert!(flit_bytes > 0 && be_flits > 0 && gb_flits_per_output > 0 && gl_flits > 0);
+        assert!(aux_vc_bits > 0 && thermometer_bits > 0 && vtick_bits > 0);
+        StorageModel {
+            geometry,
+            flit_bytes,
+            be_flits,
+            gb_flits_per_output,
+            gl_flits,
+            aux_vc_bits,
+            thermometer_bits,
+            vtick_bits,
+        }
+    }
+
+    /// The exact configuration of the paper's Table 1: a 64×64 switch
+    /// with 512-bit output buses, 64-byte flits, 4-flit buffers, an
+    /// 11-bit (3+8) `auxVC`, an 8-bit thermometer code, and an 8-bit
+    /// `Vtick`.
+    ///
+    /// # Panics
+    ///
+    /// Never; the constants are valid by construction.
+    #[must_use]
+    pub fn paper_table1() -> Self {
+        let geometry = Geometry::new(64, 512).expect("valid paper geometry");
+        StorageModel::new(geometry, 64, 4, 4, 4, 11, 8, 8)
+    }
+
+    /// The modelled geometry.
+    #[must_use]
+    pub const fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// BE buffering per input, in bytes.
+    #[must_use]
+    pub const fn be_buffer_bytes_per_input(&self) -> u64 {
+        self.be_flits * self.flit_bytes
+    }
+
+    /// GB buffering per input (all virtual output queues), in bytes.
+    #[must_use]
+    pub const fn gb_buffer_bytes_per_input(&self) -> u64 {
+        self.gb_flits_per_output * self.geometry.radix() as u64 * self.flit_bytes
+    }
+
+    /// GL buffering per input, in bytes.
+    #[must_use]
+    pub const fn gl_buffer_bytes_per_input(&self) -> u64 {
+        self.gl_flits * self.flit_bytes
+    }
+
+    /// Total input-port buffering across all inputs, in bytes.
+    #[must_use]
+    pub const fn total_buffering_bytes(&self) -> u64 {
+        (self.be_buffer_bytes_per_input()
+            + self.gb_buffer_bytes_per_input()
+            + self.gl_buffer_bytes_per_input())
+            * self.geometry.radix() as u64
+    }
+
+    /// LRG row bits stored per crosspoint (`radix − 1`).
+    #[must_use]
+    pub const fn lrg_bits(&self) -> u64 {
+        self.geometry.radix() as u64 - 1
+    }
+
+    /// SSVC state per crosspoint, in bytes (fractional: bit-granular
+    /// registers do not round to bytes in the silicon layout).
+    #[must_use]
+    pub fn crosspoint_bytes(&self) -> f64 {
+        (self.aux_vc_bits + self.thermometer_bits + self.vtick_bits + self.lrg_bits()) as f64 / 8.0
+    }
+
+    /// Total crosspoint state across the `radix²` crosspoints, in bytes.
+    #[must_use]
+    pub fn total_crosspoint_bytes(&self) -> u64 {
+        (self.crosspoint_bytes() * self.geometry.crosspoints() as f64) as u64
+    }
+
+    /// Total switch storage (buffering + crosspoint state), in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_buffering_bytes() + self.total_crosspoint_bytes()
+    }
+}
+
+impl fmt::Display for StorageModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} KiB buffering + {} KiB crosspoint state",
+            self.geometry,
+            self.total_buffering_bytes() / 1024,
+            self.total_crosspoint_bytes() / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_buffering_rows() {
+        let m = StorageModel::paper_table1();
+        // "BE 4 flits, 64 bytes/flit → 256"
+        assert_eq!(m.be_buffer_bytes_per_input(), 256);
+        // "GB 4 flits/out, 64 outs → 16384 bytes"
+        assert_eq!(m.gb_buffer_bytes_per_input(), 16_384);
+        // "GL 4 flits → 256"
+        assert_eq!(m.gl_buffer_bytes_per_input(), 256);
+        // "Total buffering for all 64 inputs: 1056 K"
+        assert_eq!(m.total_buffering_bytes(), 1056 * 1024);
+    }
+
+    #[test]
+    fn table1_crosspoint_rows() {
+        let m = StorageModel::paper_table1();
+        // auxVC (3+8 bits) = 1.375 B, thermometer 1 B, Vtick 1 B,
+        // LRG (63 bits) = 7.875 B => 11.25 B per crosspoint.
+        assert_eq!(m.lrg_bits(), 63);
+        assert!((m.crosspoint_bytes() - 11.25).abs() < 1e-12);
+        // "Total storage for 4096 crosspoints: 45 K"
+        assert_eq!(m.total_crosspoint_bytes(), 45 * 1024);
+    }
+
+    #[test]
+    fn table1_grand_total_is_about_one_megabyte() {
+        let m = StorageModel::paper_table1();
+        // "Total switch storage … 1101 K" — "about 1MB" (§4.5).
+        assert_eq!(m.total_bytes() / 1024, 1101);
+    }
+
+    #[test]
+    fn crosspoint_state_scales_with_radix() {
+        let small = StorageModel::new(Geometry::new(8, 128).unwrap(), 64, 4, 4, 4, 11, 8, 8);
+        let large = StorageModel::paper_table1();
+        assert!(small.crosspoint_bytes() < large.crosspoint_bytes());
+        assert!(small.total_crosspoint_bytes() < large.total_crosspoint_bytes());
+    }
+
+    #[test]
+    fn gb_buffering_dominates_total_storage() {
+        // The per-output virtual queues are the storage price of per-flow
+        // QoS state — they dwarf everything else at radix 64.
+        let m = StorageModel::paper_table1();
+        assert!(
+            m.gb_buffer_bytes_per_input() * m.geometry().radix() as u64 > m.total_bytes() * 9 / 10
+        );
+    }
+
+    #[test]
+    fn display_reports_kib() {
+        let m = StorageModel::paper_table1();
+        let s = m.to_string();
+        assert!(s.contains("1056 KiB"));
+        assert!(s.contains("45 KiB"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Cycle-accurate simulation kernel for `swizzle-qos`.
+//!
+//! The paper evaluates SSVC with "a custom, cycle-accurate simulator for
+//! the Swizzle Switch" (§4.1). This crate is that simulator's engine,
+//! kept independent of the switch model itself:
+//!
+//! * [`Schedule`] — warm-up and measurement phases in cycles.
+//! * [`CycleModel`] — anything steppable one cycle at a time with a
+//!   stats-reset hook at the warm-up/measurement boundary.
+//! * [`Runner`] — drives a model through a schedule.
+//! * [`sweep`] — runs one experiment per parameter point across threads
+//!   (crossbeam scoped threads), preserving input order in the results.
+//! * [`vcd`] — a Value Change Dump writer so model activity can be
+//!   inspected in standard waveform viewers.
+//!
+//! A single switch is simulated synchronously — every component advances
+//! each cycle — rather than with an event queue: at the saturated loads
+//! the paper studies, nearly every cycle carries events, so a dense loop
+//! is both simpler and faster.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssq_sim::{CycleModel, Runner, Schedule};
+//! use ssq_types::{Cycle, Cycles};
+//!
+//! struct TokenBucket {
+//!     tokens: u64,
+//! }
+//! impl CycleModel for TokenBucket {
+//!     fn step(&mut self, _now: Cycle) {
+//!         self.tokens += 1;
+//!     }
+//!     fn begin_measurement(&mut self, _now: Cycle) {
+//!         self.tokens = 0; // discard warm-up state
+//!     }
+//! }
+//!
+//! let mut model = TokenBucket { tokens: 0 };
+//! let end = Runner::new(Schedule::new(Cycles::new(100), Cycles::new(400)))
+//!     .run(&mut model);
+//! assert_eq!(end, Cycle::new(500));
+//! assert_eq!(model.tokens, 400); // only the measurement phase counted
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runner;
+mod sweep;
+pub mod vcd;
+
+pub use runner::{CycleModel, Runner, Schedule};
+pub use sweep::sweep;

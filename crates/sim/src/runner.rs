@@ -1,0 +1,210 @@
+//! The synchronous cycle loop.
+
+use std::fmt;
+
+use ssq_types::{Cycle, Cycles};
+
+/// Warm-up and measurement phases of one simulation.
+///
+/// Statistics gathered during warm-up are discarded so queue fill and
+/// arbitration state reach steady state before measurement — the
+/// standard methodology for the throughput/latency numbers of Figs. 4–5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    warmup: Cycles,
+    measure: Cycles,
+}
+
+impl Schedule {
+    /// Creates a schedule with the given warm-up and measurement lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement phase is empty.
+    #[must_use]
+    pub fn new(warmup: Cycles, measure: Cycles) -> Self {
+        assert!(measure.value() > 0, "measurement phase must be non-empty");
+        Schedule { warmup, measure }
+    }
+
+    /// Warm-up length.
+    #[must_use]
+    pub const fn warmup(self) -> Cycles {
+        self.warmup
+    }
+
+    /// Measurement length.
+    #[must_use]
+    pub const fn measure(self) -> Cycles {
+        self.measure
+    }
+
+    /// Total simulated cycles.
+    #[must_use]
+    pub fn total(self) -> Cycles {
+        self.warmup + self.measure
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} warm-up + {} measured",
+            self.warmup.value(),
+            self.measure.value()
+        )
+    }
+}
+
+/// A model that advances one clock cycle at a time.
+pub trait CycleModel {
+    /// Advances the model through cycle `now`.
+    fn step(&mut self, now: Cycle);
+
+    /// Called once at the warm-up/measurement boundary; implementations
+    /// reset their statistics (not their state) here.
+    fn begin_measurement(&mut self, now: Cycle);
+}
+
+/// Drives a [`CycleModel`] through a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    schedule: Schedule,
+}
+
+impl Runner {
+    /// Creates a runner for the given schedule.
+    #[must_use]
+    pub const fn new(schedule: Schedule) -> Self {
+        Runner { schedule }
+    }
+
+    /// The schedule this runner executes.
+    #[must_use]
+    pub const fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Like [`Runner::run`], but invokes `observe(model, now)` after every
+    /// step — the hook VCD recorders, time-series samplers, and live
+    /// monitors attach to without hand-rolling the phase logic.
+    pub fn run_observed<M, F>(&self, model: &mut M, mut observe: F) -> Cycle
+    where
+        M: CycleModel + ?Sized,
+        F: FnMut(&M, Cycle),
+    {
+        let warm_end = Cycle::ZERO + self.schedule.warmup();
+        let mut now = Cycle::ZERO;
+        while now < warm_end {
+            model.step(now);
+            observe(model, now);
+            now = now.next();
+        }
+        model.begin_measurement(now);
+        let end = warm_end + self.schedule.measure();
+        while now < end {
+            model.step(now);
+            observe(model, now);
+            now = now.next();
+        }
+        now
+    }
+
+    /// Runs the model from cycle 0 through the full schedule and returns
+    /// the cycle after the last step (== [`Schedule::total`]).
+    pub fn run<M: CycleModel + ?Sized>(&self, model: &mut M) -> Cycle {
+        let warm_end = Cycle::ZERO + self.schedule.warmup();
+        let mut now = Cycle::ZERO;
+        while now < warm_end {
+            model.step(now);
+            now = now.next();
+        }
+        model.begin_measurement(now);
+        let end = warm_end + self.schedule.measure();
+        while now < end {
+            model.step(now);
+            now = now.next();
+        }
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Probe {
+        steps: u64,
+        measured_steps: u64,
+        boundary: Option<Cycle>,
+        cycles_seen: Vec<u64>,
+    }
+
+    impl CycleModel for Probe {
+        fn step(&mut self, now: Cycle) {
+            self.steps += 1;
+            if self.boundary.is_some() {
+                self.measured_steps += 1;
+            }
+            self.cycles_seen.push(now.value());
+        }
+        fn begin_measurement(&mut self, now: Cycle) {
+            self.boundary = Some(now);
+        }
+    }
+
+    #[test]
+    fn runs_exactly_the_scheduled_cycles() {
+        let mut probe = Probe::default();
+        let end = Runner::new(Schedule::new(Cycles::new(10), Cycles::new(25))).run(&mut probe);
+        assert_eq!(end, Cycle::new(35));
+        assert_eq!(probe.steps, 35);
+        assert_eq!(probe.measured_steps, 25);
+        assert_eq!(probe.boundary, Some(Cycle::new(10)));
+    }
+
+    #[test]
+    fn cycles_are_consecutive_from_zero() {
+        let mut probe = Probe::default();
+        let _ = Runner::new(Schedule::new(Cycles::new(3), Cycles::new(2))).run(&mut probe);
+        assert_eq!(probe.cycles_seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_warmup_is_allowed() {
+        let mut probe = Probe::default();
+        let _ = Runner::new(Schedule::new(Cycles::ZERO, Cycles::new(5))).run(&mut probe);
+        assert_eq!(probe.boundary, Some(Cycle::ZERO));
+        assert_eq!(probe.measured_steps, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_measurement_rejected() {
+        let _ = Schedule::new(Cycles::new(5), Cycles::ZERO);
+    }
+
+    #[test]
+    fn run_observed_sees_every_cycle() {
+        let mut probe = Probe::default();
+        let mut seen = Vec::new();
+        let end = Runner::new(Schedule::new(Cycles::new(2), Cycles::new(3)))
+            .run_observed(&mut probe, |m, now| {
+                seen.push((now.value(), m.steps));
+            });
+        assert_eq!(end, Cycle::new(5));
+        // The observer runs after each step, so it sees the incremented
+        // step count at the stepped cycle.
+        assert_eq!(seen, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(probe.boundary, Some(Cycle::new(2)));
+    }
+
+    #[test]
+    fn schedule_total() {
+        let s = Schedule::new(Cycles::new(7), Cycles::new(13));
+        assert_eq!(s.total(), Cycles::new(20));
+        assert!(s.to_string().contains("7 warm-up"));
+    }
+}

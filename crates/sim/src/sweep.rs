@@ -1,0 +1,100 @@
+//! Thread-parallel parameter sweeps.
+
+/// Runs `f` once per parameter point, spreading points across up to
+/// `std::thread::available_parallelism()` crossbeam scoped threads, and
+/// returns the results **in input order**.
+///
+/// Each experiment must be self-contained (build its own model from the
+/// parameter and a seed); the sweep only parallelizes across points, so
+/// each individual simulation stays deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_sim::sweep;
+///
+/// let rates: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+/// let saturations = sweep(&rates, |&r| (r * 100.0) as u64);
+/// assert_eq!(saturations, vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+/// ```
+pub fn sweep<P, R, F>(params: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    if params.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(params.len());
+    if threads <= 1 {
+        return params.iter().map(&f).collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..params.len()).map(|_| None).collect();
+    {
+        // Hand each worker a disjoint set of result slots via chunks of a
+        // mutex-free work queue: workers claim indices atomically and
+        // write through a striped mutex-protected vector.
+        let slots_mutex = std::sync::Mutex::new(&mut slots);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= params.len() {
+                        break;
+                    }
+                    let r = f(&params[i]);
+                    slots_mutex.lock().expect("no panics hold this lock")[i] = Some(r);
+                });
+            }
+        })
+        .expect("worker panicked during sweep");
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let params: Vec<usize> = (0..100).collect();
+        let out = sweep(&params, |&p| p * 2);
+        assert_eq!(out, params.iter().map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let out: Vec<u32> = sweep::<u32, u32, _>(&[], |&p| p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        assert_eq!(sweep(&[7], |&p: &i32| p + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_can_be_heavyweight() {
+        let out = sweep(&[1usize, 2, 3], |&n| vec![0u8; n * 1000]);
+        assert_eq!(out[2].len(), 3000);
+    }
+
+    #[test]
+    fn work_is_actually_shared() {
+        // Smoke test under contention: many cheap tasks.
+        let params: Vec<u64> = (0..5000).collect();
+        let out = sweep(&params, |&p| p % 7);
+        assert_eq!(out.len(), 5000);
+        assert_eq!(out[4999], 4999 % 7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Batch-means confidence intervals for steady-state simulation output.
+
+use std::fmt;
+
+use crate::RunningStats;
+
+/// The method of batch means: correlated per-cycle observations are
+/// grouped into fixed-size batches whose means are approximately
+/// independent, giving a defensible confidence interval for a
+/// steady-state metric (throughput, latency) from a single run.
+///
+/// With `k` batch means of standard deviation `s`, the half-width of a
+/// ~95 % confidence interval is `t * s / sqrt(k)`; the Student-t factor
+/// is approximated by a small lookup (exact for large `k`).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..10_000 {
+///     bm.push(0.5 + 0.01 * ((i % 7) as f64 - 3.0));
+/// }
+/// let mean = bm.mean();
+/// assert!((mean - 0.5).abs() < 0.01);
+/// let half = bm.ci95_half_width().unwrap();
+/// assert!(half < 0.01, "tight CI expected, got {half}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batch_stats: RunningStats,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given observations-per-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_stats: RunningStats::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_stats
+                .push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Completed batches so far.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batch_stats.count()
+    }
+
+    /// Grand mean over completed batches (zero if none completed).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.batch_stats.mean()
+    }
+
+    /// Approximate 95 % confidence half-width; `None` with fewer than two
+    /// completed batches.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        let k = self.batch_stats.count();
+        if k < 2 {
+            return None;
+        }
+        let s = self.batch_stats.sample_variance().sqrt();
+        Some(t_factor(k - 1) * s / (k as f64).sqrt())
+    }
+
+    /// Whether the metric is known to the requested relative precision:
+    /// CI half-width ≤ `rel` × |mean|.
+    #[must_use]
+    pub fn precise_to(&self, rel: f64) -> bool {
+        match self.ci95_half_width() {
+            Some(half) if self.mean() != 0.0 => half <= rel * self.mean().abs(),
+            Some(half) => half == 0.0,
+            None => false,
+        }
+    }
+}
+
+/// Two-sided 97.5 % Student-t quantile by degrees of freedom (coarse
+/// lookup; asymptotically 1.96).
+fn t_factor(dof: u64) -> f64 {
+    match dof {
+        0 => f64::INFINITY,
+        1 => 12.71,
+        2 => 4.30,
+        3 => 3.18,
+        4 => 2.78,
+        5 => 2.57,
+        6..=9 => 2.31,
+        10..=19 => 2.13,
+        20..=29 => 2.05,
+        _ => 1.96,
+    }
+}
+
+impl fmt::Display for BatchMeans {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ci95_half_width() {
+            Some(half) => write!(
+                f,
+                "{:.4} ± {:.4} ({} batches)",
+                self.mean(),
+                half,
+                self.batches()
+            ),
+            None => write!(f, "{:.4} (insufficient batches)", self.mean()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_form_on_schedule() {
+        let mut bm = BatchMeans::new(4);
+        for x in [1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0, 99.0] {
+            bm.push(x);
+        }
+        assert_eq!(bm.batches(), 2); // the trailing 99.0 is incomplete
+        assert!((bm.mean() - (2.5 + 10.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_needs_two_batches() {
+        let mut bm = BatchMeans::new(2);
+        bm.push(1.0);
+        bm.push(1.0);
+        assert_eq!(bm.ci95_half_width(), None);
+        bm.push(1.0);
+        bm.push(1.0);
+        assert_eq!(bm.ci95_half_width(), Some(0.0));
+        assert!(bm.precise_to(0.01));
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_batches() {
+        // Deterministic pseudo-noise around 5.0.
+        let noisy = |i: u64| 5.0 + ((i * 2_654_435_761) % 1000) as f64 / 1000.0 - 0.5;
+        let mut short = BatchMeans::new(50);
+        let mut long = BatchMeans::new(50);
+        for i in 0..500 {
+            short.push(noisy(i));
+        }
+        for i in 0..50_000 {
+            long.push(noisy(i));
+        }
+        let (a, b) = (
+            short.ci95_half_width().unwrap(),
+            long.ci95_half_width().unwrap(),
+        );
+        assert!(b < a / 3.0, "CI did not shrink: {a} -> {b}");
+        assert!(long.precise_to(0.01));
+    }
+
+    #[test]
+    fn t_factor_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for dof in 0..200 {
+            let t = t_factor(dof);
+            assert!(t <= prev);
+            prev = t;
+        }
+        assert_eq!(t_factor(1_000), 1.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Simple monotonically increasing event counters.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_stats::Counter;
+///
+/// let mut delivered = Counter::new();
+/// delivered.increment();
+/// delivered.add(7);
+/// assert_eq!(delivered.value(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// Adds one event.
+    pub fn increment(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// The number of events recorded so far.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.value
+    }
+
+    /// Resets the counter to zero (e.g. at the end of a warm-up phase).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Events per cycle over a window of `cycles` cycles.
+    ///
+    /// Returns zero for an empty window rather than dividing by zero, so
+    /// rate reports from degenerate configurations stay finite.
+    #[must_use]
+    pub fn rate(self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.value as f64 / cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Counter::new().value(), 0);
+    }
+
+    #[test]
+    fn increment_and_add_accumulate() {
+        let mut c = Counter::new();
+        c.increment();
+        c.increment();
+        c.add(10);
+        assert_eq!(c.value(), 12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Counter::new();
+        c.add(5);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn rate_over_window() {
+        let mut c = Counter::new();
+        c.add(50);
+        assert!((c.rate(100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_of_empty_window_is_zero() {
+        let mut c = Counter::new();
+        c.add(50);
+        assert_eq!(c.rate(0), 0.0);
+    }
+}

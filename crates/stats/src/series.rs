@@ -1,0 +1,244 @@
+//! XY data series for regenerating the paper's figures.
+
+use std::fmt;
+
+use crate::Table;
+
+/// One labelled curve of `(x, y)` points — e.g. one flow's accepted
+/// throughput versus injection rate in Fig. 4.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_stats::Series;
+///
+/// let mut s = Series::new("Flow 1 (r=0.4)");
+/// s.push(0.1, 0.1);
+/// s.push(0.5, 0.36);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.points()[1], (0.5, 0.36));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with a legend label.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The legend label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The recorded points in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The final y value — the steady-state reading of a sweep.
+    #[must_use]
+    pub fn last_y(&self) -> Option<f64> {
+        self.points.last().map(|&(_, y)| y)
+    }
+}
+
+/// A figure: several series sharing an x-axis, rendered as one table with
+/// an `x` column and one column per series (exactly what a plotting tool
+/// ingests to redraw the paper's figure).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_stats::{Figure, Series};
+///
+/// let mut fig = Figure::new("fig4b", "injection rate", "accepted throughput");
+/// let mut s = Series::new("Flow 1");
+/// s.push(0.1, 0.1);
+/// fig.add(s);
+/// let csv = fig.to_table().to_csv();
+/// assert!(csv.contains("Flow 1"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    name: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            name: name.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The figure identifier (e.g. `"fig4b"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The x-axis label.
+    #[must_use]
+    pub fn x_label(&self) -> &str {
+        &self.x_label
+    }
+
+    /// The y-axis label.
+    #[must_use]
+    pub fn y_label(&self) -> &str {
+        &self.y_label
+    }
+
+    /// Adds a series.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// The series added so far.
+    #[must_use]
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Collates the series into a table keyed by x value.
+    ///
+    /// Series need not share x grids: missing cells are left blank. The x
+    /// column is sorted ascending.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut headers = vec![self.x_label.clone()];
+        headers.extend(self.series.iter().map(|s| s.label.clone()));
+        let mut table = Table::new(headers);
+        table.numeric();
+
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        for x in xs {
+            let mut row = vec![format!("{x:.4}")];
+            for s in &self.series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-12)
+                    .map_or(String::new(), |&(_, y)| format!("{y:.4}"));
+                row.push(cell);
+            }
+            table.row(row);
+        }
+        table
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {} ({} vs {})", self.name, self.y_label, self.x_label)?;
+        f.write_str(&self.to_table().to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_accumulates_points() {
+        let mut s = Series::new("a");
+        assert!(s.is_empty());
+        s.push(1.0, 2.0);
+        s.push(3.0, 4.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last_y(), Some(4.0));
+        assert_eq!(s.label(), "a");
+    }
+
+    #[test]
+    fn figure_table_merges_x_grids() {
+        let mut fig = Figure::new("f", "x", "y");
+        let mut a = Series::new("a");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 200.0);
+        b.push(3.0, 300.0);
+        fig.add(a);
+        fig.add(b);
+        let table = fig.to_table();
+        assert_eq!(table.len(), 3); // x in {1, 2, 3}
+        let csv = table.to_csv();
+        assert!(csv.lines().nth(1).unwrap().starts_with("1.0000,10.0000,"));
+        assert!(csv.lines().nth(2).unwrap().contains("20.0000,200.0000"));
+    }
+
+    #[test]
+    fn figure_table_sorts_x() {
+        let mut fig = Figure::new("f", "x", "y");
+        let mut s = Series::new("s");
+        s.push(5.0, 1.0);
+        s.push(1.0, 2.0);
+        fig.add(s);
+        let csv = fig.to_table().to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert!(rows[0].starts_with("1.0000"));
+        assert!(rows[1].starts_with("5.0000"));
+    }
+
+    #[test]
+    fn figure_display_includes_name() {
+        let fig = Figure::new("fig5", "alloc", "latency");
+        assert!(fig.to_string().contains("fig5"));
+    }
+
+    #[test]
+    fn accessors() {
+        let fig = Figure::new("n", "xl", "yl");
+        assert_eq!(fig.name(), "n");
+        assert_eq!(fig.x_label(), "xl");
+        assert_eq!(fig.y_label(), "yl");
+        assert!(fig.series().is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Plain-text and CSV table rendering for experiment reports.
+
+use std::fmt;
+
+/// Column alignment in the plain-text rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A small table builder that renders to aligned monospace text (for the
+/// terminal) or CSV (for plotting), used by every experiment binary to
+/// print the rows the paper's tables and figures report.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_stats::{Align, Table};
+///
+/// let mut t = Table::new(vec!["flow".into(), "rate".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["In0".into(), "0.40".into()]);
+/// let text = t.to_text();
+/// assert!(text.contains("In0"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("flow,rate"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        let aligns = vec![Align::Left; headers.len()];
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    #[must_use]
+    pub fn with_columns(headers: &[&str]) -> Self {
+        Table::new(headers.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) {
+        self.aligns[col] = align;
+    }
+
+    /// Right-aligns every column except the first — the common layout for
+    /// a label column followed by numbers.
+    pub fn numeric(&mut self) {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != column count {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned monospace text with a header rule.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.len();
+                match self.aligns[i] {
+                    Align::Left => {
+                        out.push_str(cell);
+                        out.extend(std::iter::repeat_n(' ', pad));
+                    }
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                }
+            }
+            // Trim trailing padding so lines never end in spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.extend(std::iter::repeat_n('-', rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV with escaped cells.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let render = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        render(&mut out, &self.headers);
+        for row in &self.rows {
+            render(&mut out, row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::with_columns(&["name", "value"]);
+        t.numeric();
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        t
+    }
+
+    #[test]
+    fn text_alignment() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned number column: "22.5" is flush right under "value".
+        assert!(lines[3].ends_with("22.5"));
+        assert!(lines[2].ends_with("1"));
+    }
+
+    #[test]
+    fn no_trailing_whitespace() {
+        for line in sample().to_text().lines() {
+            assert_eq!(line, line.trim_end());
+        }
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::with_columns(&["a"]);
+        t.row(vec!["has,comma".into()]);
+        t.row(vec!["has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn rejects_empty_header() {
+        let _ = Table::new(vec![]);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(Table::with_columns(&["x"]).is_empty());
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.to_text());
+    }
+}

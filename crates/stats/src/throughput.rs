@@ -1,0 +1,131 @@
+//! Throughput accounting over a measurement window.
+
+use std::fmt;
+
+use ssq_types::{Cycle, Cycles};
+
+/// Measures delivered flits per cycle over an explicit window.
+///
+/// The meter is armed at the start of the measurement phase (after
+/// warm-up) and read at the end, giving the *accepted throughput* that
+/// Fig. 4 plots on its y-axis.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_stats::ThroughputMeter;
+/// use ssq_types::Cycle;
+///
+/// let mut m = ThroughputMeter::new();
+/// m.start(Cycle::new(1_000));
+/// m.record_flit();
+/// m.record_flits(9);
+/// assert!((m.flits_per_cycle(Cycle::new(1_100)) - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThroughputMeter {
+    window_start: Cycle,
+    flits: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter with its window starting at cycle zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        ThroughputMeter {
+            window_start: Cycle::ZERO,
+            flits: 0,
+        }
+    }
+
+    /// Re-arms the meter: clears the flit count and moves the window start
+    /// to `now`. Call at the warm-up/measurement boundary.
+    pub fn start(&mut self, now: Cycle) {
+        self.window_start = now;
+        self.flits = 0;
+    }
+
+    /// Records delivery of a single flit.
+    pub fn record_flit(&mut self) {
+        self.flits += 1;
+    }
+
+    /// Records delivery of `n` flits.
+    pub fn record_flits(&mut self, n: u64) {
+        self.flits += n;
+    }
+
+    /// Flits delivered since the window started.
+    #[must_use]
+    pub const fn flits(&self) -> u64 {
+        self.flits
+    }
+
+    /// Length of the window ending at `now`.
+    #[must_use]
+    pub fn window(&self, now: Cycle) -> Cycles {
+        now.saturating_since(self.window_start)
+    }
+
+    /// Accepted throughput in flits/cycle over the window ending at `now`.
+    ///
+    /// Returns zero for an empty window.
+    #[must_use]
+    pub fn flits_per_cycle(&self, now: Cycle) -> f64 {
+        let window = self.window(now).value();
+        if window == 0 {
+            0.0
+        } else {
+            self.flits as f64 / window as f64
+        }
+    }
+}
+
+impl fmt::Display for ThroughputMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} flits since {}", self.flits, self.window_start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_meter_reads_zero() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.flits(), 0);
+        assert_eq!(m.flits_per_cycle(Cycle::new(100)), 0.0);
+    }
+
+    #[test]
+    fn rate_reflects_window() {
+        let mut m = ThroughputMeter::new();
+        m.start(Cycle::new(50));
+        m.record_flits(25);
+        assert!((m.flits_per_cycle(Cycle::new(150)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restart_clears_counts() {
+        let mut m = ThroughputMeter::new();
+        m.record_flits(99);
+        m.start(Cycle::new(10));
+        assert_eq!(m.flits(), 0);
+    }
+
+    #[test]
+    fn empty_window_yields_zero_not_nan() {
+        let mut m = ThroughputMeter::new();
+        m.start(Cycle::new(5));
+        m.record_flit();
+        assert_eq!(m.flits_per_cycle(Cycle::new(5)), 0.0);
+    }
+
+    #[test]
+    fn window_length() {
+        let mut m = ThroughputMeter::new();
+        m.start(Cycle::new(10));
+        assert_eq!(m.window(Cycle::new(25)), Cycles::new(15));
+    }
+}

@@ -1,0 +1,194 @@
+//! Windowed time series for convergence and transient plots.
+
+use std::fmt;
+
+use ssq_types::Cycle;
+
+/// Accumulates samples into fixed-width time windows and reports one
+/// mean per window — e.g. throughput-over-time to show a simulation
+/// reaching steady state, or GL wait times around a burst.
+///
+/// Windows are keyed by `cycle / window_cycles`; empty windows simply
+/// don't appear in [`TimeSeries::points`].
+///
+/// # Examples
+///
+/// ```
+/// use ssq_stats::TimeSeries;
+/// use ssq_types::Cycle;
+///
+/// let mut ts = TimeSeries::new(100);
+/// ts.record(Cycle::new(10), 1.0);
+/// ts.record(Cycle::new(20), 3.0);
+/// ts.record(Cycle::new(150), 10.0);
+/// assert_eq!(ts.points(), vec![(0, 2.0), (100, 10.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    window_cycles: u64,
+    /// (window index, sum, count), ascending by window.
+    windows: Vec<(u64, f64, u64)>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given window width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    #[must_use]
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window must span at least one cycle");
+        TimeSeries {
+            window_cycles,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The window width in cycles.
+    #[must_use]
+    pub const fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// Records one sample at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes an already-recorded window (samples must
+    /// arrive in non-decreasing window order, as they do from a forward
+    /// simulation).
+    pub fn record(&mut self, now: Cycle, value: f64) {
+        let window = now.value() / self.window_cycles;
+        match self.windows.last_mut() {
+            Some((w, sum, count)) if *w == window => {
+                *sum += value;
+                *count += 1;
+            }
+            Some((w, ..)) => {
+                assert!(*w < window, "sample at window {window} after window {w}");
+                self.windows.push((window, value, 1));
+            }
+            None => self.windows.push((window, value, 1)),
+        }
+    }
+
+    /// `(window_start_cycle, mean)` per non-empty window, ascending.
+    #[must_use]
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        self.windows
+            .iter()
+            .map(|&(w, sum, count)| (w * self.window_cycles, sum / count as f64))
+            .collect()
+    }
+
+    /// Number of non-empty windows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Whether the series has settled: the relative spread of the last
+    /// `tail` window means is below `tolerance`. Returns `false` with
+    /// fewer than `tail` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail` is zero.
+    #[must_use]
+    pub fn converged(&self, tail: usize, tolerance: f64) -> bool {
+        assert!(tail > 0, "need at least one tail window");
+        if self.windows.len() < tail {
+            return false;
+        }
+        let means: Vec<f64> = self.points()[self.windows.len() - tail..]
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
+        let max = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let mid = (max + min) / 2.0;
+        if mid == 0.0 {
+            return max == min;
+        }
+        (max - min).abs() / mid.abs() <= tolerance
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time series: {} windows of {} cycles",
+            self.windows.len(),
+            self.window_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_accumulate_means() {
+        let mut ts = TimeSeries::new(10);
+        for c in 0..10 {
+            ts.record(Cycle::new(c), c as f64);
+        }
+        ts.record(Cycle::new(25), 100.0);
+        assert_eq!(ts.points(), vec![(0, 4.5), (20, 100.0)]);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(5);
+        assert!(ts.is_empty());
+        assert!(ts.points().is_empty());
+        assert!(!ts.converged(3, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "after window")]
+    fn rejects_backwards_samples() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(Cycle::new(50), 1.0);
+        ts.record(Cycle::new(5), 1.0);
+    }
+
+    #[test]
+    fn convergence_detection() {
+        let mut ts = TimeSeries::new(10);
+        // Ramp for 5 windows, then flat.
+        for w in 0..5u64 {
+            ts.record(Cycle::new(w * 10), w as f64 * 10.0);
+        }
+        for w in 5..10u64 {
+            ts.record(Cycle::new(w * 10), 50.0);
+        }
+        assert!(ts.converged(5, 0.01));
+        assert!(!ts.converged(8, 0.01), "ramp windows included");
+    }
+
+    #[test]
+    fn converged_handles_zero_mean() {
+        let mut ts = TimeSeries::new(10);
+        for w in 0..4u64 {
+            ts.record(Cycle::new(w * 10), 0.0);
+        }
+        assert!(ts.converged(4, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_window_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}

@@ -1,0 +1,490 @@
+//! Packet arrival processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssq_types::Cycle;
+
+/// A packet arrival process at one input port.
+///
+/// Polled once per cycle; returns the length (in flits) of a packet
+/// created this cycle, or `None`. At most one packet per cycle can be
+/// created — the paper's injection rates never require more (an input
+/// channel carries one flit per cycle, so sustained injection above one
+/// packet per `len` cycles is unphysical anyway).
+pub trait TrafficSource {
+    /// Polls the process at `now`; `Some(len_flits)` if a packet arrives.
+    fn poll(&mut self, now: Cycle) -> Option<u64>;
+
+    /// The long-run offered load in flits/cycle, if the process has one
+    /// (trace replay reports `None`).
+    fn offered_load(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Bernoulli injection: each cycle a packet arrives with probability
+/// `rate / len_flits`, giving an offered load of `rate` flits/cycle with
+/// geometric inter-arrival gaps — the standard random injection process
+/// of NoC evaluations and the x-axis of Fig. 4.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_traffic::{Bernoulli, TrafficSource};
+///
+/// let src = Bernoulli::new(0.25, 8, 7);
+/// assert_eq!(src.offered_load(), Some(0.25));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bernoulli {
+    rate: f64,
+    len_flits: u64,
+    rng: StdRng,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli source offering `rate` flits/cycle of
+    /// `len_flits`-flit packets, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]` or `len_flits` is zero.
+    #[must_use]
+    pub fn new(rate: f64, len_flits: u64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        assert!(len_flits > 0, "packets need at least one flit");
+        Bernoulli {
+            rate,
+            len_flits,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TrafficSource for Bernoulli {
+    fn poll(&mut self, _now: Cycle) -> Option<u64> {
+        let p = self.rate / self.len_flits as f64;
+        if self.rng.random::<f64>() < p {
+            Some(self.len_flits)
+        } else {
+            None
+        }
+    }
+
+    fn offered_load(&self) -> Option<f64> {
+        Some(self.rate)
+    }
+}
+
+/// Deterministic periodic injection: one packet every `interval` cycles,
+/// starting at `phase`. Models the constant-rate flows of real-time SoC
+/// producers (e.g. a display controller or a baseband pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Periodic {
+    interval: u64,
+    phase: u64,
+    len_flits: u64,
+}
+
+impl Periodic {
+    /// Creates a periodic source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` or `len_flits` is zero.
+    #[must_use]
+    pub fn new(interval: u64, phase: u64, len_flits: u64) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        assert!(len_flits > 0, "packets need at least one flit");
+        Periodic {
+            interval,
+            phase: phase % interval,
+            len_flits,
+        }
+    }
+}
+
+impl TrafficSource for Periodic {
+    fn poll(&mut self, now: Cycle) -> Option<u64> {
+        if now.value() % self.interval == self.phase {
+            Some(self.len_flits)
+        } else {
+            None
+        }
+    }
+
+    fn offered_load(&self) -> Option<f64> {
+        Some(self.len_flits as f64 / self.interval as f64)
+    }
+}
+
+/// Two-state Markov-modulated (on/off) bursty injection.
+///
+/// In the ON state the source injects like a Bernoulli source at
+/// `rate_on`; each cycle it may flip state with the given probabilities.
+/// Bursty injection is what exposes the latency-fairness differences
+/// between the counter-management policies ("especially during bursty
+/// injection", §4.3).
+#[derive(Debug, Clone)]
+pub struct OnOffBursty {
+    rate_on: f64,
+    len_flits: u64,
+    p_on_to_off: f64,
+    p_off_to_on: f64,
+    on: bool,
+    rng: StdRng,
+}
+
+impl OnOffBursty {
+    /// Creates an on/off source starting in the ON state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`, `rate_on` is
+    /// outside `[0, 1]`, or `len_flits` is zero.
+    #[must_use]
+    pub fn new(
+        rate_on: f64,
+        len_flits: u64,
+        p_on_to_off: f64,
+        p_off_to_on: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate_on),
+            "rate {rate_on} outside [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_on_to_off) && (0.0..=1.0).contains(&p_off_to_on),
+            "transition probabilities must be in [0, 1]"
+        );
+        assert!(len_flits > 0, "packets need at least one flit");
+        OnOffBursty {
+            rate_on,
+            len_flits,
+            p_on_to_off,
+            p_off_to_on,
+            on: true,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether the source is currently in its ON state.
+    #[must_use]
+    pub const fn is_on(&self) -> bool {
+        self.on
+    }
+}
+
+impl TrafficSource for OnOffBursty {
+    fn poll(&mut self, _now: Cycle) -> Option<u64> {
+        let flip: f64 = self.rng.random();
+        if self.on && flip < self.p_on_to_off {
+            self.on = false;
+        } else if !self.on && flip < self.p_off_to_on {
+            self.on = true;
+        }
+        if !self.on {
+            return None;
+        }
+        let p = self.rate_on / self.len_flits as f64;
+        if self.rng.random::<f64>() < p {
+            Some(self.len_flits)
+        } else {
+            None
+        }
+    }
+
+    fn offered_load(&self) -> Option<f64> {
+        let duty = self.p_off_to_on / (self.p_on_to_off + self.p_off_to_on);
+        Some(self.rate_on * duty)
+    }
+}
+
+/// A source that always has a packet ready — the saturation workload of
+/// Fig. 4's congested region and of every rate-adherence experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Saturating {
+    len_flits: u64,
+}
+
+impl Saturating {
+    /// Creates a saturating source of `len_flits`-flit packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_flits` is zero.
+    #[must_use]
+    pub fn new(len_flits: u64) -> Self {
+        assert!(len_flits > 0, "packets need at least one flit");
+        Saturating { len_flits }
+    }
+}
+
+impl TrafficSource for Saturating {
+    fn poll(&mut self, _now: Cycle) -> Option<u64> {
+        Some(self.len_flits)
+    }
+
+    fn offered_load(&self) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// Replays an explicit `(cycle, len_flits)` schedule — used by the GL
+/// burst-budget experiments (Eqs. 2–3), where the workload is "σ packets
+/// back to back at cycle T".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Remaining events, ascending by cycle.
+    events: Vec<(u64, u64)>,
+    next: usize,
+}
+
+impl Trace {
+    /// Creates a trace source. Events must be sorted by cycle and carry
+    /// at most one packet per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are unsorted, duplicated, or have zero-flit
+    /// packets.
+    #[must_use]
+    pub fn new(events: Vec<(u64, u64)>) -> Self {
+        for pair in events.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "trace events must be strictly ascending"
+            );
+        }
+        assert!(
+            events.iter().all(|&(_, len)| len > 0),
+            "packets need at least one flit"
+        );
+        Trace { events, next: 0 }
+    }
+
+    /// Events not yet replayed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+impl TrafficSource for Trace {
+    fn poll(&mut self, now: Cycle) -> Option<u64> {
+        match self.events.get(self.next) {
+            Some(&(cycle, len)) if cycle == now.value() => {
+                self.next += 1;
+                Some(len)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_flits(src: &mut dyn TrafficSource, cycles: u64) -> u64 {
+        (0..cycles).filter_map(|c| src.poll(Cycle::new(c))).sum()
+    }
+
+    #[test]
+    fn bernoulli_hits_its_offered_load() {
+        let mut src = Bernoulli::new(0.3, 4, 123);
+        let rate = total_flits(&mut src, 100_000) as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "measured {rate}");
+    }
+
+    #[test]
+    fn bernoulli_zero_rate_never_fires() {
+        let mut src = Bernoulli::new(0.0, 8, 1);
+        assert_eq!(total_flits(&mut src, 10_000), 0);
+    }
+
+    #[test]
+    fn bernoulli_is_reproducible_per_seed() {
+        let mut a = Bernoulli::new(0.5, 2, 99);
+        let mut b = Bernoulli::new(0.5, 2, 99);
+        for c in 0..1000 {
+            assert_eq!(a.poll(Cycle::new(c)), b.poll(Cycle::new(c)));
+        }
+    }
+
+    #[test]
+    fn periodic_fires_on_schedule() {
+        let mut src = Periodic::new(10, 3, 2);
+        let fired: Vec<u64> = (0..40)
+            .filter(|&c| src.poll(Cycle::new(c)).is_some())
+            .collect();
+        assert_eq!(fired, vec![3, 13, 23, 33]);
+        assert_eq!(src.offered_load(), Some(0.2));
+    }
+
+    #[test]
+    fn bursty_duty_cycle_matches_transitions() {
+        // Symmetric transitions => 50% duty, so load ~ rate_on / 2.
+        let mut src = OnOffBursty::new(0.8, 1, 0.01, 0.01, 7);
+        let rate = total_flits(&mut src, 200_000) as f64 / 200_000.0;
+        assert!((rate - 0.4).abs() < 0.05, "measured {rate}");
+    }
+
+    #[test]
+    fn bursty_goes_silent_in_off_state() {
+        // Immediately flips to OFF and can never return.
+        let mut src = OnOffBursty::new(1.0, 1, 1.0, 0.0, 3);
+        let _ = src.poll(Cycle::ZERO);
+        assert!(!src.is_on());
+        assert_eq!(total_flits(&mut src, 1000), 0);
+    }
+
+    #[test]
+    fn saturating_always_offers() {
+        let mut src = Saturating::new(8);
+        for c in 0..100 {
+            assert_eq!(src.poll(Cycle::new(c)), Some(8));
+        }
+        assert_eq!(src.offered_load(), Some(1.0));
+    }
+
+    #[test]
+    fn trace_replays_exactly() {
+        let mut src = Trace::new(vec![(5, 1), (9, 3)]);
+        assert_eq!(src.remaining(), 2);
+        assert_eq!(src.poll(Cycle::new(4)), None);
+        assert_eq!(src.poll(Cycle::new(5)), Some(1));
+        assert_eq!(src.poll(Cycle::new(6)), None);
+        assert_eq!(src.poll(Cycle::new(9)), Some(3));
+        assert_eq!(src.remaining(), 0);
+        assert_eq!(src.poll(Cycle::new(10)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn trace_rejects_unsorted_events() {
+        let _ = Trace::new(vec![(9, 1), (5, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bernoulli_rejects_bad_rate() {
+        let _ = Bernoulli::new(1.5, 1, 0);
+    }
+}
+
+/// Bernoulli arrivals with a bimodal packet-length mix — short control
+/// packets interleaved with long data packets, the "variety of packet
+/// sizes" of §4.2 in one source. `rate` is the offered load in
+/// flits/cycle; packet starts are scheduled so the flit average works
+/// out regardless of the short/long split.
+#[derive(Debug, Clone)]
+pub struct BimodalBernoulli {
+    rate: f64,
+    len_short: u64,
+    len_long: u64,
+    p_long: f64,
+    rng: StdRng,
+}
+
+impl BimodalBernoulli {
+    /// Creates a bimodal source: each generated packet is `len_long`
+    /// flits with probability `p_long`, otherwise `len_short`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`, `p_long` is outside
+    /// `[0, 1]`, or either length is zero.
+    #[must_use]
+    pub fn new(rate: f64, len_short: u64, len_long: u64, p_long: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p_long),
+            "p_long {p_long} outside [0, 1]"
+        );
+        assert!(len_short > 0 && len_long > 0, "packets need at least one flit");
+        BimodalBernoulli {
+            rate,
+            len_short,
+            len_long,
+            p_long,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Mean packet length in flits.
+    #[must_use]
+    pub fn mean_len(&self) -> f64 {
+        self.p_long * self.len_long as f64 + (1.0 - self.p_long) * self.len_short as f64
+    }
+}
+
+impl TrafficSource for BimodalBernoulli {
+    fn poll(&mut self, _now: Cycle) -> Option<u64> {
+        let p = self.rate / self.mean_len();
+        if self.rng.random::<f64>() < p {
+            if self.rng.random::<f64>() < self.p_long {
+                Some(self.len_long)
+            } else {
+                Some(self.len_short)
+            }
+        } else {
+            None
+        }
+    }
+
+    fn offered_load(&self) -> Option<f64> {
+        Some(self.rate)
+    }
+}
+
+#[cfg(test)]
+mod bimodal_tests {
+    use super::*;
+
+    #[test]
+    fn offered_load_holds_despite_the_mix() {
+        let mut src = BimodalBernoulli::new(0.4, 1, 8, 0.3, 21);
+        let flits: u64 = (0..200_000)
+            .filter_map(|c| src.poll(Cycle::new(c)))
+            .sum();
+        let rate = flits as f64 / 200_000.0;
+        assert!((rate - 0.4).abs() < 0.02, "measured {rate}");
+    }
+
+    #[test]
+    fn both_modes_appear() {
+        let mut src = BimodalBernoulli::new(0.8, 2, 8, 0.5, 5);
+        let mut shorts = 0;
+        let mut longs = 0;
+        for c in 0..50_000 {
+            match src.poll(Cycle::new(c)) {
+                Some(2) => shorts += 1,
+                Some(8) => longs += 1,
+                Some(other) => panic!("unexpected length {other}"),
+                None => {}
+            }
+        }
+        assert!(shorts > 1000 && longs > 1000, "{shorts} / {longs}");
+        let frac = longs as f64 / (shorts + longs) as f64;
+        assert!((frac - 0.5).abs() < 0.05, "long fraction {frac}");
+    }
+
+    #[test]
+    fn degenerate_mix_is_plain_bernoulli() {
+        let mut src = BimodalBernoulli::new(0.3, 4, 8, 0.0, 9);
+        assert_eq!(src.mean_len(), 4.0);
+        for c in 0..1000 {
+            if let Some(len) = src.poll(Cycle::new(c)) {
+                assert_eq!(len, 4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_p_long() {
+        let _ = BimodalBernoulli::new(0.5, 1, 8, 1.5, 0);
+    }
+}

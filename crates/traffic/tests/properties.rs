@@ -1,0 +1,137 @@
+//! Property-based tests over traffic sources and destination patterns.
+
+use proptest::prelude::*;
+
+use ssq_traffic::{
+    Bernoulli, BitComplement, DestinationPattern, HotspotDest, OnOffBursty, Periodic, Saturating,
+    Shuffle, Trace, TrafficSource, Transpose, UniformDest,
+};
+use ssq_types::{Cycle, InputId};
+
+fn measure(src: &mut dyn TrafficSource, cycles: u64) -> f64 {
+    let flits: u64 = (0..cycles).filter_map(|c| src.poll(Cycle::new(c))).sum();
+    flits as f64 / cycles as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every source with a declared offered load hits it within sampling
+    /// noise over a long window.
+    #[test]
+    fn offered_load_is_accurate(
+        rate in 0.05f64..0.95,
+        len in 1u64..16,
+        seed in any::<u64>(),
+    ) {
+        let mut src = Bernoulli::new(rate, len, seed);
+        let measured = measure(&mut src, 100_000);
+        let declared = src.offered_load().unwrap();
+        prop_assert!((measured - declared).abs() < 0.03,
+            "bernoulli measured {measured} declared {declared}");
+    }
+
+    /// Periodic sources are exact: flits = floor stepping of the period.
+    #[test]
+    fn periodic_is_exact(interval in 1u64..500, phase in 0u64..1000, len in 1u64..8) {
+        let mut src = Periodic::new(interval, phase, len);
+        let cycles = interval * 100;
+        let flits: u64 = (0..cycles).filter_map(|c| src.poll(Cycle::new(c))).sum();
+        prop_assert_eq!(flits, 100 * len);
+    }
+
+    /// Bursty sources respect their duty-cycle average.
+    #[test]
+    fn bursty_average_matches_duty(
+        rate_on in 0.2f64..1.0,
+        p in 0.005f64..0.05,
+        seed in any::<u64>(),
+    ) {
+        // Symmetric transitions => 50% duty cycle.
+        let mut src = OnOffBursty::new(rate_on, 1, p, p, seed);
+        let measured = measure(&mut src, 200_000);
+        let expect = rate_on / 2.0;
+        prop_assert!((measured - expect).abs() < 0.08,
+            "bursty measured {measured} expected {expect}");
+    }
+
+    /// A saturating source delivers exactly one packet per poll.
+    #[test]
+    fn saturating_never_misses(len in 1u64..32, cycles in 1u64..1000) {
+        let mut src = Saturating::new(len);
+        let flits: u64 = (0..cycles).filter_map(|c| src.poll(Cycle::new(c))).sum();
+        prop_assert_eq!(flits, cycles * len);
+    }
+
+    /// Trace replay emits exactly its schedule, regardless of polling
+    /// pattern alignment.
+    #[test]
+    fn trace_replay_is_faithful(gaps in prop::collection::vec(1u64..50, 1..40)) {
+        let mut cycle = 0;
+        let events: Vec<(u64, u64)> = gaps
+            .iter()
+            .map(|&g| {
+                cycle += g;
+                (cycle, 1 + cycle % 4)
+            })
+            .collect();
+        let expected: u64 = events.iter().map(|&(_, l)| l).sum();
+        let mut src = Trace::new(events.clone());
+        let horizon = cycle + 10;
+        let flits: u64 = (0..=horizon).filter_map(|c| src.poll(Cycle::new(c))).sum();
+        prop_assert_eq!(flits, expected);
+        prop_assert_eq!(src.remaining(), 0);
+    }
+
+    /// Permutation patterns are true permutations at any power-of-two /
+    /// square radix, and repeated queries are stable.
+    #[test]
+    fn permutations_are_bijective(pow in 1u32..6) {
+        let radix = 1usize << pow;
+        let mut patterns: Vec<Box<dyn DestinationPattern>> = vec![
+            Box::new(BitComplement::new(radix)),
+            Box::new(Shuffle::new(radix)),
+        ];
+        if ((radix as f64).sqrt() as usize).pow(2) == radix {
+            patterns.push(Box::new(Transpose::new(radix)));
+        }
+        for p in &mut patterns {
+            let mut seen = vec![false; radix];
+            for i in 0..radix {
+                let d = p.dest(InputId::new(i));
+                prop_assert!(!seen[d.index()], "output {} hit twice", d.index());
+                seen[d.index()] = true;
+                prop_assert_eq!(p.dest(InputId::new(i)), d, "pattern not stable");
+            }
+        }
+    }
+
+    /// Uniform and hotspot destinations always stay in range and follow
+    /// their distribution.
+    #[test]
+    fn random_patterns_stay_in_range(
+        radix in 2usize..64,
+        hot_fraction in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut uniform = UniformDest::new(radix, seed);
+        let hot = ssq_types::OutputId::new(radix - 1);
+        let mut hotspot = HotspotDest::new(radix, hot, hot_fraction, seed);
+        let mut hot_hits = 0u32;
+        let trials = 2_000;
+        for i in 0..trials {
+            let du = uniform.dest(InputId::new(i % radix));
+            prop_assert!(du.index() < radix);
+            let dh = hotspot.dest(InputId::new(i % radix));
+            prop_assert!(dh.index() < radix);
+            if dh == hot {
+                hot_hits += 1;
+            }
+        }
+        let frac = f64::from(hot_hits) / trials as f64;
+        // Hot hits = declared fraction + uniform spillover share.
+        let expect = hot_fraction + (1.0 - hot_fraction) / (radix - 1) as f64 * 0.0;
+        prop_assert!((frac - hot_fraction).abs() < 0.05 + expect,
+            "hot fraction {frac} vs {hot_fraction}");
+    }
+}

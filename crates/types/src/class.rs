@@ -1,0 +1,138 @@
+//! The three QoS traffic classes of the paper (§3).
+
+use std::fmt;
+
+/// Traffic class of a packet, in the paper's order of increasing priority.
+///
+/// * [`TrafficClass::BestEffort`] — no guarantees; served by
+///   least-recently-granted arbitration when no higher class is requesting.
+/// * [`TrafficClass::GuaranteedBandwidth`] — per-flow reserved rates
+///   enforced by the SSVC Virtual Clock mechanism.
+/// * [`TrafficClass::GuaranteedLatency`] — infrequent time-critical packets
+///   (interrupts, watchdog timers) with absolute priority and a provable
+///   worst-case waiting-time bound.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::TrafficClass;
+///
+/// let mut classes = TrafficClass::ALL;
+/// classes.sort_by_key(|c| c.priority());
+/// assert_eq!(classes[2], TrafficClass::GuaranteedLatency);
+/// assert!(TrafficClass::GuaranteedLatency.outranks(TrafficClass::BestEffort));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TrafficClass {
+    /// Best-Effort (BE): lowest priority, the Swizzle Switch default.
+    #[default]
+    BestEffort,
+    /// Guaranteed Bandwidth (GB): Virtual Clock enforced reserved rates.
+    GuaranteedBandwidth,
+    /// Guaranteed Latency (GL): highest priority, bounded waiting time.
+    GuaranteedLatency,
+}
+
+impl TrafficClass {
+    /// All classes, lowest priority first.
+    pub const ALL: [TrafficClass; 3] = [
+        TrafficClass::BestEffort,
+        TrafficClass::GuaranteedBandwidth,
+        TrafficClass::GuaranteedLatency,
+    ];
+
+    /// Numeric priority: BE = 0, GB = 1, GL = 2. Higher wins arbitration.
+    #[must_use]
+    pub const fn priority(self) -> u8 {
+        match self {
+            TrafficClass::BestEffort => 0,
+            TrafficClass::GuaranteedBandwidth => 1,
+            TrafficClass::GuaranteedLatency => 2,
+        }
+    }
+
+    /// Whether `self` preempts `other` in switch arbitration.
+    ///
+    /// The paper's class ordering is strict: any GL request makes all
+    /// ongoing GB arbitration lose (Fig. 3), and GB packets are served
+    /// before BE packets.
+    #[must_use]
+    pub const fn outranks(self, other: TrafficClass) -> bool {
+        self.priority() > other.priority()
+    }
+
+    /// Short label used in experiment tables ("BE", "GB", "GL").
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            TrafficClass::BestEffort => "BE",
+            TrafficClass::GuaranteedBandwidth => "GB",
+            TrafficClass::GuaranteedLatency => "GL",
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_matches_paper() {
+        assert!(
+            TrafficClass::GuaranteedLatency.priority()
+                > TrafficClass::GuaranteedBandwidth.priority()
+        );
+        assert!(TrafficClass::GuaranteedBandwidth.priority() > TrafficClass::BestEffort.priority());
+    }
+
+    #[test]
+    fn outranks_is_strict() {
+        assert!(!TrafficClass::BestEffort.outranks(TrafficClass::BestEffort));
+        assert!(TrafficClass::GuaranteedLatency.outranks(TrafficClass::GuaranteedBandwidth));
+        assert!(!TrafficClass::BestEffort.outranks(TrafficClass::GuaranteedLatency));
+    }
+
+    #[test]
+    fn all_lists_every_class_once() {
+        assert_eq!(TrafficClass::ALL.len(), 3);
+        let mut priorities: Vec<_> = TrafficClass::ALL.iter().map(|c| c.priority()).collect();
+        priorities.dedup();
+        assert_eq!(priorities, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TrafficClass::BestEffort.label(), "BE");
+        assert_eq!(TrafficClass::GuaranteedBandwidth.label(), "GB");
+        assert_eq!(TrafficClass::GuaranteedLatency.label(), "GL");
+    }
+
+    #[test]
+    fn default_is_best_effort() {
+        assert_eq!(TrafficClass::default(), TrafficClass::BestEffort);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for class in TrafficClass::ALL {
+            assert_eq!(class.to_string(), class.label());
+        }
+    }
+
+    #[test]
+    fn ord_matches_priority() {
+        let mut v = vec![
+            TrafficClass::GuaranteedLatency,
+            TrafficClass::BestEffort,
+            TrafficClass::GuaranteedBandwidth,
+        ];
+        v.sort();
+        assert_eq!(v, TrafficClass::ALL.to_vec());
+    }
+}

@@ -1,0 +1,140 @@
+//! Error types for constructing validated values.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a bandwidth fraction is outside `[0, 1]` or not
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::Rate;
+///
+/// let err = Rate::new(2.0).unwrap_err();
+/// assert!(err.to_string().contains("2"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateError {
+    value: f64,
+}
+
+impl RateError {
+    pub(crate) fn new(value: f64) -> Self {
+        RateError { value }
+    }
+
+    /// The offending value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for RateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bandwidth fraction {} is not a finite number in [0, 1]",
+            self.value
+        )
+    }
+}
+
+impl Error for RateError {}
+
+/// Error returned when a switch geometry is physically invalid.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::{Geometry, GeometryError};
+///
+/// // A 64-bit bus on a radix-128 switch cannot host even one lane of
+/// // inhibit-based arbitration.
+/// let err = Geometry::new(128, 64).unwrap_err();
+/// assert!(matches!(err, GeometryError::NoLanes { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The radix was zero or one; a switch needs at least two ports.
+    RadixTooSmall {
+        /// The rejected radix.
+        radix: usize,
+    },
+    /// The bus cannot host a single arbitration lane: each lane needs as
+    /// many bitlines as the switch has inputs (paper §3.1, footnote 2).
+    NoLanes {
+        /// The rejected radix.
+        radix: usize,
+        /// The rejected bus width in bits.
+        bus_width_bits: usize,
+    },
+    /// The bus width is not a multiple of the radix, so lanes would not
+    /// tile the output bus exactly.
+    UnevenLanes {
+        /// The rejected radix.
+        radix: usize,
+        /// The rejected bus width in bits.
+        bus_width_bits: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GeometryError::RadixTooSmall { radix } => {
+                write!(
+                    f,
+                    "switch radix {radix} is too small; need at least 2 ports"
+                )
+            }
+            GeometryError::NoLanes {
+                radix,
+                bus_width_bits,
+            } => write!(
+                f,
+                "a {bus_width_bits}-bit bus cannot host any {radix}-wire arbitration lane"
+            ),
+            GeometryError::UnevenLanes {
+                radix,
+                bus_width_bits,
+            } => write!(
+                f,
+                "bus width {bus_width_bits} is not a multiple of radix {radix}"
+            ),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_error_reports_value() {
+        let err = RateError::new(-3.0);
+        assert_eq!(err.value(), -3.0);
+        assert!(err.to_string().contains("-3"));
+    }
+
+    #[test]
+    fn geometry_errors_display_configuration() {
+        let err = GeometryError::NoLanes {
+            radix: 128,
+            bus_width_bits: 64,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("128"));
+        assert!(msg.contains("64"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<RateError>();
+        assert_error::<GeometryError>();
+    }
+}

@@ -1,0 +1,266 @@
+//! Identifier newtypes for ports, flows, and packets.
+
+use std::fmt;
+
+/// Index of an input port of the switch.
+///
+/// Input ports are numbered `0..radix`. The newtype prevents input indices
+/// from being confused with output indices or lane offsets.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::InputId;
+///
+/// let input = InputId::new(3);
+/// assert_eq!(input.index(), 3);
+/// assert_eq!(format!("{input}"), "In3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InputId(usize);
+
+impl InputId {
+    /// Creates an input-port identifier from a zero-based index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        InputId(index)
+    }
+
+    /// Returns the zero-based index of the port.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all input identifiers of a switch with `radix` ports.
+    ///
+    /// ```
+    /// use ssq_types::InputId;
+    ///
+    /// let all: Vec<_> = InputId::all(4).collect();
+    /// assert_eq!(all.len(), 4);
+    /// assert_eq!(all[2], InputId::new(2));
+    /// ```
+    pub fn all(radix: usize) -> impl Iterator<Item = InputId> {
+        (0..radix).map(InputId)
+    }
+}
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "In{}", self.0)
+    }
+}
+
+impl From<InputId> for usize {
+    fn from(id: InputId) -> usize {
+        id.0
+    }
+}
+
+/// Index of an output port (output channel) of the switch.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::OutputId;
+///
+/// let out = OutputId::new(7);
+/// assert_eq!(out.index(), 7);
+/// assert_eq!(format!("{out}"), "Out7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OutputId(usize);
+
+impl OutputId {
+    /// Creates an output-port identifier from a zero-based index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        OutputId(index)
+    }
+
+    /// Returns the zero-based index of the port.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all output identifiers of a switch with `radix` ports.
+    pub fn all(radix: usize) -> impl Iterator<Item = OutputId> {
+        (0..radix).map(OutputId)
+    }
+}
+
+impl fmt::Display for OutputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Out{}", self.0)
+    }
+}
+
+impl From<OutputId> for usize {
+    fn from(id: OutputId) -> usize {
+        id.0
+    }
+}
+
+/// A flow: the stream of packets that traverses one `(input, output)`
+/// crosspoint of the single-stage switch.
+///
+/// The paper (footnote 1) defines a flow as "a stream of packets that
+/// traverse the same route from a source to a destination"; in a
+/// single-crossbar network the route is fully determined by the pair.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::{FlowId, InputId, OutputId};
+///
+/// let flow = FlowId::new(InputId::new(2), OutputId::new(5));
+/// assert_eq!(flow.input().index(), 2);
+/// assert_eq!(flow.output().index(), 5);
+/// assert_eq!(format!("{flow}"), "In2->Out5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlowId {
+    input: InputId,
+    output: OutputId,
+}
+
+impl FlowId {
+    /// Creates a flow identifier for the crosspoint `(input, output)`.
+    #[must_use]
+    pub const fn new(input: InputId, output: OutputId) -> Self {
+        FlowId { input, output }
+    }
+
+    /// The source input port of the flow.
+    #[must_use]
+    pub const fn input(self) -> InputId {
+        self.input
+    }
+
+    /// The destination output port of the flow.
+    #[must_use]
+    pub const fn output(self) -> OutputId {
+        self.output
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.input, self.output)
+    }
+}
+
+/// Globally unique packet identifier, assigned at injection time.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::PacketId;
+///
+/// let first = PacketId::new(0);
+/// let second = first.next();
+/// assert!(second > first);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PacketId(u64);
+
+impl PacketId {
+    /// Creates a packet identifier from a raw sequence number.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        PacketId(raw)
+    }
+
+    /// Returns the raw sequence number.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the identifier that follows this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the underlying `u64`, which cannot occur in any
+    /// realistic simulation length.
+    #[must_use]
+    pub fn next(self) -> Self {
+        PacketId(self.0.checked_add(1).expect("packet id overflow"))
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_id_roundtrip() {
+        let id = InputId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn output_id_roundtrip() {
+        let id = OutputId::new(63);
+        assert_eq!(id.index(), 63);
+        assert_eq!(usize::from(id), 63);
+    }
+
+    #[test]
+    fn input_ids_are_ordered() {
+        assert!(InputId::new(1) < InputId::new(2));
+    }
+
+    #[test]
+    fn all_inputs_covers_radix() {
+        let ids: Vec<_> = InputId::all(64).collect();
+        assert_eq!(ids.len(), 64);
+        assert_eq!(ids[0], InputId::new(0));
+        assert_eq!(ids[63], InputId::new(63));
+    }
+
+    #[test]
+    fn all_outputs_covers_radix() {
+        assert_eq!(OutputId::all(16).count(), 16);
+    }
+
+    #[test]
+    fn flow_id_accessors() {
+        let flow = FlowId::new(InputId::new(1), OutputId::new(9));
+        assert_eq!(flow.input(), InputId::new(1));
+        assert_eq!(flow.output(), OutputId::new(9));
+    }
+
+    #[test]
+    fn flow_display_is_readable() {
+        let flow = FlowId::new(InputId::new(0), OutputId::new(0));
+        assert_eq!(flow.to_string(), "In0->Out0");
+    }
+
+    #[test]
+    fn packet_id_next_increments() {
+        let id = PacketId::new(7);
+        assert_eq!(id.next().raw(), 8);
+    }
+
+    #[test]
+    fn packet_id_ordering_follows_sequence() {
+        assert!(PacketId::new(1) < PacketId::new(2));
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!InputId::new(0).to_string().is_empty());
+        assert!(!OutputId::new(0).to_string().is_empty());
+        assert!(!PacketId::new(0).to_string().is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Packet descriptors shared by the traffic generators and the switch.
+
+use std::fmt;
+
+use crate::{Cycle, FlowId, PacketId, TrafficClass};
+
+/// Upper bound on packet length in flits accepted by the toolkit.
+///
+/// The paper's experiments use 1–8 flit packets; the generous bound exists
+/// only to catch corrupted configurations early.
+pub const MAX_PACKET_FLITS: u64 = 1024;
+
+/// An immutable description of a packet at injection time.
+///
+/// A `PacketSpec` is what a traffic source hands to an input port: which
+/// flow it belongs to, its QoS class, how many flits it carries, and when
+/// it was created. The switch wraps it with mutable transit state.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::{Cycle, FlowId, InputId, OutputId, PacketId, PacketSpec, TrafficClass};
+///
+/// let spec = PacketSpec::new(
+///     PacketId::new(0),
+///     FlowId::new(InputId::new(1), OutputId::new(0)),
+///     TrafficClass::GuaranteedBandwidth,
+///     8,
+///     Cycle::new(100),
+/// );
+/// assert_eq!(spec.len_flits(), 8);
+/// assert_eq!(spec.class(), TrafficClass::GuaranteedBandwidth);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketSpec {
+    id: PacketId,
+    flow: FlowId,
+    class: TrafficClass,
+    len_flits: u64,
+    created: Cycle,
+}
+
+impl PacketSpec {
+    /// Creates a packet descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len_flits` is zero or exceeds [`MAX_PACKET_FLITS`]; both
+    /// indicate a broken workload generator rather than a recoverable
+    /// condition.
+    #[must_use]
+    pub fn new(
+        id: PacketId,
+        flow: FlowId,
+        class: TrafficClass,
+        len_flits: u64,
+        created: Cycle,
+    ) -> Self {
+        assert!(
+            (1..=MAX_PACKET_FLITS).contains(&len_flits),
+            "packet length {len_flits} flits outside 1..={MAX_PACKET_FLITS}"
+        );
+        PacketSpec {
+            id,
+            flow,
+            class,
+            len_flits,
+            created,
+        }
+    }
+
+    /// Unique identifier assigned at injection.
+    #[must_use]
+    pub const fn id(self) -> PacketId {
+        self.id
+    }
+
+    /// The `(input, output)` flow this packet belongs to.
+    #[must_use]
+    pub const fn flow(self) -> FlowId {
+        self.flow
+    }
+
+    /// QoS traffic class.
+    #[must_use]
+    pub const fn class(self) -> TrafficClass {
+        self.class
+    }
+
+    /// Packet length in flits.
+    #[must_use]
+    pub const fn len_flits(self) -> u64 {
+        self.len_flits
+    }
+
+    /// Cycle at which the source created the packet.
+    #[must_use]
+    pub const fn created(self) -> Cycle {
+        self.created
+    }
+}
+
+impl fmt::Display for PacketSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} {} {}f @{}]",
+            self.id,
+            self.class,
+            self.flow,
+            self.len_flits,
+            self.created.value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InputId, OutputId};
+
+    fn spec(len: u64) -> PacketSpec {
+        PacketSpec::new(
+            PacketId::new(1),
+            FlowId::new(InputId::new(0), OutputId::new(1)),
+            TrafficClass::BestEffort,
+            len,
+            Cycle::new(5),
+        )
+    }
+
+    #[test]
+    fn accessors_return_construction_values() {
+        let s = spec(8);
+        assert_eq!(s.id(), PacketId::new(1));
+        assert_eq!(s.flow().output(), OutputId::new(1));
+        assert_eq!(s.class(), TrafficClass::BestEffort);
+        assert_eq!(s.len_flits(), 8);
+        assert_eq!(s.created(), Cycle::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet length 0")]
+    fn zero_length_packets_are_rejected() {
+        let _ = spec(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn oversized_packets_are_rejected() {
+        let _ = spec(MAX_PACKET_FLITS + 1);
+    }
+
+    #[test]
+    fn boundary_lengths_are_accepted() {
+        assert_eq!(spec(1).len_flits(), 1);
+        assert_eq!(spec(MAX_PACKET_FLITS).len_flits(), MAX_PACKET_FLITS);
+    }
+
+    #[test]
+    fn display_includes_class_and_flow() {
+        let s = spec(4);
+        let text = s.to_string();
+        assert!(text.contains("BE"));
+        assert!(text.contains("In0->Out1"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Time and bandwidth units.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::error::RateError;
+
+/// A point in simulated time, measured in clock cycles since reset.
+///
+/// [`Cycle`] is a *position*; [`Cycles`] is a *duration*. The arithmetic
+/// impls only allow the combinations that make dimensional sense:
+/// `Cycle + Cycles -> Cycle` and `Cycle - Cycle -> Cycles`.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::{Cycle, Cycles};
+///
+/// let t0 = Cycle::ZERO;
+/// let t1 = t0 + Cycles::new(10);
+/// assert_eq!(t1 - t0, Cycles::new(10));
+/// assert_eq!(t1.value(), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The first cycle of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a time point from a raw cycle count.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Advances by one cycle.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Cycle(self.0 + 1)
+    }
+
+    /// The duration since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: Cycle) -> Cycles {
+        Cycles(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl Add<Cycles> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: Cycles) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Cycles> for Cycle {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = Cycles;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: Cycle) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+/// A duration measured in clock cycles.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::Cycles;
+///
+/// let total: Cycles = [Cycles::new(1), Cycles::new(2)].into_iter().sum();
+/// assert_eq!(total.value(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// A zero-length duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a duration from a raw cycle count.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Cycles(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The duration as a floating-point number of cycles, for statistics.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+/// A fraction of a channel's bandwidth, in `[0, 1]`.
+///
+/// Used both for reserved rates (paper §3.3: the fractions of an output
+/// channel's bandwidth allocated to GB flows and to the GL class) and for
+/// injection rates in flits/input/cycle (Fig. 4's x-axis).
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::Rate;
+///
+/// let r = Rate::new(0.4)?;
+/// assert_eq!(r.value(), 0.4);
+/// assert!(Rate::new(1.5).is_err());
+/// assert!(Rate::new(f64::NAN).is_err());
+/// # Ok::<(), ssq_types::RateError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Rate(f64);
+
+impl Rate {
+    /// A zero rate (no bandwidth reserved / no injection).
+    pub const ZERO: Rate = Rate(0.0);
+
+    /// The full channel bandwidth.
+    pub const FULL: Rate = Rate(1.0);
+
+    /// Creates a rate from a fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RateError`] if `fraction` is not a finite number in
+    /// `[0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self, RateError> {
+        if fraction.is_finite() && (0.0..=1.0).contains(&fraction) {
+            Ok(Rate(fraction))
+        } else {
+            Err(RateError::new(fraction))
+        }
+    }
+
+    /// Creates a rate expressed as a percentage of the channel bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RateError`] if `percent` is not a finite number in
+    /// `[0, 100]`.
+    ///
+    /// ```
+    /// use ssq_types::Rate;
+    ///
+    /// assert_eq!(Rate::from_percent(40.0)?, Rate::new(0.4)?);
+    /// # Ok::<(), ssq_types::RateError>(())
+    /// ```
+    pub fn from_percent(percent: f64) -> Result<Self, RateError> {
+        Rate::new(percent / 100.0)
+    }
+
+    /// Returns the fraction in `[0, 1]`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the rate as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Whether no bandwidth at all is represented.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_plus_duration() {
+        assert_eq!(Cycle::new(5) + Cycles::new(3), Cycle::new(8));
+    }
+
+    #[test]
+    fn cycle_difference_is_duration() {
+        assert_eq!(Cycle::new(9) - Cycle::new(4), Cycles::new(5));
+    }
+
+    #[test]
+    fn saturating_since_floors_at_zero() {
+        assert_eq!(Cycle::new(3).saturating_since(Cycle::new(10)), Cycles::ZERO);
+        assert_eq!(
+            Cycle::new(10).saturating_since(Cycle::new(3)),
+            Cycles::new(7)
+        );
+    }
+
+    #[test]
+    fn cycle_next_advances() {
+        assert_eq!(Cycle::ZERO.next(), Cycle::new(1));
+    }
+
+    #[test]
+    fn add_assign_on_cycle() {
+        let mut t = Cycle::ZERO;
+        t += Cycles::new(4);
+        assert_eq!(t, Cycle::new(4));
+    }
+
+    #[test]
+    fn cycles_sum() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+
+    #[test]
+    fn rate_rejects_out_of_range() {
+        assert!(Rate::new(-0.1).is_err());
+        assert!(Rate::new(1.01).is_err());
+        assert!(Rate::new(f64::INFINITY).is_err());
+        assert!(Rate::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rate_accepts_boundaries() {
+        assert!(Rate::new(0.0).is_ok());
+        assert!(Rate::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn rate_percent_roundtrip() {
+        let r = Rate::from_percent(5.0).unwrap();
+        assert!((r.as_percent() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_zero_detection() {
+        assert!(Rate::ZERO.is_zero());
+        assert!(!Rate::FULL.is_zero());
+    }
+
+    #[test]
+    fn rate_display_shows_percent() {
+        assert_eq!(Rate::new(0.25).unwrap().to_string(), "25.0%");
+    }
+}

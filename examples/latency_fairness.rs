@@ -1,0 +1,95 @@
+//! The latency-fairness story of §3.1/§4.3 in miniature: one
+//! low-bandwidth flow (2 %) competes with seven heavier flows under the
+//! original Virtual Clock and under SSVC with each counter-management
+//! policy. The original algorithm couples the 2 % flow's latency to its
+//! tiny rate; the SSVC variants decouple them.
+//!
+//! ```sh
+//! cargo run --example latency_fairness --release
+//! ```
+
+use swizzle_qos::arbiter::CounterPolicy;
+use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig};
+use swizzle_qos::sim::{Runner, Schedule};
+use swizzle_qos::stats::Table;
+use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector};
+use swizzle_qos::types::{Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+const LEN: u64 = 8;
+/// A 2% flow among seven 14% flows.
+const RATES: [f64; 8] = [0.02, 0.14, 0.14, 0.14, 0.14, 0.14, 0.14, 0.14];
+
+fn run(policy: Policy) -> Result<(f64, f64), Box<dyn std::error::Error>> {
+    let geometry = Geometry::new(8, 128)?;
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(policy)
+        .gb_buffer_flits(16)
+        .sig_bits(4)
+        .build()?;
+    for (i, &r) in RATES.iter().enumerate() {
+        config.reservations_mut().reserve_gb(
+            InputId::new(i),
+            OutputId::new(0),
+            Rate::new(r)?,
+            LEN,
+        )?;
+    }
+    let mut switch = QosSwitch::new(config)?;
+    for (i, &r) in RATES.iter().enumerate() {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Bernoulli::new(0.85 * r, LEN, 31 + i as u64)),
+                Box::new(FixedDest::new(OutputId::new(0))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    let _ = Runner::new(Schedule::new(Cycles::new(10_000), Cycles::new(100_000))).run(&mut switch);
+    let tiny = switch
+        .gb_metrics()
+        .flow(FlowId::new(InputId::new(0), OutputId::new(0)))
+        .mean_latency();
+    let heavy: f64 = (1..8)
+        .map(|i| {
+            switch
+                .gb_metrics()
+                .flow(FlowId::new(InputId::new(i), OutputId::new(0)))
+                .mean_latency()
+        })
+        .sum::<f64>()
+        / 7.0;
+    Ok((tiny, heavy))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policies = [
+        (Policy::ExactVirtualClock, "Original Virtual Clock"),
+        (
+            Policy::Ssvc(CounterPolicy::SubtractRealClock),
+            "SSVC subtract",
+        ),
+        (Policy::Ssvc(CounterPolicy::Halve), "SSVC halve"),
+        (Policy::Ssvc(CounterPolicy::Reset), "SSVC reset"),
+    ];
+    let mut table = Table::with_columns(&[
+        "policy",
+        "2% flow latency",
+        "14% flows latency",
+        "penalty ratio",
+    ]);
+    table.numeric();
+    for (policy, label) in policies {
+        let (tiny, heavy) = run(policy)?;
+        table.row(vec![
+            label.to_owned(),
+            format!("{tiny:.1}"),
+            format!("{heavy:.1}"),
+            format!("{:.2}x", tiny / heavy.max(1e-9)),
+        ]);
+    }
+    println!("{table}");
+    println!("Coarse counter comparison (plus LRG tie-breaks) cuts the small flow's");
+    println!("latency penalty — the paper's Fig. 5 in a single configuration.");
+    Ok(())
+}

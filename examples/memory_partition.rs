@@ -1,0 +1,128 @@
+//! Partitioning memory-controller bandwidth between applications — the
+//! QoS use case the paper opens with ("QoS techniques regulate access to
+//! a shared node, such as the memory controller, so that an application
+//! can meet its needs without degrading the performance of other
+//! applications").
+//!
+//! A 16×16 switch fronts two memory controllers. A latency-sensitive
+//! real-time application reserves 50 % of controller 0; a throughput
+//! batch job gets 30 %; best-effort cores scavenge the rest. The example
+//! shows that when the batch job goes aggressive, the real-time
+//! application's bandwidth and latency stay protected.
+//!
+//! ```sh
+//! cargo run --example memory_partition --release
+//! ```
+
+use swizzle_qos::arbiter::CounterPolicy;
+use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig};
+use swizzle_qos::sim::{Runner, Schedule};
+use swizzle_qos::stats::Table;
+use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Saturating};
+use swizzle_qos::types::{Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+const MC0: OutputId = OutputId::new(0);
+const LEN: u64 = 4; // cache-line sized requests
+
+fn run(batch_aggressive: bool) -> Result<(f64, f64, f64, f64), Box<dyn std::error::Error>> {
+    let geometry = Geometry::new(16, 128)?;
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+        .gb_buffer_flits(16)
+        .be_buffer_flits(16)
+        .build()?;
+    // In0 = real-time app, In1 = batch job. With 4-flit requests the
+    // channel delivers at most 4/5 = 0.8 flits/cycle (one arbitration
+    // cycle per packet), so a 0.45 flits/cycle demand needs at least a
+    // 0.45 / 0.8 ≈ 57% reservation to be covered in deliverable terms.
+    config
+        .reservations_mut()
+        .reserve_gb(InputId::new(0), MC0, Rate::new(0.62)?, LEN)?;
+    config
+        .reservations_mut()
+        .reserve_gb(InputId::new(1), MC0, Rate::new(0.3)?, LEN)?;
+
+    let mut switch = QosSwitch::new(config)?;
+    // Real-time app: steady 0.45 flits/cycle toward MC0.
+    switch.add_injector(
+        Injector::new(
+            Box::new(Bernoulli::new(0.45, LEN, 11)),
+            Box::new(FixedDest::new(MC0)),
+            TrafficClass::GuaranteedBandwidth,
+        )
+        .for_input(InputId::new(0)),
+    );
+    // Batch job: polite (0.25) or aggressive (saturating).
+    let batch: Box<dyn swizzle_qos::traffic::TrafficSource> = if batch_aggressive {
+        Box::new(Saturating::new(LEN))
+    } else {
+        Box::new(Bernoulli::new(0.25, LEN, 12))
+    };
+    switch.add_injector(
+        Injector::new(
+            batch,
+            Box::new(FixedDest::new(MC0)),
+            TrafficClass::GuaranteedBandwidth,
+        )
+        .for_input(InputId::new(1)),
+    );
+    // Four best-effort cores also hammer MC0.
+    for i in 2..6 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(LEN)),
+                Box::new(FixedDest::new(MC0)),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+
+    let end = Runner::new(Schedule::new(Cycles::new(5_000), Cycles::new(60_000))).run(&mut switch);
+    let rt = switch.gb_metrics().flow(FlowId::new(InputId::new(0), MC0));
+    let batch = switch.gb_metrics().flow(FlowId::new(InputId::new(1), MC0));
+    Ok((
+        rt.throughput(end),
+        rt.mean_latency(),
+        batch.throughput(end),
+        batch.mean_latency(),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::with_columns(&[
+        "batch behaviour",
+        "real-time thrpt (wants 0.45)",
+        "real-time latency",
+        "batch thrpt",
+        "batch latency",
+    ]);
+    table.numeric();
+    let mut rt_throughputs = Vec::new();
+    for aggressive in [false, true] {
+        let (rt_t, rt_l, b_t, b_l) = run(aggressive)?;
+        rt_throughputs.push(rt_t);
+        table.row(vec![
+            if aggressive {
+                "saturating"
+            } else {
+                "polite (0.25)"
+            }
+            .to_owned(),
+            format!("{rt_t:.3}"),
+            format!("{rt_l:.1}"),
+            format!("{b_t:.3}"),
+            format!("{b_l:.1}"),
+        ]);
+    }
+    println!("{table}");
+    let degradation = (rt_throughputs[0] - rt_throughputs[1]).abs() / rt_throughputs[0];
+    println!(
+        "real-time bandwidth degradation when the batch job saturates: {:.1}%",
+        degradation * 100.0
+    );
+    println!("The reservation isolates the real-time application's bandwidth from the");
+    println!("flooding batch job (its latency rises with contention, but its accepted");
+    println!("rate holds — the paper's guaranteed-bandwidth contract).");
+    Ok(())
+}

@@ -1,0 +1,596 @@
+//! `ssq` — command-line front end to the swizzle-qos simulator.
+//!
+//! ```text
+//! ssq simulate --radix 8 --policy ssvc-subtract \
+//!     --reserve 0:0:40 --reserve 1:0:20 \
+//!     --flow 0:0:GB:sat --flow 1:0:GB:sat --cycles 50000
+//! ssq gl-bound --l-max 8 --l-min 1 --n-gl 4 --buffer 4
+//! ssq gl-burst --l-max 8 --constraints 150,300,600
+//! ssq storage --radix 64 --width 512
+//! ssq frequency
+//! ```
+//!
+//! Run `ssq help` (or any subcommand with `--help`) for the full option
+//! list.
+
+use std::error::Error;
+use std::fmt;
+use std::process::ExitCode;
+
+use swizzle_qos::arbiter::CounterPolicy;
+use swizzle_qos::core::gl::{burst_budgets, latency_bound, GlScenario};
+use swizzle_qos::core::vcd::SwitchVcdRecorder;
+use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig};
+use swizzle_qos::physical::{DelayModel, StorageModel, TABLE2_RADICES, TABLE2_WIDTHS};
+use swizzle_qos::sim::CycleModel;
+use swizzle_qos::stats::Table;
+use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Saturating, TraceEvent, TraceFile};
+use swizzle_qos::types::{Cycle, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+/// CLI-level error with a user-facing message.
+#[derive(Debug)]
+struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+fn err(message: impl Into<String>) -> Box<dyn Error> {
+    Box::new(CliError(message.into()))
+}
+
+const USAGE: &str = "\
+ssq — quality-of-service for a high-radix switch (DAC 2014 reproduction)
+
+USAGE:
+  ssq simulate [OPTIONS]     run a switch simulation and print per-flow results
+  ssq gl-bound [OPTIONS]     evaluate the Eq. 1 worst-case GL waiting bound
+  ssq gl-burst [OPTIONS]     evaluate the Eqs. 2-3 burst budgets
+  ssq storage  [OPTIONS]     print the Table 1 storage model
+  ssq frequency              print the Table 2 frequency model
+  ssq help                   show this message
+
+SIMULATE OPTIONS:
+  --radix N               switch radix (default 8)
+  --width BITS            output channel width in bits (default 128)
+  --policy NAME           lrg | ssvc-subtract | ssvc-halve | ssvc-reset |
+                          vc | gsf | wrr | dwrr | wfq | four-level
+                          (default ssvc-subtract)
+  --cycles N              measured cycles (default 50000)
+  --warmup N              warm-up cycles (default 5000)
+  --reserve IN:OUT:PCT[:LEN]   GB reservation, PCT of the output's bandwidth
+                               for IN's packets of LEN flits (LEN default 8)
+  --gl-reserve OUT:PCT    GL class reservation at OUT
+  --flow IN:OUT:CLASS:RATE[:LEN]  traffic: CLASS in {BE,GB,GL}; RATE is
+                               flits/cycle or 'sat' for saturating
+  --trace FILE            replay a trace file instead of --flow traffic
+  --chaining              enable packet chaining
+  --gl-policing           enable the GL usage policer
+  --fabric-check          verify every SSVC/GL arbitration against the
+                          bit-level inhibit fabric (panics on divergence)
+  --vcd FILE              dump a waveform of the run
+  --capture FILE          write delivered packets as a replayable trace
+  --csv                   emit the report as CSV
+
+GL-BOUND OPTIONS:
+  --l-max N --l-min N --n-gl N --buffer N   (defaults 8, 1, 1, 4)
+
+GL-BURST OPTIONS:
+  --l-max N --constraints L1,L2,...   latency constraints, tightest first
+
+STORAGE OPTIONS:
+  --radix N --width BITS --flit-bytes N --buffer-flits N
+  (defaults: the paper's 64 / 512 / 64 / 4)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `ssq help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    match args.first().map(String::as_str) {
+        Some("simulate") => simulate(&args[1..]),
+        Some("gl-bound") => gl_bound(&args[1..]),
+        Some("gl-burst") => gl_burst(&args[1..]),
+        Some("storage") => storage(&args[1..]),
+        Some("frequency") => {
+            frequency();
+            Ok(())
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(err(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// A parsed option stream: `--key value` pairs plus boolean flags.
+struct Opts {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String], flag_names: &[&str]) -> Result<Self, Box<dyn Error>> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(err(format!("unexpected argument {arg:?}")));
+            };
+            if key == "help" {
+                return Err(err("help requested"));
+            }
+            if flag_names.contains(&key) {
+                flags.push(key.to_owned());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| err(format!("--{key} needs a value")))?;
+            pairs.push((key.to_owned(), value.clone()));
+        }
+        Ok(Opts { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all<'a>(&'a self, key: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.pairs
+            .iter()
+            .filter(move |(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num(&self, key: &str, default: u64) -> Result<u64, Box<dyn Error>> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{key}: invalid number {v:?}"))),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn parse_policy(name: &str) -> Result<Policy, Box<dyn Error>> {
+    Ok(match name {
+        "lrg" => Policy::LrgOnly,
+        "ssvc-subtract" => Policy::Ssvc(CounterPolicy::SubtractRealClock),
+        "ssvc-halve" => Policy::Ssvc(CounterPolicy::Halve),
+        "ssvc-reset" => Policy::Ssvc(CounterPolicy::Reset),
+        "vc" => Policy::ExactVirtualClock,
+        "gsf" => Policy::Gsf,
+        "wrr" => Policy::Wrr,
+        "dwrr" => Policy::Dwrr,
+        "wfq" => Policy::Wfq,
+        "four-level" => Policy::FourLevel,
+        other => return Err(err(format!("unknown policy {other:?}"))),
+    })
+}
+
+fn parse_class(name: &str) -> Result<TrafficClass, Box<dyn Error>> {
+    Ok(match name {
+        "BE" | "be" => TrafficClass::BestEffort,
+        "GB" | "gb" => TrafficClass::GuaranteedBandwidth,
+        "GL" | "gl" => TrafficClass::GuaranteedLatency,
+        other => return Err(err(format!("unknown class {other:?}"))),
+    })
+}
+
+/// `IN:OUT:PCT[:LEN]`
+fn parse_reserve(spec: &str) -> Result<(usize, usize, f64, u64), Box<dyn Error>> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if !(3..=4).contains(&parts.len()) {
+        return Err(err(format!(
+            "--reserve {spec:?}: expected IN:OUT:PCT[:LEN]"
+        )));
+    }
+    let input: usize = parts[0].parse().map_err(|_| err("bad input index"))?;
+    let output: usize = parts[1].parse().map_err(|_| err("bad output index"))?;
+    let pct: f64 = parts[2].parse().map_err(|_| err("bad percentage"))?;
+    let len: u64 = parts
+        .get(3)
+        .map_or(Ok(8), |s| s.parse().map_err(|_| err("bad packet length")))?;
+    Ok((input, output, pct / 100.0, len))
+}
+
+/// Parsed `--flow` spec: input, output, class, rate (None = saturating),
+/// and packet length.
+type FlowSpec = (usize, usize, TrafficClass, Option<f64>, u64);
+
+/// `IN:OUT:CLASS:RATE[:LEN]`
+fn parse_flow(spec: &str) -> Result<FlowSpec, Box<dyn Error>> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if !(4..=5).contains(&parts.len()) {
+        return Err(err(format!(
+            "--flow {spec:?}: expected IN:OUT:CLASS:RATE[:LEN]"
+        )));
+    }
+    let input: usize = parts[0].parse().map_err(|_| err("bad input index"))?;
+    let output: usize = parts[1].parse().map_err(|_| err("bad output index"))?;
+    let class = parse_class(parts[2])?;
+    let rate = if parts[3] == "sat" {
+        None
+    } else {
+        Some(parts[3].parse().map_err(|_| err("bad rate"))?)
+    };
+    let len: u64 = parts
+        .get(4)
+        .map_or(Ok(8), |s| s.parse().map_err(|_| err("bad packet length")))?;
+    Ok((input, output, class, rate, len))
+}
+
+#[allow(clippy::too_many_lines)]
+fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["chaining", "gl-policing", "csv", "fabric-check"])?;
+    let radix = opts.num("radix", 8)? as usize;
+    let width = opts.num("width", 128)? as usize;
+    let cycles = opts.num("cycles", 50_000)?;
+    let warmup = opts.num("warmup", 5_000)?;
+    let policy = parse_policy(opts.get("policy").unwrap_or("ssvc-subtract"))?;
+
+    let geometry = Geometry::new(radix, width)?;
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(policy)
+        .gb_buffer_flits(16)
+        .be_buffer_flits(16)
+        .packet_chaining(opts.flag("chaining"))
+        .gl_policing(opts.flag("gl-policing"))
+        .fabric_checked(opts.flag("fabric-check"))
+        .build()?;
+    for spec in opts.get_all("reserve") {
+        let (input, output, rate, len) = parse_reserve(spec)?;
+        config.reservations_mut().reserve_gb(
+            InputId::new(input),
+            OutputId::new(output),
+            Rate::new(rate)?,
+            len,
+        )?;
+    }
+    for spec in opts.get_all("gl-reserve") {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 2 {
+            return Err(err(format!("--gl-reserve {spec:?}: expected OUT:PCT")));
+        }
+        let output: usize = parts[0].parse().map_err(|_| err("bad output index"))?;
+        let pct: f64 = parts[1].parse().map_err(|_| err("bad percentage"))?;
+        config
+            .reservations_mut()
+            .reserve_gl(OutputId::new(output), Rate::new(pct / 100.0)?)?;
+    }
+
+    if !opts.flag("csv") {
+        println!("config: {config}");
+    }
+    let mut switch = QosSwitch::new(config)?;
+    if opts.get("capture").is_some() {
+        switch.set_delivery_log(true);
+    }
+    if let Some(path) = opts.get("trace") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("reading trace {path:?}: {e}")))?;
+        let trace: TraceFile = text.parse()?;
+        for injector in trace.into_injectors()? {
+            switch.add_injector(injector);
+        }
+    }
+    for (n, spec) in opts.get_all("flow").enumerate() {
+        let (input, output, class, rate, len) = parse_flow(spec)?;
+        let source: Box<dyn swizzle_qos::traffic::TrafficSource> = match rate {
+            None => Box::new(Saturating::new(len)),
+            Some(r) => Box::new(Bernoulli::new(r, len, 0x55_u64 + n as u64)),
+        };
+        switch.add_injector(
+            Injector::new(
+                source,
+                Box::new(FixedDest::new(OutputId::new(output))),
+                class,
+            )
+            .for_input(InputId::new(input)),
+        );
+    }
+
+    // Run, optionally with a VCD probe (which requires the manual loop).
+    let mut vcd = match opts.get("vcd") {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| err(format!("creating {path:?}: {e}")))?;
+            Some(SwitchVcdRecorder::new(
+                std::io::BufWriter::new(file),
+                &switch,
+            )?)
+        }
+        None => None,
+    };
+    let mut now = Cycle::ZERO;
+    for _ in 0..warmup {
+        switch.step(now);
+        now = now.next();
+    }
+    switch.begin_measurement(now);
+    for _ in 0..cycles {
+        switch.step(now);
+        if let Some(rec) = &mut vcd {
+            rec.sample(&switch, now)?;
+        }
+        now = now.next();
+    }
+    if let Some(rec) = &mut vcd {
+        rec.flush()?;
+    }
+    if let Some(path) = opts.get("capture") {
+        let events: Vec<TraceEvent> = switch
+            .drain_deliveries()
+            .into_iter()
+            .map(|(_, spec)| TraceEvent {
+                cycle: spec.created().value(),
+                input: spec.flow().input(),
+                output: spec.flow().output(),
+                class: spec.class(),
+                len_flits: spec.len_flits(),
+            })
+            .collect();
+        let trace = TraceFile::from_events(events);
+        std::fs::write(path, trace.to_string())
+            .map_err(|e| err(format!("writing capture {path:?}: {e}")))?;
+        println!("captured {} delivered packets to {path}", trace.len());
+    }
+
+    // Report.
+    let mut table = Table::with_columns(&[
+        "flow",
+        "class",
+        "packets",
+        "throughput (flits/cycle)",
+        "mean latency",
+        "max latency",
+    ]);
+    table.numeric();
+    for i in 0..radix {
+        for o in 0..radix {
+            let flow = FlowId::new(InputId::new(i), OutputId::new(o));
+            for (label, metrics) in [
+                ("BE", switch.be_metrics()),
+                ("GB", switch.gb_metrics()),
+                ("GL", switch.gl_metrics()),
+            ] {
+                let m = metrics.flow(flow);
+                if m.packets() == 0 {
+                    continue;
+                }
+                table.row(vec![
+                    flow.to_string(),
+                    label.to_owned(),
+                    m.packets().to_string(),
+                    format!("{:.4}", m.throughput(now)),
+                    format!("{:.1}", m.mean_latency()),
+                    m.max_latency().unwrap_or(0).to_string(),
+                ]);
+            }
+        }
+    }
+    if opts.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+        let c = switch.counters();
+        println!(
+            "\noffered {} / accepted {} / delivered {} packets; dropped {}, demoted {}, chained {}",
+            c.offered_packets,
+            c.accepted_packets,
+            c.delivered_packets,
+            c.dropped_packets,
+            c.demoted_packets,
+            c.chained_packets,
+        );
+    }
+    Ok(())
+}
+
+fn gl_bound(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &[])?;
+    let l_max = opts.num("l-max", 8)?;
+    let l_min = opts.num("l-min", 1)?;
+    let n_gl = opts.num("n-gl", 1)?;
+    let buffer = opts.num("buffer", 4)?;
+    let scenario = GlScenario::new(l_max, l_min, n_gl, buffer);
+    println!("{scenario}");
+    println!(
+        "Eq. 1: tau_GL <= l_max + N_GL*(b + b/l_min) = {} cycles",
+        latency_bound(scenario)
+    );
+    Ok(())
+}
+
+fn gl_burst(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &[])?;
+    let l_max = opts.num("l-max", 8)?;
+    let constraints: Vec<u64> = opts
+        .get("constraints")
+        .ok_or_else(|| err("--constraints is required (e.g. 150,300,600)"))?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u64>()
+                .map_err(|_| err(format!("bad constraint {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let budgets = burst_budgets(&constraints, l_max);
+    let mut t = Table::with_columns(&["flow", "latency constraint", "burst budget (packets)"]);
+    t.numeric();
+    for (k, (&l, &sigma)) in constraints.iter().zip(&budgets).enumerate() {
+        t.row(vec![
+            format!("GL{}", k + 1),
+            l.to_string(),
+            sigma.to_string(),
+        ]);
+    }
+    print!("{t}");
+    Ok(())
+}
+
+fn storage(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &[])?;
+    let radix = opts.num("radix", 64)? as usize;
+    let width = opts.num("width", 512)? as usize;
+    let flit_bytes = opts.num("flit-bytes", 64)?;
+    let buf = opts.num("buffer-flits", 4)?;
+    let geometry = Geometry::new(radix, width)?;
+    let model = StorageModel::new(geometry, flit_bytes, buf, buf, buf, 11, 8, 8);
+    println!("{model}");
+    println!(
+        "buffering/input: BE {} B, GB {} B, GL {} B; crosspoint state {:.2} B x {} = {} KiB; total {} KiB",
+        model.be_buffer_bytes_per_input(),
+        model.gb_buffer_bytes_per_input(),
+        model.gl_buffer_bytes_per_input(),
+        model.crosspoint_bytes(),
+        geometry.crosspoints(),
+        model.total_crosspoint_bytes() / 1024,
+        model.total_bytes() / 1024,
+    );
+    Ok(())
+}
+
+fn frequency() {
+    let model = DelayModel::calibrated_32nm();
+    let mut t = Table::with_columns(&["radix", "width", "SS (GHz)", "SSVC (GHz)", "slowdown"]);
+    t.numeric();
+    for &width in &TABLE2_WIDTHS {
+        for &radix in &TABLE2_RADICES {
+            t.row(vec![
+                format!("{radix}x{radix}"),
+                width.to_string(),
+                format!("{:.2}", model.ss_frequency_ghz(radix, width)),
+                format!("{:.2}", model.ssvc_frequency_ghz(radix, width)),
+                format!("{:.1}%", model.slowdown(radix, width) * 100.0),
+            ]);
+        }
+    }
+    print!("{t}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn opts_parse_pairs_and_flags() {
+        let opts = Opts::parse(
+            &strs(&[
+                "--radix",
+                "16",
+                "--csv",
+                "--reserve",
+                "0:0:40",
+                "--reserve",
+                "1:0:10",
+            ]),
+            &["csv"],
+        )
+        .unwrap();
+        assert_eq!(opts.get("radix"), Some("16"));
+        assert!(opts.flag("csv"));
+        assert_eq!(opts.get_all("reserve").count(), 2);
+        assert_eq!(opts.num("radix", 8).unwrap(), 16);
+        assert_eq!(opts.num("width", 128).unwrap(), 128);
+    }
+
+    #[test]
+    fn opts_reject_positional_arguments() {
+        assert!(Opts::parse(&strs(&["oops"]), &[]).is_err());
+        assert!(Opts::parse(&strs(&["--radix"]), &[]).is_err());
+    }
+
+    #[test]
+    fn reserve_spec_parsing() {
+        assert_eq!(parse_reserve("2:0:40").unwrap(), (2, 0, 0.4, 8));
+        assert_eq!(parse_reserve("2:0:5:4").unwrap(), (2, 0, 0.05, 4));
+        assert!(parse_reserve("2:0").is_err());
+        assert!(parse_reserve("a:0:40").is_err());
+    }
+
+    #[test]
+    fn flow_spec_parsing() {
+        let (i, o, class, rate, len) = parse_flow("1:0:GB:sat").unwrap();
+        assert_eq!((i, o, len), (1, 0, 8));
+        assert_eq!(class, TrafficClass::GuaranteedBandwidth);
+        assert_eq!(rate, None);
+        let (.., rate, len) = parse_flow("1:0:GL:0.25:1").unwrap();
+        assert_eq!(rate, Some(0.25));
+        assert_eq!(len, 1);
+        assert!(parse_flow("1:0:XX:sat").is_err());
+    }
+
+    #[test]
+    fn policy_names_resolve() {
+        assert_eq!(parse_policy("lrg").unwrap(), Policy::LrgOnly);
+        assert_eq!(
+            parse_policy("ssvc-reset").unwrap(),
+            Policy::Ssvc(CounterPolicy::Reset)
+        );
+        assert_eq!(parse_policy("four-level").unwrap(), Policy::FourLevel);
+        assert!(parse_policy("bogus").is_err());
+    }
+
+    #[test]
+    fn simulate_end_to_end() {
+        // A tiny run through the whole pipeline must succeed.
+        let args = strs(&[
+            "--radix",
+            "4",
+            "--cycles",
+            "2000",
+            "--warmup",
+            "200",
+            "--reserve",
+            "0:0:50:4",
+            "--flow",
+            "0:0:GB:sat:4",
+            "--flow",
+            "1:0:BE:0.1:4",
+            "--csv",
+        ]);
+        simulate(&args).unwrap();
+    }
+
+    #[test]
+    fn gl_subcommands_compute() {
+        gl_bound(&strs(&["--n-gl", "4", "--buffer", "8"])).unwrap();
+        gl_burst(&strs(&["--constraints", "150,300,600"])).unwrap();
+        assert!(gl_burst(&strs(&[])).is_err(), "constraints required");
+    }
+
+    #[test]
+    fn unknown_subcommand_fails() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&strs(&["help"])).is_ok());
+    }
+}

@@ -1,0 +1,81 @@
+//! # swizzle-qos
+//!
+//! A production-quality reproduction of *Quality-of-Service for a
+//! High-Radix Switch* (Abeyratne, Jeloka, Kang, Blaauw, Dreslinski, Das,
+//! Mudge — DAC 2014): quality-of-service arbitration for a single-stage,
+//! high-radix Swizzle Switch, scalable to 64 nodes.
+//!
+//! The facade re-exports the workspace crates:
+//!
+//! * [`types`] — identifiers, units, traffic classes, switch geometry.
+//! * [`stats`] — histograms, fairness indices, experiment tables.
+//! * [`arbiter`] — LRG, WRR, DWRR, WFQ, Virtual Clock, and the paper's
+//!   SSVC arbitration with its three counter-management policies.
+//! * [`circuit`] — a bit-level model of the inhibit-based arbitration
+//!   fabric (bitlines, thermometer codes, discharge decisions, sense
+//!   amps) verified exhaustively against the behavioural arbiter.
+//! * [`traffic`] — injection processes and destination patterns.
+//! * [`sim`] — the cycle-accurate simulation kernel and sweep runner.
+//! * [`core`] — the QoS-enabled Swizzle Switch with Best-Effort,
+//!   Guaranteed-Bandwidth, and Guaranteed-Latency classes, plus the GL
+//!   latency-bound mathematics (Eqs. 1–3).
+//! * [`physical`] — storage (Table 1), area, and frequency (Table 2)
+//!   models.
+//!
+//! # Quickstart
+//!
+//! Reserve bandwidth on a congested output and watch SSVC enforce it:
+//!
+//! ```
+//! use swizzle_qos::arbiter::CounterPolicy;
+//! use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig};
+//! use swizzle_qos::sim::{Runner, Schedule};
+//! use swizzle_qos::traffic::{FixedDest, Injector, Saturating};
+//! use swizzle_qos::types::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut config = SwitchConfig::builder(Geometry::new(8, 128)?)
+//!     .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+//!     .gb_buffer_flits(16)
+//!     .build()?;
+//! // Two saturated flows share Out0 3:1.
+//! config.reservations_mut().reserve_gb(
+//!     InputId::new(0), OutputId::new(0), Rate::new(0.75)?, 8)?;
+//! config.reservations_mut().reserve_gb(
+//!     InputId::new(1), OutputId::new(0), Rate::new(0.25)?, 8)?;
+//!
+//! let mut switch = QosSwitch::new(config)?;
+//! for i in 0..2 {
+//!     switch.add_injector(
+//!         Injector::new(
+//!             Box::new(Saturating::new(8)),
+//!             Box::new(FixedDest::new(OutputId::new(0))),
+//!             TrafficClass::GuaranteedBandwidth,
+//!         )
+//!         .for_input(InputId::new(i)),
+//!     );
+//! }
+//! let end = Runner::new(Schedule::new(Cycles::new(2_000), Cycles::new(20_000)))
+//!     .run(&mut switch);
+//! let t0 = switch.gb_metrics()
+//!     .flow(FlowId::new(InputId::new(0), OutputId::new(0)))
+//!     .throughput(end);
+//! let t1 = switch.gb_metrics()
+//!     .flow(FlowId::new(InputId::new(1), OutputId::new(0)))
+//!     .throughput(end);
+//! assert!((t0 / t1 - 3.0).abs() < 0.3, "3:1 split, got {t0:.3}:{t1:.3}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ssq_arbiter as arbiter;
+pub use ssq_circuit as circuit;
+pub use ssq_core as core;
+pub use ssq_physical as physical;
+pub use ssq_sim as sim;
+pub use ssq_stats as stats;
+pub use ssq_traffic as traffic;
+pub use ssq_types as types;

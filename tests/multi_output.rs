@@ -1,0 +1,572 @@
+//! Cross-crate integration tests on multi-output configurations: flow
+//! conservation, input-channel limits, permutation traffic, and
+//! determinism.
+
+use swizzle_qos::arbiter::CounterPolicy;
+use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig, SwitchCounters};
+use swizzle_qos::sim::{Runner, Schedule};
+use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Saturating, Transpose, UniformDest};
+use swizzle_qos::types::{Cycle, Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+fn run(switch: &mut QosSwitch, warmup: u64, measure: u64) -> Cycle {
+    Runner::new(Schedule::new(Cycles::new(warmup), Cycles::new(measure))).run(switch)
+}
+
+/// Transpose permutation traffic on a 16×16 switch: with one flow per
+/// output there is no contention, so every flow should achieve its full
+/// offered rate.
+#[test]
+fn permutation_traffic_is_contention_free() {
+    let config = SwitchConfig::builder(Geometry::new(16, 128).unwrap())
+        .policy(Policy::LrgOnly)
+        .be_buffer_flits(16)
+        .build()
+        .unwrap();
+    let mut switch = QosSwitch::new(config).unwrap();
+    for i in 0..16 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Bernoulli::new(0.5, 4, i as u64)),
+                Box::new(Transpose::new(16)),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    let end = run(&mut switch, 2_000, 30_000);
+    for i in 0..16 {
+        let total: f64 = (0..16)
+            .map(|o| {
+                switch
+                    .be_metrics()
+                    .flow(FlowId::new(InputId::new(i), OutputId::new(o)))
+                    .throughput(end)
+            })
+            .sum();
+        assert!((total - 0.5).abs() < 0.05, "input {i} delivered {total:.3}");
+    }
+}
+
+/// Uniform random traffic: delivered flits are conserved (delivered <=
+/// accepted <= offered) and per-output totals never exceed the channel
+/// ceiling.
+#[test]
+fn uniform_traffic_conservation() {
+    let config = SwitchConfig::builder(Geometry::new(16, 128).unwrap())
+        .policy(Policy::LrgOnly)
+        .be_buffer_flits(32)
+        .build()
+        .unwrap();
+    let mut switch = QosSwitch::new(config).unwrap();
+    for i in 0..16 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(4)),
+                Box::new(UniformDest::new(16, 100 + i as u64)),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    let end = run(&mut switch, 2_000, 30_000);
+    let c: SwitchCounters = switch.counters();
+    assert!(c.delivered_packets <= c.accepted_packets);
+    assert!(c.accepted_packets <= c.offered_packets);
+    assert_eq!(c.delivered_packets * 4, c.delivered_flits);
+    for o in 0..16 {
+        let total = switch.output_throughput(OutputId::new(o), end);
+        assert!(total <= 4.0 / 5.0 + 1e-9, "output {o} delivered {total:.3}");
+        assert!(total > 0.1, "output {o} starved: {total:.3}");
+    }
+}
+
+/// An input can never deliver more than one flit per cycle in aggregate,
+/// no matter how many outputs it feeds.
+#[test]
+fn input_channel_is_a_hard_limit() {
+    let mut config = SwitchConfig::builder(Geometry::new(8, 128).unwrap())
+        .gb_buffer_flits(32)
+        .build()
+        .unwrap();
+    for o in 0..4 {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(0),
+                OutputId::new(o),
+                Rate::new(1.0).unwrap(),
+                8,
+            )
+            .unwrap();
+    }
+    let mut switch = QosSwitch::new(config).unwrap();
+    for o in 0..4 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(o))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(0)),
+        );
+    }
+    let end = run(&mut switch, 2_000, 20_000);
+    let total: f64 = (0..4)
+        .map(|o| {
+            switch
+                .gb_metrics()
+                .flow(FlowId::new(InputId::new(0), OutputId::new(o)))
+                .throughput(end)
+        })
+        .sum();
+    assert!(total <= 1.0 + 1e-9, "input over-delivered: {total:.3}");
+    assert!(total > 0.8, "input under-utilized: {total:.3}");
+}
+
+/// Reservations on different outputs are independent: a flow's guarantee
+/// on output 0 is unaffected by congestion on output 1.
+#[test]
+fn per_output_isolation() {
+    let mut config = SwitchConfig::builder(Geometry::new(8, 128).unwrap())
+        .gb_buffer_flits(16)
+        .sig_bits(4)
+        .build()
+        .unwrap();
+    config
+        .reservations_mut()
+        .reserve_gb(
+            InputId::new(0),
+            OutputId::new(0),
+            Rate::new(0.5).unwrap(),
+            8,
+        )
+        .unwrap();
+    config
+        .reservations_mut()
+        .reserve_gb(
+            InputId::new(1),
+            OutputId::new(0),
+            Rate::new(0.5).unwrap(),
+            8,
+        )
+        .unwrap();
+    for i in 2..8 {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(i),
+                OutputId::new(1),
+                Rate::new(1.0 / 6.0).unwrap(),
+                8,
+            )
+            .unwrap();
+    }
+    let mut switch = QosSwitch::new(config).unwrap();
+    for i in 0..2 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(0))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    for i in 2..8 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(1))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    let end = run(&mut switch, 3_000, 30_000);
+    let capacity = 8.0 / 9.0;
+    for i in 0..2 {
+        let t = switch
+            .gb_metrics()
+            .flow(FlowId::new(InputId::new(i), OutputId::new(0)))
+            .throughput(end);
+        assert!((t - 0.5 * capacity).abs() < 0.02, "flow {i}: {t:.3}");
+    }
+    let out1 = switch.output_throughput(OutputId::new(1), end);
+    assert!((out1 - capacity).abs() < 0.02, "output 1 total {out1:.3}");
+}
+
+/// Identical seeds must give bit-identical results (the simulator is
+/// fully deterministic).
+#[test]
+fn simulation_is_deterministic() {
+    let build = || {
+        let mut config = SwitchConfig::builder(Geometry::new(8, 128).unwrap())
+            .policy(Policy::Ssvc(CounterPolicy::Halve))
+            .gb_buffer_flits(16)
+            .build()
+            .unwrap();
+        for i in 0..4 {
+            config
+                .reservations_mut()
+                .reserve_gb(
+                    InputId::new(i),
+                    OutputId::new(0),
+                    Rate::new(0.25).unwrap(),
+                    8,
+                )
+                .unwrap();
+        }
+        let mut switch = QosSwitch::new(config).unwrap();
+        for i in 0..4 {
+            switch.add_injector(
+                Injector::new(
+                    Box::new(Bernoulli::new(0.4, 8, 777 + i as u64)),
+                    Box::new(FixedDest::new(OutputId::new(0))),
+                    TrafficClass::GuaranteedBandwidth,
+                )
+                .for_input(InputId::new(i)),
+            );
+        }
+        switch
+    };
+    let mut a = build();
+    let mut b = build();
+    let end_a = run(&mut a, 1_000, 20_000);
+    let end_b = run(&mut b, 1_000, 20_000);
+    assert_eq!(end_a, end_b);
+    assert_eq!(a.counters(), b.counters());
+    for i in 0..4 {
+        let flow = FlowId::new(InputId::new(i), OutputId::new(0));
+        assert_eq!(
+            a.gb_metrics().flow(flow).packets(),
+            b.gb_metrics().flow(flow).packets()
+        );
+        assert_eq!(
+            a.gb_metrics().flow(flow).mean_latency(),
+            b.gb_metrics().flow(flow).mean_latency()
+        );
+    }
+}
+
+/// All three QoS classes active on one output simultaneously: GL stays
+/// fast, GB flows hold their reservations, BE scavenges only leftovers
+/// — the complete §3 class structure in a single configuration.
+#[test]
+fn three_classes_coexist_with_correct_priorities() {
+    use swizzle_qos::traffic::Periodic;
+    let mut config = SwitchConfig::builder(Geometry::new(8, 128).unwrap())
+        .gb_buffer_flits(16)
+        .be_buffer_flits(16)
+        .gl_buffer_flits(4)
+        .sig_bits(4)
+        .build()
+        .unwrap();
+    let out = OutputId::new(0);
+    // GB: inputs 0-3 reserve 20% each; GL: 5% shared; BE: inputs 4-6.
+    for i in 0..4 {
+        config
+            .reservations_mut()
+            .reserve_gb(InputId::new(i), out, Rate::new(0.2).unwrap(), 8)
+            .unwrap();
+    }
+    config
+        .reservations_mut()
+        .reserve_gl(out, Rate::new(0.05).unwrap())
+        .unwrap();
+    let mut switch = QosSwitch::new(config).unwrap();
+    for i in 0..4 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Bernoulli::new(0.19, 8, 400 + i as u64)),
+                Box::new(FixedDest::new(out)),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    for i in 4..7 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(out)),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    switch.add_injector(
+        Injector::new(
+            Box::new(Periodic::new(307, 0, 1)),
+            Box::new(FixedDest::new(out)),
+            TrafficClass::GuaranteedLatency,
+        )
+        .for_input(InputId::new(7)),
+    );
+
+    let end = run(&mut switch, 5_000, 60_000);
+    let capacity = 8.0 / 9.0;
+
+    // GB flows receive their (sub-reservation) demand in full.
+    for i in 0..4 {
+        let t = switch
+            .gb_metrics()
+            .flow(FlowId::new(InputId::new(i), out))
+            .throughput(end);
+        assert!((t - 0.19).abs() < 0.02, "GB flow {i}: {t:.3}");
+    }
+    // BE absorbs the remaining ~12% of the deliverable bandwidth.
+    let be_total: f64 = (4..7)
+        .map(|i| {
+            switch
+                .be_metrics()
+                .flow(FlowId::new(InputId::new(i), out))
+                .throughput(end)
+        })
+        .sum();
+    let leftover = capacity - 4.0 * 0.19 - 0.004; // GL takes ~1 flit/307 cycles
+    assert!(
+        (be_total - leftover).abs() < 0.03,
+        "BE total {be_total:.3} vs leftover {leftover:.3}"
+    );
+    // GL interrupts ride through in a handful of cycles despite the
+    // fully busy channel.
+    let gl = switch.gl_metrics().flow(FlowId::new(InputId::new(7), out));
+    assert!(gl.packets() > 150, "GL packets: {}", gl.packets());
+    assert!(
+        gl.max_latency().unwrap() <= 10,
+        "GL max latency {}",
+        gl.max_latency().unwrap()
+    );
+    // Classes never bleed into each other's metrics.
+    assert_eq!(
+        switch
+            .gl_metrics()
+            .flow(FlowId::new(InputId::new(0), out))
+            .packets(),
+        0
+    );
+    assert_eq!(
+        switch
+            .be_metrics()
+            .flow(FlowId::new(InputId::new(0), out))
+            .packets(),
+        0
+    );
+    assert_eq!(
+        switch
+            .gb_metrics()
+            .flow(FlowId::new(InputId::new(7), out))
+            .packets(),
+        0
+    );
+}
+
+/// The two-cycle arbitration of the 4-level prior design lowers the
+/// saturated ceiling from L/(L+1) to L/(L+2) — measured end to end.
+#[test]
+fn four_level_throughput_penalty() {
+    for (policy, expected) in [
+        (Policy::LrgOnly, 8.0 / 9.0),
+        (Policy::FourLevel, 8.0 / 10.0),
+    ] {
+        let config = SwitchConfig::builder(Geometry::new(8, 128).unwrap())
+            .policy(policy)
+            .be_buffer_flits(32)
+            .build()
+            .unwrap();
+        let mut switch = QosSwitch::new(config).unwrap();
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(0))),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(0)),
+        );
+        let end = run(&mut switch, 1_000, 20_000);
+        let total = switch.output_throughput(OutputId::new(0), end);
+        assert!(
+            (total - expected).abs() < 0.01,
+            "{policy}: {total:.3} vs {expected:.3}"
+        );
+    }
+}
+
+/// The paper's "variety of packet sizes" (§4.2): Vtick encodes the
+/// *average* inter-packet time, so a flow mixing short and long packets
+/// (mean length = its nominal length) still receives its reserved rate.
+#[test]
+fn mixed_packet_sizes_keep_reservations() {
+    use swizzle_qos::traffic::{BimodalBernoulli, Saturating};
+    let mut config = SwitchConfig::builder(Geometry::new(8, 128).unwrap())
+        .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+        .gb_buffer_flits(32)
+        .sig_bits(4)
+        .build()
+        .unwrap();
+    let out = OutputId::new(0);
+    // Flow 0: 40% reservation with nominal 4-flit packets, but actually
+    // sending a 2/8-flit mix whose mean is 4 flits. Flows 1-3: plain
+    // saturating 4-flit flows with 20% each.
+    config
+        .reservations_mut()
+        .reserve_gb(InputId::new(0), out, Rate::new(0.4).unwrap(), 4)
+        .unwrap();
+    for i in 1..4 {
+        config
+            .reservations_mut()
+            .reserve_gb(InputId::new(i), out, Rate::new(0.2).unwrap(), 4)
+            .unwrap();
+    }
+    let mut switch = QosSwitch::new(config).unwrap();
+    switch.add_injector(
+        Injector::new(
+            // Offered 0.38 flits/cycle ~ just below its deliverable share.
+            Box::new(BimodalBernoulli::new(0.30, 2, 8, 1.0 / 3.0, 55)),
+            Box::new(FixedDest::new(out)),
+            TrafficClass::GuaranteedBandwidth,
+        )
+        .for_input(InputId::new(0)),
+    );
+    for i in 1..4 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(4)),
+                Box::new(FixedDest::new(out)),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    let end = run(&mut switch, 5_000, 60_000);
+    let mixed = switch
+        .gb_metrics()
+        .flow(FlowId::new(InputId::new(0), out))
+        .throughput(end);
+    // The mixed-size flow gets its full (sub-reservation) demand despite
+    // saturated competitors; quantization of the per-packet slot across
+    // lengths costs at most a couple of percent.
+    assert!((mixed - 0.30).abs() < 0.03, "mixed-size flow got {mixed:.3}");
+    // Competitors still share the remainder per their reservations.
+    for i in 1..4 {
+        let t = switch
+            .gb_metrics()
+            .flow(FlowId::new(InputId::new(i), out))
+            .throughput(end);
+        assert!(t > 0.14, "flow {i} squeezed to {t:.3}");
+    }
+}
+
+/// Fabric-in-the-loop at full radix 64: a short saturated run where every
+/// GB arbitration on the hot output is double-checked against the
+/// bit-level inhibit fabric (the §4.1 verification at the title radix).
+#[test]
+fn fabric_checked_radix64_run() {
+    let mut config = SwitchConfig::builder(Geometry::new(64, 256).unwrap())
+        .gb_buffer_flits(16)
+        .fabric_checked(true)
+        .build()
+        .unwrap();
+    for i in 0..64 {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(i),
+                OutputId::new(0),
+                Rate::new(1.0 / 64.0).unwrap(),
+                8,
+            )
+            .unwrap();
+    }
+    let mut switch = QosSwitch::new(config).unwrap();
+    for i in 0..64 {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(0))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    // Completing without a divergence panic is the verification.
+    let end = run(&mut switch, 1_000, 10_000);
+    assert!(switch.output_throughput(OutputId::new(0), end) > 0.85);
+}
+
+/// §3.2 buffers GL in a single FIFO per input, so a GL packet headed to
+/// a saturated output head-of-line blocks GL packets behind it that
+/// target idle outputs — a documented consequence of the paper's
+/// buffering organization (GL is "only applicable to types of
+/// time-critical messages that are very infrequent").
+#[test]
+fn gl_single_fifo_blocks_across_outputs() {
+    use swizzle_qos::traffic::Trace;
+    let mut config = SwitchConfig::builder(Geometry::new(4, 128).unwrap())
+        .gb_buffer_flits(16)
+        .gl_buffer_flits(8)
+        .build()
+        .unwrap();
+    config
+        .reservations_mut()
+        .reserve_gb(InputId::new(1), OutputId::new(0), Rate::new(0.9).unwrap(), 8)
+        .unwrap();
+    config
+        .reservations_mut()
+        .reserve_gl(OutputId::new(0), Rate::new(0.1).unwrap())
+        .unwrap();
+    config
+        .reservations_mut()
+        .reserve_gl(OutputId::new(1), Rate::new(0.1).unwrap())
+        .unwrap();
+    let mut switch = QosSwitch::new(config).unwrap();
+    // Background: output 0 saturated by GB.
+    switch.add_injector(
+        Injector::new(
+            Box::new(Saturating::new(8)),
+            Box::new(FixedDest::new(OutputId::new(0))),
+            TrafficClass::GuaranteedBandwidth,
+        )
+        .for_input(InputId::new(1)),
+    );
+    // Input 0's GL FIFO: first a packet to the busy output 0, then one
+    // to the idle output 1, back to back.
+    switch.add_injector(
+        Injector::new(
+            Box::new(Trace::new(vec![(100, 1)])),
+            Box::new(FixedDest::new(OutputId::new(0))),
+            TrafficClass::GuaranteedLatency,
+        )
+        .for_input(InputId::new(0)),
+    );
+    switch.add_injector(
+        Injector::new(
+            Box::new(Trace::new(vec![(101, 1)])),
+            Box::new(FixedDest::new(OutputId::new(1))),
+            TrafficClass::GuaranteedLatency,
+        )
+        .for_input(InputId::new(0)),
+    );
+    let _ = run(&mut switch, 0, 2_000);
+    let to_busy = switch
+        .gl_metrics()
+        .flow(FlowId::new(InputId::new(0), OutputId::new(0)));
+    let to_idle = switch
+        .gl_metrics()
+        .flow(FlowId::new(InputId::new(0), OutputId::new(1)));
+    assert_eq!(to_busy.packets(), 1);
+    assert_eq!(to_idle.packets(), 1);
+    // The idle-output packet could have gone out immediately (latency ~2)
+    // but had to wait behind the busy-output head: its latency includes
+    // the head's channel-release wait.
+    let head_latency = to_busy.max_latency().unwrap();
+    let blocked_latency = to_idle.max_latency().unwrap();
+    assert!(
+        blocked_latency + 2 >= head_latency,
+        "expected HOL coupling: head {head_latency}, behind {blocked_latency}"
+    );
+    assert!(
+        blocked_latency > 3,
+        "idle-output GL packet should have been delayed by HOL, got {blocked_latency}"
+    );
+}
