@@ -95,7 +95,7 @@ impl Arbiter for Dwrr {
         // the packets: ceil(max_len / min_quantum) extra laps suffice for
         // some requester's deficit to cover its packet.
         let max_len = head_len.iter().flatten().copied().max().unwrap_or(1);
-        let min_quantum = *self.quanta.iter().min().expect("validated non-empty");
+        let min_quantum = self.quanta.iter().copied().min().unwrap_or(1);
         let max_turns = (n as u64) * (max_len / min_quantum + 2);
         for _ in 0..max_turns {
             let c = self.cursor;

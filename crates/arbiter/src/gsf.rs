@@ -124,11 +124,12 @@ impl Arbiter for Gsf {
         };
         let winner = self.lrg.peek(&pool)?;
         self.lrg.grant(winner);
+        // The LRG pool is built from `requests`; a miss (impossible by
+        // construction) charges nothing rather than aborting the sweep.
         let len = requests
             .iter()
             .find(|r| r.input() == winner)
-            .expect("winner drawn from requests")
-            .len_flits();
+            .map_or(0, |r| r.len_flits());
         self.remaining[winner] = self.remaining[winner].saturating_sub(len);
         Some(winner)
     }

@@ -145,11 +145,12 @@ impl Arbiter for VirtualClock {
                 let _ = self.on_arrival(i, now);
             }
         }
-        let winner = requests.iter().map(|r| r.input()).min_by(|&a, &b| {
-            let sa = *self.stamps[a].front().expect("stamped above");
-            let sb = *self.stamps[b].front().expect("stamped above");
-            sa.total_cmp(&sb).then(a.cmp(&b))
-        })?;
+        let winner = requests
+            .iter()
+            .map(|r| r.input())
+            .filter_map(|i| self.stamps[i].front().map(|&s| (i, s)))
+            .min_by(|&(a, sa), &(b, sb)| sa.total_cmp(&sb).then(a.cmp(&b)))
+            .map(|(i, _)| i)?;
         self.stamps[winner].pop_front();
         Some(winner)
     }

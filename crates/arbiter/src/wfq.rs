@@ -92,12 +92,13 @@ impl Arbiter for Wfq {
                 self.head_tag[i] = Some((r.len_flits(), tag));
             }
         }
-        let winner = requests.iter().map(|r| r.input()).min_by(|&a, &b| {
-            let ta = self.head_tag[a].expect("stamped above").1;
-            let tb = self.head_tag[b].expect("stamped above").1;
-            ta.total_cmp(&tb).then(a.cmp(&b))
-        })?;
-        let (_, tag) = self.head_tag[winner].take().expect("stamped above");
+        let winner = requests
+            .iter()
+            .map(|r| r.input())
+            .filter_map(|i| self.head_tag[i].map(|(_, tag)| (i, tag)))
+            .min_by(|&(a, ta), &(b, tb)| ta.total_cmp(&tb).then(a.cmp(&b)))
+            .map(|(i, _)| i)?;
+        let (_, tag) = self.head_tag[winner].take()?;
         self.last_finish[winner] = tag;
         self.virtual_time = tag;
         Some(winner)

@@ -1,25 +1,25 @@
-//! Criterion micro-benchmarks: arbitration-decision cost per policy.
+//! Micro-benchmarks: arbitration-decision cost per policy.
 //!
 //! The paper's hardware contribution is a *single-cycle* combined
 //! Virtual Clock + LRG arbitration; in the simulator the analogous
 //! question is the software cost per decision, which bounds achievable
 //! simulation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ssq_arbiter::{
     Arbiter, CounterPolicy, Dwrr, FourLevel, Lrg, Request, RoundRobin, SsvcArbiter, SsvcConfig,
     VirtualClock, Wfq, Wrr,
 };
+use ssq_bench::microbench::{bench, group};
 use ssq_types::Cycle;
 
 fn full_requests(n: usize) -> Vec<Request> {
     (0..n).map(|i| Request::new(i, 8)).collect()
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("arbitrate_radix64");
+fn bench_policies() {
+    group("arbitrate_radix64");
     let n = 64;
     let reqs = full_requests(n);
 
@@ -40,37 +40,33 @@ fn bench_policies(c: &mut Criterion) {
         ),
     ];
     for (name, arb) in &mut arbiters {
-        group.bench_function(*name, |b| {
-            let mut now = Cycle::ZERO;
-            b.iter(|| {
-                now = now.next();
-                arb.tick();
-                black_box(arb.arbitrate(now, black_box(&reqs)))
-            });
+        let mut now = Cycle::ZERO;
+        bench("arbitrate_radix64", name, || {
+            now = now.next();
+            arb.tick();
+            black_box(arb.arbitrate(now, black_box(&reqs)));
         });
     }
-    group.finish();
 }
 
-fn bench_ssvc_radix_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ssvc_radix_scaling");
+fn bench_ssvc_radix_scaling() {
+    group("ssvc_radix_scaling");
     for radix in [8usize, 16, 32, 64] {
         let reqs = full_requests(radix);
         let mut ssvc = SsvcArbiter::new(
             SsvcConfig::new(12, 3, CounterPolicy::SubtractRealClock),
             &vec![9; radix],
         );
-        group.bench_with_input(BenchmarkId::from_parameter(radix), &radix, |b, _| {
-            let mut now = Cycle::ZERO;
-            b.iter(|| {
-                now = now.next();
-                ssvc.tick();
-                black_box(ssvc.arbitrate(now, black_box(&reqs)))
-            });
+        let mut now = Cycle::ZERO;
+        bench("ssvc_radix_scaling", &radix.to_string(), || {
+            now = now.next();
+            ssvc.tick();
+            black_box(ssvc.arbitrate(now, black_box(&reqs)));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_policies, bench_ssvc_radix_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_policies();
+    bench_ssvc_radix_scaling();
+}

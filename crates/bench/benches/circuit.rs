@@ -1,10 +1,10 @@
-//! Criterion benchmark: bit-level fabric arbitration cost versus the
+//! Micro-benchmark: bit-level fabric arbitration cost versus the
 //! behavioural decision rule — the price of wire-accurate verification.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ssq_arbiter::{CounterPolicy, Lrg, SsvcArbiter, SsvcConfig};
+use ssq_bench::microbench::{bench, group};
 use ssq_circuit::{CircuitConfig, InhibitFabric, PortRequest};
 
 fn ports(radix: usize, lanes: usize) -> Vec<PortRequest> {
@@ -15,22 +15,21 @@ fn ports(radix: usize, lanes: usize) -> Vec<PortRequest> {
         .collect()
 }
 
-fn bench_fabric(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bitlevel_fabric");
+fn bench_fabric() {
+    group("bitlevel_fabric");
     for radix in [8usize, 16, 32, 64] {
         let lanes = 8;
         let fabric = InhibitFabric::new(CircuitConfig::new(radix, lanes, true));
         let lrg = Lrg::new(radix);
         let reqs = ports(radix, lanes);
-        group.bench_with_input(BenchmarkId::from_parameter(radix), &radix, |b, _| {
-            b.iter(|| black_box(fabric.arbitrate(black_box(&reqs), &lrg, &lrg)));
+        bench("bitlevel_fabric", &radix.to_string(), || {
+            black_box(fabric.arbitrate(black_box(&reqs), &lrg, &lrg));
         });
     }
-    group.finish();
 }
 
-fn bench_behavioural_reference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("behavioural_peek");
+fn bench_behavioural_reference() {
+    group("behavioural_peek");
     for radix in [8usize, 16, 32, 64] {
         let mut ssvc = SsvcArbiter::new(
             SsvcConfig::new(12, 3, CounterPolicy::SubtractRealClock),
@@ -40,12 +39,13 @@ fn bench_behavioural_reference(c: &mut Criterion) {
             ssvc.set_aux_vc(i, ((i * 7 % 8) as u64) << 9);
         }
         let candidates: Vec<usize> = (0..radix).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(radix), &radix, |b, _| {
-            b.iter(|| black_box(ssvc.peek(black_box(&candidates))));
+        bench("behavioural_peek", &radix.to_string(), || {
+            black_box(ssvc.peek(black_box(&candidates)));
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_fabric, bench_behavioural_reference);
-criterion_main!(benches);
+fn main() {
+    bench_fabric();
+    bench_behavioural_reference();
+}

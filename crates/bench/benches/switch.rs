@@ -1,10 +1,10 @@
-//! Criterion benchmark: simulated cycles per second of the full switch
+//! Micro-benchmark: simulated cycles per second of the full switch
 //! model across radices and policies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use ssq_arbiter::CounterPolicy;
+use ssq_bench::microbench::{bench, group};
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
 use ssq_sim::CycleModel;
 use ssq_traffic::{FixedDest, Injector, Saturating, UniformDest};
@@ -25,10 +25,10 @@ fn hotspot_switch(radix: usize, policy: Policy) -> QosSwitch {
             .reserve_gb(
                 InputId::new(i),
                 OutputId::new(0),
-                Rate::new(share).unwrap(),
+                Rate::new(share).expect("valid rate"),
                 8,
             )
-            .unwrap();
+            .expect("reservations fit");
     }
     let mut switch = QosSwitch::new(config).expect("valid switch");
     for i in 0..radix {
@@ -44,24 +44,24 @@ fn hotspot_switch(radix: usize, policy: Policy) -> QosSwitch {
     switch
 }
 
-fn bench_radix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("switch_cycles_per_sec");
+fn bench_radix() {
+    group("switch_cycles_per_sec");
     for radix in [8usize, 16, 32, 64] {
-        group.throughput(Throughput::Elements(1));
         let mut switch = hotspot_switch(radix, Policy::Ssvc(CounterPolicy::SubtractRealClock));
         let mut now = Cycle::ZERO;
-        group.bench_with_input(BenchmarkId::new("ssvc_hotspot", radix), &radix, |b, _| {
-            b.iter(|| {
+        bench(
+            "switch_cycles_per_sec",
+            &format!("ssvc_hotspot/{radix}"),
+            || {
                 switch.step(black_box(now));
                 now = now.next();
-            });
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("switch_policy_cost");
+fn bench_policies() {
+    group("switch_policy_cost");
     for (name, policy) in [
         ("lrg", Policy::LrgOnly),
         ("ssvc", Policy::Ssvc(CounterPolicy::SubtractRealClock)),
@@ -70,19 +70,16 @@ fn bench_policies(c: &mut Criterion) {
     ] {
         let mut switch = hotspot_switch(16, policy);
         let mut now = Cycle::ZERO;
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                switch.step(black_box(now));
-                now = now.next();
-            });
+        bench("switch_policy_cost", name, || {
+            switch.step(black_box(now));
+            now = now.next();
         });
     }
-    group.finish();
 }
 
-fn bench_uniform_traffic(c: &mut Criterion) {
+fn bench_uniform_traffic() {
     // All-to-all uniform traffic exercises every output channel at once.
-    let mut group = c.benchmark_group("switch_uniform_radix16");
+    group("switch_uniform_radix16");
     let geometry = Geometry::new(16, 128).expect("valid geometry");
     let config = SwitchConfig::builder(geometry)
         .policy(Policy::LrgOnly)
@@ -101,14 +98,14 @@ fn bench_uniform_traffic(c: &mut Criterion) {
         );
     }
     let mut now = Cycle::ZERO;
-    group.bench_function("step", |b| {
-        b.iter(|| {
-            switch.step(black_box(now));
-            now = now.next();
-        });
+    bench("switch_uniform_radix16", "step", || {
+        switch.step(black_box(now));
+        now = now.next();
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_radix, bench_policies, bench_uniform_traffic);
-criterion_main!(benches);
+fn main() {
+    bench_radix();
+    bench_policies();
+    bench_uniform_traffic();
+}

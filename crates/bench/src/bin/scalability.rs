@@ -141,8 +141,8 @@ fn radix_sweep() -> Table {
                 .for_input(InputId::new(i)),
             );
         }
-        let end = Runner::new(Schedule::new(Cycles::new(10_000), Cycles::new(100_000)))
-            .run(&mut switch);
+        let end =
+            Runner::new(Schedule::new(Cycles::new(10_000), Cycles::new(100_000))).run(&mut switch);
         let capacity = FIG4_PACKET_FLITS as f64 / (FIG4_PACKET_FLITS + 1) as f64;
         let worst = rates
             .iter()

@@ -15,10 +15,12 @@
 //! | `ablation_fixed_priority` | §2.2: SSVC vs the 4-level prior design |
 //! | `ablation_schedulers` | §2.2: SSVC vs WRR/DWRR/WFQ redistribution |
 //!
-//! Criterion micro-benchmarks live in `benches/`.
+//! Micro-benchmarks live in `benches/`, built on [`microbench`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
 use ssq_sim::{Runner, Schedule};
@@ -160,7 +162,9 @@ pub fn run_and_read(
     warmup: u64,
     measure: u64,
 ) -> Vec<FlowReading> {
-    let end = Runner::new(Schedule::new(Cycles::new(warmup), Cycles::new(measure))).run(switch);
+    let (end, _report) = Runner::new(Schedule::new(Cycles::new(warmup), Cycles::new(measure)))
+        .run_checked(switch)
+        .expect("benchmark configurations pass static analysis");
     read_flows(switch, flows, end)
 }
 
@@ -186,12 +190,10 @@ pub fn read_flows(switch: &QosSwitch, flows: usize, end: Cycle) -> Vec<FlowReadi
 /// at least 1 % — the "20 combinations of reserved rates" sweep of §4.2.
 #[must_use]
 pub fn reservation_vectors(count: usize, flows: usize, seed: u64) -> Vec<Vec<f64>> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = ssq_types::rng::Xoshiro256StarStar::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let raw: Vec<f64> = (0..flows).map(|_| rng.random::<f64>() + 0.05).collect();
+            let raw: Vec<f64> = (0..flows).map(|_| rng.f64() + 0.05).collect();
             let sum: f64 = raw.iter().sum();
             // Grid-quantize to whole percents, keeping >= 1% each.
             let mut pct: Vec<u64> = raw

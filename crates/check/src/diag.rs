@@ -1,0 +1,256 @@
+//! Structured diagnostics: stable codes, severities, and the [`Report`]
+//! that collects them.
+
+use std::fmt;
+
+use ssq_stats::Table;
+
+/// Stable diagnostic codes (the `SSQ0xx` catalog).
+///
+/// Codes are append-only: a code's meaning never changes once shipped,
+/// so scripts and suppression lists can rely on them.
+pub mod codes {
+    /// An output's GB + GL reservations exceed its channel bandwidth.
+    pub const OVERSUBSCRIBED: &str = "SSQ001";
+    /// An output's allocation leaves (almost) no best-effort headroom.
+    pub const NO_BE_HEADROOM: &str = "SSQ002";
+    /// A GL flow's latency constraint is below the Eq. 1 worst-case wait.
+    pub const GL_CONSTRAINT_INFEASIBLE: &str = "SSQ003";
+    /// A GL flow's declared burst exceeds its Eq. 2/3 budget.
+    pub const GL_BURST_OVER_BUDGET: &str = "SSQ004";
+    /// A reserved rate's `Vtick` exceeds the `auxVC` saturation cap.
+    pub const VTICK_UNREPRESENTABLE: &str = "SSQ005";
+    /// The *halve* policy collapses distinct rates into one lane.
+    pub const HALVE_COLLAPSES_FLOWS: &str = "SSQ006";
+    /// Counter-saturation epoch analysis (resolution/overflow notes).
+    pub const COUNTER_SATURATION: &str = "SSQ007";
+    /// Significant bits exceed the geometry's lane budget.
+    pub const LANE_BUDGET_EXCEEDED: &str = "SSQ008";
+    /// GL traffic is reserved but the geometry lacks a GL lane.
+    pub const NO_GL_LANE: &str = "SSQ009";
+    /// The GL buffer cannot hold one minimum-size packet (Eq. 1
+    /// precondition).
+    pub const GL_BUFFER_TOO_SMALL: &str = "SSQ010";
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: worth knowing, never blocks a run.
+    Info,
+    /// Suspicious: the configuration runs but likely not as intended.
+    Warning,
+    /// Broken: guarantees cannot hold; simulations are refused.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the static analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    code: &'static str,
+    severity: Severity,
+    subject: String,
+    message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic. `subject` names what the finding is about
+    /// (an output, a flow, a counter), `message` explains it.
+    #[must_use]
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The stable `SSQ0xx` code.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// The severity.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.severity
+    }
+
+    /// What the finding is about.
+    #[must_use]
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// The human-readable explanation.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} [{}]: {}",
+            self.severity, self.code, self.subject, self.message
+        )
+    }
+}
+
+/// The collected findings of one analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[must_use = "a report's errors decide whether the configuration may run"]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diags.push(diag);
+    }
+
+    /// Appends every finding of `other`.
+    pub fn extend(&mut self, other: Report) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All findings, in emission order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Whether any error-severity finding is present.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether the report is free of errors *and* warnings.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diags.iter().all(|d| d.severity == Severity::Info)
+    }
+
+    /// Number of findings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether there are no findings at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Findings carrying the given code.
+    pub fn with_code<'a>(&'a self, code: &'a str) -> impl Iterator<Item = &'a Diagnostic> + 'a {
+        self.diags.iter().filter(move |d| d.code == code)
+    }
+
+    /// Renders the report as an `ssq-stats` table (severity-sorted,
+    /// errors first).
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::with_columns(&["code", "severity", "subject", "finding"]);
+        let mut sorted: Vec<&Diagnostic> = self.diags.iter().collect();
+        sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(b.code)));
+        for d in sorted {
+            table.row(vec![
+                d.code.to_string(),
+                d.severity.to_string(),
+                d.subject.clone(),
+                d.message.clone(),
+            ]);
+        }
+        table
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diags.is_empty() {
+            return writeln!(f, "analysis clean: no findings");
+        }
+        write!(f, "{}", self.to_table())
+    }
+}
+
+impl FromIterator<Diagnostic> for Report {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Self {
+        Report {
+            diags: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: &'static str, sev: Severity) -> Diagnostic {
+        Diagnostic::new(code, sev, "output 0", "something")
+    }
+
+    #[test]
+    fn severity_ordering_puts_errors_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_classifies_errors_and_cleanliness() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && !r.has_errors() && r.is_empty());
+        r.push(diag(codes::COUNTER_SATURATION, Severity::Info));
+        assert!(r.is_clean() && !r.has_errors());
+        r.push(diag(codes::NO_BE_HEADROOM, Severity::Warning));
+        assert!(!r.is_clean() && !r.has_errors());
+        r.push(diag(codes::OVERSUBSCRIBED, Severity::Error));
+        assert!(!r.is_clean() && r.has_errors());
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.with_code(codes::OVERSUBSCRIBED).count(), 1);
+    }
+
+    #[test]
+    fn table_sorts_errors_first() {
+        let mut r = Report::new();
+        r.push(diag(codes::COUNTER_SATURATION, Severity::Info));
+        r.push(diag(codes::OVERSUBSCRIBED, Severity::Error));
+        let text = r.to_table().to_text();
+        let err_pos = text.find("SSQ001").expect("error row present");
+        let info_pos = text.find("SSQ007").expect("info row present");
+        assert!(err_pos < info_pos, "{text}");
+    }
+
+    #[test]
+    fn display_handles_empty_reports() {
+        assert!(Report::new().to_string().contains("clean"));
+    }
+}

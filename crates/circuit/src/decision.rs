@@ -4,6 +4,7 @@ use ssq_arbiter::Lrg;
 
 /// What an input drives onto one lane's bitlines during arbitration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a dropped lane decision means the input drives nothing"]
 pub enum LaneDecision {
     /// Discharge every wire in the lane: this input is strictly higher
     /// priority than anything sensing there.

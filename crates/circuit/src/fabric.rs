@@ -102,6 +102,7 @@ pub enum WinnerClass {
 
 /// The result of one bit-level arbitration cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "dropping an arbitration outcome discards the grant"]
 pub struct ArbitrationOutcome {
     winner: Option<usize>,
     class: Option<WinnerClass>,

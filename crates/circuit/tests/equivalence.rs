@@ -9,10 +9,9 @@
 //! LRG — i.e. [`SsvcArbiter::peek`]) exhaustively at radix 4 and by
 //! property-based sampling at radix 8 and 64.
 
-use proptest::prelude::*;
-
 use ssq_arbiter::{CounterPolicy, Lrg, SsvcArbiter, SsvcConfig};
 use ssq_circuit::{CircuitConfig, InhibitFabric, PortRequest, WinnerClass};
+use ssq_types::rng::Xoshiro256StarStar;
 
 /// Builds an LRG state with the exact priority order `order` (highest
 /// priority first) by granting in top-first sequence.
@@ -155,58 +154,56 @@ fn ssvc_arbiter_equivalence_radix8() {
     }
 }
 
-proptest! {
-    /// Random-state equivalence at radix 64 with 8 lanes — the flagship
-    /// 64×64 geometry (512-bit bus).
-    #[test]
-    fn equivalence_radix64(
-        msbs in prop::collection::vec(0u64..8, 64),
-        mask in prop::collection::vec(any::<bool>(), 64),
-        grants in prop::collection::vec(0usize..64, 0..128),
-    ) {
-        let candidates: Vec<usize> = (0..64).filter(|&i| mask[i]).collect();
-        prop_assume!(!candidates.is_empty());
-        let mut lrg = Lrg::new(64);
-        for g in grants {
-            lrg.grant(g);
+/// Random-state equivalence at radix 64 with 8 lanes — the flagship
+/// 64×64 geometry (512-bit bus).
+#[test]
+fn equivalence_radix64() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xc1c01);
+    let fabric = InhibitFabric::new(CircuitConfig::new(64, 8, false));
+    for _ in 0..256 {
+        let msbs: Vec<u64> = (0..64).map(|_| rng.below(8)).collect();
+        let candidates: Vec<usize> = (0..64).filter(|_| rng.chance(0.5)).collect();
+        if candidates.is_empty() {
+            continue;
         }
-        let fabric = InhibitFabric::new(CircuitConfig::new(64, 8, false));
+        let mut lrg = Lrg::new(64);
+        for _ in 0..rng.index(128) {
+            lrg.grant(rng.index(64));
+        }
         let mut ports = vec![PortRequest::Idle; 64];
         for &c in &candidates {
             ports[c] = PortRequest::Gb { msb_value: msbs[c] };
         }
         let circuit = fabric.arbitrate(&ports, &lrg, &lrg).winner();
         let reference = reference_winner(&msbs, &lrg, &candidates);
-        prop_assert_eq!(circuit, reference);
+        assert_eq!(circuit, reference);
     }
+}
 
-    /// The fabric never reports zero winners for a non-empty request set
-    /// and never two (single-charged-wire invariant), at arbitrary lane
-    /// counts.
-    #[test]
-    fn unique_winner_invariant(
-        radix in 2usize..16,
-        lanes_pow in 1u32..4,
-        seed in any::<u64>(),
-    ) {
-        let lanes = 1usize << lanes_pow;
+/// The fabric never reports zero winners for a non-empty request set and
+/// never two (single-charged-wire invariant), at arbitrary lane counts.
+#[test]
+fn unique_winner_invariant() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xc1c02);
+    for _ in 0..256 {
+        let radix = 2 + rng.index(14);
+        let lanes = 1usize << (1 + rng.index(3));
         let fabric = InhibitFabric::new(CircuitConfig::new(radix, lanes, true));
         let lrg = Lrg::new(radix);
-        // Derive a pseudo-random port vector from the seed.
-        let mut state = seed | 1;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            state >> 33
-        };
         let ports: Vec<PortRequest> = (0..radix)
-            .map(|_| match next() % 4 {
+            .map(|_| match rng.below(4) {
                 0 => PortRequest::Idle,
                 1 => PortRequest::Gl,
-                _ => PortRequest::Gb { msb_value: next() % lanes as u64 },
+                _ => PortRequest::Gb {
+                    msb_value: rng.below(lanes as u64),
+                },
             })
             .collect();
-        let requesters = ports.iter().filter(|p| !matches!(p, PortRequest::Idle)).count();
+        let requesters = ports
+            .iter()
+            .filter(|p| !matches!(p, PortRequest::Idle))
+            .count();
         let out = fabric.arbitrate(&ports, &lrg, &lrg);
-        prop_assert_eq!(out.winner().is_some(), requesters > 0);
+        assert_eq!(out.winner().is_some(), requesters > 0);
     }
 }

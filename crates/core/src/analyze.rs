@@ -1,0 +1,276 @@
+//! Static configuration analysis: [`SwitchConfig::analyze`] bridges the
+//! switch configuration into the `ssq-check` analyzers so every
+//! guarantee is vetted before a single cycle is simulated.
+
+use ssq_check::admission::{analyze_admission, AdmissionInput};
+use ssq_check::gl::{analyze_gl, GlFlowSpec, GlInput};
+use ssq_check::lanes::{analyze_lanes, LaneInput};
+use ssq_check::overflow::{analyze_counters, CounterFlow, CounterInput};
+use ssq_check::{Preflight, Report};
+use ssq_types::OutputId;
+
+use crate::config::{Policy, SwitchConfig};
+use crate::switch::QosSwitch;
+
+/// One GL flow's contract, supplied by the caller: reservations record
+/// only the GL *rate*, so latency constraints and declared bursts enter
+/// the analysis through [`AnalysisOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlContract {
+    /// The output the flow targets.
+    pub output: OutputId,
+    /// The latency constraint in cycles the flow was promised.
+    pub latency_constraint: u64,
+    /// The burst size in packets the source declares.
+    pub declared_burst: u64,
+}
+
+/// Extra facts the static analyzer cannot read off a [`SwitchConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Maximum GL packet length in flits (`l_max` of Eqs. 1–3). Default
+    /// 8, the paper's largest packet (Table 1).
+    pub l_max: u64,
+    /// Minimum GL packet length in flits (`l_min` of Eq. 1). Default 1.
+    pub l_min: u64,
+    /// The GL contracts to verify against Eq. 1 and Eqs. 2–3. Empty by
+    /// default — GL checks are skipped when no contracts are declared.
+    pub gl_contracts: Vec<GlContract>,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            l_max: 8,
+            l_min: 1,
+            gl_contracts: Vec::new(),
+        }
+    }
+}
+
+impl SwitchConfig {
+    /// Statically analyzes the configuration: per-output admission
+    /// (SSQ001/SSQ002), `auxVC` counter-width overflow and epoch
+    /// behaviour (SSQ005–SSQ007), and the lane budget (SSQ008/SSQ009).
+    ///
+    /// GL latency contracts are not part of the configuration; use
+    /// [`SwitchConfig::analyze_with`] to verify them too.
+    pub fn analyze(&self) -> Report {
+        self.analyze_with(&AnalysisOptions::default())
+    }
+
+    /// Like [`SwitchConfig::analyze`], with caller-supplied GL contracts
+    /// checked against the Eq. 1 worst-case-wait bound (SSQ003), the
+    /// Eq. 2/3 burst budgets (SSQ004), and the GL buffer size (SSQ010).
+    pub fn analyze_with(&self, options: &AnalysisOptions) -> Report {
+        let reservations = self.reservations();
+        let radix = self.geometry().radix();
+        let mut report = Report::new();
+
+        let admission = AdmissionInput {
+            gb: reservations
+                .iter_gb()
+                .map(|(input, output, r)| (input, output, r.rate()))
+                .collect(),
+            gl: (0..radix)
+                .map(OutputId::new)
+                .map(|o| (o, reservations.gl(o)))
+                .filter(|(_, rate)| rate.value() > 0.0)
+                .collect(),
+        };
+        report.extend(analyze_admission(&admission));
+
+        let ssvc_policy = match self.policy() {
+            Policy::Ssvc(policy) => Some(policy),
+            _ => None,
+        };
+        if let Some(policy) = ssvc_policy {
+            let arb = self.policy().arbitration_cycles();
+            report.extend(analyze_counters(&CounterInput {
+                counter_bits: self.counter_bits(),
+                sig_bits: self.sig_bits(),
+                policy,
+                flows: reservations
+                    .iter_gb()
+                    .map(|(input, output, r)| CounterFlow {
+                        input,
+                        output,
+                        rate: r.rate(),
+                        slot_cycles: r.packet_flits() + arb,
+                    })
+                    .collect(),
+            }));
+        }
+
+        report.extend(analyze_lanes(&LaneInput {
+            geometry: self.geometry(),
+            sig_bits: ssvc_policy.map(|_| self.sig_bits()),
+            any_gl: reservations.any_gl(),
+        }));
+
+        if !options.gl_contracts.is_empty() {
+            for o in 0..radix {
+                let output = OutputId::new(o);
+                let flows: Vec<GlFlowSpec> = options
+                    .gl_contracts
+                    .iter()
+                    .filter(|c| c.output == output)
+                    .map(|c| GlFlowSpec {
+                        latency_constraint: c.latency_constraint,
+                        declared_burst: c.declared_burst,
+                    })
+                    .collect();
+                report.extend(analyze_gl(
+                    o,
+                    &GlInput {
+                        l_max: options.l_max,
+                        l_min: options.l_min,
+                        buffer_flits: self.gl_buffer_flits(),
+                        flows,
+                    },
+                ));
+            }
+        }
+
+        report
+    }
+}
+
+impl Preflight for QosSwitch {
+    fn preflight(&self) -> Report {
+        self.config().analyze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_check::codes;
+    use ssq_types::{Geometry, InputId, Rate};
+
+    fn base_config() -> SwitchConfig {
+        SwitchConfig::builder(Geometry::new(8, 128).expect("valid geometry"))
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn default_paper_config_has_no_errors() {
+        let config = base_config();
+        let report = config.analyze();
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn oversubscribed_table_is_rejected_with_ssq001() {
+        let mut config = base_config();
+        // An externally-sourced table bypasses the insertion-time guard;
+        // the static analyzer is the gate.
+        config.reservations_mut().reserve_gb_unchecked(
+            InputId::new(0),
+            OutputId::new(0),
+            rate(0.6),
+            8,
+        );
+        config.reservations_mut().reserve_gb_unchecked(
+            InputId::new(1),
+            OutputId::new(0),
+            rate(0.6),
+            8,
+        );
+        let report = config.analyze();
+        assert!(report.has_errors(), "{report}");
+        assert_eq!(report.with_code(codes::OVERSUBSCRIBED).count(), 1);
+    }
+
+    #[test]
+    fn near_full_allocation_warns_about_headroom() {
+        let mut config = base_config();
+        config
+            .reservations_mut()
+            .reserve_gb(InputId::new(0), OutputId::new(0), rate(0.6), 8)
+            .expect("fits");
+        config
+            .reservations_mut()
+            .reserve_gb(InputId::new(1), OutputId::new(0), rate(0.38), 8)
+            .expect("fits");
+        let report = config.analyze();
+        assert!(!report.has_errors(), "{report}");
+        assert_eq!(report.with_code(codes::NO_BE_HEADROOM).count(), 1);
+    }
+
+    fn rate(v: f64) -> Rate {
+        Rate::new(v).expect("valid rate")
+    }
+
+    #[test]
+    fn unrepresentable_vtick_is_an_error() {
+        let mut config = base_config();
+        // 0.01% of a 9-cycle slot: Vtick ~ 90000 >> the 12-bit cap.
+        config
+            .reservations_mut()
+            .reserve_gb(InputId::new(0), OutputId::new(0), rate(0.0001), 8)
+            .expect("tiny reservation is admissible");
+        let report = config.analyze();
+        assert!(report.has_errors(), "{report}");
+        assert_eq!(report.with_code(codes::VTICK_UNREPRESENTABLE).count(), 1);
+    }
+
+    #[test]
+    fn infeasible_gl_contract_is_rejected_with_ssq003() {
+        let mut config = base_config();
+        config
+            .reservations_mut()
+            .reserve_gl(OutputId::new(0), rate(0.1))
+            .expect("GL reservation fits");
+        let options = AnalysisOptions {
+            gl_contracts: vec![
+                GlContract {
+                    output: OutputId::new(0),
+                    latency_constraint: 5, // below any Eq. 1 bound
+                    declared_burst: 0,
+                },
+                GlContract {
+                    output: OutputId::new(0),
+                    latency_constraint: 100_000,
+                    declared_burst: 1,
+                },
+            ],
+            ..AnalysisOptions::default()
+        };
+        let report = config.analyze_with(&options);
+        assert!(report.has_errors());
+        assert_eq!(report.with_code(codes::GL_CONSTRAINT_INFEASIBLE).count(), 1);
+    }
+
+    #[test]
+    fn burst_violating_gl_contract_is_rejected_with_ssq004() {
+        let mut config = base_config();
+        config
+            .reservations_mut()
+            .reserve_gl(OutputId::new(0), rate(0.1))
+            .expect("GL reservation fits");
+        let options = AnalysisOptions {
+            l_max: 1,
+            l_min: 1,
+            gl_contracts: vec![GlContract {
+                output: OutputId::new(0),
+                latency_constraint: 101,
+                declared_burst: 51, // Eq. 2 budget is 50
+            }],
+        };
+        let report = config.analyze_with(&options);
+        assert!(report.has_errors());
+        assert_eq!(report.with_code(codes::GL_BURST_OVER_BUDGET).count(), 1);
+    }
+
+    #[test]
+    fn switch_preflight_matches_config_analysis() {
+        let config = base_config();
+        let switch = QosSwitch::new(config.clone()).expect("valid switch");
+        assert_eq!(
+            switch.preflight().diagnostics().len(),
+            config.analyze().diagnostics().len()
+        );
+    }
+}

@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod channel;
 mod config;
 pub mod gl;
@@ -78,9 +79,11 @@ mod reservations;
 mod switch;
 pub mod vcd;
 
+pub use analyze::{AnalysisOptions, GlContract};
 pub use channel::{ChannelState, OutputChannel};
 pub use config::{ConfigError, Policy, SwitchConfig, SwitchConfigBuilder};
 pub use packet::Packet;
 pub use port::InputPort;
 pub use reservations::{GbReservation, Reservations};
+pub use ssq_check::{Preflight, Report};
 pub use switch::{QosSwitch, SwitchCounters};

@@ -45,7 +45,7 @@ impl ClassQueue {
     /// Transmits one flit of the head packet (freeing its buffer slot)
     /// and pops the packet if it completed.
     fn transmit_head_flit(&mut self) -> Option<Packet> {
-        let head = self.packets.front_mut().expect("transmit from empty queue");
+        let head = self.packets.front_mut()?;
         self.used_flits -= 1;
         if head.transmit_flit() {
             self.packets.pop_front()

@@ -112,6 +112,29 @@ impl Reservations {
         Ok(())
     }
 
+    /// Records a GB reservation *without* the admission guard — for
+    /// tables read from external sources (traces, sweep specs) where
+    /// admission is deferred to the static analyzer:
+    /// `SwitchConfig::analyze` reports an over-subscribed output as an
+    /// `SSQ001` error instead of failing at insertion time, so the whole
+    /// table can be diagnosed in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range or `packet_flits` is zero.
+    pub fn reserve_gb_unchecked(
+        &mut self,
+        input: InputId,
+        output: OutputId,
+        rate: Rate,
+        packet_flits: u64,
+    ) {
+        assert!(input.index() < self.radix && output.index() < self.radix);
+        assert!(packet_flits > 0, "packets need at least one flit");
+        let idx = input.index() * self.radix + output.index();
+        self.gb[idx] = Some(GbReservation { rate, packet_flits });
+    }
+
     /// Reserves `rate` of `output`'s bandwidth for the GL class (shared
     /// by all inputs).
     ///

@@ -1,0 +1,132 @@
+//! Cross-checks between the static analyzer (`ssq-check`) and the
+//! runtime implementations it makes predictions about:
+//!
+//! - the analyzer's Eq. 1/Eq. 2–3 formulas must agree with
+//!   `ssq_core::gl` (the runtime GL admission math) everywhere;
+//! - a feasible reservation table passes `SwitchConfig::analyze`, an
+//!   over-subscribed one is rejected;
+//! - `Runner::run_checked` refuses to simulate a real [`QosSwitch`]
+//!   whose configuration carries an error-severity finding.
+
+use ssq_check::codes;
+use ssq_check::gl::{gl_burst_budgets, gl_latency_bound};
+use ssq_core::gl::{burst_budgets, latency_bound, GlScenario};
+use ssq_core::{Preflight, QosSwitch, SwitchConfig};
+use ssq_sim::{Runner, Schedule};
+use ssq_types::{Cycles, Geometry, InputId, OutputId, Rate};
+
+fn rate(v: f64) -> Rate {
+    Rate::new(v).expect("valid rate")
+}
+
+fn paper_config() -> SwitchConfig {
+    SwitchConfig::builder(Geometry::new(8, 128).expect("valid geometry"))
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn eq1_bound_agrees_with_the_runtime_formula() {
+    // The analyzer recomputes Eq. 1 independently of ssq_core::gl; the
+    // two must agree on the paper's worked example and across a grid.
+    assert_eq!(
+        gl_latency_bound(8, 1, 8, 4),
+        latency_bound(GlScenario::new(8, 1, 8, 4))
+    );
+    for l_max in [1, 2, 8, 16] {
+        for l_min in [1, 2, 4] {
+            if l_min > l_max {
+                continue;
+            }
+            for n_gl in [1, 3, 8, 63] {
+                for buffer in [1, 4, 9] {
+                    if buffer < l_min {
+                        continue; // GlScenario requires b >= l_min
+                    }
+                    assert_eq!(
+                        gl_latency_bound(l_max, l_min, n_gl, buffer),
+                        latency_bound(GlScenario::new(l_max, l_min, n_gl, buffer)),
+                        "l_max={l_max} l_min={l_min} n_gl={n_gl} b={buffer}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eq2_eq3_budgets_agree_with_the_runtime_formula() {
+    let tables: &[(&[u64], u64)] = &[
+        (&[101], 1),
+        (&[201, 201, 201, 201, 201, 201, 201, 201], 1),
+        (&[50, 100, 400], 4),
+        (&[1000, 2000, 3000, 4000], 8),
+        (&[64, 64, 4096], 2),
+    ];
+    for &(constraints, l_max) in tables {
+        assert_eq!(
+            gl_burst_budgets(constraints, l_max),
+            burst_budgets(constraints, l_max),
+            "constraints {constraints:?}, l_max {l_max}"
+        );
+    }
+}
+
+#[test]
+fn feasible_table_passes_oversubscribed_table_fails() {
+    let mut config = paper_config();
+    config
+        .reservations_mut()
+        .reserve_gb(InputId::new(0), OutputId::new(0), rate(0.4), 8)
+        .expect("fits");
+    config
+        .reservations_mut()
+        .reserve_gb(InputId::new(1), OutputId::new(0), rate(0.4), 8)
+        .expect("fits");
+    assert!(!config.analyze().has_errors());
+
+    // Push the same output past unity through the unchecked entry point
+    // (an externally-sourced table): the analyzer must reject it.
+    config
+        .reservations_mut()
+        .reserve_gb_unchecked(InputId::new(2), OutputId::new(0), rate(0.4), 8);
+    let report = config.analyze();
+    assert!(report.has_errors());
+    assert_eq!(report.with_code(codes::OVERSUBSCRIBED).count(), 1);
+}
+
+#[test]
+fn run_checked_refuses_a_switch_with_an_unrepresentable_vtick() {
+    // A 0.01% reservation is admissible (passes validate()), but its
+    // Vtick overflows the 12-bit auxVC counter — an SSQ005 error the
+    // runner must refuse to simulate.
+    let mut config = paper_config();
+    config
+        .reservations_mut()
+        .reserve_gb(InputId::new(0), OutputId::new(0), rate(0.0001), 8)
+        .expect("tiny reservation is admissible");
+    let mut switch = QosSwitch::new(config).expect("config passes validate()");
+
+    let runner = Runner::new(Schedule::new(Cycles::new(10), Cycles::new(10)));
+    let report = runner
+        .run_checked(&mut switch)
+        .expect_err("SSQ005 must refuse the run");
+    assert!(report.has_errors());
+    assert_eq!(report.with_code(codes::VTICK_UNREPRESENTABLE).count(), 1);
+    assert_eq!(
+        switch.counters().offered_packets,
+        0,
+        "not a cycle may be simulated under a refused configuration"
+    );
+}
+
+#[test]
+fn run_checked_runs_a_clean_switch() {
+    let mut switch = QosSwitch::new(paper_config()).expect("valid switch");
+    let runner = Runner::new(Schedule::new(Cycles::new(5), Cycles::new(5)));
+    let (end, report) = runner
+        .run_checked(&mut switch)
+        .expect("clean config must run");
+    assert_eq!(end.value(), 10);
+    assert!(!report.has_errors());
+}

@@ -1,29 +1,27 @@
-//! Property-based tests over the full switch model: conservation,
+//! Randomized property tests over the full switch model: conservation,
 //! capacity, buffer bounds, and reservation guarantees under randomized
-//! configurations and workloads.
-
-use proptest::prelude::*;
+//! configurations and workloads, driven by the in-tree PRNG so they run
+//! without external crates.
 
 use ssq_arbiter::CounterPolicy;
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
 use ssq_sim::{CycleModel, Runner, Schedule};
 use ssq_traffic::{Bernoulli, FixedDest, Injector, Saturating, UniformDest};
+use ssq_types::rng::Xoshiro256StarStar;
 use ssq_types::{Cycle, Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
 
-fn policy_strategy() -> impl Strategy<Value = Policy> {
-    prop_oneof![
-        Just(Policy::LrgOnly),
-        Just(Policy::Ssvc(CounterPolicy::SubtractRealClock)),
-        Just(Policy::Ssvc(CounterPolicy::Halve)),
-        Just(Policy::Ssvc(CounterPolicy::Reset)),
-        Just(Policy::ExactVirtualClock),
-        Just(Policy::Gsf),
-        Just(Policy::Wrr),
-        Just(Policy::Dwrr),
-        Just(Policy::Wfq),
-        Just(Policy::FourLevel),
-    ]
-}
+const POLICIES: [Policy; 10] = [
+    Policy::LrgOnly,
+    Policy::Ssvc(CounterPolicy::SubtractRealClock),
+    Policy::Ssvc(CounterPolicy::Halve),
+    Policy::Ssvc(CounterPolicy::Reset),
+    Policy::ExactVirtualClock,
+    Policy::Gsf,
+    Policy::Wrr,
+    Policy::Dwrr,
+    Policy::Wfq,
+    Policy::FourLevel,
+];
 
 #[derive(Debug, Clone)]
 struct RandomWorkload {
@@ -35,25 +33,15 @@ struct RandomWorkload {
     chaining: bool,
 }
 
-fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
-    (
-        policy_strategy(),
-        2u32..=3,                                  // radix 4 or 8
-        prop::collection::vec(0.02f64..0.2, 4),    // reservations
-        prop_oneof![Just(1u64), Just(4), Just(8)], // packet length
-        any::<u64>(),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(policy, radix_pow, rates, len, seed, chaining)| RandomWorkload {
-                policy,
-                radix_pow,
-                rates,
-                len,
-                seed,
-                chaining,
-            },
-        )
+fn random_workload(rng: &mut Xoshiro256StarStar) -> RandomWorkload {
+    RandomWorkload {
+        policy: POLICIES[rng.index(POLICIES.len())],
+        radix_pow: 2 + rng.range(0, 1) as u32, // radix 4 or 8
+        rates: (0..4).map(|_| 0.02 + rng.f64() * 0.18).collect(),
+        len: [1u64, 4, 8][rng.index(3)],
+        seed: rng.next_u64(),
+        chaining: rng.chance(0.5),
+    }
 }
 
 fn build(w: &RandomWorkload) -> QosSwitch {
@@ -100,43 +88,45 @@ fn build(w: &RandomWorkload) -> QosSwitch {
     switch
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Under any random configuration the switch never panics, conserves
-    /// packets, and never exceeds per-output or per-input capacity.
-    #[test]
-    fn conservation_and_capacity(w in workload_strategy()) {
+/// Under any random configuration the switch never panics, conserves
+/// packets, and never exceeds per-output or per-input capacity.
+#[test]
+fn conservation_and_capacity() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xc0de01);
+    for _ in 0..48 {
+        let w = random_workload(&mut rng);
         let mut switch = build(&w);
-        let end = Runner::new(Schedule::new(Cycles::new(500), Cycles::new(8_000)))
-            .run(&mut switch);
+        let end = Runner::new(Schedule::new(Cycles::new(500), Cycles::new(8_000))).run(&mut switch);
         let c = switch.counters();
         // Packets staged/buffered before the measurement boundary may be
         // accepted/delivered inside the window, so each stage of the
         // pipeline can lead the previous one by at most the total
         // queueing capacity ahead of it.
         let radix = 1usize << w.radix_pow;
-        let per_input_packets =
-            64 + (2 * w.len + 2 * w.len * radix as u64 + 4) / w.len + 1;
+        let per_input_packets = 64 + (2 * w.len + 2 * w.len * radix as u64 + 4) / w.len + 1;
         let slack = radix as u64 * per_input_packets;
-        prop_assert!(
+        assert!(
             c.accepted_packets <= c.offered_packets + slack,
             "accepted {} vs offered {} (+slack {})",
-            c.accepted_packets, c.offered_packets, slack
+            c.accepted_packets,
+            c.offered_packets,
+            slack
         );
-        prop_assert!(
+        assert!(
             c.delivered_packets <= c.accepted_packets + slack,
             "delivered {} vs accepted {} (+slack {})",
-            c.delivered_packets, c.accepted_packets, slack
+            c.delivered_packets,
+            c.accepted_packets,
+            slack
         );
-        prop_assert_eq!(c.delivered_flits, c.delivered_packets * w.len);
+        assert_eq!(c.delivered_flits, c.delivered_packets * w.len);
         let arb = w.policy.arbitration_cycles();
         let per_packet_ceiling = w.len as f64 / (w.len + arb) as f64;
         // Chaining raises the deliverable ceiling toward 1 flit/cycle.
         let ceiling = if w.chaining { 1.0 } else { per_packet_ceiling };
         for o in 0..radix {
             let t = switch.output_throughput(OutputId::new(o), end);
-            prop_assert!(t <= ceiling + 1e-9, "output {o}: {t}");
+            assert!(t <= ceiling + 1e-9, "output {o}: {t}");
         }
         for i in 0..radix {
             let t: f64 = (0..radix)
@@ -147,37 +137,45 @@ proptest! {
                         + switch.gl_metrics().flow(flow).throughput(end)
                 })
                 .sum();
-            prop_assert!(t <= 1.0 + 1e-9, "input {i}: {t}");
+            assert!(t <= 1.0 + 1e-9, "input {i}: {t}");
         }
     }
+}
 
-    /// Two identically-configured switches evolve identically.
-    #[test]
-    fn determinism(w in workload_strategy()) {
+/// Two identically-configured switches evolve identically.
+#[test]
+fn determinism() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xc0de02);
+    for _ in 0..12 {
+        let w = random_workload(&mut rng);
         let mut a = build(&w);
         let mut b = build(&w);
         for step in 0..3_000u64 {
             a.step(Cycle::new(step));
             b.step(Cycle::new(step));
         }
-        prop_assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.counters(), b.counters());
     }
+}
 
-    /// SSVC reservations are honoured under saturation for arbitrary
-    /// valid reservation vectors (the §4.2 property, randomized).
-    #[test]
-    fn ssvc_meets_random_reservations(
-        raw in prop::collection::vec(1u32..40, 8),
-        len in prop_oneof![Just(2u64), Just(8)],
-        policy_idx in 0usize..3,
-    ) {
-        let total: u32 = raw.iter().sum();
-        let rates: Vec<f64> = raw.iter().map(|&r| r as f64 / total as f64).collect();
+/// SSVC reservations are honoured under saturation for arbitrary valid
+/// reservation vectors (the §4.2 property, randomized).
+#[test]
+fn ssvc_meets_random_reservations() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0xc0de03);
+    for round in 0..9 {
+        let raw: Vec<u32> = (0..8).map(|_| rng.range(1, 39) as u32).collect();
+        let len = [2u64, 8][rng.index(2)];
         let policy = [
             CounterPolicy::SubtractRealClock,
             CounterPolicy::Halve,
             CounterPolicy::Reset,
-        ][policy_idx];
+        ][round % 3];
+        let total: u32 = raw.iter().sum();
+        let rates: Vec<f64> = raw
+            .iter()
+            .map(|&r| f64::from(r) / f64::from(total))
+            .collect();
         let geometry = Geometry::new(8, 128).expect("valid geometry");
         let mut config = SwitchConfig::builder(geometry)
             .policy(Policy::Ssvc(policy))
@@ -188,7 +186,12 @@ proptest! {
         for (i, &r) in rates.iter().enumerate() {
             config
                 .reservations_mut()
-                .reserve_gb(InputId::new(i), OutputId::new(0), Rate::new(r).unwrap(), len)
+                .reserve_gb(
+                    InputId::new(i),
+                    OutputId::new(0),
+                    Rate::new(r).expect("in range"),
+                    len,
+                )
                 .expect("sums to 1");
         }
         let mut switch = QosSwitch::new(config).expect("valid switch");
@@ -202,18 +205,23 @@ proptest! {
                 .for_input(InputId::new(i)),
             );
         }
-        let end = Runner::new(Schedule::new(Cycles::new(4_000), Cycles::new(30_000)))
-            .run(&mut switch);
+        let end =
+            Runner::new(Schedule::new(Cycles::new(4_000), Cycles::new(30_000))).run(&mut switch);
         let capacity = len as f64 / (len + 1) as f64;
         for (i, &r) in rates.iter().enumerate() {
             let got = switch
                 .gb_metrics()
                 .flow(FlowId::new(InputId::new(i), OutputId::new(0)))
                 .throughput(end);
-            prop_assert!(
+            assert!(
                 got >= r * capacity - 0.02,
                 "flow {} got {:.4}, reserved {:.4} (rates {:?}, len {}, {:?})",
-                i, got, r * capacity, &rates, len, policy
+                i,
+                got,
+                r * capacity,
+                &rates,
+                len,
+                policy
             );
         }
     }

@@ -1,94 +1,110 @@
-//! Property-based tests over the physical models.
-
-use proptest::prelude::*;
+//! Randomized property tests over the physical models, driven by the
+//! in-tree PRNG so they run without external crates.
 
 use ssq_physical::elmore::{elmore_delay_ps, WireParams};
 use ssq_physical::{AreaModel, DelayModel, StorageModel};
+use ssq_types::rng::Xoshiro256StarStar;
 use ssq_types::Geometry;
 
-proptest! {
-    /// Elmore delay is monotone in every physical argument.
-    #[test]
-    fn elmore_is_monotone(
-        len in 0.01f64..5.0,
-        drv in 10.0f64..5_000.0,
-        load in 0.1f64..100.0,
-        bump in 1.01f64..2.0,
-    ) {
+const CASES: u64 = 256;
+
+fn uniform(rng: &mut Xoshiro256StarStar, lo: f64, hi: f64) -> f64 {
+    lo + rng.f64() * (hi - lo)
+}
+
+/// Elmore delay is monotone in every physical argument.
+#[test]
+fn elmore_is_monotone() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x2b01);
+    for _ in 0..CASES {
+        let len = uniform(&mut rng, 0.01, 5.0);
+        let drv = uniform(&mut rng, 10.0, 5_000.0);
+        let load = uniform(&mut rng, 0.1, 100.0);
+        let bump = uniform(&mut rng, 1.01, 2.0);
         let w = WireParams::nm32();
         let base = elmore_delay_ps(w, len, drv, load);
-        prop_assert!(elmore_delay_ps(w, len * bump, drv, load) > base);
-        prop_assert!(elmore_delay_ps(w, len, drv * bump, load) > base);
-        prop_assert!(elmore_delay_ps(w, len, drv, load * bump) > base);
+        assert!(elmore_delay_ps(w, len * bump, drv, load) > base);
+        assert!(elmore_delay_ps(w, len, drv * bump, load) > base);
+        assert!(elmore_delay_ps(w, len, drv, load * bump) > base);
     }
+}
 
-    /// Storage totals decompose exactly and scale as the closed forms say.
-    #[test]
-    fn storage_scales_with_geometry(
-        radix_pow in 2u32..7,
-        flit_bytes in 16u64..128,
-        buf in 1u64..16,
-    ) {
-        let radix = 1usize << radix_pow;
+/// Storage totals decompose exactly and scale as the closed forms say.
+#[test]
+fn storage_scales_with_geometry() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x2b02);
+    for _ in 0..CASES {
+        let radix = 1usize << rng.range(2, 6);
+        let flit_bytes = rng.range(16, 127);
+        let buf = rng.range(1, 15);
         let geometry = Geometry::new(radix, 512).expect("512-bit bus fits all radices");
         let m = StorageModel::new(geometry, flit_bytes, buf, buf, buf, 11, 8, 8);
         // GB buffering dominates linearly in radix (one VOQ per output).
-        prop_assert_eq!(
+        assert_eq!(
             m.gb_buffer_bytes_per_input(),
             buf * radix as u64 * flit_bytes
         );
-        prop_assert_eq!(
+        assert_eq!(
             m.total_buffering_bytes(),
             (m.be_buffer_bytes_per_input()
                 + m.gb_buffer_bytes_per_input()
-                + m.gl_buffer_bytes_per_input()) * radix as u64
+                + m.gl_buffer_bytes_per_input())
+                * radix as u64
         );
         // Crosspoint state: 11 + 8 + 8 + (radix-1) bits each.
         let bits = 27 + radix as u64 - 1;
-        prop_assert!((m.crosspoint_bytes() - bits as f64 / 8.0).abs() < 1e-12);
-        prop_assert_eq!(m.total_bytes(), m.total_buffering_bytes() + m.total_crosspoint_bytes());
+        assert!((m.crosspoint_bytes() - bits as f64 / 8.0).abs() < 1e-12);
+        assert_eq!(
+            m.total_bytes(),
+            m.total_buffering_bytes() + m.total_crosspoint_bytes()
+        );
     }
+}
 
-    /// The calibrated delay model keeps its physical orderings over the
-    /// whole supported grid, not just Table 2's points.
-    #[test]
-    fn delay_orderings_hold_everywhere(
-        radix_pow in 2u32..7,
-        width_pow in 7u32..10,
-    ) {
-        let radix = 1usize << radix_pow;
-        let width = 1usize << width_pow;
-        prop_assume!(width >= radix);
-        let m = DelayModel::calibrated_32nm();
-        let ss = m.ss_frequency_ghz(radix, width);
-        let ssvc = m.ssvc_frequency_ghz(radix, width);
-        prop_assert!(ss > 0.5 && ss < 5.0, "implausible {ss} GHz");
-        prop_assert!(ssvc < ss);
-        let slow = m.slowdown(radix, width);
-        prop_assert!(slow > 0.0 && slow < 0.15, "slowdown {slow}");
-        // The paper's 8.4% worst case is over its Table 2 grid (radix >= 8);
-        // a hypothetical radix-4 crosspoint has even more lanes per input
-        // and may exceed it.
-        if radix >= 8 {
-            prop_assert!(slow <= 0.084 + 1e-9, "slowdown {slow} at ({radix},{width})");
-        }
-        // Doubling the radix at fixed width never speeds the switch up.
-        if radix * 2 <= width {
-            prop_assert!(m.ss_frequency_ghz(radix * 2, width) < ss);
+/// The calibrated delay model keeps its physical orderings over the
+/// whole supported grid, not just Table 2's points.
+#[test]
+fn delay_orderings_hold_everywhere() {
+    for radix_pow in 2u32..7 {
+        for width_pow in 7u32..10 {
+            let radix = 1usize << radix_pow;
+            let width = 1usize << width_pow;
+            if width < radix {
+                continue;
+            }
+            let m = DelayModel::calibrated_32nm();
+            let ss = m.ss_frequency_ghz(radix, width);
+            let ssvc = m.ssvc_frequency_ghz(radix, width);
+            assert!(ss > 0.5 && ss < 5.0, "implausible {ss} GHz");
+            assert!(ssvc < ss);
+            let slow = m.slowdown(radix, width);
+            assert!(slow > 0.0 && slow < 0.15, "slowdown {slow}");
+            // The paper's 8.4% worst case is over its Table 2 grid (radix >= 8);
+            // a hypothetical radix-4 crosspoint has even more lanes per input
+            // and may exceed it.
+            if radix >= 8 {
+                assert!(slow <= 0.084 + 1e-9, "slowdown {slow} at ({radix},{width})");
+            }
+            // Doubling the radix at fixed width never speeds the switch up.
+            if radix * 2 <= width {
+                assert!(m.ss_frequency_ghz(radix * 2, width) < ss);
+            }
         }
     }
+}
 
-    /// Area overhead is within [0, SSVC_BIT_SLICES/width] and vanishes
-    /// once the spare area covers the logic.
-    #[test]
-    fn area_overhead_envelope(width in 16usize..1024) {
+/// Area overhead is within [0, SSVC_BIT_SLICES/width] and vanishes once
+/// the spare area covers the logic.
+#[test]
+fn area_overhead_envelope() {
+    for width in 16usize..1024 {
         let m = AreaModel::new();
         let o = m.overhead_fraction(width);
-        prop_assert!(o >= 0.0);
-        prop_assert!(o <= AreaModel::SSVC_BIT_SLICES as f64 / width as f64 + 1e-12);
+        assert!(o >= 0.0);
+        assert!(o <= AreaModel::SSVC_BIT_SLICES as f64 / width as f64 + 1e-12);
         if width >= AreaModel::BASELINE_FIT_BITS + AreaModel::SSVC_BIT_SLICES {
-            prop_assert_eq!(o, 0.0);
+            assert_eq!(o, 0.0);
         }
-        prop_assert!(m.equivalent_channel_bits(width) >= width);
+        assert!(m.equivalent_channel_bits(width) >= width);
     }
 }

@@ -9,7 +9,7 @@
 //!   stats-reset hook at the warm-up/measurement boundary.
 //! * [`Runner`] — drives a model through a schedule.
 //! * [`sweep`] — runs one experiment per parameter point across threads
-//!   (crossbeam scoped threads), preserving input order in the results.
+//!   (std scoped threads), preserving input order in the results.
 //! * [`vcd`] — a Value Change Dump writer so model activity can be
 //!   inspected in standard waveform viewers.
 //!
@@ -51,4 +51,5 @@ mod sweep;
 pub mod vcd;
 
 pub use runner::{CycleModel, Runner, Schedule};
+pub use ssq_check::{Preflight, Report};
 pub use sweep::sweep;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ssq_check::{Preflight, Report};
 use ssq_types::{Cycle, Cycles};
 
 /// Warm-up and measurement phases of one simulation.
@@ -111,6 +112,31 @@ impl Runner {
         now
     }
 
+    /// Runs the model's static preflight analysis
+    /// ([`ssq_check::Preflight`]) and, only when it is free of
+    /// error-severity findings, drives the full schedule.
+    ///
+    /// On success, returns the end cycle together with the report so
+    /// callers can surface warnings. The model is untouched on refusal:
+    /// not a single cycle is simulated under a configuration whose
+    /// guarantees cannot hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Report`] when it
+    /// [`has_errors`](Report::has_errors).
+    pub fn run_checked<M>(&self, model: &mut M) -> Result<(Cycle, Report), Report>
+    where
+        M: CycleModel + Preflight + ?Sized,
+    {
+        let report = model.preflight();
+        if report.has_errors() {
+            return Err(report);
+        }
+        let end = self.run(model);
+        Ok((end, report))
+    }
+
     /// Runs the model from cycle 0 through the full schedule and returns
     /// the cycle after the last step (== [`Schedule::total`]).
     pub fn run<M: CycleModel + ?Sized>(&self, model: &mut M) -> Cycle {
@@ -190,10 +216,12 @@ mod tests {
     fn run_observed_sees_every_cycle() {
         let mut probe = Probe::default();
         let mut seen = Vec::new();
-        let end = Runner::new(Schedule::new(Cycles::new(2), Cycles::new(3)))
-            .run_observed(&mut probe, |m, now| {
+        let end = Runner::new(Schedule::new(Cycles::new(2), Cycles::new(3))).run_observed(
+            &mut probe,
+            |m, now| {
                 seen.push((now.value(), m.steps));
-            });
+            },
+        );
         assert_eq!(end, Cycle::new(5));
         // The observer runs after each step, so it sees the incremented
         // step count at the stepped cycle.
@@ -206,5 +234,61 @@ mod tests {
         let s = Schedule::new(Cycles::new(7), Cycles::new(13));
         assert_eq!(s.total(), Cycles::new(20));
         assert!(s.to_string().contains("7 warm-up"));
+    }
+
+    struct Gated {
+        probe: Probe,
+        severity: ssq_check::Severity,
+    }
+
+    impl CycleModel for Gated {
+        fn step(&mut self, now: Cycle) {
+            self.probe.step(now);
+        }
+        fn begin_measurement(&mut self, now: Cycle) {
+            self.probe.begin_measurement(now);
+        }
+    }
+
+    impl Preflight for Gated {
+        fn preflight(&self) -> Report {
+            std::iter::once(ssq_check::Diagnostic::new(
+                ssq_check::codes::OVERSUBSCRIBED,
+                self.severity,
+                "output 0",
+                "synthetic",
+            ))
+            .collect()
+        }
+    }
+
+    #[test]
+    fn run_checked_refuses_error_reports_without_stepping() {
+        let mut model = Gated {
+            probe: Probe::default(),
+            severity: ssq_check::Severity::Error,
+        };
+        let result =
+            Runner::new(Schedule::new(Cycles::new(2), Cycles::new(3))).run_checked(&mut model);
+        let report = result.expect_err("error-severity findings refuse the run");
+        assert!(report.has_errors());
+        assert_eq!(
+            model.probe.steps, 0,
+            "no cycle may run under a broken config"
+        );
+    }
+
+    #[test]
+    fn run_checked_runs_through_warnings() {
+        let mut model = Gated {
+            probe: Probe::default(),
+            severity: ssq_check::Severity::Warning,
+        };
+        let (end, report) = Runner::new(Schedule::new(Cycles::new(2), Cycles::new(3)))
+            .run_checked(&mut model)
+            .expect("warnings do not block");
+        assert_eq!(end, Cycle::new(5));
+        assert_eq!(model.probe.steps, 5);
+        assert_eq!(report.len(), 1);
     }
 }

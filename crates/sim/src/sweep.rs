@@ -1,8 +1,8 @@
 //! Thread-parallel parameter sweeps.
 
 /// Runs `f` once per parameter point, spreading points across up to
-/// `std::thread::available_parallelism()` crossbeam scoped threads, and
-/// returns the results **in input order**.
+/// `std::thread::available_parallelism()` scoped threads, and returns
+/// the results **in input order**.
 ///
 /// Each experiment must be self-contained (build its own model from the
 /// parameter and a seed); the sweep only parallelizes across points, so
@@ -34,31 +34,38 @@ where
         return params.iter().map(&f).collect();
     }
 
+    // Workers claim point indices from a shared atomic counter and carry
+    // their `(index, result)` pairs home through the join handle, so no
+    // locks guard the result storage.
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = (0..params.len()).map(|_| None).collect();
-    {
-        // Hand each worker a disjoint set of result slots via chunks of a
-        // mutex-free work queue: workers claim indices atomically and
-        // write through a striped mutex-protected vector.
-        let slots_mutex = std::sync::Mutex::new(&mut slots);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= params.len() {
-                        break;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= params.len() {
+                            return mine;
+                        }
+                        mine.push((i, f(&params[i])));
                     }
-                    let r = f(&params[i]);
-                    slots_mutex.lock().expect("no panics hold this lock")[i] = Some(r);
-                });
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mine) => {
+                    for (i, r) in mine {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
             }
-        })
-        .expect("worker panicked during sweep");
-    }
-    slots
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+        }
+    });
+    slots.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

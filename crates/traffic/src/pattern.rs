@@ -1,7 +1,6 @@
 //! Destination patterns: which output each packet targets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssq_types::rng::Xoshiro256StarStar;
 use ssq_types::{InputId, OutputId};
 
 /// Chooses the destination output for each packet created at an input.
@@ -35,7 +34,7 @@ impl DestinationPattern for FixedDest {
 #[derive(Debug, Clone)]
 pub struct UniformDest {
     radix: usize,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
 }
 
 impl UniformDest {
@@ -49,14 +48,14 @@ impl UniformDest {
         assert!(radix > 0, "radix must be positive");
         UniformDest {
             radix,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
         }
     }
 }
 
 impl DestinationPattern for UniformDest {
     fn dest(&mut self, _input: InputId) -> OutputId {
-        OutputId::new(self.rng.random_range(0..self.radix))
+        OutputId::new(self.rng.index(self.radix))
     }
 }
 
@@ -68,7 +67,7 @@ pub struct HotspotDest {
     radix: usize,
     hot: OutputId,
     hot_fraction: f64,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
 }
 
 impl HotspotDest {
@@ -90,18 +89,18 @@ impl HotspotDest {
             radix,
             hot,
             hot_fraction,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
         }
     }
 }
 
 impl DestinationPattern for HotspotDest {
     fn dest(&mut self, _input: InputId) -> OutputId {
-        if self.rng.random::<f64>() < self.hot_fraction {
+        if self.rng.f64() < self.hot_fraction {
             return self.hot;
         }
         // Uniform over the other outputs.
-        let pick = self.rng.random_range(0..self.radix - 1);
+        let pick = self.rng.index(self.radix - 1);
         let idx = if pick >= self.hot.index() {
             pick + 1
         } else {

@@ -1,7 +1,6 @@
 //! Packet arrival processes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ssq_types::rng::Xoshiro256StarStar;
 use ssq_types::Cycle;
 
 /// A packet arrival process at one input port.
@@ -39,7 +38,7 @@ pub trait TrafficSource {
 pub struct Bernoulli {
     rate: f64,
     len_flits: u64,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
 }
 
 impl Bernoulli {
@@ -56,7 +55,7 @@ impl Bernoulli {
         Bernoulli {
             rate,
             len_flits,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
         }
     }
 }
@@ -64,7 +63,7 @@ impl Bernoulli {
 impl TrafficSource for Bernoulli {
     fn poll(&mut self, _now: Cycle) -> Option<u64> {
         let p = self.rate / self.len_flits as f64;
-        if self.rng.random::<f64>() < p {
+        if self.rng.f64() < p {
             Some(self.len_flits)
         } else {
             None
@@ -132,7 +131,7 @@ pub struct OnOffBursty {
     p_on_to_off: f64,
     p_off_to_on: f64,
     on: bool,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
 }
 
 impl OnOffBursty {
@@ -165,7 +164,7 @@ impl OnOffBursty {
             p_on_to_off,
             p_off_to_on,
             on: true,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
         }
     }
 
@@ -178,7 +177,7 @@ impl OnOffBursty {
 
 impl TrafficSource for OnOffBursty {
     fn poll(&mut self, _now: Cycle) -> Option<u64> {
-        let flip: f64 = self.rng.random();
+        let flip = self.rng.f64();
         if self.on && flip < self.p_on_to_off {
             self.on = false;
         } else if !self.on && flip < self.p_off_to_on {
@@ -188,7 +187,7 @@ impl TrafficSource for OnOffBursty {
             return None;
         }
         let p = self.rate_on / self.len_flits as f64;
-        if self.rng.random::<f64>() < p {
+        if self.rng.f64() < p {
             Some(self.len_flits)
         } else {
             None
@@ -385,7 +384,7 @@ pub struct BimodalBernoulli {
     len_short: u64,
     len_long: u64,
     p_long: f64,
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
 }
 
 impl BimodalBernoulli {
@@ -403,13 +402,16 @@ impl BimodalBernoulli {
             (0.0..=1.0).contains(&p_long),
             "p_long {p_long} outside [0, 1]"
         );
-        assert!(len_short > 0 && len_long > 0, "packets need at least one flit");
+        assert!(
+            len_short > 0 && len_long > 0,
+            "packets need at least one flit"
+        );
         BimodalBernoulli {
             rate,
             len_short,
             len_long,
             p_long,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256StarStar::seed_from_u64(seed),
         }
     }
 
@@ -423,8 +425,8 @@ impl BimodalBernoulli {
 impl TrafficSource for BimodalBernoulli {
     fn poll(&mut self, _now: Cycle) -> Option<u64> {
         let p = self.rate / self.mean_len();
-        if self.rng.random::<f64>() < p {
-            if self.rng.random::<f64>() < self.p_long {
+        if self.rng.f64() < p {
+            if self.rng.f64() < self.p_long {
                 Some(self.len_long)
             } else {
                 Some(self.len_short)
@@ -446,9 +448,7 @@ mod bimodal_tests {
     #[test]
     fn offered_load_holds_despite_the_mix() {
         let mut src = BimodalBernoulli::new(0.4, 1, 8, 0.3, 21);
-        let flits: u64 = (0..200_000)
-            .filter_map(|c| src.poll(Cycle::new(c)))
-            .sum();
+        let flits: u64 = (0..200_000).filter_map(|c| src.poll(Cycle::new(c))).sum();
         let rate = flits as f64 / 200_000.0;
         assert!((rate - 0.4).abs() < 0.02, "measured {rate}");
     }

@@ -1,11 +1,12 @@
-//! Property-based tests over traffic sources and destination patterns.
-
-use proptest::prelude::*;
+//! Randomized property tests over traffic sources and destination
+//! patterns, driven by the in-tree PRNG so they run without external
+//! crates.
 
 use ssq_traffic::{
     Bernoulli, BitComplement, DestinationPattern, HotspotDest, OnOffBursty, Periodic, Saturating,
     Shuffle, Trace, TrafficSource, Transpose, UniformDest,
 };
+use ssq_types::rng::Xoshiro256StarStar;
 use ssq_types::{Cycle, InputId};
 
 fn measure(src: &mut dyn TrafficSource, cycles: u64) -> f64 {
@@ -13,60 +14,83 @@ fn measure(src: &mut dyn TrafficSource, cycles: u64) -> f64 {
     flits as f64 / cycles as f64
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn uniform_f64(rng: &mut Xoshiro256StarStar, lo: f64, hi: f64) -> f64 {
+    lo + rng.f64() * (hi - lo)
+}
 
-    /// Every source with a declared offered load hits it within sampling
-    /// noise over a long window.
-    #[test]
-    fn offered_load_is_accurate(
-        rate in 0.05f64..0.95,
-        len in 1u64..16,
-        seed in any::<u64>(),
-    ) {
+/// Every source with a declared offered load hits it within sampling
+/// noise over a long window.
+#[test]
+fn offered_load_is_accurate() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7a01);
+    for _ in 0..32 {
+        let rate = uniform_f64(&mut rng, 0.05, 0.95);
+        let len = rng.range(1, 15);
+        let seed = rng.next_u64();
         let mut src = Bernoulli::new(rate, len, seed);
         let measured = measure(&mut src, 100_000);
-        let declared = src.offered_load().unwrap();
-        prop_assert!((measured - declared).abs() < 0.03,
-            "bernoulli measured {measured} declared {declared}");
+        let declared = src.offered_load().expect("bernoulli declares a load");
+        assert!(
+            (measured - declared).abs() < 0.03,
+            "bernoulli measured {measured} declared {declared}"
+        );
     }
+}
 
-    /// Periodic sources are exact: flits = floor stepping of the period.
-    #[test]
-    fn periodic_is_exact(interval in 1u64..500, phase in 0u64..1000, len in 1u64..8) {
+/// Periodic sources are exact: flits = floor stepping of the period.
+#[test]
+fn periodic_is_exact() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7a02);
+    for _ in 0..32 {
+        let interval = rng.range(1, 499);
+        let phase = rng.below(1000);
+        let len = rng.range(1, 7);
         let mut src = Periodic::new(interval, phase, len);
         let cycles = interval * 100;
         let flits: u64 = (0..cycles).filter_map(|c| src.poll(Cycle::new(c))).sum();
-        prop_assert_eq!(flits, 100 * len);
+        assert_eq!(flits, 100 * len);
     }
+}
 
-    /// Bursty sources respect their duty-cycle average.
-    #[test]
-    fn bursty_average_matches_duty(
-        rate_on in 0.2f64..1.0,
-        p in 0.005f64..0.05,
-        seed in any::<u64>(),
-    ) {
+/// Bursty sources respect their duty-cycle average.
+#[test]
+fn bursty_average_matches_duty() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7a03);
+    for _ in 0..32 {
+        let rate_on = uniform_f64(&mut rng, 0.2, 1.0);
+        let p = uniform_f64(&mut rng, 0.005, 0.05);
+        let seed = rng.next_u64();
         // Symmetric transitions => 50% duty cycle.
         let mut src = OnOffBursty::new(rate_on, 1, p, p, seed);
         let measured = measure(&mut src, 200_000);
         let expect = rate_on / 2.0;
-        prop_assert!((measured - expect).abs() < 0.08,
-            "bursty measured {measured} expected {expect}");
+        assert!(
+            (measured - expect).abs() < 0.08,
+            "bursty measured {measured} expected {expect}"
+        );
     }
+}
 
-    /// A saturating source delivers exactly one packet per poll.
-    #[test]
-    fn saturating_never_misses(len in 1u64..32, cycles in 1u64..1000) {
+/// A saturating source delivers exactly one packet per poll.
+#[test]
+fn saturating_never_misses() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7a04);
+    for _ in 0..32 {
+        let len = rng.range(1, 31);
+        let cycles = rng.range(1, 999);
         let mut src = Saturating::new(len);
         let flits: u64 = (0..cycles).filter_map(|c| src.poll(Cycle::new(c))).sum();
-        prop_assert_eq!(flits, cycles * len);
+        assert_eq!(flits, cycles * len);
     }
+}
 
-    /// Trace replay emits exactly its schedule, regardless of polling
-    /// pattern alignment.
-    #[test]
-    fn trace_replay_is_faithful(gaps in prop::collection::vec(1u64..50, 1..40)) {
+/// Trace replay emits exactly its schedule, regardless of polling
+/// pattern alignment.
+#[test]
+fn trace_replay_is_faithful() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7a05);
+    for _ in 0..32 {
+        let gaps: Vec<u64> = (0..1 + rng.index(39)).map(|_| rng.range(1, 49)).collect();
         let mut cycle = 0;
         let events: Vec<(u64, u64)> = gaps
             .iter()
@@ -79,14 +103,16 @@ proptest! {
         let mut src = Trace::new(events.clone());
         let horizon = cycle + 10;
         let flits: u64 = (0..=horizon).filter_map(|c| src.poll(Cycle::new(c))).sum();
-        prop_assert_eq!(flits, expected);
-        prop_assert_eq!(src.remaining(), 0);
+        assert_eq!(flits, expected);
+        assert_eq!(src.remaining(), 0);
     }
+}
 
-    /// Permutation patterns are true permutations at any power-of-two /
-    /// square radix, and repeated queries are stable.
-    #[test]
-    fn permutations_are_bijective(pow in 1u32..6) {
+/// Permutation patterns are true permutations at any power-of-two /
+/// square radix, and repeated queries are stable.
+#[test]
+fn permutations_are_bijective() {
+    for pow in 1u32..6 {
         let radix = 1usize << pow;
         let mut patterns: Vec<Box<dyn DestinationPattern>> = vec![
             Box::new(BitComplement::new(radix)),
@@ -99,21 +125,23 @@ proptest! {
             let mut seen = vec![false; radix];
             for i in 0..radix {
                 let d = p.dest(InputId::new(i));
-                prop_assert!(!seen[d.index()], "output {} hit twice", d.index());
+                assert!(!seen[d.index()], "output {} hit twice", d.index());
                 seen[d.index()] = true;
-                prop_assert_eq!(p.dest(InputId::new(i)), d, "pattern not stable");
+                assert_eq!(p.dest(InputId::new(i)), d, "pattern not stable");
             }
         }
     }
+}
 
-    /// Uniform and hotspot destinations always stay in range and follow
-    /// their distribution.
-    #[test]
-    fn random_patterns_stay_in_range(
-        radix in 2usize..64,
-        hot_fraction in 0.0f64..1.0,
-        seed in any::<u64>(),
-    ) {
+/// Uniform and hotspot destinations always stay in range and follow
+/// their distribution.
+#[test]
+fn random_patterns_stay_in_range() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x7a06);
+    for _ in 0..32 {
+        let radix = 2 + rng.index(62);
+        let hot_fraction = rng.f64();
+        let seed = rng.next_u64();
         let mut uniform = UniformDest::new(radix, seed);
         let hot = ssq_types::OutputId::new(radix - 1);
         let mut hotspot = HotspotDest::new(radix, hot, hot_fraction, seed);
@@ -121,17 +149,17 @@ proptest! {
         let trials = 2_000;
         for i in 0..trials {
             let du = uniform.dest(InputId::new(i % radix));
-            prop_assert!(du.index() < radix);
+            assert!(du.index() < radix);
             let dh = hotspot.dest(InputId::new(i % radix));
-            prop_assert!(dh.index() < radix);
+            assert!(dh.index() < radix);
             if dh == hot {
                 hot_hits += 1;
             }
         }
         let frac = f64::from(hot_hits) / trials as f64;
-        // Hot hits = declared fraction + uniform spillover share.
-        let expect = hot_fraction + (1.0 - hot_fraction) / (radix - 1) as f64 * 0.0;
-        prop_assert!((frac - hot_fraction).abs() < 0.05 + expect,
-            "hot fraction {frac} vs {hot_fraction}");
+        assert!(
+            (frac - hot_fraction).abs() < 0.05,
+            "hot fraction {frac} vs {hot_fraction}"
+        );
     }
 }

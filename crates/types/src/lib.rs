@@ -37,6 +37,7 @@ mod error;
 mod geometry;
 mod ids;
 mod packet;
+pub mod rng;
 mod units;
 
 pub use class::TrafficClass;
@@ -44,4 +45,5 @@ pub use error::{GeometryError, RateError};
 pub use geometry::Geometry;
 pub use ids::{FlowId, InputId, OutputId, PacketId};
 pub use packet::{PacketSpec, MAX_PACKET_FLITS};
+pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use units::{Cycle, Cycles, Rate};

@@ -1,70 +1,108 @@
-//! Property-based tests over the vocabulary types.
+//! Randomized property tests over the vocabulary types, driven by the
+//! in-tree PRNG so they run without external crates.
 
-use proptest::prelude::*;
-
+use ssq_types::rng::Xoshiro256StarStar;
 use ssq_types::{Cycle, Cycles, Geometry, Rate};
 
-proptest! {
-    /// Geometry arithmetic: lanes tile the bus exactly, the GB lane
-    /// budget is a power of two within the total, and the significant
-    /// bits address exactly the GB lanes.
-    #[test]
-    fn geometry_lane_arithmetic(radix_pow in 1u32..7, width_pow in 6u32..10) {
-        let radix = 1usize << radix_pow;
-        let width = 1usize << width_pow;
-        prop_assume!(width >= radix);
-        let g = Geometry::new(radix, width).unwrap();
-        prop_assert_eq!(g.num_lanes() * g.radix(), g.bus_width_bits());
-        prop_assert_eq!(g.lane_wires(), radix);
-        prop_assert_eq!(g.crosspoints(), radix * radix);
+const CASES: u64 = 256;
+
+/// Geometry arithmetic: lanes tile the bus exactly, the GB lane budget
+/// is a power of two within the total, and the significant bits address
+/// exactly the GB lanes.
+#[test]
+fn geometry_lane_arithmetic() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x9e01);
+    for _ in 0..CASES {
+        let radix = 1usize << rng.range(1, 6);
+        let width = 1usize << rng.range(6, 9);
+        if width < radix {
+            continue;
+        }
+        let g = Geometry::new(radix, width).expect("valid geometry");
+        assert_eq!(g.num_lanes() * g.radix(), g.bus_width_bits());
+        assert_eq!(g.lane_wires(), radix);
+        assert_eq!(g.crosspoints(), radix * radix);
         let gb = g.gb_lanes();
         if gb > 0 {
-            prop_assert!(gb.is_power_of_two());
-            prop_assert!(gb <= g.num_lanes());
-            prop_assert_eq!(1usize << g.significant_bits(), gb);
+            assert!(gb.is_power_of_two());
+            assert!(gb <= g.num_lanes());
+            assert_eq!(1usize << g.significant_bits(), gb);
             // One lane is always left for GL.
-            prop_assert!(gb < g.num_lanes() || g.num_lanes() == 1);
+            assert!(gb < g.num_lanes() || g.num_lanes() == 1);
         }
     }
+}
 
-    /// `min_bus_width` really is minimal: it supports the classes, and
-    /// the next power of two down does not (unless already at the floor).
-    #[test]
-    fn min_bus_width_is_minimal(radix_pow in 1u32..7, classes in 1usize..5) {
-        let radix = 1usize << radix_pow;
+/// `min_bus_width` really is minimal: it supports the classes, and the
+/// next power of two down does not (unless already at the floor).
+#[test]
+fn min_bus_width_is_minimal() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x9e02);
+    for _ in 0..CASES {
+        let radix = 1usize << rng.range(1, 6);
+        let classes = 1 + rng.index(4);
         let width = Geometry::min_bus_width(radix, classes);
-        prop_assert!(width.is_power_of_two() && width >= 64);
-        let g = Geometry::new(radix, width).unwrap();
-        prop_assert!(g.supports_classes(classes));
+        assert!(width.is_power_of_two() && width >= 64);
+        let g = Geometry::new(radix, width).expect("minimal width is valid");
+        assert!(g.supports_classes(classes));
         if width > 64 {
             let smaller = width / 2;
             if smaller >= radix && smaller.is_multiple_of(radix) {
-                let gs = Geometry::new(radix, smaller).unwrap();
-                prop_assert!(!gs.supports_classes(classes), "{radix}/{classes}: {smaller} suffices");
+                let gs = Geometry::new(radix, smaller).expect("half width is valid");
+                assert!(
+                    !gs.supports_classes(classes),
+                    "{radix}/{classes}: {smaller} suffices"
+                );
             }
         }
     }
+}
 
-    /// Rate accepts exactly finite [0, 1] and round-trips percent.
-    #[test]
-    fn rate_domain(x in prop::num::f64::ANY) {
+/// Rate accepts exactly finite [0, 1] and round-trips percent.
+#[test]
+fn rate_domain() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x9e03);
+    let mut cases: Vec<f64> = vec![
+        0.0,
+        1.0,
+        -0.0,
+        1.0 + f64::EPSILON,
+        -f64::MIN_POSITIVE,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MAX,
+        f64::MIN,
+    ];
+    for _ in 0..CASES {
+        // Mix in-range values with arbitrary bit patterns.
+        cases.push(rng.f64());
+        cases.push(f64::from_bits(rng.next_u64()));
+    }
+    for x in cases {
         let ok = x.is_finite() && (0.0..=1.0).contains(&x);
-        prop_assert_eq!(Rate::new(x).is_ok(), ok);
+        assert_eq!(Rate::new(x).is_ok(), ok, "Rate::new({x})");
         if ok {
-            let r = Rate::new(x).unwrap();
-            prop_assert!((Rate::from_percent(r.as_percent()).unwrap().value() - x).abs() < 1e-12);
+            let r = Rate::new(x).expect("checked in-range");
+            let back = Rate::from_percent(r.as_percent()).expect("percent round-trip");
+            assert!((back.value() - x).abs() < 1e-12);
         }
     }
+}
 
-    /// Cycle/Cycles arithmetic is consistent: (t + d) - t == d and
-    /// saturating_since floors at zero.
-    #[test]
-    fn cycle_arithmetic(t in 0u64..1u64 << 40, d in 0u64..1u64 << 20) {
+/// Cycle/Cycles arithmetic is consistent: (t + d) - t == d and
+/// saturating_since floors at zero.
+#[test]
+fn cycle_arithmetic() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x9e04);
+    for _ in 0..CASES {
+        let t = rng.below(1 << 40);
+        let d = rng.below(1 << 20);
         let t0 = Cycle::new(t);
         let later = t0 + Cycles::new(d);
-        prop_assert_eq!(later - t0, Cycles::new(d));
-        prop_assert_eq!(later.saturating_since(t0), Cycles::new(d));
-        prop_assert_eq!(t0.saturating_since(later), Cycles::ZERO);
-        prop_assert_eq!(t0.next().value(), t + 1);
+        assert_eq!(later - t0, Cycles::new(d));
+        assert_eq!(later.saturating_since(t0), Cycles::new(d));
+        assert_eq!(t0.saturating_since(later), Cycles::ZERO);
+        assert_eq!(t0.next().value(), t + 1);
     }
 }

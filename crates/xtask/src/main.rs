@@ -1,0 +1,120 @@
+//! Workspace automation for swizzle-qos.
+//!
+//! ```text
+//! cargo run -p xtask -- lint      # source-level lint over crates/*/src
+//! ```
+//!
+//! The lint pass is text/token-based (no external parser — see
+//! [`scan`]) and enforces the rules in [`rules`]:
+//!
+//! - `no-unwrap` — no `.unwrap()` / `.expect(...)` / `panic!` outside
+//!   `#[cfg(test)]` in the hot-path crates (arbiter, circuit, core, sim);
+//! - `no-narrowing-cast` — no truncating `as` casts in counter and
+//!   thermometer arithmetic;
+//! - `no-todo` — no `todo!` / `unimplemented!` in non-test code anywhere;
+//! - `must-use-decision` — `*Decision` / `*Grant` / `*Outcome` types must
+//!   be `#[must_use]`.
+//!
+//! Violations print as `file:line · RULE · message` and make the process
+//! exit nonzero. A finding can be waived in place with
+//! `// ssq-lint: allow(<rule>)` on (or immediately above) the line.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod rules;
+mod scan;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint";
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(err) => {
+            eprintln!("cannot read {}: {err}", crates_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rust_files(&dir.join("src"), &mut files);
+    }
+    files.sort();
+
+    let mut total = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("cannot read {}: {err}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        let scanned = scan::scan(&source);
+        for v in rules::check_file(rel, &scanned) {
+            println!("{}:{} · {} · {}", rel.display(), v.line, v.rule, v.message);
+            total += 1;
+        }
+    }
+
+    if total == 0 {
+        println!(
+            "lint clean: {} files, rules [{}]",
+            files.len(),
+            rules::ALL_RULES.join(", ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{total} lint violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR` is `crates/xtask`, two up.
+fn workspace_root() -> PathBuf {
+    let manifest =
+        PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| String::from(".")));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The lint rules: each inspects one masked source file and reports
+//! violations as `(line, rule, message)`.
+
+use std::path::Path;
+
+use crate::scan::Scanned;
+
+/// One lint finding.
+pub struct Violation {
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule identifier (usable in `ssq-lint: allow(...)`).
+    pub rule: &'static str,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+/// Crates whose non-test code sits on the simulation hot path: panics
+/// there abort entire sweeps, so fallible APIs must return `Result`.
+const NO_PANIC_CRATES: &[&str] = &["arbiter", "circuit", "core", "sim"];
+
+/// Files doing counter/thermometer arithmetic, where a narrowing `as`
+/// cast silently truncates `auxVC` state.
+const NO_NARROWING_FILES: &[&str] = &[
+    "crates/arbiter/src/ssvc.rs",
+    "crates/arbiter/src/thermometer.rs",
+    "crates/stats/src/counter.rs",
+];
+
+/// Runs every applicable rule over one scanned file.
+///
+/// `rel_path` is the path relative to the repository root (used for
+/// scoping); findings already have suppressions applied.
+pub fn check_file(rel_path: &Path, scanned: &Scanned) -> Vec<Violation> {
+    let rel = rel_path.to_string_lossy().replace('\\', "/");
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+
+    let mut violations = Vec::new();
+    if NO_PANIC_CRATES.contains(&crate_name) {
+        no_unwrap(scanned, &mut violations);
+    }
+    if NO_NARROWING_FILES.contains(&rel.as_str()) {
+        no_narrowing_cast(scanned, &mut violations);
+    }
+    no_todo(scanned, &mut violations);
+    must_use_decisions(scanned, &mut violations);
+
+    violations.retain(|v| !scanned.suppressed(v.line - 1, v.rule));
+    violations.sort_by_key(|v| v.line);
+    violations
+}
+
+/// Every rule identifier, for `--help`-style output and tests.
+pub const ALL_RULES: &[&str] = &[
+    "no-unwrap",
+    "no-narrowing-cast",
+    "no-todo",
+    "must-use-decision",
+];
+
+fn each_hot_line<'a>(scanned: &'a Scanned) -> impl Iterator<Item = (usize, &'a str)> {
+    scanned
+        .masked
+        .lines()
+        .enumerate()
+        .filter(|(idx, _)| !scanned.test_lines.get(*idx).copied().unwrap_or(false))
+}
+
+/// `no-unwrap`: no `.unwrap()`, `.expect(...)`, or `panic!` in non-test
+/// code of hot-path crates.
+fn no_unwrap(scanned: &Scanned, out: &mut Vec<Violation>) {
+    for (idx, line) in each_hot_line(scanned) {
+        for (needle, advice) in [
+            (
+                ".unwrap()",
+                "return a Result (or use unwrap_or/match) instead of .unwrap()",
+            ),
+            (
+                ".expect(",
+                "return a Result instead of .expect(); panics here abort whole sweeps",
+            ),
+            (
+                "panic!",
+                "propagate an error instead of panic! on the simulation hot path",
+            ),
+        ] {
+            if find_token(line, needle) {
+                out.push(Violation {
+                    line: idx + 1,
+                    rule: "no-unwrap",
+                    message: advice.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// `no-narrowing-cast`: no `as u8/u16/u32/i8/i16/i32` in counter and
+/// thermometer arithmetic — `auxVC` values are 64-bit and a narrowing
+/// cast silently truncates.
+fn no_narrowing_cast(scanned: &Scanned, out: &mut Vec<Violation>) {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    for (idx, line) in each_hot_line(scanned) {
+        let mut from = 0;
+        while let Some(rel) = line[from..].find(" as ") {
+            let after = &line[from + rel + 4..];
+            let target: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if NARROW.contains(&target.as_str()) {
+                out.push(Violation {
+                    line: idx + 1,
+                    rule: "no-narrowing-cast",
+                    message: format!(
+                        "`as {target}` truncates counter state; use try_from or widen the type"
+                    ),
+                });
+            }
+            from += rel + 4;
+        }
+    }
+}
+
+/// `no-todo`: no `todo!` / `unimplemented!` outside tests, anywhere.
+fn no_todo(scanned: &Scanned, out: &mut Vec<Violation>) {
+    for (idx, line) in each_hot_line(scanned) {
+        for needle in ["todo!", "unimplemented!"] {
+            if find_token(line, needle) {
+                out.push(Violation {
+                    line: idx + 1,
+                    rule: "no-todo",
+                    message: format!("{needle} must not ship in non-test code"),
+                });
+            }
+        }
+    }
+}
+
+/// `must-use-decision`: arbitration result types (`*Decision`, `*Grant`,
+/// `*Outcome`) must be `#[must_use]` — dropping one silently discards an
+/// arbitration.
+fn must_use_decisions(scanned: &Scanned, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = scanned.masked.lines().collect();
+    for (idx, line) in lines.iter().enumerate() {
+        if scanned.test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(name) = declared_type_name(line) else {
+            continue;
+        };
+        let decisionish = ["Decision", "Grant", "Outcome"]
+            .iter()
+            .any(|suffix| name.ends_with(suffix) && name.len() > suffix.len());
+        if !decisionish {
+            continue;
+        }
+        // Look upward through the attribute/derive block for #[must_use].
+        let mut has_must_use = false;
+        for prev in lines[..idx].iter().rev() {
+            let t = prev.trim();
+            if t.starts_with("#[") || t.starts_with("#!") || t.ends_with(']') {
+                if t.contains("must_use") {
+                    has_must_use = true;
+                    break;
+                }
+            } else if t.is_empty() {
+                continue;
+            } else {
+                break;
+            }
+        }
+        if !has_must_use {
+            out.push(Violation {
+                line: idx + 1,
+                rule: "must-use-decision",
+                message: format!(
+                    "arbitration result type `{name}` must be #[must_use]: dropping one \
+                     discards a grant"
+                ),
+            });
+        }
+    }
+}
+
+/// The type name if this line declares a struct or enum.
+fn declared_type_name(line: &str) -> Option<&str> {
+    let t = line.trim_start();
+    let rest = t
+        .strip_prefix("pub struct ")
+        .or_else(|| t.strip_prefix("struct "))
+        .or_else(|| t.strip_prefix("pub enum "))
+        .or_else(|| t.strip_prefix("enum "))
+        .or_else(|| t.strip_prefix("pub(crate) struct "))
+        .or_else(|| t.strip_prefix("pub(crate) enum "))?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// Whether `needle` occurs in `line` *not* followed by an identifier
+/// continuation — so `.unwrap()` never matches `.unwrap_or()` and
+/// `panic!` never matches a hypothetical `panicky!`.
+fn find_token(line: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(needle) {
+        let end = from + rel + needle.len();
+        let boundary = line[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+    use std::path::PathBuf;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(&PathBuf::from(path), &scan(src))
+    }
+
+    #[test]
+    fn unwrap_in_hot_crate_is_flagged() {
+        let v = check("crates/sim/src/runner.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let v = check(
+            "crates/sim/src/runner.rs",
+            "fn f() { x.unwrap_or(1); y.unwrap_or_default(); z.unwrap_or_else(|| 2); }\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn expect_err_is_not_flagged_but_expect_is() {
+        let v = check(
+            "crates/core/src/switch.rs",
+            "fn f() { x.expect(\"boom\"); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        let v = check(
+            "crates/core/src/switch.rs",
+            "fn f() { x.expect_err(\"ok\"); }\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_is_fine() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\n";
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_hot_crates_is_fine() {
+        let v = check("crates/stats/src/table.rs", "fn f() { x.unwrap(); }\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_scoped_to_counter_files() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert_eq!(check("crates/arbiter/src/ssvc.rs", src).len(), 1);
+        assert!(check("crates/arbiter/src/lrg.rs", src).is_empty());
+    }
+
+    #[test]
+    fn widening_and_float_casts_are_fine() {
+        let src = "fn f(x: u32) { let _ = x as u64; let _ = x as f64; let _ = x as usize; }\n";
+        assert!(check("crates/arbiter/src/ssvc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn todo_flagged_everywhere_outside_tests() {
+        let v = check("crates/stats/src/table.rs", "fn f() { todo!() }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-todo");
+    }
+
+    #[test]
+    fn decision_types_require_must_use() {
+        let src = "#[derive(Debug)]\npub enum StepDecision { A, B }\n";
+        let v = check("crates/core/src/switch.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "must-use-decision");
+        let src = "#[derive(Debug)]\n#[must_use]\npub enum StepDecision { A, B }\n";
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_suffix_names_are_not_decision_types() {
+        // A type literally named `Outcome` (no prefix) is not matched.
+        let src = "pub struct Outcome;\n";
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_comment_silences_a_rule() {
+        let src = "fn f() { x.unwrap() } // ssq-lint: allow(no-unwrap)\n";
+        assert!(check("crates/sim/src/runner.rs", src).is_empty());
+        let src = "// ssq-lint: allow(no-unwrap)\nfn f() { x.unwrap() }\n";
+        assert!(check("crates/sim/src/runner.rs", src).is_empty());
+        // Suppressing a different rule does not help.
+        let src = "fn f() { x.unwrap() } // ssq-lint: allow(no-todo)\n";
+        assert_eq!(check("crates/sim/src/runner.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "fn f() { g(\".unwrap() panic! todo!\"); } // .expect( todo!\n";
+        assert!(check("crates/sim/src/runner.rs", src).is_empty());
+    }
+}

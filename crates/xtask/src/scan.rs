@@ -1,0 +1,364 @@
+//! Source preparation for the lint pass: a character-level scanner that
+//! masks comments, string literals, and character literals (so rules
+//! never fire inside them), records `#[cfg(test)]` regions, and collects
+//! `// ssq-lint: allow(<rule>)` suppressions.
+//!
+//! No external parser: the scanner understands just enough Rust lexical
+//! structure — nested block comments, raw strings with hash fences,
+//! lifetimes vs. character literals — to be exact on this codebase.
+
+/// A lint-ready view of one source file.
+pub struct Scanned {
+    /// The source with comments and literals replaced by spaces
+    /// (newlines preserved, so byte offsets and line numbers survive).
+    pub masked: String,
+    /// For each line (0-based), whether it falls inside a
+    /// `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Per line (0-based): the rules suppressed there. A suppression
+    /// comment on its own line applies to the next line as well.
+    pub suppressions: Vec<Vec<String>>,
+}
+
+impl Scanned {
+    /// Whether `rule` is suppressed on 0-based line `line`.
+    pub fn suppressed(&self, line: usize, rule: &str) -> bool {
+        self.suppressions
+            .get(line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Runs the scanner over one file's contents.
+pub fn scan(source: &str) -> Scanned {
+    let masked = mask(source);
+    Scanned {
+        test_lines: test_lines(&masked),
+        suppressions: suppressions(source),
+        masked,
+    }
+}
+
+/// Replaces comments, strings, and char literals with spaces, keeping
+/// newlines so line/offset arithmetic is unchanged.
+fn mask(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Copies one source byte through; non-newline bytes inside masked
+    // regions become spaces.
+    fn blank(b: u8) -> u8 {
+        if b == b'\n' {
+            b'\n'
+        } else {
+            b' '
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        if b == b'/' && next == Some(b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if b == b'/' && next == Some(b'*') {
+            let mut depth = 1usize;
+            out.push(b' ');
+            out.push(b' ');
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    out.push(blank(bytes[i]));
+                    i += 1;
+                }
+            }
+        } else if is_raw_string_start(bytes, i) {
+            let start = i;
+            // Skip the optional b, the r, and count hashes.
+            let mut j = i;
+            if bytes[j] == b'b' {
+                j += 1;
+            }
+            j += 1; // the 'r'
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // the opening quote
+                    // Find the closing quote followed by `hashes` hashes.
+            loop {
+                match bytes.get(j) {
+                    None => break,
+                    Some(&b'"')
+                        if bytes[j + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == b'#')
+                            .count()
+                            == hashes =>
+                    {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+            for &sb in &bytes[start..j.min(bytes.len())] {
+                out.push(blank(sb));
+            }
+            i = j;
+        } else if b == b'"' || (b == b'b' && next == Some(b'"')) {
+            let start = i;
+            let mut j = if b == b'b' { i + 2 } else { i + 1 };
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            for &sb in &bytes[start..j.min(bytes.len())] {
+                out.push(blank(sb));
+            }
+            i = j;
+        } else if b == b'\'' && is_char_literal(bytes, i) {
+            let start = i;
+            let mut j = i + 1;
+            if bytes.get(j) == Some(&b'\\') {
+                j += 2;
+                // Escapes like \u{1F600} span further; eat to the quote.
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+            } else {
+                // One (possibly multi-byte) character.
+                j += 1;
+                while j < bytes.len() && (bytes[j] & 0b1100_0000) == 0b1000_0000 {
+                    j += 1;
+                }
+            }
+            j += 1; // closing quote
+            for &sb in &bytes[start..j.min(bytes.len())] {
+                out.push(blank(sb));
+            }
+            i = j;
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).expect("masking preserves UTF-8: multi-byte text is spaced out")
+}
+
+/// A `'` starts a char literal (vs. a lifetime) when the quoted content
+/// is closed by another `'` shortly after: `'a'`, `'\n'`, `'\\''`. A
+/// lifetime (`'a`, `'static`) has no closing quote after one character.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(&b'\\') => true,
+        Some(&c) if (c & 0b1000_0000) != 0 => true, // multi-byte char
+        Some(&c) => {
+            if c == b'\'' {
+                return false; // `''` never occurs in valid Rust
+            }
+            bytes.get(i + 2) == Some(&b'\'')
+        }
+        None => false,
+    }
+}
+
+/// Is `r"`, `r#"`, `br"`, or `br#"` starting at `i` — and not just an
+/// identifier ending in `r` (checked by peeking at the previous byte)?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let prev_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+    if prev_ident {
+        return false;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Marks every line covered by a `#[cfg(test)]` item (attribute through
+/// the matching close brace of the annotated item).
+fn test_lines(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut flags = vec![false; line_count.max(1)];
+    let bytes = masked.as_bytes();
+
+    let mut search_from = 0;
+    while let Some(rel) = masked[search_from..].find("#[cfg(test)]") {
+        let attr_start = search_from + rel;
+        let mut j = attr_start + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes to the item body.
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') {
+                // Another attribute: skip to its closing bracket.
+                let mut depth = 0usize;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Brace-match the item (a `mod`, `fn`, `impl`, …). Items ending
+        // at a semicolon before any brace (e.g. `mod tests;`) cover only
+        // their own lines.
+        let mut depth = 0usize;
+        let mut end = j;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let first_line = masked[..attr_start].matches('\n').count();
+        let last_line = masked[..end.min(bytes.len())].matches('\n').count();
+        for flag in flags.iter_mut().take(last_line + 1).skip(first_line) {
+            *flag = true;
+        }
+        search_from = end.max(attr_start + 1);
+    }
+    flags
+}
+
+/// Collects `// ssq-lint: allow(rule)` markers from the *unmasked*
+/// source. A marker suppresses its own line; a marker on a line that is
+/// only a comment also suppresses the following line.
+fn suppressions(source: &str) -> Vec<Vec<String>> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out: Vec<Vec<String>> = vec![Vec::new(); lines.len().max(1)];
+    for (idx, line) in lines.iter().enumerate() {
+        let Some(pos) = line.find("ssq-lint: allow(") else {
+            continue;
+        };
+        let rest = &line[pos + "ssq-lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let comment_only = line.trim_start().starts_with("//");
+        out[idx].extend(rules.iter().cloned());
+        if comment_only && idx + 1 < out.len() {
+            out[idx + 1].extend(rules);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let s = scan("let a = 1; // .unwrap()\n/* .expect( */ let b = 2;\n");
+        assert!(!s.masked.contains("unwrap"));
+        assert!(!s.masked.contains("expect"));
+        assert!(s.masked.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn masks_strings_and_chars_but_not_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { g(\".unwrap()\", '\\'', 'x'); }\n");
+        assert!(!s.masked.contains("unwrap"));
+        assert!(s.masked.contains("fn f<'a>"));
+        assert!(s.masked.contains("g("));
+    }
+
+    #[test]
+    fn masks_raw_strings_with_hashes() {
+        let s = scan("let x = r#\"a \".unwrap()\" b\"#; let y = 3;\n");
+        assert!(!s.masked.contains("unwrap"));
+        assert!(s.masked.contains("let y = 3;"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let s = scan("/* outer /* inner */ still comment */ let live = 1;\n");
+        assert!(!s.masked.contains("inner"));
+        assert!(s.masked.contains("let live = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_spans_the_module() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_hot() {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_lines, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_still_matches() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    fn t() {}\n}\n";
+        let s = scan(src);
+        assert!(s.test_lines.iter().all(|&t| t));
+    }
+
+    #[test]
+    fn suppression_applies_to_own_and_next_line() {
+        let src = "// ssq-lint: allow(no-unwrap)\nlet a = x.unwrap();\nlet b = y.unwrap(); // ssq-lint: allow(no-unwrap, no-todo)\nlet c = z.unwrap();\n";
+        let s = scan(src);
+        assert!(s.suppressed(0, "no-unwrap"));
+        assert!(s.suppressed(1, "no-unwrap"));
+        assert!(s.suppressed(2, "no-unwrap") && s.suppressed(2, "no-todo"));
+        assert!(!s.suppressed(3, "no-unwrap"));
+    }
+}

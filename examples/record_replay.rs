@@ -117,10 +117,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     for i in 0..4 {
         for o in 0..4 {
             let flow = FlowId::new(InputId::new(i), OutputId::new(o));
-            let a = recorder.gb_metrics().flow(flow).flits()
-                + recorder.be_metrics().flow(flow).flits();
-            let b = replayer.gb_metrics().flow(flow).flits()
-                + replayer.be_metrics().flow(flow).flits();
+            let a =
+                recorder.gb_metrics().flow(flow).flits() + recorder.be_metrics().flow(flow).flits();
+            let b =
+                replayer.gb_metrics().flow(flow).flits() + replayer.be_metrics().flow(flow).flits();
             if a != b {
                 identical = false;
                 println!("  {flow}: recorded {a} vs replayed {b} flits");

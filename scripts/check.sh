@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full static + dynamic verification gate, in escalating order of
+# cost. Everything here runs offline; a clean exit means the tree is
+# shippable.
+#
+#   ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== source lint (xtask) =="
+cargo run --quiet -p xtask -- lint
+
+echo "== release build =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "All checks passed."

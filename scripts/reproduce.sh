@@ -7,6 +7,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Run the verification gate (fmt, lint, build, tests) first so broken
+# trees never produce half-written results. Skip with SSQ_SKIP_CHECK=1.
+if [[ "${SSQ_SKIP_CHECK:-0}" != 1 ]]; then
+  ./scripts/check.sh
+fi
+
 mkdir -p results
 BINARIES=(
   fig4

@@ -20,7 +20,7 @@ use std::process::ExitCode;
 use swizzle_qos::arbiter::CounterPolicy;
 use swizzle_qos::core::gl::{burst_budgets, latency_bound, GlScenario};
 use swizzle_qos::core::vcd::SwitchVcdRecorder;
-use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig};
+use swizzle_qos::core::{Policy, Preflight, QosSwitch, SwitchConfig};
 use swizzle_qos::physical::{DelayModel, StorageModel, TABLE2_RADICES, TABLE2_WIDTHS};
 use swizzle_qos::sim::CycleModel;
 use swizzle_qos::stats::Table;
@@ -312,6 +312,16 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             )
             .for_input(InputId::new(input)),
         );
+    }
+
+    // Preflight: refuse to simulate a configuration whose guarantees
+    // cannot hold; surface warnings either way.
+    let report = switch.preflight();
+    if !report.is_empty() && !opts.flag("csv") {
+        print!("{report}");
+    }
+    if report.has_errors() {
+        return Err(err("static analysis found errors; configuration refused"));
     }
 
     // Run, optionally with a VCD probe (which requires the manual loop).

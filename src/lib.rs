@@ -16,6 +16,8 @@
 //!   amps) verified exhaustively against the behavioural arbiter.
 //! * [`traffic`] — injection processes and destination patterns.
 //! * [`sim`] — the cycle-accurate simulation kernel and sweep runner.
+//! * [`check`] — static admission/latency/overflow analysis (`SSQ0xx`
+//!   diagnostics) gating every simulation.
 //! * [`core`] — the QoS-enabled Swizzle Switch with Best-Effort,
 //!   Guaranteed-Bandwidth, and Guaranteed-Latency classes, plus the GL
 //!   latency-bound mathematics (Eqs. 1–3).
@@ -72,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub use ssq_arbiter as arbiter;
+pub use ssq_check as check;
 pub use ssq_circuit as circuit;
 pub use ssq_core as core;
 pub use ssq_physical as physical;

@@ -446,7 +446,10 @@ fn mixed_packet_sizes_keep_reservations() {
     // The mixed-size flow gets its full (sub-reservation) demand despite
     // saturated competitors; quantization of the per-packet slot across
     // lengths costs at most a couple of percent.
-    assert!((mixed - 0.30).abs() < 0.03, "mixed-size flow got {mixed:.3}");
+    assert!(
+        (mixed - 0.30).abs() < 0.03,
+        "mixed-size flow got {mixed:.3}"
+    );
     // Competitors still share the remainder per their reservations.
     for i in 1..4 {
         let t = switch
@@ -509,7 +512,12 @@ fn gl_single_fifo_blocks_across_outputs() {
         .unwrap();
     config
         .reservations_mut()
-        .reserve_gb(InputId::new(1), OutputId::new(0), Rate::new(0.9).unwrap(), 8)
+        .reserve_gb(
+            InputId::new(1),
+            OutputId::new(0),
+            Rate::new(0.9).unwrap(),
+            8,
+        )
         .unwrap();
     config
         .reservations_mut()

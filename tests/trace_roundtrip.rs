@@ -5,12 +5,8 @@
 use swizzle_qos::arbiter::CounterPolicy;
 use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig};
 use swizzle_qos::sim::{Runner, Schedule};
-use swizzle_qos::traffic::{
-    Bernoulli, FixedDest, Injector, TraceEvent, TraceFile, UniformDest,
-};
-use swizzle_qos::types::{
-    Cycle, Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass,
-};
+use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, TraceEvent, TraceFile, UniformDest};
+use swizzle_qos::types::{Cycle, Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
 
 fn base_config() -> SwitchConfig {
     let mut config = SwitchConfig::builder(Geometry::new(4, 128).unwrap())
@@ -21,11 +17,21 @@ fn base_config() -> SwitchConfig {
         .unwrap();
     config
         .reservations_mut()
-        .reserve_gb(InputId::new(0), OutputId::new(0), Rate::new(0.5).unwrap(), 4)
+        .reserve_gb(
+            InputId::new(0),
+            OutputId::new(0),
+            Rate::new(0.5).unwrap(),
+            4,
+        )
         .unwrap();
     config
         .reservations_mut()
-        .reserve_gb(InputId::new(1), OutputId::new(0), Rate::new(0.3).unwrap(), 4)
+        .reserve_gb(
+            InputId::new(1),
+            OutputId::new(0),
+            Rate::new(0.3).unwrap(),
+            4,
+        )
         .unwrap();
     config
 }
@@ -66,7 +72,10 @@ fn original_run() -> (QosSwitch, Vec<(Cycle, swizzle_qos::types::PacketSpec)>) {
 #[test]
 fn captured_trace_replays_to_identical_deliveries() {
     let (original, deliveries) = original_run();
-    assert!(deliveries.len() > 1000, "workload too thin to be meaningful");
+    assert!(
+        deliveries.len() > 1000,
+        "workload too thin to be meaningful"
+    );
 
     // Capture: creation-time events of everything that was delivered.
     let events: Vec<TraceEvent> = deliveries
