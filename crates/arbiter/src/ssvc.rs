@@ -182,6 +182,10 @@ pub struct SsvcArbiter {
     /// Real-time subcounter for [`CounterPolicy::SubtractRealClock`],
     /// with the granularity of the `auxVC` low bits.
     real_lsb: u64,
+    /// Completed decay epochs (subcounter wraps) since construction.
+    epochs: u64,
+    /// Wins that left the winner's counter clamped at the cap.
+    saturations: u64,
 }
 
 impl SsvcArbiter {
@@ -201,6 +205,8 @@ impl SsvcArbiter {
             aux: vec![0; vticks.len()],
             lrg: Lrg::new(vticks.len()),
             real_lsb: 0,
+            epochs: 0,
+            saturations: 0,
         }
     }
 
@@ -334,21 +340,40 @@ impl SsvcArbiter {
         self.lrg.grant(winner);
         let cap = self.config.saturation_cap();
         self.aux[winner] = (self.aux[winner] + self.vticks[winner]).min(cap);
+        let saturated = self.aux[winner] == cap;
+        if saturated {
+            self.saturations += 1;
+        }
         match self.config.policy() {
             CounterPolicy::SubtractRealClock => {}
             CounterPolicy::Halve => {
-                if self.aux[winner] == cap {
+                if saturated {
                     for a in &mut self.aux {
                         *a >>= 1;
                     }
                 }
             }
             CounterPolicy::Reset => {
-                if self.aux[winner] == cap {
+                if saturated {
                     self.aux.fill(0);
                 }
             }
         }
+    }
+
+    /// Completed decay epochs: how many times the real-time subcounter
+    /// has wrapped (each wrap subtracts one MSB step from every
+    /// `auxVC`). Always zero for the halve/reset policies.
+    #[must_use]
+    pub const fn decay_epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Number of wins that left the winner's counter clamped at the
+    /// saturation cap — the trigger count for the halve/reset policies.
+    #[must_use]
+    pub const fn saturation_count(&self) -> u64 {
+        self.saturations
     }
 }
 
@@ -387,6 +412,7 @@ impl Arbiter for SsvcArbiter {
         self.real_lsb += 1;
         if self.real_lsb >= self.config.msb_step() {
             self.real_lsb = 0;
+            self.epochs += 1;
             let step = self.config.msb_step();
             for a in &mut self.aux {
                 *a = a.saturating_sub(step);
@@ -676,6 +702,25 @@ mod tests {
         // Make input 0 the sole candidate again: next win charges 100.
         let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
         assert_eq!(s.aux_vc(0), 110);
+    }
+
+    #[test]
+    fn epoch_and_saturation_counters_track_events() {
+        let c = cfg(CounterPolicy::SubtractRealClock);
+        let mut s = SsvcArbiter::new(c, &[1]);
+        assert_eq!(s.decay_epochs(), 0);
+        for _ in 0..3 * c.msb_step() {
+            s.tick();
+        }
+        assert_eq!(s.decay_epochs(), 3);
+
+        let c = cfg(CounterPolicy::Halve);
+        let mut s = SsvcArbiter::new(c, &[4095]);
+        assert_eq!(s.saturation_count(), 0);
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.saturation_count(), 1, "clamped win is a saturation");
+        let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
+        assert_eq!(s.saturation_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Micro-benchmark: cost of the tracing instrumentation on the
+//! arbitration hot loop.
+//!
+//! The `off` variant is the zero-overhead-when-off claim: with no sinks
+//! attached, every emission site in `QosSwitch::step` reduces to one
+//! `sinks.is_empty()` branch and must stay within 1% of the
+//! pre-instrumentation `ssvc_hotspot` baseline (see EXPERIMENTS.md).
+//! The `null_sink` and `ring` variants price actually building the
+//! events: a no-op consumer and the flight-recorder ring.
+
+use std::hint::black_box;
+
+use ssq_arbiter::CounterPolicy;
+use ssq_bench::microbench::{bench, group};
+use ssq_core::{Policy, QosSwitch, SwitchConfig};
+use ssq_sim::CycleModel;
+use ssq_trace::NullSink;
+use ssq_traffic::{FixedDest, Injector, Saturating};
+use ssq_types::{Cycle, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+/// The same saturated-hotspot rig as `benches/switch.rs`, so the `off`
+/// numbers compare directly against `ssvc_hotspot/<radix>`.
+fn hotspot_switch(radix: usize) -> QosSwitch {
+    let width = Geometry::min_bus_width(radix, 3).max(128);
+    let geometry = Geometry::new(radix, width).expect("valid geometry");
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+        .gb_buffer_flits(16)
+        .build()
+        .expect("valid config");
+    let share = 1.0 / radix as f64;
+    for i in 0..radix {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(i),
+                OutputId::new(0),
+                Rate::new(share).expect("valid rate"),
+                8,
+            )
+            .expect("reservations fit");
+    }
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+    for i in 0..radix {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(0))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    switch
+}
+
+fn main() {
+    for radix in [8usize, 16] {
+        group(&format!("trace_overhead/{radix}"));
+        let variants: [(&str, fn(&mut QosSwitch)); 3] = [
+            ("off", |_| {}),
+            ("null_sink", |s| {
+                s.tracer_mut().attach(Box::new(NullSink));
+            }),
+            ("ring", |s| s.tracer_mut().attach_ring(4096)),
+        ];
+        for (name, arm) in variants {
+            let mut switch = hotspot_switch(radix);
+            arm(&mut switch);
+            let mut now = Cycle::ZERO;
+            bench(&format!("trace_overhead/{radix}"), name, || {
+                switch.step(black_box(now));
+                now = now.next();
+            });
+        }
+    }
+}

@@ -9,7 +9,7 @@
 //! (40/20/10/10/5/5/5/5 %) of the deliverable 0.89 flits/cycle.
 
 use ssq_arbiter::CounterPolicy;
-use ssq_bench::{congestion_rig, emit, run_and_read, Load, FIG4_PACKET_FLITS, FIG4_RATES};
+use ssq_bench::{congestion_rig, emit, run_and_read_recorded, Load, FIG4_PACKET_FLITS, FIG4_RATES};
 use ssq_core::Policy;
 use ssq_sim::sweep;
 use ssq_stats::{Figure, Series};
@@ -24,7 +24,7 @@ fn panel(name: &str, policy: Policy) -> Figure {
             Load::Bernoulli(inj),
             0xF164,
         );
-        run_and_read(&mut switch, 8, 20_000, 100_000)
+        run_and_read_recorded("fig4", &mut switch, 8, 20_000, 100_000)
     });
 
     let mut fig = Figure::new(

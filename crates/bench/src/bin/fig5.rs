@@ -12,7 +12,9 @@
 //! stresses the same effect.
 
 use ssq_arbiter::CounterPolicy;
-use ssq_bench::{congestion_rig, emit, reservation_vectors, run_and_read, Load, FIG4_PACKET_FLITS};
+use ssq_bench::{
+    congestion_rig, emit, reservation_vectors, run_and_read_recorded, Load, FIG4_PACKET_FLITS,
+};
 use ssq_core::Policy;
 use ssq_sim::sweep;
 use ssq_stats::{jain_fairness_index, Figure, Series, Table};
@@ -32,7 +34,7 @@ fn bucketed_latencies(policy: Policy, load: Load) -> Vec<(u64, f64)> {
     let vectors = reservation_vectors(30, 8, 0xF165);
     let per_vector = sweep(&vectors, |rates| {
         let mut switch = congestion_rig(policy, rates, FIG4_PACKET_FLITS, load, 0xF165);
-        let readings = run_and_read(&mut switch, 8, 10_000, 60_000);
+        let readings = run_and_read_recorded("fig5", &mut switch, 8, 10_000, 60_000);
         rates
             .iter()
             .zip(readings)

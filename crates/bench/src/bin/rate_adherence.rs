@@ -11,7 +11,7 @@
 //! (`L/(L+1)` of the channel) is reported.
 
 use ssq_arbiter::CounterPolicy;
-use ssq_bench::{congestion_rig, emit, reservation_vectors, run_and_read, Load};
+use ssq_bench::{congestion_rig, emit, reservation_vectors, run_and_read_recorded, Load};
 use ssq_core::Policy;
 use ssq_sim::sweep;
 use ssq_stats::Table;
@@ -41,7 +41,8 @@ fn main() {
             let deviations = sweep(&vectors, |rates| {
                 let mut switch =
                     congestion_rig(Policy::Ssvc(policy), rates, len, Load::Saturating, 0xAD0);
-                let readings = run_and_read(&mut switch, 8, 5_000, 40_000);
+                let readings =
+                    run_and_read_recorded("rate_adherence", &mut switch, 8, 5_000, 40_000);
                 rates
                     .iter()
                     .zip(readings)

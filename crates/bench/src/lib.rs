@@ -23,8 +23,9 @@
 pub mod microbench;
 
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
-use ssq_sim::{Runner, Schedule};
+use ssq_sim::{MonitorOutcome, Runner, Schedule};
 use ssq_stats::Table;
+use ssq_trace::RingSink;
 use ssq_traffic::{Bernoulli, FixedDest, Injector, OnOffBursty, Saturating};
 use ssq_types::{Cycle, Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
 
@@ -168,6 +169,72 @@ pub fn run_and_read(
     read_flows(switch, flows, end)
 }
 
+/// Whether the current invocation asked for the flight recorder —
+/// either `--flight-recorder` on the command line (as passed by
+/// `scripts/reproduce.sh` for headline runs) or the
+/// `SSQ_FLIGHT_RECORDER` environment variable.
+#[must_use]
+pub fn flight_recorder_requested() -> bool {
+    std::env::args().any(|a| a == "--flight-recorder")
+        || std::env::var_os("SSQ_FLIGHT_RECORDER").is_some()
+}
+
+/// Flight-recorder-aware variant of [`run_and_read`], used by the
+/// headline reproduction binaries. When the recorder is requested
+/// ([`flight_recorder_requested`]), the run keeps the last 4096 trace
+/// events in a ring and executes under the stall watchdog; a trip dumps
+/// a post-mortem to `results/flight-<label>.txt` and panics with the
+/// reason. Otherwise it behaves exactly like [`run_and_read`].
+///
+/// # Panics
+///
+/// Panics when static analysis rejects the configuration or when the
+/// monitored run trips.
+#[must_use]
+pub fn run_and_read_recorded(
+    label: &str,
+    switch: &mut QosSwitch,
+    flows: usize,
+    warmup: u64,
+    measure: u64,
+) -> Vec<FlowReading> {
+    if !flight_recorder_requested() {
+        return run_and_read(switch, flows, warmup, measure);
+    }
+    switch.tracer_mut().attach_ring(4096);
+    let (outcome, _report) = Runner::new(Schedule::new(Cycles::new(warmup), Cycles::new(measure)))
+        .run_checked_monitored(switch, Cycles::new(10_000))
+        .expect("benchmark configurations pass static analysis");
+    match outcome {
+        MonitorOutcome::Completed(end) => read_flows(switch, flows, end),
+        MonitorOutcome::Tripped { at, reason } => {
+            switch.tracer_mut().flush();
+            let events = switch
+                .tracer()
+                .ring()
+                .map(RingSink::events)
+                .unwrap_or_default();
+            let dumped = ssq_trace::flight::write_post_mortem(
+                std::path::Path::new("results"),
+                label,
+                &reason,
+                at.value(),
+                &events,
+                None,
+            );
+            match dumped {
+                Ok(path) => panic!(
+                    "{label}: run tripped at cycle {at}: {reason} (post-mortem at {})",
+                    path.display()
+                ),
+                Err(e) => panic!(
+                    "{label}: run tripped at cycle {at}: {reason} (post-mortem write failed: {e})"
+                ),
+            }
+        }
+    }
+}
+
 /// Reads each of the first `flows` GB flows at output 0 at time `end`.
 #[must_use]
 pub fn read_flows(switch: &QosSwitch, flows: usize, end: Cycle) -> Vec<FlowReading> {
@@ -218,13 +285,14 @@ pub fn reservation_vectors(count: usize, flows: usize, seed: u64) -> Vec<Vec<f64
 /// Prints a table with a heading, both as aligned text and as CSV when
 /// the `SSQ_CSV` environment variable is set.
 pub fn emit(title: &str, table: &Table) {
-    println!("== {title} ==");
+    // This crate's entire purpose is to render reports for its bins.
+    println!("== {title} =="); // ssq-lint: allow(no-print-in-lib)
     if std::env::var_os("SSQ_CSV").is_some() {
         print!("{}", table.to_csv());
     } else {
         print!("{}", table.to_text());
     }
-    println!();
+    println!(); // ssq-lint: allow(no-print-in-lib)
 }
 
 #[cfg(test)]

@@ -50,12 +50,14 @@ pub fn bench<F: FnMut()>(group: &str, name: &str, mut f: F) {
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
+    // Reporting to stdout is this harness's contract with the benches.
+    // ssq-lint: allow(no-print-in-lib)
     println!("{group}/{name:<24} {median:>12.1} ns/iter ({iters} iters/sample)");
 }
 
 /// Prints a benchmark group heading.
 pub fn group(title: &str) {
-    println!("\n== {title} ==");
+    println!("\n== {title} =="); // ssq-lint: allow(no-print-in-lib)
 }
 
 #[cfg(test)]

@@ -31,6 +31,9 @@ pub mod codes {
     /// The GL buffer cannot hold one minimum-size packet (Eq. 1
     /// precondition).
     pub const GL_BUFFER_TOO_SMALL: &str = "SSQ010";
+    /// Inconsistent tracing configuration: an observability setting
+    /// that silently records nothing (or writes nowhere).
+    pub const TRACE_CONFIG: &str = "SSQ011";
 }
 
 /// How serious a diagnostic is.

@@ -18,6 +18,8 @@
 //! - **Lane budget** ([`lanes`]): does the swizzle geometry route enough
 //!   lanes for the thermometer code (SSQ008) and a dedicated GL lane
 //!   (SSQ009)?
+//! - **Tracing config** ([`trace`]): will the observability settings a
+//!   run was launched with actually record anything (SSQ011)?
 //!
 //! Findings come back as a [`Report`] of [`Diagnostic`]s with stable
 //! `SSQ0xx` codes (see [`codes`]) and three severities; error-severity
@@ -49,6 +51,7 @@ pub mod diag;
 pub mod gl;
 pub mod lanes;
 pub mod overflow;
+pub mod trace;
 
 pub use diag::{codes, Diagnostic, Report, Severity};
 

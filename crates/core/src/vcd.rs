@@ -1,11 +1,40 @@
-//! Waveform dumping: record switch activity as a VCD file.
+//! Waveform dumping: a minimal Value Change Dump (VCD, IEEE 1364)
+//! writer and a switch-activity recorder built on it.
 //!
-//! [`SwitchVcdRecorder`] declares one group of signals per output
-//! channel (busy flag, granted input, packet class, flits remaining) and
-//! one buffer-occupancy counter per input port, then samples them every
-//! cycle into a [`ssq_sim::vcd::VcdWriter`]. The result opens directly
-//! in GTKWave or any IEEE 1364 waveform viewer — the natural debugging
-//! view for a cycle-accurate switch model.
+//! This module is the single VCD implementation of the workspace (it
+//! used to be split between `ssq-sim` and `ssq-core`):
+//!
+//! * [`VcdWriter`] — streams standard VCD that GTKWave (or any
+//!   waveform viewer) opens directly, with value deduplication and a
+//!   definitions/changes phase machine;
+//! * [`SwitchVcdRecorder`] — declares one group of signals per output
+//!   channel (busy flag, granted input, packet class, flits remaining)
+//!   and one buffer-occupancy counter per input port, then samples
+//!   them every cycle.
+//!
+//! # Examples
+//!
+//! Using the writer directly:
+//!
+//! ```
+//! use ssq_core::vcd::VcdWriter;
+//!
+//! let mut out = Vec::new();
+//! let mut vcd = VcdWriter::new(&mut out, "1ns")?;
+//! vcd.scope("switch")?;
+//! let busy = vcd.add_wire(1, "busy")?;
+//! let count = vcd.add_wire(8, "count")?;
+//! vcd.upscope()?;
+//! vcd.end_definitions()?;
+//! vcd.change(0, busy, 0)?;
+//! vcd.change(0, count, 0)?;
+//! vcd.change(5, busy, 1)?;
+//! vcd.change(5, count, 42)?;
+//! let text = String::from_utf8(out)?;
+//! assert!(text.contains("$timescale 1ns $end"));
+//! assert!(text.contains("#5"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! # Examples
 //!
@@ -30,13 +59,231 @@
 //! # }
 //! ```
 
+use std::fmt;
 use std::io::{self, Write};
 
-use ssq_sim::vcd::{VarId, VcdWriter};
 use ssq_types::{Cycle, InputId, OutputId, TrafficClass};
 
 use crate::channel::ChannelState;
 use crate::switch::QosSwitch;
+
+/// Handle to a declared VCD variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId {
+    index: usize,
+    width: u32,
+}
+
+impl VarId {
+    /// Declared bit width of the variable.
+    #[must_use]
+    pub const fn width(self) -> u32 {
+        self.width
+    }
+}
+
+/// Writer state machine: declarations first, then value changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Definitions,
+    Changes,
+}
+
+/// Streams a VCD file to any [`Write`] sink (a `File`, a `Vec<u8>` in
+/// tests, a `BufWriter`, …). A `&mut W` also works, per the blanket
+/// `Write for &mut W` impl.
+#[derive(Debug)]
+pub struct VcdWriter<W: Write> {
+    out: W,
+    phase: Phase,
+    next_var: usize,
+    var_widths: Vec<u32>,
+    last_values: Vec<Option<u64>>,
+    current_time: Option<u64>,
+    scope_depth: usize,
+}
+
+/// Error for misuse of the writer's phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdPhaseError {
+    action: &'static str,
+}
+
+impl fmt::Display for VcdPhaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VCD {} attempted in the wrong phase", self.action)
+    }
+}
+
+impl std::error::Error for VcdPhaseError {}
+
+impl From<VcdPhaseError> for io::Error {
+    fn from(e: VcdPhaseError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidInput, e)
+    }
+}
+
+/// Encodes a variable index as a VCD identifier (printable ASCII 33–126).
+fn id_code(mut index: usize) -> String {
+    let mut code = String::new();
+    loop {
+        code.push(char::from(b'!' + (index % 94) as u8));
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+        index -= 1;
+    }
+    code
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut out: W, timescale: &str) -> io::Result<Self> {
+        writeln!(out, "$version swizzle-qos VCD writer $end")?;
+        writeln!(out, "$timescale {timescale} $end")?;
+        Ok(VcdWriter {
+            out,
+            phase: Phase::Definitions,
+            next_var: 0,
+            var_widths: Vec::new(),
+            last_values: Vec::new(),
+            current_time: None,
+            scope_depth: 0,
+        })
+    }
+
+    /// Opens a module scope.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`VcdPhaseError`] after
+    /// [`end_definitions`](Self::end_definitions).
+    pub fn scope(&mut self, name: &str) -> io::Result<()> {
+        self.require(Phase::Definitions, "scope")?;
+        writeln!(self.out, "$scope module {name} $end")?;
+        self.scope_depth += 1;
+        Ok(())
+    }
+
+    /// Closes the innermost scope.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`VcdPhaseError`] outside the definitions phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn upscope(&mut self) -> io::Result<()> {
+        self.require(Phase::Definitions, "upscope")?;
+        assert!(self.scope_depth > 0, "upscope without an open scope");
+        writeln!(self.out, "$upscope $end")?;
+        self.scope_depth -= 1;
+        Ok(())
+    }
+
+    /// Declares a wire of `width` bits and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`VcdPhaseError`] outside the definitions phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn add_wire(&mut self, width: u32, name: &str) -> io::Result<VarId> {
+        assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+        self.require(Phase::Definitions, "add_wire")?;
+        let index = self.next_var;
+        self.next_var += 1;
+        self.var_widths.push(width);
+        self.last_values.push(None);
+        writeln!(self.out, "$var wire {width} {} {name} $end", id_code(index))?;
+        Ok(VarId { index, width })
+    }
+
+    /// Ends the declaration section; value changes may follow.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`VcdPhaseError`] if called twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if scopes are still open.
+    pub fn end_definitions(&mut self) -> io::Result<()> {
+        self.require(Phase::Definitions, "end_definitions")?;
+        assert_eq!(self.scope_depth, 0, "unclosed scopes at end of definitions");
+        writeln!(self.out, "$enddefinitions $end")?;
+        self.phase = Phase::Changes;
+        Ok(())
+    }
+
+    /// Records `var = value` at time `t`. Deduplicates: unchanged values
+    /// emit nothing. Times must be non-decreasing.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; [`VcdPhaseError`] before
+    /// [`end_definitions`](Self::end_definitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` goes backwards or `value` does not fit the declared
+    /// width.
+    pub fn change(&mut self, t: u64, var: VarId, value: u64) -> io::Result<()> {
+        self.require(Phase::Changes, "change")?;
+        let width = self.var_widths[var.index];
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} exceeds {width}-bit variable"
+        );
+        if self.last_values[var.index] == Some(value) {
+            return Ok(());
+        }
+        match self.current_time {
+            Some(current) if current == t => {}
+            Some(current) => {
+                assert!(t > current, "time went backwards: {t} < {current}");
+                writeln!(self.out, "#{t}")?;
+                self.current_time = Some(t);
+            }
+            None => {
+                writeln!(self.out, "#{t}")?;
+                self.current_time = Some(t);
+            }
+        }
+        if width == 1 {
+            writeln!(self.out, "{value}{}", id_code(var.index))?;
+        } else {
+            writeln!(self.out, "b{value:b} {}", id_code(var.index))?;
+        }
+        self.last_values[var.index] = Some(value);
+        Ok(())
+    }
+
+    /// Flushes the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's flush error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    fn require(&self, phase: Phase, action: &'static str) -> Result<(), VcdPhaseError> {
+        if self.phase == phase {
+            Ok(())
+        } else {
+            Err(VcdPhaseError { action })
+        }
+    }
+}
 
 /// Class encoding on the `class` wires: BE=0, GB=1, GL=2, idle=3.
 fn class_code(class: Option<TrafficClass>) -> u64 {
@@ -195,6 +442,93 @@ mod tests {
             rec.flush().unwrap();
         }
         String::from_utf8(out).unwrap()
+    }
+
+    fn build_sample() -> String {
+        let mut out = Vec::new();
+        {
+            let mut vcd = VcdWriter::new(&mut out, "1ns").unwrap();
+            vcd.scope("top").unwrap();
+            let a = vcd.add_wire(1, "a").unwrap();
+            vcd.scope("inner").unwrap();
+            let b = vcd.add_wire(4, "b").unwrap();
+            vcd.upscope().unwrap();
+            vcd.upscope().unwrap();
+            vcd.end_definitions().unwrap();
+            vcd.change(0, a, 1).unwrap();
+            vcd.change(0, b, 9).unwrap();
+            vcd.change(3, a, 1).unwrap(); // duplicate — suppressed
+            vcd.change(7, b, 2).unwrap();
+        }
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn header_and_structure() {
+        let text = build_sample();
+        assert!(text.starts_with("$version"));
+        assert!(text.contains("$timescale 1ns $end"));
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$scope module inner $end"));
+        assert_eq!(text.matches("$upscope $end").count(), 2);
+        assert!(text.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn var_declarations() {
+        let text = build_sample();
+        assert!(text.contains("$var wire 1 ! a $end"));
+        assert!(text.contains("$var wire 4 \" b $end"));
+    }
+
+    #[test]
+    fn value_changes_and_dedup() {
+        let text = build_sample();
+        assert!(text.contains("#0\n1!\nb1001 \""));
+        // The duplicate change at t=3 was suppressed entirely.
+        assert!(!text.contains("#3"));
+        assert!(text.contains("#7\nb10 \""));
+    }
+
+    #[test]
+    fn id_codes_cover_many_variables() {
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+        assert_eq!(id_code(94 + 93), "~!");
+        // All codes must be unique across a large range.
+        let codes: std::collections::HashSet<String> = (0..10_000).map(id_code).collect();
+        assert_eq!(codes.len(), 10_000);
+    }
+
+    #[test]
+    fn changes_before_enddefinitions_are_rejected() {
+        let mut out = Vec::new();
+        let mut vcd = VcdWriter::new(&mut out, "1ns").unwrap();
+        let a = vcd.add_wire(1, "a").unwrap();
+        let err = vcd.change(0, a, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_must_be_monotonic() {
+        let mut out = Vec::new();
+        let mut vcd = VcdWriter::new(&mut out, "1ns").unwrap();
+        let a = vcd.add_wire(1, "a").unwrap();
+        vcd.end_definitions().unwrap();
+        vcd.change(5, a, 0).unwrap();
+        vcd.change(4, a, 1).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_value_rejected() {
+        let mut out = Vec::new();
+        let mut vcd = VcdWriter::new(&mut out, "1ns").unwrap();
+        let a = vcd.add_wire(2, "a").unwrap();
+        vcd.end_definitions().unwrap();
+        vcd.change(0, a, 4).unwrap();
     }
 
     #[test]

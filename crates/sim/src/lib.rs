@@ -7,11 +7,14 @@
 //! * [`Schedule`] — warm-up and measurement phases in cycles.
 //! * [`CycleModel`] — anything steppable one cycle at a time with a
 //!   stats-reset hook at the warm-up/measurement boundary.
-//! * [`Runner`] — drives a model through a schedule.
+//! * [`Runner`] — drives a model through a schedule, optionally under
+//!   a stall/violation watchdog ([`Monitored`],
+//!   [`Runner::run_monitored`]) that backs the flight recorder.
 //! * [`sweep`] — runs one experiment per parameter point across threads
 //!   (std scoped threads), preserving input order in the results.
-//! * [`vcd`] — a Value Change Dump writer so model activity can be
-//!   inspected in standard waveform viewers.
+//!
+//! (The Value Change Dump writer lives in `ssq_core::vcd`, next to the
+//! switch recorder that uses it.)
 //!
 //! A single switch is simulated synchronously — every component advances
 //! each cycle — rather than with an event queue: at the saturated loads
@@ -48,8 +51,7 @@
 
 mod runner;
 mod sweep;
-pub mod vcd;
 
-pub use runner::{CycleModel, Runner, Schedule};
+pub use runner::{CycleModel, MonitorOutcome, Monitored, Runner, Schedule};
 pub use ssq_check::{Preflight, Report};
 pub use sweep::sweep;

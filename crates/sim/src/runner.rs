@@ -68,6 +68,46 @@ pub trait CycleModel {
     fn begin_measurement(&mut self, now: Cycle);
 }
 
+/// A model the runner can watch for stalls and invariant violations —
+/// the hooks behind the flight recorder's trip wire.
+pub trait Monitored: CycleModel {
+    /// A monotone progress measure (e.g. total flits committed to
+    /// output channels). `Some(v)` means the model currently holds
+    /// pending work and has made `v` units of progress; `None` means
+    /// it is legitimately idle (nothing buffered, nothing in flight),
+    /// so an unchanged measure is not a stall.
+    fn progress(&self) -> Option<u64>;
+
+    /// A violated invariant (e.g. a GL wait above the Eq. 1 bound), if
+    /// any. Checked after every step; the first `Some` trips the run.
+    fn violation(&self) -> Option<String> {
+        None
+    }
+}
+
+/// How a monitored run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a tripped run must be reported, not dropped"]
+pub enum MonitorOutcome {
+    /// The full schedule ran; the cycle after the last step.
+    Completed(Cycle),
+    /// The watchdog fired: a stall or a violated invariant.
+    Tripped {
+        /// Cycle at which the trip was detected.
+        at: Cycle,
+        /// Human-readable trip reason.
+        reason: String,
+    },
+}
+
+impl MonitorOutcome {
+    /// Whether the run completed without tripping.
+    #[must_use]
+    pub const fn is_completed(&self) -> bool {
+        matches!(self, MonitorOutcome::Completed(_))
+    }
+}
+
 /// Drives a [`CycleModel`] through a [`Schedule`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Runner {
@@ -135,6 +175,93 @@ impl Runner {
         }
         let end = self.run(model);
         Ok((end, report))
+    }
+
+    /// Like [`Runner::run_observed`], but with a watchdog: the run
+    /// trips when the model reports an invariant [`violation`]
+    /// (checked every cycle) or when it holds pending work whose
+    /// [`progress`] measure does not advance for `stall_window`
+    /// consecutive cycles. Idle phases (`progress() == None`) reset
+    /// the window.
+    ///
+    /// [`violation`]: Monitored::violation
+    /// [`progress`]: Monitored::progress
+    pub fn run_monitored<M, F>(
+        &self,
+        model: &mut M,
+        stall_window: Cycles,
+        mut observe: F,
+    ) -> MonitorOutcome
+    where
+        M: Monitored + ?Sized,
+        F: FnMut(&M, Cycle),
+    {
+        assert!(stall_window.value() > 0, "stall window must be non-empty");
+        let warm_end = Cycle::ZERO + self.schedule.warmup();
+        let end = warm_end + self.schedule.measure();
+        let mut now = Cycle::ZERO;
+        let mut last_progress: Option<u64> = None;
+        let mut stalled_for: u64 = 0;
+        while now < end {
+            if now == warm_end {
+                model.begin_measurement(now);
+            }
+            model.step(now);
+            observe(model, now);
+            if let Some(reason) = model.violation() {
+                return MonitorOutcome::Tripped { at: now, reason };
+            }
+            match model.progress() {
+                None => {
+                    last_progress = None;
+                    stalled_for = 0;
+                }
+                Some(p) => {
+                    if last_progress == Some(p) {
+                        stalled_for += 1;
+                        if stalled_for >= stall_window.value() {
+                            return MonitorOutcome::Tripped {
+                                at: now,
+                                reason: format!(
+                                    "stall: pending work but no progress for {} cycles \
+                                     (progress measure stuck at {p})",
+                                    stall_window.value()
+                                ),
+                            };
+                        }
+                    } else {
+                        last_progress = Some(p);
+                        stalled_for = 0;
+                    }
+                }
+            }
+            now = now.next();
+        }
+        MonitorOutcome::Completed(now)
+    }
+
+    /// [`Runner::run_checked`] with the [`Runner::run_monitored`]
+    /// watchdog: preflight-gates the configuration, then drives the
+    /// schedule under stall/violation monitoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Report`] when it
+    /// [`has_errors`](Report::has_errors).
+    pub fn run_checked_monitored<M>(
+        &self,
+        model: &mut M,
+        stall_window: Cycles,
+    ) -> Result<(MonitorOutcome, Report), Report>
+    where
+        M: Monitored + Preflight + ?Sized,
+    {
+        let report = model.preflight();
+        if report.has_errors() {
+            return Err(report);
+        }
+        let outcome = self.run_monitored(model, stall_window, |_, _| {});
+        Ok((outcome, report))
     }
 
     /// Runs the model from cycle 0 through the full schedule and returns
@@ -260,6 +387,118 @@ mod tests {
             ))
             .collect()
         }
+    }
+
+    /// Delivers one unit of progress per cycle until `stall_at`, then
+    /// holds pending work forever without progressing.
+    struct Staller {
+        stall_at: u64,
+        delivered: u64,
+        steps: u64,
+        violate_at: Option<u64>,
+    }
+
+    impl CycleModel for Staller {
+        fn step(&mut self, now: Cycle) {
+            self.steps += 1;
+            if now.value() < self.stall_at {
+                self.delivered += 1;
+            }
+        }
+        fn begin_measurement(&mut self, _now: Cycle) {}
+    }
+
+    impl Monitored for Staller {
+        fn progress(&self) -> Option<u64> {
+            Some(self.delivered)
+        }
+        fn violation(&self) -> Option<String> {
+            self.violate_at
+                .filter(|&v| self.steps > v)
+                .map(|v| format!("bound violated after {v} steps"))
+        }
+    }
+
+    #[test]
+    fn monitored_run_completes_while_progressing() {
+        let mut m = Staller {
+            stall_at: u64::MAX,
+            delivered: 0,
+            steps: 0,
+            violate_at: None,
+        };
+        let outcome = Runner::new(Schedule::new(Cycles::new(5), Cycles::new(20))).run_monitored(
+            &mut m,
+            Cycles::new(3),
+            |_, _| {},
+        );
+        assert_eq!(outcome, MonitorOutcome::Completed(Cycle::new(25)));
+        assert!(outcome.is_completed());
+    }
+
+    #[test]
+    fn monitored_run_trips_on_stall() {
+        let mut m = Staller {
+            stall_at: 10,
+            delivered: 0,
+            steps: 0,
+            violate_at: None,
+        };
+        let outcome = Runner::new(Schedule::new(Cycles::ZERO, Cycles::new(1000))).run_monitored(
+            &mut m,
+            Cycles::new(7),
+            |_, _| {},
+        );
+        match outcome {
+            MonitorOutcome::Tripped { at, reason } => {
+                // Progress last changed at cycle 9; 7 stalled cycles later.
+                assert_eq!(at, Cycle::new(16));
+                assert!(reason.contains("stall"), "{reason}");
+            }
+            MonitorOutcome::Completed(_) => panic!("stall must trip the watchdog"),
+        }
+    }
+
+    #[test]
+    fn monitored_run_trips_on_violation() {
+        let mut m = Staller {
+            stall_at: u64::MAX,
+            delivered: 0,
+            steps: 0,
+            violate_at: Some(4),
+        };
+        let outcome = Runner::new(Schedule::new(Cycles::ZERO, Cycles::new(100))).run_monitored(
+            &mut m,
+            Cycles::new(50),
+            |_, _| {},
+        );
+        match outcome {
+            MonitorOutcome::Tripped { at, reason } => {
+                assert_eq!(at, Cycle::new(4));
+                assert!(reason.contains("bound violated"), "{reason}");
+            }
+            MonitorOutcome::Completed(_) => panic!("violation must trip the watchdog"),
+        }
+    }
+
+    #[test]
+    fn idle_models_never_trip_as_stalled() {
+        struct Idle;
+        impl CycleModel for Idle {
+            fn step(&mut self, _: Cycle) {}
+            fn begin_measurement(&mut self, _: Cycle) {}
+        }
+        impl Monitored for Idle {
+            fn progress(&self) -> Option<u64> {
+                None
+            }
+        }
+        let outcome = Runner::new(Schedule::new(Cycles::ZERO, Cycles::new(500))).run_monitored(
+            &mut Idle,
+            Cycles::new(10),
+            |_, _| {},
+        );
+        assert!(outcome.is_completed());
     }
 
     #[test]

@@ -172,6 +172,54 @@ impl Table {
         }
         out
     }
+
+    /// Renders the table as a JSON array of objects keyed by the
+    /// headers. Cells that parse as finite numbers are emitted bare;
+    /// everything else is emitted as an escaped JSON string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let escape = |cell: &str| {
+            let mut s = String::with_capacity(cell.len() + 2);
+            s.push('"');
+            for c in cell.chars() {
+                match c {
+                    '"' => s.push_str("\\\""),
+                    '\\' => s.push_str("\\\\"),
+                    '\n' => s.push_str("\\n"),
+                    '\t' => s.push_str("\\t"),
+                    c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => s.push(c),
+                }
+            }
+            s.push('"');
+            s
+        };
+        let mut out = String::from("[");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (ci, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(header));
+                out.push(':');
+                let numeric = cell.parse::<f64>().is_ok_and(f64::is_finite)
+                    && !cell.is_empty()
+                    && !cell.ends_with('.');
+                if numeric {
+                    out.push_str(cell);
+                } else {
+                    out.push_str(&escape(cell));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
 }
 
 impl fmt::Display for Table {
@@ -217,6 +265,19 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn json_emits_numbers_bare_and_strings_escaped() {
+        let mut t = Table::with_columns(&["name", "value"]);
+        t.row(vec!["a\"b".into(), "1.5".into()]);
+        t.row(vec!["plain".into(), "n/a".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"value\":1.5"), "{json}");
+        assert!(json.contains("\"name\":\"a\\\"b\""), "{json}");
+        assert!(json.contains("\"value\":\"n/a\""), "{json}");
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
     }
 
     #[test]

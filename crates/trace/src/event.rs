@@ -1,0 +1,658 @@
+//! The trace event taxonomy and its JSONL wire format.
+//!
+//! One [`Event`] is emitted per observable micro-action of the switch:
+//! an arbitration decision, a grant (channel allocation), an inhibit (a
+//! requester defeated on the thermometer bitlines), an `auxVC` update
+//! (with its saturation flag), a decay epoch (real-time-clock
+//! subtraction), a GL policing stall, a packet chaining, and an
+//! admission rejection. The wire format is one flat JSON object per
+//! line — hand-serialized and hand-parsed, since the workspace is fully
+//! offline (no serde).
+
+use std::fmt;
+
+use ssq_types::TrafficClass;
+
+/// One traced occurrence at a specific cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Cycle at which the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Why a packet was refused (or downgraded) at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The per-input staging queue was full; the packet was dropped.
+    StagingOverflow,
+    /// The destination port buffer had no room; the offer was refused.
+    BufferFull,
+    /// A GB packet without a matching reservation was demoted to BE
+    /// (admitted, but not in the class it asked for).
+    Demoted,
+}
+
+impl RejectReason {
+    /// Stable wire label.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            RejectReason::StagingOverflow => "staging_overflow",
+            RejectReason::BufferFull => "buffer_full",
+            RejectReason::Demoted => "demoted",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "staging_overflow" => Some(RejectReason::StagingOverflow),
+            "buffer_full" => Some(RejectReason::BufferFull),
+            "demoted" => Some(RejectReason::Demoted),
+            _ => None,
+        }
+    }
+}
+
+/// The event taxonomy (DESIGN.md §6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An arbitration decision at an output: `winner` (an input index)
+    /// was selected among `contenders` requesters in class `class`.
+    Decision {
+        output: u32,
+        class: TrafficClass,
+        contenders: u32,
+        winner: u32,
+    },
+    /// A channel grant: the head packet of (`input` → `output`) started
+    /// transmission after waiting `waited` cycles since injection. A
+    /// grant with `class == GL` is a GL lane dispatch.
+    Grant {
+        output: u32,
+        input: u32,
+        class: TrafficClass,
+        len_flits: u64,
+        waited: u64,
+    },
+    /// A follow-on packet of the same flow chained onto the still-held
+    /// channel without re-arbitration (§4.2, ref [10]).
+    Chained {
+        output: u32,
+        input: u32,
+        len_flits: u64,
+    },
+    /// A GB requester defeated on the thermometer bitlines: its MSB
+    /// lane `msb` was inhibited by the winner's smaller `winner_msb`
+    /// (or lost the LRG tie-break at the same lane).
+    Inhibit {
+        output: u32,
+        input: u32,
+        msb: u64,
+        winner_msb: u64,
+    },
+    /// The winner's `auxVC` was charged its `Vtick`; `saturated` is set
+    /// when the counter clamped at the saturation cap (triggering the
+    /// halve/reset policies).
+    AuxVc {
+        output: u32,
+        input: u32,
+        aux: u64,
+        saturated: bool,
+    },
+    /// The real-time subcounter wrapped: every `auxVC` at this output
+    /// dropped one MSB step and all thermometer codes shifted down one
+    /// lane. `epoch` counts wraps since construction.
+    Decay { output: u32, epoch: u64 },
+    /// GL traffic was buffered at this output but the policer inhibited
+    /// it this cycle; `backlog` is the number of policed GL packets.
+    GlPoliced { output: u32, backlog: u32 },
+    /// A packet was refused or downgraded at admission.
+    Reject {
+        input: u32,
+        output: u32,
+        class: TrafficClass,
+        reason: RejectReason,
+    },
+}
+
+impl EventKind {
+    /// Stable wire label for the `"kind"` field.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            EventKind::Decision { .. } => "decision",
+            EventKind::Grant { .. } => "grant",
+            EventKind::Chained { .. } => "chained",
+            EventKind::Inhibit { .. } => "inhibit",
+            EventKind::AuxVc { .. } => "auxvc",
+            EventKind::Decay { .. } => "decay",
+            EventKind::GlPoliced { .. } => "gl_policed",
+            EventKind::Reject { .. } => "reject",
+        }
+    }
+}
+
+fn class_from_label(s: &str) -> Option<TrafficClass> {
+    match s {
+        "BE" => Some(TrafficClass::BestEffort),
+        "GB" => Some(TrafficClass::GuaranteedBandwidth),
+        "GL" => Some(TrafficClass::GuaranteedLatency),
+        _ => None,
+    }
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (no trailing newline).
+    ///
+    /// The field set per kind is the stable schema pinned by the
+    /// golden-file test (`tests/jsonl_golden.rs`).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = format!(
+            "{{\"cycle\":{},\"kind\":\"{}\"",
+            self.cycle,
+            self.kind.label()
+        );
+        match &self.kind {
+            EventKind::Decision {
+                output,
+                class,
+                contenders,
+                winner,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_str(&mut s, "class", class.label());
+                push_num(&mut s, "contenders", u64::from(*contenders));
+                push_num(&mut s, "winner", u64::from(*winner));
+            }
+            EventKind::Grant {
+                output,
+                input,
+                class,
+                len_flits,
+                waited,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "input", u64::from(*input));
+                push_str(&mut s, "class", class.label());
+                push_num(&mut s, "len_flits", *len_flits);
+                push_num(&mut s, "waited", *waited);
+            }
+            EventKind::Chained {
+                output,
+                input,
+                len_flits,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "input", u64::from(*input));
+                push_num(&mut s, "len_flits", *len_flits);
+            }
+            EventKind::Inhibit {
+                output,
+                input,
+                msb,
+                winner_msb,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "input", u64::from(*input));
+                push_num(&mut s, "msb", *msb);
+                push_num(&mut s, "winner_msb", *winner_msb);
+            }
+            EventKind::AuxVc {
+                output,
+                input,
+                aux,
+                saturated,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "input", u64::from(*input));
+                push_num(&mut s, "aux", *aux);
+                push_bool(&mut s, "saturated", *saturated);
+            }
+            EventKind::Decay { output, epoch } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "epoch", *epoch);
+            }
+            EventKind::GlPoliced { output, backlog } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "backlog", u64::from(*backlog));
+            }
+            EventKind::Reject {
+                input,
+                output,
+                class,
+                reason,
+            } => {
+                push_num(&mut s, "input", u64::from(*input));
+                push_num(&mut s, "output", u64::from(*output));
+                push_str(&mut s, "class", class.label());
+                push_str(&mut s, "reason", reason.label());
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line produced by [`Event::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed token,
+    /// missing field, or unknown kind/label.
+    pub fn from_jsonl(line: &str) -> Result<Event, ParseError> {
+        let fields = parse_object(line)?;
+        let cycle = fields.num("cycle")?;
+        let kind_label = fields.str("kind")?;
+        let kind = match kind_label {
+            "decision" => EventKind::Decision {
+                output: fields.num32("output")?,
+                class: fields.class()?,
+                contenders: fields.num32("contenders")?,
+                winner: fields.num32("winner")?,
+            },
+            "grant" => EventKind::Grant {
+                output: fields.num32("output")?,
+                input: fields.num32("input")?,
+                class: fields.class()?,
+                len_flits: fields.num("len_flits")?,
+                waited: fields.num("waited")?,
+            },
+            "chained" => EventKind::Chained {
+                output: fields.num32("output")?,
+                input: fields.num32("input")?,
+                len_flits: fields.num("len_flits")?,
+            },
+            "inhibit" => EventKind::Inhibit {
+                output: fields.num32("output")?,
+                input: fields.num32("input")?,
+                msb: fields.num("msb")?,
+                winner_msb: fields.num("winner_msb")?,
+            },
+            "auxvc" => EventKind::AuxVc {
+                output: fields.num32("output")?,
+                input: fields.num32("input")?,
+                aux: fields.num("aux")?,
+                saturated: fields.boolean("saturated")?,
+            },
+            "decay" => EventKind::Decay {
+                output: fields.num32("output")?,
+                epoch: fields.num("epoch")?,
+            },
+            "gl_policed" => EventKind::GlPoliced {
+                output: fields.num32("output")?,
+                backlog: fields.num32("backlog")?,
+            },
+            "reject" => EventKind::Reject {
+                input: fields.num32("input")?,
+                output: fields.num32("output")?,
+                class: fields.class()?,
+                reason: RejectReason::from_label(fields.str("reason")?)
+                    .ok_or_else(|| ParseError::new("unknown reject reason"))?,
+            },
+            other => return Err(ParseError::new(format!("unknown event kind `{other}`"))),
+        };
+        Ok(Event { cycle, kind })
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:>8}  ", self.cycle)?;
+        match &self.kind {
+            EventKind::Decision {
+                output,
+                class,
+                contenders,
+                winner,
+            } => write!(
+                f,
+                "decision   out{output} {} winner=in{winner} of {contenders}",
+                class.label()
+            ),
+            EventKind::Grant {
+                output,
+                input,
+                class,
+                len_flits,
+                waited,
+            } => write!(
+                f,
+                "grant      out{output} <- in{input} {} len={len_flits} waited={waited}",
+                class.label()
+            ),
+            EventKind::Chained {
+                output,
+                input,
+                len_flits,
+            } => write!(f, "chained    out{output} <- in{input} len={len_flits}"),
+            EventKind::Inhibit {
+                output,
+                input,
+                msb,
+                winner_msb,
+            } => write!(
+                f,
+                "inhibit    out{output} in{input} lane={msb} beaten-by-lane={winner_msb}"
+            ),
+            EventKind::AuxVc {
+                output,
+                input,
+                aux,
+                saturated,
+            } => write!(
+                f,
+                "auxvc      out{output} in{input} aux={aux}{}",
+                if *saturated { " SATURATED" } else { "" }
+            ),
+            EventKind::Decay { output, epoch } => {
+                write!(f, "decay      out{output} epoch={epoch}")
+            }
+            EventKind::GlPoliced { output, backlog } => {
+                write!(f, "gl-policed out{output} backlog={backlog}")
+            }
+            EventKind::Reject {
+                input,
+                output,
+                class,
+                reason,
+            } => write!(
+                f,
+                "reject     in{input} -> out{output} {} ({})",
+                class.label(),
+                reason.label()
+            ),
+        }
+    }
+}
+
+fn push_num(s: &mut String, key: &str, v: u64) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(&v.to_string());
+}
+
+fn push_str(s: &mut String, key: &str, v: &str) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":\"");
+    s.push_str(v);
+    s.push('"');
+}
+
+fn push_bool(s: &mut String, key: &str, v: bool) {
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(if v { "true" } else { "false" });
+}
+
+/// Error from [`Event::from_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed JSON scalar.
+enum Scalar {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+}
+
+struct Fields(Vec<(String, Scalar)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&Scalar, ParseError> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ParseError::new(format!("missing field `{key}`")))
+    }
+
+    fn num(&self, key: &str) -> Result<u64, ParseError> {
+        match self.get(key)? {
+            Scalar::Num(n) => Ok(*n),
+            _ => Err(ParseError::new(format!("field `{key}` is not a number"))),
+        }
+    }
+
+    fn num32(&self, key: &str) -> Result<u32, ParseError> {
+        u32::try_from(self.num(key)?)
+            .map_err(|_| ParseError::new(format!("field `{key}` exceeds u32")))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, ParseError> {
+        match self.get(key)? {
+            Scalar::Str(s) => Ok(s),
+            _ => Err(ParseError::new(format!("field `{key}` is not a string"))),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, ParseError> {
+        match self.get(key)? {
+            Scalar::Bool(b) => Ok(*b),
+            _ => Err(ParseError::new(format!("field `{key}` is not a bool"))),
+        }
+    }
+
+    fn class(&self) -> Result<TrafficClass, ParseError> {
+        class_from_label(self.str("class")?).ok_or_else(|| ParseError::new("unknown traffic class"))
+    }
+}
+
+/// Parses one flat JSON object of string/unsigned-integer/bool values —
+/// exactly the subset [`Event::to_jsonl`] emits. String values never
+/// contain escapes (all labels are fixed identifiers), so none are
+/// accepted.
+fn parse_object(line: &str) -> Result<Fields, ParseError> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .ok_or_else(|| ParseError::new("line is not a JSON object"))?;
+    let mut fields = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| ParseError::new("expected quoted key"))?;
+        let key_end = after_quote
+            .find('"')
+            .ok_or_else(|| ParseError::new("unterminated key"))?;
+        let key = &after_quote[..key_end];
+        let after_key = after_quote[key_end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| ParseError::new(format!("missing `:` after `{key}`")))?
+            .trim_start();
+        let (value, tail) = if let Some(srest) = after_key.strip_prefix('"') {
+            let end = srest
+                .find('"')
+                .ok_or_else(|| ParseError::new("unterminated string value"))?;
+            if srest[..end].contains('\\') {
+                return Err(ParseError::new("escapes are not part of the schema"));
+            }
+            (Scalar::Str(srest[..end].to_string()), &srest[end + 1..])
+        } else if let Some(tail) = after_key.strip_prefix("true") {
+            (Scalar::Bool(true), tail)
+        } else if let Some(tail) = after_key.strip_prefix("false") {
+            (Scalar::Bool(false), tail)
+        } else {
+            let end = after_key
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(after_key.len());
+            let digits = &after_key[..end];
+            let n: u64 = digits
+                .parse()
+                .map_err(|_| ParseError::new(format!("bad value for `{key}`")))?;
+            (Scalar::Num(n), &after_key[end..])
+        };
+        fields.push((key.to_string(), value));
+        rest = tail.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+            if rest.is_empty() {
+                return Err(ParseError::new("trailing comma"));
+            }
+        } else if !rest.is_empty() {
+            return Err(ParseError::new("expected `,` between fields"));
+        }
+    }
+    Ok(Fields(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<Event> {
+        vec![
+            Event {
+                cycle: 1,
+                kind: EventKind::Decision {
+                    output: 0,
+                    class: TrafficClass::GuaranteedBandwidth,
+                    contenders: 3,
+                    winner: 2,
+                },
+            },
+            Event {
+                cycle: 2,
+                kind: EventKind::Grant {
+                    output: 0,
+                    input: 2,
+                    class: TrafficClass::GuaranteedLatency,
+                    len_flits: 8,
+                    waited: 5,
+                },
+            },
+            Event {
+                cycle: 3,
+                kind: EventKind::Chained {
+                    output: 1,
+                    input: 2,
+                    len_flits: 4,
+                },
+            },
+            Event {
+                cycle: 4,
+                kind: EventKind::Inhibit {
+                    output: 0,
+                    input: 5,
+                    msb: 6,
+                    winner_msb: 4,
+                },
+            },
+            Event {
+                cycle: 5,
+                kind: EventKind::AuxVc {
+                    output: 0,
+                    input: 2,
+                    aux: 4095,
+                    saturated: true,
+                },
+            },
+            Event {
+                cycle: 6,
+                kind: EventKind::Decay {
+                    output: 0,
+                    epoch: 7,
+                },
+            },
+            Event {
+                cycle: 7,
+                kind: EventKind::GlPoliced {
+                    output: 3,
+                    backlog: 2,
+                },
+            },
+            Event {
+                cycle: 8,
+                kind: EventKind::Reject {
+                    input: 1,
+                    output: 0,
+                    class: TrafficClass::BestEffort,
+                    reason: RejectReason::StagingOverflow,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_kind() {
+        for ev in all_kinds() {
+            let line = ev.to_jsonl();
+            let back = Event::from_jsonl(&line).expect(&line);
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn grant_wire_format_is_stable() {
+        let ev = &all_kinds()[1];
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"cycle\":2,\"kind\":\"grant\",\"output\":0,\"input\":2,\"class\":\"GL\",\
+             \"len_flits\":8,\"waited\":5}"
+        );
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_any_field_order() {
+        let ev =
+            Event::from_jsonl("{ \"kind\": \"decay\", \"epoch\": 3, \"cycle\": 9, \"output\": 1 }")
+                .expect("reordered fields parse");
+        assert_eq!(
+            ev,
+            Event {
+                cycle: 9,
+                kind: EventKind::Decay {
+                    output: 1,
+                    epoch: 3
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "not json",
+            "{\"cycle\":1}",
+            "{\"cycle\":1,\"kind\":\"nope\"}",
+            "{\"cycle\":1,\"kind\":\"decay\",\"output\":0}",
+            "{\"cycle\":-1,\"kind\":\"decay\",\"output\":0,\"epoch\":0}",
+            "{\"cycle\":1,\"kind\":\"decay\",\"output\":0,\"epoch\":0,}",
+        ] {
+            assert!(Event::from_jsonl(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = all_kinds()[1].to_string();
+        assert!(s.contains("grant"), "{s}");
+        assert!(s.contains("waited=5"), "{s}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Flight-recorder post-mortem rendering.
+//!
+//! When the runner trips (stall, violated GL bound) or a debug assert
+//! fires, the last N events from the [`RingSink`](crate::RingSink)
+//! plus the latest metrics snapshot are rendered into one artifact
+//! under `results/` — so a failed run leaves evidence instead of
+//! nothing.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::event::Event;
+use crate::metrics::MetricsRegistry;
+
+/// Renders a post-mortem report: the trip reason, the retained tail of
+/// the event stream (chronological), and the current value of every
+/// registered metric.
+#[must_use]
+pub fn render_post_mortem(
+    reason: &str,
+    tripped_at: u64,
+    events: &[Event],
+    metrics: Option<&MetricsRegistry>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("=== flight recorder post-mortem ===\n");
+    out.push_str(&format!("reason : {reason}\n"));
+    out.push_str(&format!("cycle  : {tripped_at}\n"));
+    out.push_str(&format!("events : {} retained\n", events.len()));
+    out.push('\n');
+    if events.is_empty() {
+        out.push_str("(no events retained — was the flight recorder attached?)\n");
+    } else {
+        out.push_str("--- last events (oldest first) ---\n");
+        for ev in events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+    }
+    if let Some(m) = metrics {
+        out.push('\n');
+        out.push_str("--- metrics at trip ---\n");
+        for (name, value) in m.latest_summary() {
+            out.push_str(&format!("{name} = {value}\n"));
+        }
+        if m.samples() > 0 {
+            out.push('\n');
+            out.push_str("--- sampled series ---\n");
+            out.push_str(&m.to_table().to_text());
+        }
+    }
+    out
+}
+
+/// Writes a post-mortem to `<dir>/flight-<name>.txt`, creating the
+/// directory if needed, and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_post_mortem(
+    dir: &Path,
+    name: &str,
+    reason: &str,
+    tripped_at: u64,
+    events: &[Event],
+    metrics: Option<&MetricsRegistry>,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("flight-{name}.txt"));
+    std::fs::write(
+        &path,
+        render_post_mortem(reason, tripped_at, events, metrics),
+    )?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn render_includes_reason_events_and_metrics() {
+        let events = vec![Event {
+            cycle: 42,
+            kind: EventKind::Decay {
+                output: 1,
+                epoch: 2,
+            },
+        }];
+        let mut m = MetricsRegistry::new(10);
+        let c = m.register_counter("grants");
+        m.add(c, 9);
+        m.snapshot(40);
+        let text = render_post_mortem(
+            "stall: no progress for 1000 cycles",
+            1042,
+            &events,
+            Some(&m),
+        );
+        assert!(text.contains("stall: no progress"), "{text}");
+        assert!(text.contains("decay"), "{text}");
+        assert!(text.contains("grants = 9"), "{text}");
+        assert!(text.contains("sampled series"), "{text}");
+    }
+
+    #[test]
+    fn empty_ring_is_called_out() {
+        let text = render_post_mortem("assert", 0, &[], None);
+        assert!(text.contains("no events retained"), "{text}");
+    }
+
+    #[test]
+    fn write_creates_directory_and_file() {
+        let dir = std::env::temp_dir().join(format!("ssq-flight-{}", std::process::id()));
+        let path = write_post_mortem(&dir, "unit", "test trip", 7, &[], None).unwrap();
+        assert!(path.ends_with("flight-unit.txt"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("test trip"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

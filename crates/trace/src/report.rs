@@ -1,0 +1,353 @@
+//! Post-hoc summarization of a JSONL trace: the engine behind the
+//! `ssq trace-report` subcommand.
+//!
+//! Answers the questions end-of-run stats tables cannot: per-flow
+//! grant-latency percentiles, who was inhibited how often, how many
+//! decay epochs each output's real-time clock completed, and what was
+//! rejected at admission.
+
+use std::collections::BTreeMap;
+
+use ssq_stats::Table;
+use ssq_types::TrafficClass;
+
+use crate::event::{Event, EventKind};
+
+/// Accumulated per-flow grant statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FlowGrants {
+    /// Grant waiting times (cycles from injection to channel grant),
+    /// sorted on demand.
+    waits: Vec<u64>,
+    /// Packets that chained onto a held channel without re-arbitration.
+    pub chained: u64,
+}
+
+impl FlowGrants {
+    /// Number of grants observed.
+    #[must_use]
+    pub fn grants(&self) -> u64 {
+        self.waits.len() as u64
+    }
+
+    /// Exact percentile of the observed waits (`p` in `[0, 1]`).
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.waits.is_empty() || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        let mut sorted = self.waits.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted.get(idx.min(sorted.len() - 1)).copied()
+    }
+
+    /// Largest observed wait.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.waits.iter().copied().max()
+    }
+}
+
+/// Everything `trace-report` prints, aggregated in one pass.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total events consumed.
+    pub events: u64,
+    /// Grant statistics keyed by `(input, output, class)`.
+    pub flows: BTreeMap<(u32, u32, TrafficClass), FlowGrants>,
+    /// Inhibit counts keyed by `(input, output)`.
+    pub inhibits: BTreeMap<(u32, u32), u64>,
+    /// Highest decay epoch seen per output.
+    pub decay_epochs: BTreeMap<u32, u64>,
+    /// `auxVC` saturation events per `(input, output)`.
+    pub saturations: BTreeMap<(u32, u32), u64>,
+    /// Cycles with a policed GL backlog, per output.
+    pub gl_policed_cycles: BTreeMap<u32, u64>,
+    /// Admission rejections keyed by `(input, output, reason label)`.
+    pub rejects: BTreeMap<(u32, u32, &'static str), u64>,
+    /// First and last event cycles.
+    pub span: Option<(u64, u64)>,
+}
+
+impl TraceSummary {
+    /// Consumes a stream of events.
+    pub fn ingest(&mut self, event: &Event) {
+        self.events += 1;
+        self.span = Some(match self.span {
+            None => (event.cycle, event.cycle),
+            Some((lo, hi)) => (lo.min(event.cycle), hi.max(event.cycle)),
+        });
+        match &event.kind {
+            EventKind::Grant {
+                output,
+                input,
+                class,
+                waited,
+                ..
+            } => {
+                self.flows
+                    .entry((*input, *output, *class))
+                    .or_default()
+                    .waits
+                    .push(*waited);
+            }
+            EventKind::Chained { output, input, .. } => {
+                // Class is not on the chained event; charge every class
+                // entry of the flow (in practice a flow has one class).
+                let mut found = false;
+                for ((i, o, _), g) in &mut self.flows {
+                    if i == input && o == output {
+                        g.chained += 1;
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    self.flows
+                        .entry((*input, *output, TrafficClass::BestEffort))
+                        .or_default()
+                        .chained += 1;
+                }
+            }
+            EventKind::Inhibit { output, input, .. } => {
+                *self.inhibits.entry((*input, *output)).or_default() += 1;
+            }
+            EventKind::AuxVc {
+                output,
+                input,
+                saturated,
+                ..
+            } => {
+                if *saturated {
+                    *self.saturations.entry((*input, *output)).or_default() += 1;
+                }
+            }
+            EventKind::Decay { output, epoch } => {
+                let e = self.decay_epochs.entry(*output).or_default();
+                *e = (*e).max(*epoch);
+            }
+            EventKind::GlPoliced { output, .. } => {
+                *self.gl_policed_cycles.entry(*output).or_default() += 1;
+            }
+            EventKind::Reject {
+                input,
+                output,
+                reason,
+                ..
+            } => {
+                *self
+                    .rejects
+                    .entry((*input, *output, reason.label()))
+                    .or_default() += 1;
+            }
+            EventKind::Decision { .. } => {}
+        }
+    }
+
+    /// Builds a summary from an iterator of events.
+    pub fn from_events<I: IntoIterator<Item = Event>>(events: I) -> Self {
+        let mut s = TraceSummary::default();
+        for ev in events {
+            s.ingest(&ev);
+        }
+        s
+    }
+
+    /// Per-flow grant-latency percentile table (the headline of
+    /// `trace-report`).
+    #[must_use]
+    pub fn grant_table(&self) -> Table {
+        let mut t = Table::with_columns(&[
+            "flow", "class", "grants", "chained", "p50", "p90", "p99", "max",
+        ]);
+        t.numeric();
+        for ((input, output, class), g) in &self.flows {
+            let pct = |p: f64| {
+                g.percentile(p)
+                    .map_or_else(|| String::from("-"), |v| v.to_string())
+            };
+            t.row(vec![
+                format!("in{input}->out{output}"),
+                class.label().to_string(),
+                g.grants().to_string(),
+                g.chained.to_string(),
+                pct(0.50),
+                pct(0.90),
+                pct(0.99),
+                g.max().map_or_else(|| String::from("-"), |v| v.to_string()),
+            ]);
+        }
+        t
+    }
+
+    /// Inhibit / saturation counts per (input, output) pair.
+    #[must_use]
+    pub fn contention_table(&self) -> Table {
+        let mut t = Table::with_columns(&["pair", "inhibits", "auxvc_saturations"]);
+        t.numeric();
+        let mut pairs: Vec<(u32, u32)> = self
+            .inhibits
+            .keys()
+            .chain(self.saturations.keys())
+            .copied()
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        for (input, output) in pairs {
+            t.row(vec![
+                format!("in{input}->out{output}"),
+                self.inhibits
+                    .get(&(input, output))
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                self.saturations
+                    .get(&(input, output))
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Decay epochs and GL policing per output.
+    #[must_use]
+    pub fn output_table(&self) -> Table {
+        let mut t = Table::with_columns(&["output", "decay_epochs", "gl_policed_cycles"]);
+        t.numeric();
+        let mut outputs: Vec<u32> = self
+            .decay_epochs
+            .keys()
+            .chain(self.gl_policed_cycles.keys())
+            .copied()
+            .collect();
+        outputs.sort_unstable();
+        outputs.dedup();
+        for o in outputs {
+            t.row(vec![
+                format!("out{o}"),
+                self.decay_epochs.get(&o).copied().unwrap_or(0).to_string(),
+                self.gl_policed_cycles
+                    .get(&o)
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Admission rejections.
+    #[must_use]
+    pub fn reject_table(&self) -> Table {
+        let mut t = Table::with_columns(&["pair", "reason", "count"]);
+        t.numeric();
+        for ((input, output, reason), n) in &self.rejects {
+            t.row(vec![
+                format!("in{input}->out{output}"),
+                (*reason).to_string(),
+                n.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RejectReason;
+
+    fn grant(cycle: u64, input: u32, waited: u64) -> Event {
+        Event {
+            cycle,
+            kind: EventKind::Grant {
+                output: 0,
+                input,
+                class: TrafficClass::GuaranteedBandwidth,
+                len_flits: 8,
+                waited,
+            },
+        }
+    }
+
+    #[test]
+    fn percentiles_per_flow() {
+        let events: Vec<Event> = (0..100).map(|i| grant(i, 0, i)).collect();
+        let s = TraceSummary::from_events(events);
+        let g = &s.flows[&(0, 0, TrafficClass::GuaranteedBandwidth)];
+        assert_eq!(g.grants(), 100);
+        assert_eq!(g.percentile(0.5), Some(50));
+        assert_eq!(g.percentile(0.99), Some(98));
+        assert_eq!(g.max(), Some(99));
+        assert_eq!(s.span, Some((0, 99)));
+    }
+
+    #[test]
+    fn tables_cover_all_sections() {
+        let mut events = vec![
+            grant(1, 0, 2),
+            Event {
+                cycle: 2,
+                kind: EventKind::Inhibit {
+                    output: 0,
+                    input: 1,
+                    msb: 5,
+                    winner_msb: 2,
+                },
+            },
+            Event {
+                cycle: 3,
+                kind: EventKind::Decay {
+                    output: 0,
+                    epoch: 4,
+                },
+            },
+            Event {
+                cycle: 4,
+                kind: EventKind::AuxVc {
+                    output: 0,
+                    input: 0,
+                    aux: 4095,
+                    saturated: true,
+                },
+            },
+            Event {
+                cycle: 5,
+                kind: EventKind::GlPoliced {
+                    output: 0,
+                    backlog: 1,
+                },
+            },
+            Event {
+                cycle: 6,
+                kind: EventKind::Reject {
+                    input: 2,
+                    output: 0,
+                    class: TrafficClass::BestEffort,
+                    reason: RejectReason::StagingOverflow,
+                },
+            },
+        ];
+        events.push(Event {
+            cycle: 7,
+            kind: EventKind::Chained {
+                output: 0,
+                input: 0,
+                len_flits: 8,
+            },
+        });
+        let s = TraceSummary::from_events(events);
+        assert!(s.grant_table().to_text().contains("in0->out0"));
+        assert!(s.contention_table().to_text().contains("in1->out0"));
+        assert!(s.output_table().to_text().contains("out0"));
+        assert!(s.reject_table().to_text().contains("staging_overflow"));
+        assert_eq!(
+            s.flows[&(0, 0, TrafficClass::GuaranteedBandwidth)].chained,
+            1
+        );
+        assert_eq!(s.decay_epochs[&0], 4);
+    }
+}

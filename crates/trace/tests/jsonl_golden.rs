@@ -1,0 +1,154 @@
+//! Golden-file pin of the JSONL wire schema, plus flight-recorder
+//! wraparound behaviour at the sink-integration level.
+//!
+//! The golden file (`tests/golden.jsonl`) is the contract external
+//! consumers parse; any schema change must be deliberate and show up
+//! as a diff here.
+
+use ssq_trace::{Event, EventKind, JsonlSink, RejectReason, TraceSink, Tracer};
+use ssq_types::TrafficClass;
+
+/// One event of every kind, fixed for all time.
+fn fixture() -> Vec<Event> {
+    vec![
+        Event {
+            cycle: 100,
+            kind: EventKind::Decision {
+                output: 0,
+                class: TrafficClass::GuaranteedBandwidth,
+                contenders: 4,
+                winner: 2,
+            },
+        },
+        Event {
+            cycle: 100,
+            kind: EventKind::Inhibit {
+                output: 0,
+                input: 3,
+                msb: 6,
+                winner_msb: 2,
+            },
+        },
+        Event {
+            cycle: 100,
+            kind: EventKind::AuxVc {
+                output: 0,
+                input: 2,
+                aux: 1536,
+                saturated: false,
+            },
+        },
+        Event {
+            cycle: 101,
+            kind: EventKind::Grant {
+                output: 0,
+                input: 2,
+                class: TrafficClass::GuaranteedBandwidth,
+                len_flits: 8,
+                waited: 12,
+            },
+        },
+        Event {
+            cycle: 110,
+            kind: EventKind::Chained {
+                output: 0,
+                input: 2,
+                len_flits: 8,
+            },
+        },
+        Event {
+            cycle: 512,
+            kind: EventKind::Decay {
+                output: 0,
+                epoch: 1,
+            },
+        },
+        Event {
+            cycle: 600,
+            kind: EventKind::GlPoliced {
+                output: 1,
+                backlog: 2,
+            },
+        },
+        Event {
+            cycle: 601,
+            kind: EventKind::Grant {
+                output: 1,
+                input: 5,
+                class: TrafficClass::GuaranteedLatency,
+                len_flits: 4,
+                waited: 3,
+            },
+        },
+        Event {
+            cycle: 700,
+            kind: EventKind::AuxVc {
+                output: 0,
+                input: 2,
+                aux: 4095,
+                saturated: true,
+            },
+        },
+        Event {
+            cycle: 701,
+            kind: EventKind::Reject {
+                input: 7,
+                output: 0,
+                class: TrafficClass::BestEffort,
+                reason: RejectReason::StagingOverflow,
+            },
+        },
+        Event {
+            cycle: 702,
+            kind: EventKind::Reject {
+                input: 6,
+                output: 2,
+                class: TrafficClass::GuaranteedBandwidth,
+                reason: RejectReason::Demoted,
+            },
+        },
+    ]
+}
+
+const GOLDEN: &str = include_str!("golden.jsonl");
+
+#[test]
+fn jsonl_schema_matches_golden_file() {
+    let mut sink = JsonlSink::new(Vec::new());
+    for ev in fixture() {
+        sink.record(&ev);
+    }
+    let produced = String::from_utf8(sink.into_inner()).expect("utf8");
+    assert_eq!(
+        produced, GOLDEN,
+        "JSONL schema drifted from tests/golden.jsonl — if intentional, \
+         regenerate the golden file and document the schema change"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_fixture() {
+    let parsed: Vec<Event> = GOLDEN
+        .lines()
+        .map(|line| Event::from_jsonl(line).expect(line))
+        .collect();
+    assert_eq!(parsed, fixture());
+}
+
+#[test]
+fn flight_recorder_wraparound_is_chronological_through_the_tracer() {
+    let mut tracer = Tracer::new();
+    tracer.attach_ring(5);
+    for ev in fixture() {
+        tracer.emit(|| ev.clone());
+    }
+    let ring = tracer.ring().expect("ring attached");
+    assert_eq!(ring.total_recorded(), 11);
+    assert_eq!(ring.len(), 5, "capacity bounds retention");
+    let cycles: Vec<u64> = ring.events().iter().map(|e| e.cycle).collect();
+    assert_eq!(
+        cycles,
+        vec![600, 601, 700, 701, 702],
+        "oldest evicted first, dump in chronological order"
+    );
+}

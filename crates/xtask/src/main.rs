@@ -11,6 +11,8 @@
 //!   `#[cfg(test)]` in the hot-path crates (arbiter, circuit, core, sim);
 //! - `no-narrowing-cast` — no truncating `as` casts in counter and
 //!   thermometer arithmetic;
+//! - `no-print-in-lib` — no `println!` / `eprintln!` in library crates
+//!   outside `#[cfg(test)]` (binaries and `src/bin/` are exempt);
 //! - `no-todo` — no `todo!` / `unimplemented!` in non-test code anywhere;
 //! - `must-use-decision` — `*Decision` / `*Grant` / `*Outcome` types must
 //!   be `#[must_use]`.

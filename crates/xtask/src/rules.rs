@@ -45,6 +45,9 @@ pub fn check_file(rel_path: &Path, scanned: &Scanned) -> Vec<Violation> {
     if NO_NARROWING_FILES.contains(&rel.as_str()) {
         no_narrowing_cast(scanned, &mut violations);
     }
+    if is_library_source(&rel) {
+        no_print_in_lib(scanned, &mut violations);
+    }
     no_todo(scanned, &mut violations);
     must_use_decisions(scanned, &mut violations);
 
@@ -57,9 +60,20 @@ pub fn check_file(rel_path: &Path, scanned: &Scanned) -> Vec<Violation> {
 pub const ALL_RULES: &[&str] = &[
     "no-unwrap",
     "no-narrowing-cast",
+    "no-print-in-lib",
     "no-todo",
     "must-use-decision",
 ];
+
+/// Whether `rel` is library code of a workspace crate: under
+/// `crates/*/src` but neither a binary (`src/bin/`) nor a binary crate
+/// root (`main.rs`).
+fn is_library_source(rel: &str) -> bool {
+    rel.starts_with("crates/")
+        && rel.contains("/src/")
+        && !rel.contains("/src/bin/")
+        && !rel.ends_with("/main.rs")
+}
 
 fn each_hot_line<'a>(scanned: &'a Scanned) -> impl Iterator<Item = (usize, &'a str)> {
     scanned
@@ -121,6 +135,28 @@ fn no_narrowing_cast(scanned: &Scanned, out: &mut Vec<Violation>) {
                 });
             }
             from += rel + 4;
+        }
+    }
+}
+
+/// `no-print-in-lib`: no `println!` / `eprintln!` in library crates
+/// outside `cfg(test)` — libraries return data (or emit trace events);
+/// only binaries own stdout. Intentional printers (e.g. the bench
+/// harness's table emitter) carry `ssq-lint: allow(no-print-in-lib)`
+/// waivers.
+fn no_print_in_lib(scanned: &Scanned, out: &mut Vec<Violation>) {
+    for (idx, line) in each_hot_line(scanned) {
+        for needle in ["println!", "eprintln!"] {
+            if find_token(line, needle) {
+                out.push(Violation {
+                    line: idx + 1,
+                    rule: "no-print-in-lib",
+                    message: format!(
+                        "{needle} in library code; return data (or emit a trace event) and let \
+                         the binary print"
+                    ),
+                });
+            }
         }
     }
 }
@@ -285,6 +321,29 @@ mod tests {
     fn widening_and_float_casts_are_fine() {
         let src = "fn f(x: u32) { let _ = x as u64; let _ = x as f64; let _ = x as usize; }\n";
         assert!(check("crates/arbiter/src/ssvc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_in_library_source_is_flagged() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        let v = check("crates/stats/src/table.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "no-print-in-lib"));
+    }
+
+    #[test]
+    fn println_in_binaries_and_tests_is_fine() {
+        let src = "fn main() { println!(\"x\"); }\n";
+        assert!(check("crates/xtask/src/main.rs", src).is_empty());
+        assert!(check("crates/bench/src/bin/fig4.rs", src).is_empty());
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}\n";
+        assert!(check("crates/stats/src/table.rs", src).is_empty());
+    }
+
+    #[test]
+    fn println_waiver_is_honored() {
+        let src = "fn f() { println!(\"x\"); } // ssq-lint: allow(no-print-in-lib)\n";
+        assert!(check("crates/bench/src/lib.rs", src).is_empty());
     }
 
     #[test]

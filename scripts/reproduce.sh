@@ -32,9 +32,18 @@ BINARIES=(
 
 cargo build --release -p ssq-bench
 
+# Headline reproductions run with the flight recorder armed: a stalled
+# or guarantee-violating run dumps its last trace events to
+# results/flight-<bin>.txt instead of silently producing bad numbers.
+FLIGHT_RECORDED=(fig4 fig5 rate_adherence)
+
 for bin in "${BINARIES[@]}"; do
   echo "== $bin =="
-  cargo run --release --quiet -p ssq-bench --bin "$bin" | tee "results/$bin.txt"
+  args=()
+  if [[ " ${FLIGHT_RECORDED[*]} " == *" $bin "* ]]; then
+    args+=(--flight-recorder)
+  fi
+  cargo run --release --quiet -p ssq-bench --bin "$bin" -- ${args[@]+"${args[@]}"} | tee "results/$bin.txt"
   echo
 done
 

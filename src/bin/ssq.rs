@@ -18,14 +18,16 @@ use std::fmt;
 use std::process::ExitCode;
 
 use swizzle_qos::arbiter::CounterPolicy;
+use swizzle_qos::check::trace::{analyze_trace_settings, TraceSettings};
 use swizzle_qos::core::gl::{burst_budgets, latency_bound, GlScenario};
 use swizzle_qos::core::vcd::SwitchVcdRecorder;
 use swizzle_qos::core::{Policy, Preflight, QosSwitch, SwitchConfig};
 use swizzle_qos::physical::{DelayModel, StorageModel, TABLE2_RADICES, TABLE2_WIDTHS};
-use swizzle_qos::sim::CycleModel;
+use swizzle_qos::sim::{CycleModel, MonitorOutcome, Runner, Schedule};
 use swizzle_qos::stats::Table;
+use swizzle_qos::trace::{flight, Event, MetricsRegistry, RingSink, TraceSummary};
 use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Saturating, TraceEvent, TraceFile};
-use swizzle_qos::types::{Cycle, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
+use swizzle_qos::types::{Cycle, Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
 
 /// CLI-level error with a user-facing message.
 #[derive(Debug)]
@@ -48,6 +50,9 @@ ssq — quality-of-service for a high-radix switch (DAC 2014 reproduction)
 
 USAGE:
   ssq simulate [OPTIONS]     run a switch simulation and print per-flow results
+                             (a leading --option implies `simulate`)
+  ssq trace-report [OPTIONS] summarize a JSONL event trace (grant latency
+                             percentiles, inhibits, decay epochs, rejects)
   ssq gl-bound [OPTIONS]     evaluate the Eq. 1 worst-case GL waiting bound
   ssq gl-burst [OPTIONS]     evaluate the Eqs. 2-3 burst budgets
   ssq storage  [OPTIONS]     print the Table 1 storage model
@@ -67,7 +72,7 @@ SIMULATE OPTIONS:
   --gl-reserve OUT:PCT    GL class reservation at OUT
   --flow IN:OUT:CLASS:RATE[:LEN]  traffic: CLASS in {BE,GB,GL}; RATE is
                                flits/cycle or 'sat' for saturating
-  --trace FILE            replay a trace file instead of --flow traffic
+  --replay FILE           replay a traffic trace instead of --flow traffic
   --chaining              enable packet chaining
   --gl-policing           enable the GL usage policer
   --fabric-check          verify every SSVC/GL arbitration against the
@@ -75,6 +80,29 @@ SIMULATE OPTIONS:
   --vcd FILE              dump a waveform of the run
   --capture FILE          write delivered packets as a replayable trace
   --csv                   emit the report as CSV
+
+OBSERVABILITY OPTIONS (simulate):
+  --trace                 emit one JSONL event per arbitration decision,
+                          grant, inhibit, auxVC update, decay epoch, GL
+                          dispatch, and admission rejection
+  --trace-out FILE        JSONL destination (default results/trace.jsonl)
+  --metrics-interval N    snapshot switch metrics every N cycles into a
+                          time series (0 = off)
+  --metrics-out FILE      time-series destination (default
+                          results/metrics.csv; .json extension switches
+                          the format)
+  --flight-recorder       keep the last --flight-capacity events in a
+                          ring and dump them (with metrics) to results/
+                          on a stall, a violated GL bound, or a panic
+  --flight-capacity N     flight-recorder ring size (default 4096)
+  --stall-window N        cycles of pending-but-stuck work before the
+                          watchdog trips (default 10000)
+  --gl-bound N            arm the GL wait watchdog at N cycles (Eq. 1)
+
+TRACE-REPORT OPTIONS:
+  --in FILE               JSONL trace to summarize (default
+                          results/trace.jsonl)
+  --csv                   emit the grant-latency table as CSV
 
 GL-BOUND OPTIONS:
   --l-max N --l-min N --n-gl N --buffer N   (defaults 8, 1, 1, 4)
@@ -102,6 +130,10 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     match args.first().map(String::as_str) {
         Some("simulate") => simulate(&args[1..]),
+        Some("trace-report") => trace_report(&args[1..]),
+        // A leading option means `simulate` was implied:
+        // `ssq --trace --flow 0:0:GB:sat` just works.
+        Some(leading) if leading.starts_with("--") && leading != "--help" => simulate(args),
         Some("gl-bound") => gl_bound(&args[1..]),
         Some("gl-burst") => gl_burst(&args[1..]),
         Some("storage") => storage(&args[1..]),
@@ -244,14 +276,102 @@ fn parse_flow(spec: &str) -> Result<FlowSpec, Box<dyn Error>> {
     Ok((input, output, class, rate, len))
 }
 
+/// The metrics the CLI samples from the switch on each
+/// `--metrics-interval` boundary.
+struct MetricsProbe {
+    registry: MetricsRegistry,
+    gauges: [swizzle_qos::trace::GaugeId; 5],
+}
+
+impl MetricsProbe {
+    fn new(interval: u64) -> Self {
+        let mut registry = MetricsRegistry::new(interval);
+        let gauges = [
+            registry.register_gauge("delivered_packets"),
+            registry.register_gauge("delivered_flits"),
+            registry.register_gauge("dropped_packets"),
+            registry.register_gauge("chained_packets"),
+            registry.register_gauge("gl_policed_cycles"),
+        ];
+        MetricsProbe { registry, gauges }
+    }
+
+    fn observe(&mut self, switch: &QosSwitch, now: Cycle) {
+        if !self.registry.due(now.value()) {
+            return;
+        }
+        let c = switch.counters();
+        let values = [
+            c.delivered_packets,
+            c.delivered_flits,
+            c.dropped_packets,
+            c.chained_packets,
+            c.gl_policed_cycles,
+        ];
+        for (&id, &v) in self.gauges.iter().zip(&values) {
+            self.registry.set_gauge(id, v as f64);
+        }
+        self.registry.snapshot(now.value());
+    }
+}
+
+/// Creates the parent directory of `path` (if any) so output files can
+/// land in not-yet-existing directories like `results/`.
+fn ensure_parent(path: &str) -> Result<(), Box<dyn Error>> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| err(format!("creating {}: {e}", dir.display())))?;
+        }
+    }
+    Ok(())
+}
+
 #[allow(clippy::too_many_lines)]
 fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
-    let opts = Opts::parse(args, &["chaining", "gl-policing", "csv", "fabric-check"])?;
+    let opts = Opts::parse(
+        args,
+        &[
+            "chaining",
+            "gl-policing",
+            "csv",
+            "fabric-check",
+            "trace",
+            "flight-recorder",
+        ],
+    )?;
     let radix = opts.num("radix", 8)? as usize;
     let width = opts.num("width", 128)? as usize;
     let cycles = opts.num("cycles", 50_000)?;
     let warmup = opts.num("warmup", 5_000)?;
     let policy = parse_policy(opts.get("policy").unwrap_or("ssvc-subtract"))?;
+
+    // Observability settings, preflighted for consistency (SSQ011).
+    let tracing = opts.flag("trace");
+    let trace_out = opts.get("trace-out").unwrap_or("results/trace.jsonl");
+    let metrics_interval = opts.num("metrics-interval", 0)?;
+    let metrics_out = opts.get("metrics-out").unwrap_or("results/metrics.csv");
+    let flight = opts.flag("flight-recorder");
+    let flight_capacity = opts.num("flight-capacity", 4_096)? as usize;
+    let stall_window = opts.num("stall-window", 10_000)?;
+    let gl_bound = match opts.get("gl-bound") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| err(format!("--gl-bound: invalid number {v:?}")))?,
+        ),
+    };
+    let trace_diag = analyze_trace_settings(&TraceSettings {
+        tracing,
+        trace_out: opts.get("trace-out").map(str::to_owned),
+        metrics_interval,
+        flight_recorder: flight,
+        flight_capacity,
+        total_cycles: warmup + cycles,
+    });
+    if !trace_diag.is_empty() && !opts.flag("csv") {
+        print!("{trace_diag}");
+    }
 
     let geometry = Geometry::new(radix, width)?;
     let mut config = SwitchConfig::builder(geometry)
@@ -290,7 +410,7 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
     if opts.get("capture").is_some() {
         switch.set_delivery_log(true);
     }
-    if let Some(path) = opts.get("trace") {
+    if let Some(path) = opts.get("replay") {
         let text = std::fs::read_to_string(path)
             .map_err(|e| err(format!("reading trace {path:?}: {e}")))?;
         let trace: TraceFile = text.parse()?;
@@ -298,6 +418,19 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             switch.add_injector(injector);
         }
     }
+    if tracing {
+        ensure_parent(trace_out)?;
+        let file = std::fs::File::create(trace_out)
+            .map_err(|e| err(format!("creating {trace_out:?}: {e}")))?;
+        switch
+            .tracer_mut()
+            .attach_jsonl(Box::new(std::io::BufWriter::new(file)));
+    }
+    if flight {
+        switch.tracer_mut().attach_ring(flight_capacity.max(1));
+    }
+    switch.set_gl_wait_bound(gl_bound);
+    let mut probe = (metrics_interval > 0).then(|| MetricsProbe::new(metrics_interval));
     for (n, spec) in opts.get_all("flow").enumerate() {
         let (input, output, class, rate, len) = parse_flow(spec)?;
         let source: Box<dyn swizzle_qos::traffic::TrafficSource> = match rate {
@@ -336,21 +469,124 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
         }
         None => None,
     };
-    let mut now = Cycle::ZERO;
-    for _ in 0..warmup {
-        switch.step(now);
-        now = now.next();
-    }
-    switch.begin_measurement(now);
-    for _ in 0..cycles {
-        switch.step(now);
-        if let Some(rec) = &mut vcd {
-            rec.sample(&switch, now)?;
+    let now;
+    if flight || gl_bound.is_some() {
+        // Monitored run: the watchdog trips on a stall, a violated GL
+        // bound, or (via the unwind hook below) a debug assertion, and
+        // the flight recorder dumps its history to results/.
+        let mut vcd_error: Option<std::io::Error> = None;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Runner::new(Schedule::new(Cycles::new(warmup), Cycles::new(cycles))).run_monitored(
+                &mut switch,
+                Cycles::new(stall_window.max(1)),
+                |sw, at| {
+                    if let Some(rec) = &mut vcd {
+                        if let Err(e) = rec.sample(sw, at) {
+                            vcd_error.get_or_insert(e);
+                        }
+                    }
+                    if let Some(p) = &mut probe {
+                        p.observe(sw, at);
+                    }
+                },
+            )
+        }));
+        let dump = |switch: &mut QosSwitch,
+                    probe: &Option<MetricsProbe>,
+                    name: &str,
+                    reason: &str,
+                    at: u64| {
+            switch.tracer_mut().flush();
+            let events = switch
+                .tracer()
+                .ring()
+                .map(RingSink::events)
+                .unwrap_or_default();
+            flight::write_post_mortem(
+                std::path::Path::new("results"),
+                name,
+                reason,
+                at,
+                &events,
+                probe.as_ref().map(|p| &p.registry),
+            )
+        };
+        let outcome = match caught {
+            Ok(outcome) => outcome,
+            Err(panic) => {
+                let at = switch.now_hint().value();
+                match dump(
+                    &mut switch,
+                    &probe,
+                    "panic",
+                    "panic during simulation (failed debug assertion?)",
+                    at,
+                ) {
+                    Ok(path) => eprintln!("flight recorder dumped to {}", path.display()),
+                    Err(e) => eprintln!("flight recorder dump failed: {e}"),
+                }
+                std::panic::resume_unwind(panic);
+            }
+        };
+        if let Some(e) = vcd_error {
+            return Err(err(format!("writing vcd: {e}")));
         }
-        now = now.next();
+        match outcome {
+            MonitorOutcome::Completed(at) => now = at,
+            MonitorOutcome::Tripped { at, reason } => {
+                let path = dump(&mut switch, &probe, "trip", &reason, at.value())
+                    .map_err(|e| err(format!("writing post-mortem: {e}")))?;
+                return Err(err(format!(
+                    "run tripped at cycle {at}: {reason}\npost-mortem written to {}",
+                    path.display()
+                )));
+            }
+        }
+    } else {
+        let mut at = Cycle::ZERO;
+        for _ in 0..warmup {
+            switch.step(at);
+            at = at.next();
+        }
+        switch.begin_measurement(at);
+        for _ in 0..cycles {
+            switch.step(at);
+            if let Some(rec) = &mut vcd {
+                rec.sample(&switch, at)?;
+            }
+            if let Some(p) = &mut probe {
+                p.observe(&switch, at);
+            }
+            at = at.next();
+        }
+        now = at;
     }
     if let Some(rec) = &mut vcd {
         rec.flush()?;
+    }
+    switch.tracer_mut().flush();
+    if let Some(e) = switch.tracer().jsonl().and_then(|j| j.io_error()) {
+        return Err(err(format!("writing trace {trace_out:?}: {e}")));
+    }
+    if tracing && !opts.flag("csv") {
+        println!("event trace written to {trace_out}");
+    }
+    if let Some(p) = &probe {
+        ensure_parent(metrics_out)?;
+        let table = p.registry.to_table();
+        let rendered = if metrics_out.ends_with(".json") {
+            table.to_json()
+        } else {
+            table.to_csv()
+        };
+        std::fs::write(metrics_out, rendered)
+            .map_err(|e| err(format!("writing metrics {metrics_out:?}: {e}")))?;
+        if !opts.flag("csv") {
+            println!(
+                "metrics time series ({} samples) written to {metrics_out}",
+                p.registry.samples()
+            );
+        }
     }
     if let Some(path) = opts.get("capture") {
         let events: Vec<TraceEvent> = switch
@@ -417,6 +653,47 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             c.demoted_packets,
             c.chained_packets,
         );
+    }
+    Ok(())
+}
+
+fn trace_report(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["csv"])?;
+    let path = opts.get("in").unwrap_or("results/trace.jsonl");
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("reading trace {path:?}: {e}")))?;
+    let mut events = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(Event::from_jsonl(line).map_err(|e| err(format!("{path}:{}: {e}", n + 1)))?);
+    }
+    let summary = TraceSummary::from_events(events);
+    if opts.flag("csv") {
+        print!("{}", summary.grant_table().to_csv());
+        return Ok(());
+    }
+    match summary.span {
+        Some((lo, hi)) => println!("{} events over cycles {lo}..={hi} ({path})", summary.events),
+        None => {
+            println!("empty trace ({path})");
+            return Ok(());
+        }
+    }
+    println!("\nper-flow grant latency (cycles):");
+    print!("{}", summary.grant_table().to_text());
+    if !summary.inhibits.is_empty() {
+        println!("\ninhibits and auxVC saturations:");
+        print!("{}", summary.contention_table().to_text());
+    }
+    if !summary.decay_epochs.is_empty() || !summary.gl_policed_cycles.is_empty() {
+        println!("\nper-output decay epochs / policed cycles:");
+        print!("{}", summary.output_table().to_text());
+    }
+    if !summary.rejects.is_empty() {
+        println!("\nadmission rejections:");
+        print!("{}", summary.reject_table().to_text());
     }
     Ok(())
 }
@@ -589,6 +866,75 @@ mod tests {
             "--csv",
         ]);
         simulate(&args).unwrap();
+    }
+
+    #[test]
+    fn traced_simulate_writes_parseable_jsonl_and_reports() {
+        let dir = std::env::temp_dir().join(format!("ssq-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.jsonl");
+        let metrics = dir.join("m.json");
+        let args = strs(&[
+            "--radix",
+            "4",
+            "--cycles",
+            "2000",
+            "--warmup",
+            "200",
+            "--reserve",
+            "0:0:50:4",
+            "--flow",
+            "0:0:GB:sat:4",
+            "--flow",
+            "1:0:BE:0.2:4",
+            "--trace",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-interval",
+            "500",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--flight-recorder",
+            "--csv",
+        ]);
+        // The leading `--radix` exercises the implicit-simulate path.
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.lines().count() > 100, "traced run produced no events");
+        for line in text.lines() {
+            Event::from_jsonl(line).unwrap();
+        }
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.starts_with('['), "json metrics expected: {m}");
+        assert!(m.contains("\"delivered_flits\""));
+        trace_report(&strs(&["--in", trace.to_str().unwrap()])).unwrap();
+        trace_report(&strs(&["--in", trace.to_str().unwrap(), "--csv"])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn armed_gl_bound_of_zero_trips_and_dumps() {
+        let args = strs(&[
+            "simulate",
+            "--radix",
+            "4",
+            "--cycles",
+            "2000",
+            "--warmup",
+            "100",
+            "--gl-reserve",
+            "0:10",
+            "--flow",
+            "0:0:GL:0.05:1",
+            "--flow",
+            "1:0:BE:sat:8",
+            "--flight-recorder",
+            "--gl-bound",
+            "0",
+            "--csv",
+        ]);
+        let e = run(&args).expect_err("a 0-cycle GL bound cannot hold");
+        assert!(e.to_string().contains("post-mortem"), "got: {e}");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   amps) verified exhaustively against the behavioural arbiter.
 //! * [`traffic`] — injection processes and destination patterns.
 //! * [`sim`] — the cycle-accurate simulation kernel and sweep runner.
+//! * [`trace`] — zero-overhead-when-off event tracing, the metrics
+//!   registry, and the flight-recorder post-mortem.
 //! * [`check`] — static admission/latency/overflow analysis (`SSQ0xx`
 //!   diagnostics) gating every simulation.
 //! * [`core`] — the QoS-enabled Swizzle Switch with Best-Effort,
@@ -80,5 +82,6 @@ pub use ssq_core as core;
 pub use ssq_physical as physical;
 pub use ssq_sim as sim;
 pub use ssq_stats as stats;
+pub use ssq_trace as trace;
 pub use ssq_traffic as traffic;
 pub use ssq_types as types;
