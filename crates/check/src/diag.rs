@@ -179,11 +179,22 @@ impl Report {
 
     /// Renders the report as an `ssq-stats` table (severity-sorted,
     /// errors first).
+    ///
+    /// The ordering is total — (severity desc, code, subject, message) —
+    /// so two runs over the same configuration render byte-identical
+    /// tables regardless of the order analyzers pushed their findings.
+    /// Golden tests and `diff`-based CI checks rely on this.
     #[must_use]
     pub fn to_table(&self) -> Table {
         let mut table = Table::with_columns(&["code", "severity", "subject", "finding"]);
         let mut sorted: Vec<&Diagnostic> = self.diags.iter().collect();
-        sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(b.code)));
+        sorted.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.code.cmp(b.code))
+                .then_with(|| a.subject.cmp(&b.subject))
+                .then_with(|| a.message.cmp(&b.message))
+        });
         for d in sorted {
             table.row(vec![
                 d.code.to_string(),

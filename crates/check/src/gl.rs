@@ -1,11 +1,11 @@
 //! Guaranteed-latency feasibility: the Eq. 1 worst-case waiting bound
 //! and the Eqs. 2–3 burst budgets, applied statically.
 //!
-//! The formulas are deliberately re-implemented here (rather than
-//! imported from `ssq-core`) so the analyzer stays dependency-light and
-//! the two derivations cross-check each other — `ssq-core`'s test suite
-//! asserts bit-for-bit agreement between this module and
-//! `ssq_core::gl`.
+//! The formulas come from [`ssq_types::bounds`] — the single shared
+//! implementation also consumed by `ssq-core` (simulation) and
+//! `ssq-verify` (exhaustive model checking). The worked-example tests
+//! here are kept as regression cross-checks: a change to the shared
+//! module that shifts any bound fails this analyzer's suite too.
 
 use crate::diag::{codes, Diagnostic, Report, Severity};
 
@@ -40,8 +40,7 @@ pub struct GlInput {
 /// Panics if `l_min` is zero.
 #[must_use]
 pub fn gl_latency_bound(l_max: u64, l_min: u64, n_gl: u64, buffer_flits: u64) -> u64 {
-    assert!(l_min > 0, "l_min must be positive");
-    l_max + n_gl * (buffer_flits + buffer_flits.div_ceil(l_min))
+    ssq_types::bounds::gl_latency_bound(l_max, l_min, n_gl, buffer_flits)
 }
 
 /// Eqs. 2–3: burst budgets (in packets) for GL flows with ascending
@@ -61,28 +60,7 @@ pub fn gl_latency_bound(l_max: u64, l_min: u64, n_gl: u64, buffer_flits: u64) ->
 /// Panics if `constraints` is empty or not sorted ascending.
 #[must_use]
 pub fn gl_burst_budgets(constraints: &[u64], l_max: u64) -> Vec<u64> {
-    assert!(!constraints.is_empty(), "need at least one constraint");
-    assert!(
-        constraints.windows(2).all(|w| w[0] <= w[1]),
-        "constraints must be sorted tightest (smallest) first"
-    );
-    let n = constraints.len() as u64;
-    let slot = l_max + 1;
-    let mut budgets = Vec::with_capacity(constraints.len());
-    budgets.push(constraints[0].saturating_sub(l_max) / (slot * n));
-    for (idx, pair) in constraints.windows(2).enumerate() {
-        let k = (idx + 2) as u64;
-        let prev = budgets[idx];
-        let delta = pair[1] - pair[0];
-        let competitors = n - k;
-        let extra = if competitors == 0 {
-            delta / slot
-        } else {
-            delta / (slot * competitors)
-        };
-        budgets.push(prev + extra);
-    }
-    budgets
+    ssq_types::bounds::gl_burst_budgets(constraints, l_max)
 }
 
 /// Checks every GL flow of one output against Eq. 1 and Eqs. 2–3.

@@ -1,0 +1,98 @@
+//! Golden test for the diagnostic report rendering.
+//!
+//! `Report::to_table` promises a total ordering — (severity desc, code,
+//! subject, message) — so the rendered table is byte-identical no matter
+//! which order the analyzers pushed their findings. CI scripts `diff`
+//! analyzer output against checked-in baselines; this test is the
+//! contract they rely on.
+
+use ssq_check::diag::{codes, Diagnostic, Report, Severity};
+
+/// A mixed bag of findings covering every tie-break level of the sort:
+/// different severities, same severity + different codes, same code +
+/// different subjects, and same code + subject + different messages.
+fn findings() -> Vec<Diagnostic> {
+    vec![
+        Diagnostic::new(
+            codes::OVERSUBSCRIBED,
+            Severity::Error,
+            "output 0",
+            "reserved 1.25 of channel bandwidth",
+        ),
+        Diagnostic::new(
+            codes::GL_CONSTRAINT_INFEASIBLE,
+            Severity::Error,
+            "output 0, GL flow 0",
+            "constraint below the Eq. 1 bound",
+        ),
+        Diagnostic::new(
+            codes::GL_CONSTRAINT_INFEASIBLE,
+            Severity::Error,
+            "output 0, GL flow 1",
+            "constraint below the Eq. 1 bound",
+        ),
+        Diagnostic::new(
+            codes::GL_CONSTRAINT_INFEASIBLE,
+            Severity::Error,
+            "output 2",
+            "degenerate GL packet lengths",
+        ),
+        Diagnostic::new(
+            codes::GL_CONSTRAINT_INFEASIBLE,
+            Severity::Error,
+            "output 2",
+            "latency constraint 4 cycles is below the worst-case wait",
+        ),
+        Diagnostic::new(
+            codes::NO_BE_HEADROOM,
+            Severity::Warning,
+            "output 1",
+            "only 2% best-effort headroom",
+        ),
+        Diagnostic::new(
+            codes::COUNTER_SATURATION,
+            Severity::Info,
+            "output 1",
+            "saturation epoch every 4096 cycles",
+        ),
+    ]
+}
+
+const GOLDEN: &str = "\
+code    severity  subject              finding
+-----------------------------------------------------------------------------------------------
+SSQ001  error     output 0             reserved 1.25 of channel bandwidth
+SSQ003  error     output 0, GL flow 0  constraint below the Eq. 1 bound
+SSQ003  error     output 0, GL flow 1  constraint below the Eq. 1 bound
+SSQ003  error     output 2             degenerate GL packet lengths
+SSQ003  error     output 2             latency constraint 4 cycles is below the worst-case wait
+SSQ002  warning   output 1             only 2% best-effort headroom
+SSQ007  info      output 1             saturation epoch every 4096 cycles
+";
+
+#[test]
+fn report_rendering_matches_golden() {
+    let report: Report = findings().into_iter().collect();
+    assert_eq!(report.to_table().to_text(), GOLDEN);
+}
+
+#[test]
+fn rendering_is_insertion_order_independent() {
+    // Walk several distinct insertion orders (rotations and the exact
+    // reverse) and demand byte-identical output for each.
+    let base = findings();
+    let reference: Report = base.clone().into_iter().collect();
+    let reference_text = reference.to_table().to_text();
+    for rotation in 0..base.len() {
+        let mut shuffled = base.clone();
+        shuffled.rotate_left(rotation);
+        let report: Report = shuffled.into_iter().collect();
+        assert_eq!(
+            report.to_table().to_text(),
+            reference_text,
+            "rotation {rotation} rendered differently"
+        );
+    }
+    let reversed: Report = base.into_iter().rev().collect();
+    assert_eq!(reversed.to_table().to_text(), reference_text);
+}

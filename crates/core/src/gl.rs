@@ -1,5 +1,10 @@
 //! Guaranteed-latency mathematics: the worst-case waiting-time bound of
 //! Eq. 1 and the burst budgets of Eqs. 2–3 (paper §3.4).
+//!
+//! The formulas themselves live in [`ssq_types::bounds`] — the single
+//! implementation shared with `ssq-check` and `ssq-verify`; this module
+//! wraps them in the simulation-facing [`GlScenario`] API and keeps the
+//! worked-example tests as cross-checks against the other consumers.
 
 use std::fmt;
 
@@ -81,7 +86,7 @@ pub fn latency_bound(scenario: GlScenario) -> u64 {
         n_gl,
         buffer_flits: b,
     } = scenario;
-    l_max + n_gl * (b + b.div_ceil(l_min))
+    ssq_types::bounds::gl_latency_bound(l_max, l_min, n_gl, b)
 }
 
 /// Eqs. 2–3: maximum burst sizes (in packets) for GL inputs with ordered
@@ -117,34 +122,7 @@ pub fn latency_bound(scenario: GlScenario) -> u64 {
 /// ```
 #[must_use]
 pub fn burst_budgets(constraints: &[u64], l_max: u64) -> Vec<u64> {
-    assert!(!constraints.is_empty(), "need at least one constraint");
-    assert!(
-        constraints.windows(2).all(|w| w[0] <= w[1]),
-        "constraints must be sorted tightest (smallest) first"
-    );
-    let n = constraints.len() as u64;
-    let slot = l_max + 1;
-    let mut budgets = Vec::with_capacity(constraints.len());
-    // Eq. 2.
-    let sigma1 = constraints[0].saturating_sub(l_max) / (slot * n);
-    budgets.push(sigma1);
-    // Eq. 3.
-    for (idx, pair) in constraints.windows(2).enumerate() {
-        let k = (idx + 2) as u64; // this is σ_k for k = idx + 2
-        let prev = budgets[idx];
-        let delta = pair[1] - pair[0];
-        let competitors = n - k;
-        let extra = if competitors == 0 {
-            // The loosest flow competes with nobody beyond the bursts
-            // already granted: its headroom converts one-for-one into
-            // packet slots.
-            delta / slot
-        } else {
-            delta / (slot * competitors)
-        };
-        budgets.push(prev + extra);
-    }
-    budgets
+    ssq_types::bounds::gl_burst_budgets(constraints, l_max)
 }
 
 #[cfg(test)]

@@ -76,6 +76,7 @@ pub mod gl;
 mod packet;
 mod port;
 mod reservations;
+mod sanitize;
 mod switch;
 pub mod vcd;
 

@@ -1,0 +1,131 @@
+//! The invariant sanitizer: the V1–V6 predicate catalog of
+//! [`ssq_types::invariant`] compiled into assertion checks at the
+//! grant/inhibit hot-path sites of the switch (DESIGN.md §7).
+//!
+//! With the `sanitizer` cargo feature **off** (the default), every
+//! function here is an empty `#[inline(always)]` stub: call sites
+//! vanish entirely and the hot path is bit-identical to an
+//! uninstrumented build (the `trace_overhead` microbench pins this).
+//!
+//! With the feature **on**, each check evaluates the *same* shared
+//! predicate the `ssq-verify` model checker enumerates offline, and a
+//! failure panics with an `SSQV00x:`-prefixed message. The `ssq` CLI
+//! runs sweeps under `catch_unwind` and writes a flight-recorder
+//! post-mortem on panic, so a tripped invariant dumps the ring buffer
+//! of recent trace events alongside the `SSQV00x` code — the runtime
+//! counterpart of a model-checker counterexample, grep-able by the same
+//! identifier.
+
+#[cfg(feature = "sanitizer")]
+use ssq_types::invariant;
+
+/// V1 (SSQV001): committing a grant must not overlap another grant —
+/// the winning input cannot already hold (or have been granted) a
+/// channel this cycle.
+#[cfg(feature = "sanitizer")]
+pub(crate) fn single_grant_commit(output: usize, input: usize, input_blocked: bool) {
+    let grants = 1 + usize::from(input_blocked);
+    assert!(
+        invariant::single_grant(grants, true),
+        "SSQV001: output {output} granted input {input}, which already \
+         drives a channel this cycle"
+    );
+}
+
+/// V1 (SSQV001): a chained re-commit must stay within the chain limit;
+/// past it the channel would be held without a real arbitration grant.
+#[cfg(feature = "sanitizer")]
+pub(crate) fn chained_grant(output: usize, chained: u32, limit: u32) {
+    let grants = 1 + usize::from(chained >= limit);
+    assert!(
+        invariant::single_grant(grants, true),
+        "SSQV001: output {output} chained {chained} packets, at or past \
+         the limit of {limit}, without re-arbitration"
+    );
+}
+
+/// V2 (SSQV002) + V3 (SSQV003): after a GB win, the winner's
+/// thermometer code must be well formed and its charged `auxVC` within
+/// the configured counter width.
+#[cfg(feature = "sanitizer")]
+pub(crate) fn gb_win(output: usize, winner: usize, code: u64, aux: u64, cap: u64) {
+    assert!(
+        invariant::thermometer_well_formed(code),
+        "SSQV002: output {output}: winner {winner} holds malformed \
+         thermometer code {code:#b}"
+    );
+    assert!(
+        invariant::aux_within_cap(aux, cap),
+        "SSQV003: output {output}: winner {winner} auxVC {aux} exceeds \
+         the counter cap {cap}"
+    );
+}
+
+/// V6 (SSQV006): the bit-level fabric and the behavioural arbiter must
+/// have selected the same winner.
+#[cfg(feature = "sanitizer")]
+pub(crate) fn fabric_agreement(output: usize, circuit: Option<usize>, behavioural: Option<usize>) {
+    assert!(
+        invariant::grants_agree(behavioural, circuit),
+        "SSQV006: output {output}: behavioural arbiter granted \
+         {behavioural:?} but the bitline circuit granted {circuit:?}"
+    );
+}
+
+// --- Feature off: every check is an empty inline stub. ----------------
+
+#[cfg(not(feature = "sanitizer"))]
+#[inline(always)]
+pub(crate) fn single_grant_commit(_output: usize, _input: usize, _input_blocked: bool) {}
+
+#[cfg(not(feature = "sanitizer"))]
+#[inline(always)]
+pub(crate) fn chained_grant(_output: usize, _chained: u32, _limit: u32) {}
+
+#[cfg(not(feature = "sanitizer"))]
+#[inline(always)]
+pub(crate) fn gb_win(_output: usize, _winner: usize, _code: u64, _aux: u64, _cap: u64) {}
+
+#[cfg(not(feature = "sanitizer"))]
+#[inline(always)]
+pub(crate) fn fabric_agreement(
+    _output: usize,
+    _circuit: Option<usize>,
+    _behavioural: Option<usize>,
+) {
+}
+
+#[cfg(all(test, feature = "sanitizer"))]
+mod tests {
+    #[test]
+    fn clean_values_pass() {
+        super::single_grant_commit(0, 1, false);
+        super::chained_grant(0, 1, 4);
+        super::gb_win(0, 1, 0b11, 7, 15);
+        super::fabric_agreement(0, Some(1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "SSQV001")]
+    fn double_grant_trips_v1() {
+        super::single_grant_commit(2, 3, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "SSQV002")]
+    fn malformed_code_trips_v2() {
+        super::gb_win(0, 1, 0b101, 7, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "SSQV003")]
+    fn overflowing_counter_trips_v3() {
+        super::gb_win(0, 1, 0b1, 16, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "SSQV006")]
+    fn fabric_divergence_trips_v6() {
+        super::fabric_agreement(0, Some(1), Some(2));
+    }
+}

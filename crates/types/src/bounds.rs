@@ -1,0 +1,143 @@
+//! The paper's guaranteed-latency mathematics (§3.4), shared by every
+//! layer that reasons about GL service: the Eq. 1 worst-case waiting
+//! bound and the Eqs. 2–3 burst budgets.
+//!
+//! This module is the single source of truth for those formulas.
+//! `ssq-core` wraps them behind its `GlScenario` API for simulation,
+//! `ssq-check` applies them statically to configurations, and
+//! `ssq-verify` uses them as the V5 invariant bound during exhaustive
+//! state-space exploration. The three consumers' test suites cross-check
+//! one another against worked examples, so a regression here fails in
+//! three places at once.
+
+/// Eq. 1: the maximum waiting time `τ_GL` for a buffered GL packet at
+/// the switch:
+///
+/// ```text
+/// τ_GL <= l_max + N_GL,o * (b + ceil(b / l_min))
+/// ```
+///
+/// `l_max` covers the wait for channel release from a packet already
+/// holding the channel; `N_GL,o · b` the transmit latency of buffered
+/// flits ahead of this packet; `N_GL,o · ceil(b / l_min)` the
+/// arbitration latency (one cycle per packet, at most `ceil(b / l_min)`
+/// packets per buffer).
+///
+/// # Panics
+///
+/// Panics if `l_min` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::bounds::gl_latency_bound;
+///
+/// // One interrupt source with a 4-flit buffer and single-flit packets
+/// // waits at most 1 + 1*(4 + 4) = 9 cycles.
+/// assert_eq!(gl_latency_bound(1, 1, 1, 4), 9);
+/// ```
+#[must_use]
+pub fn gl_latency_bound(l_max: u64, l_min: u64, n_gl: u64, buffer_flits: u64) -> u64 {
+    assert!(l_min > 0, "l_min must be positive");
+    l_max + n_gl * (buffer_flits + buffer_flits.div_ceil(l_min))
+}
+
+/// Eqs. 2–3: maximum burst sizes (in packets) for GL inputs with ordered
+/// latency constraints `L₁ <= L₂ <= … <= L_N` (tightest first):
+///
+/// ```text
+/// σ₁ = (L₁ − l_max) / ((l_max + 1) · N)
+/// σₙ = σₙ₋₁ + (Lₙ − Lₙ₋₁) / ((l_max + 1) · (N − n))        (n > 1)
+/// ```
+///
+/// The flow with constraint `Lₙ` "can burst as many flits as the flow
+/// with the `Lₙ₋₁` constraint but has to compete with the remaining
+/// `N_GL,o − n` flows with higher latency constraints". Results are
+/// floored to whole packets; a constraint too tight to admit even one
+/// packet yields 0. For the loosest flow (`n = N`) the divisor `N − n`
+/// is zero, meaning no *other* flow constrains it beyond its own
+/// constraint; the budget is then limited by its own latency headroom
+/// against the already-granted bursts.
+///
+/// # Panics
+///
+/// Panics if `constraints` is empty or not sorted ascending.
+///
+/// # Examples
+///
+/// ```
+/// use ssq_types::bounds::gl_burst_budgets;
+///
+/// // Two GL flows with 1-flit packets; the tighter flow gets the
+/// // smaller budget.
+/// let budgets = gl_burst_budgets(&[40, 100], 1);
+/// assert!(budgets[0] <= budgets[1]);
+/// ```
+#[must_use]
+pub fn gl_burst_budgets(constraints: &[u64], l_max: u64) -> Vec<u64> {
+    assert!(!constraints.is_empty(), "need at least one constraint");
+    assert!(
+        constraints.windows(2).all(|w| w[0] <= w[1]),
+        "constraints must be sorted tightest (smallest) first"
+    );
+    let n = constraints.len() as u64;
+    let slot = l_max + 1;
+    let mut budgets = Vec::with_capacity(constraints.len());
+    // Eq. 2.
+    budgets.push(constraints[0].saturating_sub(l_max) / (slot * n));
+    // Eq. 3.
+    for (idx, pair) in constraints.windows(2).enumerate() {
+        let k = (idx + 2) as u64; // this is σ_k for k = idx + 2
+        let prev = budgets[idx];
+        let delta = pair[1] - pair[0];
+        let competitors = n - k;
+        let extra = if competitors == 0 {
+            // The loosest flow competes with nobody beyond the bursts
+            // already granted: its headroom converts one-for-one into
+            // packet slots.
+            delta / slot
+        } else {
+            delta / (slot * competitors)
+        };
+        budgets.push(prev + extra);
+    }
+    budgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_matches_the_paper_shape() {
+        // 8 inputs, 4-flit buffers, packets 1..=8 flits:
+        // 8 + 8*(4 + 4/1) = 72.
+        assert_eq!(gl_latency_bound(8, 1, 8, 4), 72);
+        // b=6, l_min=4: at most ceil(6/4)=2 buffered packets per input.
+        assert_eq!(gl_latency_bound(4, 4, 2, 6), 4 + 2 * (6 + 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "l_min")]
+    fn zero_l_min_rejected() {
+        let _ = gl_latency_bound(1, 0, 1, 4);
+    }
+
+    #[test]
+    fn budgets_match_worked_examples() {
+        assert_eq!(gl_burst_budgets(&[101], 1), vec![50]);
+        assert_eq!(gl_burst_budgets(&[201; 8], 1)[0], 12);
+        assert_eq!(gl_burst_budgets(&[50, 100, 400], 4), vec![3, 13, 73]);
+    }
+
+    #[test]
+    fn too_tight_constraint_yields_zero() {
+        assert_eq!(gl_burst_budgets(&[3], 8)[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_constraints_rejected() {
+        let _ = gl_burst_budgets(&[100, 50], 1);
+    }
+}

@@ -9,6 +9,12 @@
 //! arbitration, traffic, and switch crates cannot accidentally confuse a
 //! port index with a lane index or a point in time with a duration.
 //!
+//! Two leaf modules hold shared mathematics rather than vocabulary:
+//! [`bounds`] is the single implementation of the paper's Eq. 1–3
+//! guaranteed-latency formulas, and [`invariant`] is the V1–V6 predicate
+//! catalog compiled into both the `ssq-verify` model checker and
+//! `ssq-core`'s `sanitizer` feature.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,10 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 mod class;
 mod error;
 mod geometry;
 mod ids;
+pub mod invariant;
 mod packet;
 pub mod rng;
 mod units;

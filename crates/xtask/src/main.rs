@@ -1,7 +1,9 @@
 //! Workspace automation for swizzle-qos.
 //!
 //! ```text
-//! cargo run -p xtask -- lint      # source-level lint over crates/*/src
+//! cargo run -p xtask -- lint           # source-level lint over crates/*/src
+//! cargo run -p xtask -- verify         # fast-tier model check (2x2, exhaustive)
+//! cargo run -p xtask -- verify --deep  # + deep tier (4x4, bounded horizon)
 //! ```
 //!
 //! The lint pass is text/token-based (no external parser — see
@@ -15,11 +17,23 @@
 //!   outside `#[cfg(test)]` (binaries and `src/bin/` are exempt);
 //! - `no-todo` — no `todo!` / `unimplemented!` in non-test code anywhere;
 //! - `must-use-decision` — `*Decision` / `*Grant` / `*Outcome` types must
-//!   be `#[must_use]`.
+//!   be `#[must_use]`;
+//! - `no-lossy-index` — no narrowing `as` cast applied directly to a
+//!   port/flow identifier outside `ssq-types` (narrow through the one
+//!   waived `wire()` funnel);
+//! - `invariant-site-coverage` — every grant/inhibit/chain emission in
+//!   `crates/core/src/switch.rs` must have a `sanitize::` check within
+//!   the preceding window.
 //!
 //! Violations print as `file:line · RULE · message` and make the process
 //! exit nonzero. A finding can be waived in place with
 //! `// ssq-lint: allow(<rule>)` on (or immediately above) the line.
+//!
+//! The verify pass runs the [`ssq_verify`] bounded exhaustive model
+//! checker over the fast-tier scenario battery (and, with `--deep`, the
+//! 4x4 deep tier), printing per-scenario state counts and failing the
+//! process on the first invariant violation (the minimal counterexample
+//! trace is printed as ssq-trace JSONL).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -31,6 +45,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("verify") => verify(&args[1..]),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -43,7 +58,67 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- lint";
+const USAGE: &str = "usage: cargo run -p xtask -- <lint | verify [--deep]>";
+
+/// Runs the model-checker tiers: the fast battery always, the deep
+/// battery with `--deep`. Prints one line per scenario and the first
+/// counterexample (as replayable JSONL) on violation.
+fn verify(args: &[String]) -> ExitCode {
+    let mut deep = false;
+    for arg in args {
+        match arg.as_str() {
+            "--deep" => deep = true,
+            other => {
+                eprintln!("unknown verify flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut batteries = vec![("fast", ssq_verify::tier::fast_scenarios())];
+    if deep {
+        batteries.push(("deep", ssq_verify::tier::deep_scenarios()));
+    }
+
+    for (tier, scenarios) in batteries {
+        let started = std::time::Instant::now();
+        let count = scenarios.len();
+        let mut states = 0usize;
+        let mut transitions = 0u64;
+        for scenario in scenarios {
+            let outcome = ssq_verify::verify_scenario(&scenario);
+            states += outcome.states;
+            transitions += outcome.transitions;
+            println!(
+                "verify[{tier}] {:<28} {:>7} states {:>8} transitions {}",
+                outcome.scenario,
+                outcome.states,
+                outcome.transitions,
+                if outcome.closed { "closed" } else { "clipped" },
+            );
+            if let Some(cx) = outcome.violation {
+                eprintln!(
+                    "verify[{tier}] {}: {} ({}) violated at depth {}: {}",
+                    outcome.scenario,
+                    cx.invariant,
+                    cx.code,
+                    cx.depth(),
+                    cx.detail,
+                );
+                eprintln!("counterexample trace (ssq-trace JSONL):");
+                eprintln!("{}", cx.to_jsonl());
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "verify[{tier}] clean: {count} scenarios, {states} states, {transitions} transitions \
+             in {:.2}s",
+            started.elapsed().as_secs_f64(),
+        );
+    }
+    ExitCode::SUCCESS
+}
 
 fn lint() -> ExitCode {
     let root = workspace_root();

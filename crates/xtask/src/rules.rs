@@ -50,6 +50,12 @@ pub fn check_file(rel_path: &Path, scanned: &Scanned) -> Vec<Violation> {
     }
     no_todo(scanned, &mut violations);
     must_use_decisions(scanned, &mut violations);
+    if crate_name != "types" {
+        no_lossy_index(scanned, &mut violations);
+    }
+    if rel == "crates/core/src/switch.rs" {
+        invariant_site_coverage(scanned, &mut violations);
+    }
 
     violations.retain(|v| !scanned.suppressed(v.line - 1, v.rule));
     violations.sort_by_key(|v| v.line);
@@ -63,6 +69,8 @@ pub const ALL_RULES: &[&str] = &[
     "no-print-in-lib",
     "no-todo",
     "must-use-decision",
+    "no-lossy-index",
+    "invariant-site-coverage",
 ];
 
 /// Whether `rel` is library code of a workspace crate: under
@@ -216,6 +224,87 @@ fn must_use_decisions(scanned: &Scanned, out: &mut Vec<Violation>) {
                 message: format!(
                     "arbitration result type `{name}` must be #[must_use]: dropping one \
                      discards a grant"
+                ),
+            });
+        }
+    }
+}
+
+/// `no-lossy-index`: no narrowing `as` cast applied directly to a
+/// port/flow identifier — `winner as u32`, `input.index() as u32` —
+/// outside `ssq-types` (which owns the identifier newtypes). Identifier
+/// values must stay in their newtype (or `usize`) until the one waived
+/// narrowing funnel (e.g. `switch::wire`) converts them for the trace
+/// wire format.
+fn no_lossy_index(scanned: &Scanned, out: &mut Vec<Violation>) {
+    /// Identifier-ish names whose direct narrowing loses port/flow bits.
+    const ID_TOKENS: &[&str] = &["input", "output", "winner", "port", "flow", "lane", "index"];
+    const NARROW: &[&str] = &["usize", "u8", "u16", "u32"];
+    for (idx, line) in each_hot_line(scanned) {
+        let mut from = 0;
+        while let Some(rel) = line[from..].find(" as ") {
+            let at = from + rel;
+            let after = &line[at + 4..];
+            let target: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            from = at + 4;
+            if !NARROW.contains(&target.as_str()) {
+                continue;
+            }
+            let before = &line[..at];
+            let ident: String = before
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            let accessor = before.ends_with(".index()") || before.ends_with(".raw()");
+            if accessor || ID_TOKENS.contains(&ident.as_str()) {
+                out.push(Violation {
+                    line: idx + 1,
+                    rule: "no-lossy-index",
+                    message: format!(
+                        "`{ident} as {target}` narrows a port/flow identifier; keep the \
+                         newtype (or usize) and narrow through the waived wire() funnel"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `invariant-site-coverage`: every grant/inhibit/chain emission site in
+/// the switch core must sit within sight of a sanitizer check — a
+/// `sanitize::` call in the preceding window — so the runtime
+/// invariant-sanitizer (DESIGN.md §7) cannot silently drift out of the
+/// hot path as the code evolves. Deliberately uncovered sites carry an
+/// `ssq-lint: allow(invariant-site-coverage)` waiver.
+fn invariant_site_coverage(scanned: &Scanned, out: &mut Vec<Violation>) {
+    /// How many preceding lines may separate a check from its site.
+    const WINDOW: usize = 25;
+    const SITES: &[&str] = &[
+        "EventKind::Grant",
+        "EventKind::Inhibit",
+        "EventKind::Chained",
+    ];
+    let lines: Vec<&str> = scanned.masked.lines().collect();
+    for (idx, line) in each_hot_line(scanned) {
+        let Some(site) = SITES.iter().find(|s| find_token(line, s)) else {
+            continue;
+        };
+        let start = idx.saturating_sub(WINDOW);
+        let covered = lines[start..=idx].iter().any(|l| l.contains("sanitize::"));
+        if !covered {
+            out.push(Violation {
+                line: idx + 1,
+                rule: "invariant-site-coverage",
+                message: format!(
+                    "{site} emission has no paired sanitize:: check within {WINDOW} lines; \
+                     add the invariant-sanitizer call (or a waiver)"
                 ),
             });
         }
@@ -379,6 +468,54 @@ mod tests {
         // Suppressing a different rule does not help.
         let src = "fn f() { x.unwrap() } // ssq-lint: allow(no-todo)\n";
         assert_eq!(check("crates/sim/src/runner.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn lossy_index_casts_are_flagged_outside_types() {
+        let src = "fn f(winner: usize) { g(winner as u32); }\n";
+        let v = check("crates/core/src/switch.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-lossy-index");
+        // The vocabulary crate owns the newtypes and may narrow.
+        assert!(check("crates/types/src/ids.rs", src).is_empty());
+    }
+
+    #[test]
+    fn accessor_narrowing_is_flagged() {
+        let src = "fn f(i: InputId) { g(i.index() as u32); h(i.raw() as u16); }\n";
+        let v = check("crates/trace/src/event.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "no-lossy-index"));
+    }
+
+    #[test]
+    fn non_identifier_and_widening_casts_are_fine() {
+        // `lanes` is not the token `lane`; `len` is not listed; u64 is
+        // widening; and a waiver silences the funnel itself.
+        let src = "fn f() { a(self.lanes as usize); b(len as u32); c(winner as u64); }\n";
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+        let src = "fn f(index: usize) { index as u32 } // ssq-lint: allow(no-lossy-index)\n";
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+    }
+
+    #[test]
+    fn uncovered_grant_site_is_flagged() {
+        let src = "fn f(&mut self) {\n    self.tracer.emit(|| Event { cycle: 0, kind: EventKind::Grant { output: 0 } });\n}\n";
+        let v = check("crates/core/src/switch.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "invariant-site-coverage");
+        // Only the switch core is in scope.
+        assert!(check("crates/trace/src/event.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sanitized_grant_site_passes() {
+        let src = "fn f(&mut self) {\n    sanitize::single_grant_commit(o, i, blocked);\n    self.tracer.emit(|| Event { cycle: 0, kind: EventKind::Grant { output: 0 } });\n}\n";
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+        let src = "fn f(&mut self) {\n    emit(EventKind::Chained { output: 0 });\n}\n";
+        let waived = "fn f(&mut self) {\n    // ssq-lint: allow(invariant-site-coverage)\n    emit(EventKind::Chained { output: 0 });\n}\n";
+        assert_eq!(check("crates/core/src/switch.rs", src).len(), 1);
+        assert!(check("crates/core/src/switch.rs", waived).is_empty());
     }
 
     #[test]

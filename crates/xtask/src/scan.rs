@@ -245,20 +245,22 @@ fn test_lines(masked: &str) -> Vec<bool> {
         }
         // Brace-match the item (a `mod`, `fn`, `impl`, …). Items ending
         // at a semicolon before any brace (e.g. `mod tests;`) cover only
-        // their own lines.
+        // their own lines, as do comma- or brace-terminated positions
+        // such as a `#[cfg(test)]` enum variant or struct field.
         let mut depth = 0usize;
         let mut end = j;
         while end < bytes.len() {
             match bytes[end] {
                 b'{' => depth += 1,
-                b'}' => {
+                b'}' if depth > 0 => {
                     depth -= 1;
                     if depth == 0 {
                         end += 1;
                         break;
                     }
                 }
-                b';' if depth == 0 => {
+                b'}' => break, // enclosing item closed: annotated item ended
+                b';' | b',' if depth == 0 => {
                     end += 1;
                     break;
                 }
@@ -343,6 +345,14 @@ mod tests {
         let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_hot() {}\n";
         let s = scan(src);
         assert_eq!(s.test_lines, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_enum_variant_covers_only_its_lines() {
+        let src =
+            "enum TieBreak {\n    Lrg,\n    #[cfg(test)]\n    HighestIndex,\n}\nfn hot() {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_lines, vec![false, false, true, true, false, false]);
     }
 
     #[test]

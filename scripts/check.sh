@@ -13,6 +13,9 @@ cargo fmt --all --check
 echo "== source lint (xtask) =="
 cargo run --quiet -p xtask -- lint
 
+echo "== model check, fast tier (xtask) =="
+cargo run --quiet -p xtask -- verify
+
 echo "== release build =="
 cargo build --workspace --release
 

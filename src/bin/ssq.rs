@@ -53,6 +53,10 @@ USAGE:
                              (a leading --option implies `simulate`)
   ssq trace-report [OPTIONS] summarize a JSONL event trace (grant latency
                              percentiles, inhibits, decay epochs, rejects)
+  ssq verify [--deep]        model-check the arbitration pipeline: enumerate
+                             every reachable state of a small switch and
+                             check the V1-V6 invariant catalog (SSQV00x);
+                             --deep adds the bounded 4x4 battery
   ssq gl-bound [OPTIONS]     evaluate the Eq. 1 worst-case GL waiting bound
   ssq gl-burst [OPTIONS]     evaluate the Eqs. 2-3 burst budgets
   ssq storage  [OPTIONS]     print the Table 1 storage model
@@ -134,6 +138,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         // A leading option means `simulate` was implied:
         // `ssq --trace --flow 0:0:GB:sat` just works.
         Some(leading) if leading.starts_with("--") && leading != "--help" => simulate(args),
+        Some("verify") => verify(&args[1..]),
         Some("gl-bound") => gl_bound(&args[1..]),
         Some("gl-burst") => gl_burst(&args[1..]),
         Some("storage") => storage(&args[1..]),
@@ -694,6 +699,60 @@ fn trace_report(args: &[String]) -> Result<(), Box<dyn Error>> {
     if !summary.rejects.is_empty() {
         println!("\nadmission rejections:");
         print!("{}", summary.reject_table().to_text());
+    }
+    Ok(())
+}
+
+/// `ssq verify [--deep]`: run the bounded exhaustive model checker over
+/// the fast-tier (and optionally deep-tier) scenario batteries. Exits
+/// with an error — printing the minimal counterexample as replayable
+/// ssq-trace JSONL — on the first invariant violation.
+fn verify(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let mut deep = false;
+    for arg in args {
+        match arg.as_str() {
+            "--deep" => deep = true,
+            other => return Err(err(format!("unknown verify flag {other:?}"))),
+        }
+    }
+
+    let mut batteries = vec![("fast", swizzle_qos::verify::tier::fast_scenarios())];
+    if deep {
+        batteries.push(("deep", swizzle_qos::verify::tier::deep_scenarios()));
+    }
+    for (tier, scenarios) in batteries {
+        let started = std::time::Instant::now();
+        let count = scenarios.len();
+        let (mut states, mut transitions) = (0usize, 0u64);
+        for scenario in scenarios {
+            let outcome = swizzle_qos::verify::verify_scenario(&scenario);
+            states += outcome.states;
+            transitions += outcome.transitions;
+            println!(
+                "verify[{tier}] {:<28} {:>7} states {:>8} transitions {}",
+                outcome.scenario,
+                outcome.states,
+                outcome.transitions,
+                if outcome.closed { "closed" } else { "clipped" },
+            );
+            if let Some(cx) = outcome.violation {
+                println!("counterexample trace (ssq-trace JSONL):");
+                println!("{}", cx.to_jsonl());
+                return Err(err(format!(
+                    "{}: invariant {} ({}) violated at depth {}: {}",
+                    outcome.scenario,
+                    cx.invariant,
+                    cx.code,
+                    cx.depth(),
+                    cx.detail,
+                )));
+            }
+        }
+        println!(
+            "verify[{tier}] clean: {count} scenarios, {states} states, {transitions} transitions \
+             in {:.2}s",
+            started.elapsed().as_secs_f64(),
+        );
     }
     Ok(())
 }

@@ -25,6 +25,11 @@
 //!   latency-bound mathematics (Eqs. 1–3).
 //! * [`physical`] — storage (Table 1), area, and frequency (Table 2)
 //!   models.
+//! * [`verify`] — the bounded exhaustive model checker: every reachable
+//!   state of a small switch, checked against the V1–V6 invariant
+//!   catalog (`SSQV00x` diagnostics), with minimal JSONL
+//!   counterexamples on violation. The same predicates compile into
+//!   runtime assertions under the `sanitizer` cargo feature.
 //!
 //! # Quickstart
 //!
@@ -85,3 +90,4 @@ pub use ssq_stats as stats;
 pub use ssq_trace as trace;
 pub use ssq_traffic as traffic;
 pub use ssq_types as types;
+pub use ssq_verify as verify;

@@ -1,0 +1,53 @@
+//! Fast-tier model-checking smoke test: the full radix-2 battery —
+//! every `{BE, GB, GL}²` class mix under all three counter policies —
+//! must enumerate its complete reachable state space (`closed`) with no
+//! V1–V6 invariant violation. This is the exhaustiveness guarantee that
+//! `cargo xtask verify` relies on in `scripts/check.sh`, pinned here so
+//! `cargo test` alone catches a regression in either the arbitration
+//! pipeline or the checker.
+
+use swizzle_qos::verify::{tier, verify_scenario, VerifyOutcome};
+
+#[test]
+fn fast_tier_is_clean_and_closed() {
+    let outcomes: Vec<VerifyOutcome> = tier::fast_scenarios().iter().map(verify_scenario).collect();
+    assert_eq!(outcomes.len(), 30);
+
+    for outcome in &outcomes {
+        assert!(
+            outcome.passed(),
+            "{}: invariant violated: {:?}",
+            outcome.scenario,
+            outcome.violation.as_ref().map(|cx| (cx.code, &cx.detail)),
+        );
+        assert!(
+            outcome.closed,
+            "{}: state space did not close (states {}, depth {})",
+            outcome.scenario, outcome.states, outcome.depth,
+        );
+        assert!(outcome.states > 0 && outcome.transitions > 0);
+    }
+
+    // The exhaustive sweep must actually explore multi-state spaces:
+    // contested GB mixes grow past a hundred reachable states.
+    let largest = outcomes.iter().map(|o| o.states).max().unwrap_or(0);
+    assert!(largest > 100, "largest closed space only {largest} states");
+}
+
+#[test]
+fn every_policy_closes_under_contested_gb() {
+    // The three counter-management policies diverge exactly on
+    // saturation behaviour; the contested all-GB mixes are where the
+    // auxVC counters actually reach the cap.
+    for policy in swizzle_qos::verify::all_policies() {
+        let contested: Vec<_> = tier::fast_scenarios()
+            .into_iter()
+            .filter(|s| s.policy == policy && s.name.contains("gb+gb"))
+            .collect();
+        assert!(!contested.is_empty(), "{policy}: no contested scenarios");
+        for scenario in contested {
+            let outcome = verify_scenario(&scenario);
+            assert!(outcome.passed() && outcome.closed, "{}", outcome.scenario);
+        }
+    }
+}
