@@ -186,6 +186,9 @@ pub struct SsvcArbiter {
     epochs: u64,
     /// Wins that left the winner's counter clamped at the cap.
     saturations: u64,
+    /// Pending epoch-skip faults: wraps whose broadcast subtraction is
+    /// swallowed (see [`SsvcArbiter::fault_skip_epochs`]).
+    skipped_epochs: u64,
 }
 
 impl SsvcArbiter {
@@ -207,6 +210,7 @@ impl SsvcArbiter {
             real_lsb: 0,
             epochs: 0,
             saturations: 0,
+            skipped_epochs: 0,
         }
     }
 
@@ -361,6 +365,37 @@ impl SsvcArbiter {
         }
     }
 
+    /// Flips one raw bit of `input`'s `auxVC` register — the
+    /// single-event-upset fault model (DESIGN.md §8). Unlike
+    /// [`SsvcArbiter::set_aux_vc`] this deliberately bypasses the
+    /// saturation-cap check: an upset in the top bit can push the
+    /// register *above* the cap, the exact corruption the V3 runtime
+    /// detector must classify. Cold path only; never called during
+    /// healthy arbitration.
+    ///
+    /// Returns the counter value after the flip.
+    pub fn fault_flip_aux_bit(&mut self, input: usize, bit: u32) -> u64 {
+        self.aux[input] ^= 1u64 << bit;
+        self.aux[input]
+    }
+
+    /// Skips the next `epochs` real-time decay epochs: the counter-policy
+    /// epoch-skip fault model. Under [`CounterPolicy::SubtractRealClock`]
+    /// the hardware subtracts one MSB step from every `auxVC` each time
+    /// the subcounter wraps; a skipped epoch means the wrap happened but
+    /// the broadcast subtraction did not, so busy counters keep climbing
+    /// toward saturation. The next `epochs` wraps are swallowed at the
+    /// moment they occur (they do not count as completed decay epochs).
+    pub fn fault_skip_epochs(&mut self, epochs: u64) {
+        self.skipped_epochs += epochs;
+    }
+
+    /// Decay epochs swallowed so far by [`SsvcArbiter::fault_skip_epochs`].
+    #[must_use]
+    pub const fn skipped_epoch_count(&self) -> u64 {
+        self.skipped_epochs
+    }
+
     /// Completed decay epochs: how many times the real-time subcounter
     /// has wrapped (each wrap subtracts one MSB step from every
     /// `auxVC`). Always zero for the halve/reset policies.
@@ -412,6 +447,12 @@ impl Arbiter for SsvcArbiter {
         self.real_lsb += 1;
         if self.real_lsb >= self.config.msb_step() {
             self.real_lsb = 0;
+            if self.skipped_epochs > 0 {
+                // Epoch-skip fault: the wrap happened but the broadcast
+                // subtraction was swallowed, so counters keep climbing.
+                self.skipped_epochs -= 1;
+                return;
+            }
             self.epochs += 1;
             let step = self.config.msb_step();
             for a in &mut self.aux {
@@ -721,6 +762,41 @@ mod tests {
         assert_eq!(s.saturation_count(), 1, "clamped win is a saturation");
         let _ = s.arbitrate(Cycle::ZERO, &reqs(&[0]));
         assert_eq!(s.saturation_count(), 2);
+    }
+
+    #[test]
+    fn aux_bit_flip_can_exceed_the_cap() {
+        // The fault mutator deliberately bypasses the cap check: an upset
+        // of a bit above the counter width yields V3-violating state.
+        let c = cfg(CounterPolicy::SubtractRealClock);
+        let mut s = SsvcArbiter::new(c, &[1, 1]);
+        s.set_aux_vc(0, 7);
+        let after = s.fault_flip_aux_bit(0, c.counter_bits());
+        assert!(after > c.saturation_cap(), "flip should exceed the cap");
+        assert_eq!(s.aux_vc(0), after);
+        // Flipping the same bit back heals the register exactly.
+        assert_eq!(s.fault_flip_aux_bit(0, c.counter_bits()), 7);
+        assert_eq!(s.aux_vc(1), 0, "bystander untouched");
+    }
+
+    #[test]
+    fn skipped_epochs_swallow_the_broadcast_subtraction() {
+        let c = cfg(CounterPolicy::SubtractRealClock);
+        let mut s = SsvcArbiter::new(c, &[1]);
+        s.set_aux_vc(0, 2000);
+        s.fault_skip_epochs(1);
+        assert_eq!(s.skipped_epoch_count(), 1);
+        for _ in 0..c.msb_step() {
+            s.tick();
+        }
+        assert_eq!(s.aux_vc(0), 2000, "skipped wrap must not decay");
+        assert_eq!(s.decay_epochs(), 0, "a swallowed wrap is not completed");
+        assert_eq!(s.skipped_epoch_count(), 0);
+        for _ in 0..c.msb_step() {
+            s.tick();
+        }
+        assert_eq!(s.aux_vc(0), 2000 - c.msb_step(), "next wrap decays again");
+        assert_eq!(s.decay_epochs(), 1);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub mod codes {
     /// Inconsistent tracing configuration: an observability setting
     /// that silently records nothing (or writes nowhere).
     pub const TRACE_CONFIG: &str = "SSQ011";
+    /// The declared fault-tolerance provisions (spare lanes, retry
+    /// budget) cannot preserve the Eq. 1 GL bound for the admitted
+    /// flow set if a single fault lands.
+    pub const FAULT_TOLERANCE: &str = "SSQ012";
 }
 
 /// How serious a diagnostic is.

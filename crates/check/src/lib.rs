@@ -20,6 +20,9 @@
 //!   (SSQ009)?
 //! - **Tracing config** ([`trace`]): will the observability settings a
 //!   run was launched with actually record anything (SSQ011)?
+//! - **Fault tolerance** ([`faults`]): can the declared spare lanes and
+//!   retry budget preserve the Eq. 1 bound after a single fault
+//!   (SSQ012)?
 //!
 //! Findings come back as a [`Report`] of [`Diagnostic`]s with stable
 //! `SSQ0xx` codes (see [`codes`]) and three severities; error-severity
@@ -48,6 +51,7 @@
 
 pub mod admission;
 pub mod diag;
+pub mod faults;
 pub mod gl;
 pub mod lanes;
 pub mod overflow;

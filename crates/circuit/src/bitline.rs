@@ -137,6 +137,22 @@ impl Bitlines {
         self.wires[self.index(lane, position)].is_charged()
     }
 
+    /// Forces the wire at (`lane`, `position`) back to the charged
+    /// level, overriding any discharge this cycle.
+    ///
+    /// This deliberately breaks the monotonic-discharge property and
+    /// exists only to model a stuck-at-1 defect, where the wire reads
+    /// high no matter how many pull-downs fire. Healthy arbitration
+    /// logic must never call it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn force_charge(&mut self, lane: usize, position: usize) {
+        let idx = self.index(lane, position);
+        self.wires[idx].precharge();
+    }
+
     /// Recharges every wire for the next arbitration cycle.
     pub fn precharge_all(&mut self) {
         for w in &mut self.wires {

@@ -107,10 +107,15 @@ pub struct ArbitrationOutcome {
     winner: Option<usize>,
     class: Option<WinnerClass>,
     bitlines: Bitlines,
+    /// Every input whose sense wire stayed charged. Healthy fabrics
+    /// produce at most one; a stuck-at-1 wire can produce several.
+    winners: Vec<usize>,
 }
 
 impl ArbitrationOutcome {
-    /// The winning input, if any input requested.
+    /// The winning input, if any input requested. With a faulted fabric
+    /// this is the lowest-indexed charged sense wire; check
+    /// [`ArbitrationOutcome::is_multi_grant`] before trusting it.
     #[must_use]
     pub const fn winner(&self) -> Option<usize> {
         self.winner
@@ -122,6 +127,21 @@ impl ArbitrationOutcome {
         self.class
     }
 
+    /// Every input that sensed a win this cycle. A healthy fabric yields
+    /// zero or one; more than one is the V1 multi-grant corruption a
+    /// stuck-at-1 bitline causes.
+    #[must_use]
+    pub fn winners(&self) -> &[usize] {
+        &self.winners
+    }
+
+    /// Whether more than one input sensed a win — the detection signal
+    /// for grant-bus corruption (V1).
+    #[must_use]
+    pub fn is_multi_grant(&self) -> bool {
+        self.winners.len() > 1
+    }
+
     /// The final bitline state, for inspection (e.g. counting discharge
     /// activity).
     #[must_use]
@@ -130,28 +150,94 @@ impl ArbitrationOutcome {
     }
 }
 
+/// A persistent bitline defect: the wire at (`lane`, `input`) no longer
+/// follows precharge/discharge and instead reads a constant level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckWire {
+    /// The lane the wire belongs to.
+    pub lane: usize,
+    /// The input position along the lane.
+    pub input: usize,
+    /// The constant level: `true` = stuck-at-1 (always charged, the
+    /// wire can no longer be inhibited), `false` = stuck-at-0 (always
+    /// discharged, the input can never sense a win there).
+    pub charged: bool,
+}
+
 /// The inhibit-based arbitration fabric of one output channel, modelling
 /// every wire, pull-down decision, and sense amp (the verification
 /// vehicle of paper §4.1).
 ///
 /// Lane layout: lanes `0..gb_lanes` are the GB thermometer lanes; when
 /// enabled, lane `gb_lanes` is the dedicated GL lane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InhibitFabric {
     config: CircuitConfig,
+    /// Persistent stuck-at defects, applied after every discharge phase.
+    stuck: Vec<StuckWire>,
 }
 
 impl InhibitFabric {
     /// Creates a fabric with the given geometry.
     #[must_use]
     pub const fn new(config: CircuitConfig) -> Self {
-        InhibitFabric { config }
+        InhibitFabric {
+            config,
+            stuck: Vec::new(),
+        }
     }
 
     /// The fabric geometry.
     #[must_use]
     pub const fn config(&self) -> CircuitConfig {
         self.config
+    }
+
+    /// Injects a persistent stuck-at defect on the wire at
+    /// (`lane`, `input`): stuck-at-1 when `charged`, stuck-at-0
+    /// otherwise. Re-sticking the same wire overwrites its level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` or `input` is outside the fabric geometry.
+    pub fn fault_stick_wire(&mut self, lane: usize, input: usize, charged: bool) {
+        assert!(lane < self.config.total_lanes(), "lane out of range");
+        assert!(input < self.config.radix(), "input out of range");
+        if let Some(w) = self
+            .stuck
+            .iter_mut()
+            .find(|w| w.lane == lane && w.input == input)
+        {
+            w.charged = charged;
+        } else {
+            self.stuck.push(StuckWire {
+                lane,
+                input,
+                charged,
+            });
+        }
+    }
+
+    /// Heals the stuck wire at (`lane`, `input`), if any.
+    pub fn heal_wire(&mut self, lane: usize, input: usize) {
+        self.stuck.retain(|w| !(w.lane == lane && w.input == input));
+    }
+
+    /// Heals every stuck wire.
+    pub fn heal_all(&mut self) {
+        self.stuck.clear();
+    }
+
+    /// The currently injected stuck-at defects.
+    #[must_use]
+    pub fn stuck_wires(&self) -> &[StuckWire] {
+        &self.stuck
+    }
+
+    /// Whether any stuck-at defect is active.
+    #[must_use]
+    pub fn is_faulted(&self) -> bool {
+        !self.stuck.is_empty()
     }
 
     /// Runs one full arbitration cycle at the bit level:
@@ -219,11 +305,23 @@ impl InhibitFabric {
             }
         }
 
+        // Stuck-at defects override whatever the discharge phase decided:
+        // a stuck-at-1 wire reads charged no matter who inhibited it, a
+        // stuck-at-0 wire reads discharged even if nobody did.
+        for w in &self.stuck {
+            if w.charged {
+                bitlines.force_charge(w.lane, w.input);
+            } else {
+                bitlines.discharge(w.lane, w.input);
+            }
+        }
+
         // Phase 3: sense. Each requester's sense-amp multiplexer selects
         // the wire at (its lane, its index); a still-charged wire means it
         // won.
         let mut winner = None;
         let mut class = None;
+        let mut winners = Vec::new();
         for (input, port) in ports.iter().enumerate() {
             let (lane, won_class) = match *port {
                 PortRequest::Idle => continue,
@@ -238,19 +336,27 @@ impl InhibitFabric {
                 PortRequest::Gl => (gl_lane, WinnerClass::GuaranteedLatency),
             };
             if bitlines.is_charged(lane, input) {
+                // A healthy fabric can never charge two sense wires; a
+                // stuck-at-1 defect can, so under injected faults the
+                // condition is reported through `winners` instead of
+                // crashing the model.
                 assert!(
-                    winner.is_none(),
+                    winner.is_none() || self.is_faulted(),
                     "fabric produced two winners: {:?} and {input}",
                     winner
                 );
-                winner = Some(input);
-                class = Some(won_class);
+                if winner.is_none() {
+                    winner = Some(input);
+                    class = Some(won_class);
+                }
+                winners.push(input);
             }
         }
         ArbitrationOutcome {
             winner,
             class,
             bitlines,
+            winners,
         }
     }
 }
@@ -410,6 +516,66 @@ mod tests {
             &lrg,
             &lrg,
         );
+    }
+
+    #[test]
+    fn stuck_at_zero_silences_the_rightful_winner() {
+        let mut fabric = InhibitFabric::new(CircuitConfig::new(8, 8, false));
+        let lrg = Lrg::new(8);
+        let mut ports = vec![PortRequest::Idle; 8];
+        ports[0] = gb(6);
+        ports[2] = gb(4);
+        // Healthy: In2 wins (Fig. 1 example subset).
+        let out = fabric.arbitrate(&ports, &lrg, &lrg);
+        assert_eq!(out.winner(), Some(2));
+        // Stick In2's sense wire (lane 4, pos 2) at 0: it can never
+        // sense a win, so nobody wins even though requests are pending —
+        // the starvation signature the detection layer looks for.
+        fabric.fault_stick_wire(4, 2, false);
+        let out = fabric.arbitrate(&ports, &lrg, &lrg);
+        assert_eq!(out.winner(), None);
+        assert!(out.winners().is_empty());
+        // Healing restores the grant.
+        fabric.heal_wire(4, 2);
+        assert!(!fabric.is_faulted());
+        let out = fabric.arbitrate(&ports, &lrg, &lrg);
+        assert_eq!(out.winner(), Some(2));
+    }
+
+    #[test]
+    fn stuck_at_one_produces_an_observable_multi_grant() {
+        let mut fabric = InhibitFabric::new(CircuitConfig::new(8, 8, false));
+        let lrg = Lrg::new(8);
+        let mut ports = vec![PortRequest::Idle; 8];
+        ports[0] = gb(6);
+        ports[2] = gb(4);
+        // Stick In0's sense wire (lane 6, pos 0) at 1: In0 now senses a
+        // win alongside the rightful winner In2 — reported, not a panic.
+        fabric.fault_stick_wire(6, 0, true);
+        let out = fabric.arbitrate(&ports, &lrg, &lrg);
+        assert!(out.is_multi_grant(), "winners = {:?}", out.winners());
+        assert_eq!(out.winners(), &[0, 2]);
+        assert_eq!(out.winner(), Some(0));
+    }
+
+    #[test]
+    fn restick_overwrites_and_heal_all_clears() {
+        let mut fabric = InhibitFabric::new(CircuitConfig::new(4, 4, false));
+        fabric.fault_stick_wire(1, 1, false);
+        fabric.fault_stick_wire(1, 1, true);
+        assert_eq!(fabric.stuck_wires().len(), 1);
+        assert!(fabric.stuck_wires()[0].charged);
+        fabric.fault_stick_wire(2, 0, false);
+        assert_eq!(fabric.stuck_wires().len(), 2);
+        fabric.heal_all();
+        assert!(!fabric.is_faulted());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn stuck_wire_must_fit_geometry() {
+        let mut fabric = InhibitFabric::new(CircuitConfig::new(4, 4, false));
+        fabric.fault_stick_wire(4, 0, true);
     }
 
     #[test]

@@ -66,5 +66,7 @@ mod thermometer;
 pub use bitline::{Bitlines, Wire};
 pub use crosspoint::{CrossbarDatapath, Crosspoint};
 pub use decision::{discharge_decision, gl_discharge_override, LaneDecision};
-pub use fabric::{ArbitrationOutcome, CircuitConfig, InhibitFabric, PortRequest, WinnerClass};
+pub use fabric::{
+    ArbitrationOutcome, CircuitConfig, InhibitFabric, PortRequest, StuckWire, WinnerClass,
+};
 pub use thermometer::ThermometerRegister;

@@ -117,6 +117,35 @@ impl ThermometerRegister {
         );
         self.code = (1u64 << (value + 1)) - 1;
     }
+
+    /// Whether the register still holds a legal thermometer code:
+    /// non-empty, contiguous low-order ones, encoding a lane inside the
+    /// register. A corrupted register (see
+    /// [`ThermometerRegister::fault_corrupt_code`]) fails this check —
+    /// it is the runtime detection predicate the fault layer promotes
+    /// from the test-only `c & (c + 1) == 0` idiom.
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.code != 0
+            && self.code & (self.code + 1) == 0
+            && u64::from(self.code.count_ones()) <= u64::from(self.lanes)
+    }
+
+    /// Even parity over the register bits. A single-bit upset flips the
+    /// parity, so a crosspoint that latches the parity of its last legal
+    /// code can detect one-bit corruption even when the damaged code
+    /// happens to still be contiguous (e.g. the top 1 dropping off).
+    #[must_use]
+    pub const fn parity(&self) -> bool {
+        self.code.count_ones() % 2 == 1
+    }
+
+    /// Overwrites the raw code, bypassing every well-formedness check —
+    /// the thermometer-lane corruption fault model. Healthy update logic
+    /// must never call this; use [`ThermometerRegister::set_value`].
+    pub fn fault_corrupt_code(&mut self, raw: u64) {
+        self.code = raw;
+    }
 }
 
 impl fmt::Display for ThermometerRegister {
@@ -191,6 +220,43 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn rejects_oversized_register() {
         let _ = ThermometerRegister::new(64);
+    }
+
+    #[test]
+    fn every_legal_code_is_well_formed() {
+        let mut reg = ThermometerRegister::new(8);
+        for v in 0..8 {
+            reg.set_value(v);
+            assert!(reg.is_well_formed(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_by_well_formedness_or_parity() {
+        let mut reg = ThermometerRegister::new(8);
+        reg.set_value(4);
+        let healthy_parity = reg.parity();
+        // A hole in the middle breaks contiguity.
+        reg.fault_corrupt_code(0b10111);
+        assert!(!reg.is_well_formed());
+        // All-zeros (a cleared latch) is illegal too.
+        reg.fault_corrupt_code(0);
+        assert!(!reg.is_well_formed());
+        // The top 1 dropping off leaves a *contiguous* code — well-formed
+        // in isolation, but the parity latched from the legal code flips.
+        reg.set_value(4);
+        reg.fault_corrupt_code(reg.code() >> 1);
+        assert!(reg.is_well_formed());
+        assert_ne!(reg.parity(), healthy_parity);
+    }
+
+    #[test]
+    fn parity_tracks_bit_count() {
+        let mut reg = ThermometerRegister::new(8);
+        reg.set_value(0); // one bit
+        assert!(reg.parity());
+        reg.set_value(1); // two bits
+        assert!(!reg.parity());
     }
 
     /// Lockstep with the behavioural arbiter: applying shift operations

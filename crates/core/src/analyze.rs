@@ -3,6 +3,7 @@
 //! guarantee is vetted before a single cycle is simulated.
 
 use ssq_check::admission::{analyze_admission, AdmissionInput};
+use ssq_check::faults::{analyze_fault_tolerance, FaultToleranceSpec};
 use ssq_check::gl::{analyze_gl, GlFlowSpec, GlInput};
 use ssq_check::lanes::{analyze_lanes, LaneInput};
 use ssq_check::overflow::{analyze_counters, CounterFlow, CounterInput};
@@ -109,6 +110,10 @@ impl SwitchConfig {
         }));
 
         if !options.gl_contracts.is_empty() {
+            let tolerance = FaultToleranceSpec {
+                spare_gb_lanes: self.spare_gb_lanes(),
+                retry_budget: self.fault_retry_budget(),
+            };
             for o in 0..radix {
                 let output = OutputId::new(o);
                 let flows: Vec<GlFlowSpec> = options
@@ -120,15 +125,14 @@ impl SwitchConfig {
                         declared_burst: c.declared_burst,
                     })
                     .collect();
-                report.extend(analyze_gl(
-                    o,
-                    &GlInput {
-                        l_max: options.l_max,
-                        l_min: options.l_min,
-                        buffer_flits: self.gl_buffer_flits(),
-                        flows,
-                    },
-                ));
+                let gl_input = GlInput {
+                    l_max: options.l_max,
+                    l_min: options.l_min,
+                    buffer_flits: self.gl_buffer_flits(),
+                    flows,
+                };
+                report.extend(analyze_gl(o, &gl_input));
+                report.extend(analyze_fault_tolerance(o, &gl_input, &tolerance));
             }
         }
 
@@ -262,6 +266,41 @@ mod tests {
         let report = config.analyze_with(&options);
         assert!(report.has_errors());
         assert_eq!(report.with_code(codes::GL_BURST_OVER_BUDGET).count(), 1);
+    }
+
+    #[test]
+    fn gl_contract_with_no_spare_lanes_warns_with_ssq012() {
+        let mut config = base_config();
+        config
+            .reservations_mut()
+            .reserve_gl(OutputId::new(0), rate(0.1))
+            .expect("GL reservation fits");
+        let options = AnalysisOptions {
+            gl_contracts: vec![GlContract {
+                output: OutputId::new(0),
+                latency_constraint: 100_000,
+                declared_burst: 1,
+            }],
+            ..AnalysisOptions::default()
+        };
+        // Default config declares no spares: one stuck wire forfeits Eq. 1.
+        let report = config.analyze_with(&options);
+        assert_eq!(report.with_code(codes::FAULT_TOLERANCE).count(), 1);
+
+        // Declaring a spare lane and a retry budget small enough for the
+        // constraint silences the warning.
+        let tolerant = SwitchConfig::builder(config.geometry())
+            .spare_gb_lanes(1)
+            .fault_retry_budget(2)
+            .build()
+            .expect("valid config");
+        let mut tolerant = tolerant;
+        tolerant
+            .reservations_mut()
+            .reserve_gl(OutputId::new(0), rate(0.1))
+            .expect("GL reservation fits");
+        let report = tolerant.analyze_with(&options);
+        assert_eq!(report.with_code(codes::FAULT_TOLERANCE).count(), 0);
     }
 
     #[test]

@@ -155,6 +155,8 @@ pub struct SwitchConfig {
     packet_chaining: bool,
     fabric_checked: bool,
     be_voq: bool,
+    spare_gb_lanes: u32,
+    fault_retry_budget: u32,
 }
 
 impl SwitchConfig {
@@ -184,6 +186,8 @@ impl SwitchConfig {
             packet_chaining: false,
             fabric_checked: false,
             be_voq: false,
+            spare_gb_lanes: 0,
+            fault_retry_budget: 0,
         }
     }
 
@@ -268,6 +272,20 @@ impl SwitchConfig {
     #[must_use]
     pub const fn be_voq(&self) -> bool {
         self.be_voq
+    }
+
+    /// Spare GB thermometer lanes declared for fault tolerance (see
+    /// [`SwitchConfigBuilder::spare_gb_lanes`]).
+    #[must_use]
+    pub const fn spare_gb_lanes(&self) -> u32 {
+        self.spare_gb_lanes
+    }
+
+    /// Transient-fault retry budget (see
+    /// [`SwitchConfigBuilder::fault_retry_budget`]).
+    #[must_use]
+    pub const fn fault_retry_budget(&self) -> u32 {
+        self.fault_retry_budget
     }
 
     /// The bandwidth allocation table.
@@ -370,6 +388,8 @@ pub struct SwitchConfigBuilder {
     packet_chaining: bool,
     fabric_checked: bool,
     be_voq: bool,
+    spare_gb_lanes: u32,
+    fault_retry_budget: u32,
 }
 
 impl SwitchConfigBuilder {
@@ -481,6 +501,29 @@ impl SwitchConfigBuilder {
         self
     }
 
+    /// Declares how many GB thermometer lanes are spares the switch can
+    /// afford to lose before arbitration quality degrades — the
+    /// fault-tolerance level priced by the SSQ012 preflight check.
+    /// Default 0: any single stuck lane wire immediately costs either a
+    /// thermometer position or (for the GL lane) the Eq. 1 bound.
+    #[must_use]
+    pub fn spare_gb_lanes(mut self, lanes: u32) -> Self {
+        self.spare_gb_lanes = lanes;
+        self
+    }
+
+    /// Sets the transient-fault retry budget: how many times a grant
+    /// corrupted in flight (multi-grant, parity miss) is re-arbitrated
+    /// before the affected guarantee is revoked. Each retry can cost up
+    /// to `l_max` extra cycles of GL wait, which SSQ012 prices against
+    /// the admitted latency constraints. Default 0: first corruption
+    /// revokes.
+    #[must_use]
+    pub fn fault_retry_budget(mut self, retries: u32) -> Self {
+        self.fault_retry_budget = retries;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -508,6 +551,8 @@ impl SwitchConfigBuilder {
             packet_chaining: self.packet_chaining,
             fabric_checked: self.fabric_checked,
             be_voq: self.be_voq,
+            spare_gb_lanes: self.spare_gb_lanes,
+            fault_retry_budget: self.fault_retry_budget,
         };
         config.validate()?;
         Ok(config)
@@ -553,6 +598,20 @@ mod tests {
         assert_eq!(c.gb_buffer_flits(), 16);
         assert_eq!(c.sig_bits(), 4);
         assert!(c.gl_policing());
+    }
+
+    #[test]
+    fn fault_tolerance_fields_default_off_and_are_settable() {
+        let c = SwitchConfig::builder(geom()).build().unwrap();
+        assert_eq!(c.spare_gb_lanes(), 0);
+        assert_eq!(c.fault_retry_budget(), 0);
+        let c = SwitchConfig::builder(geom())
+            .spare_gb_lanes(2)
+            .fault_retry_budget(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.spare_gb_lanes(), 2);
+        assert_eq!(c.fault_retry_budget(), 3);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Runtime fault-state control for the switch (DESIGN.md §8).
+//!
+//! [`FaultControl`] tracks which degradations are currently in force —
+//! per-output SSVC→LRG fallback, GL demotion, and the remaining
+//! transient-retry budget — so the arbitration hot path can consult a
+//! single source of truth. Mutation happens only through the
+//! `QosSwitch::fault_*` methods, which pair every state change with a
+//! trace event (the `no-silent-degrade` lint holds them to it).
+//!
+//! With the `faults` cargo feature **off** (the default), the struct is
+//! a zero-sized stub and every query is an `#[inline(always)]` constant
+//! `false`: the hot path is bit-identical to an uninstrumented build,
+//! mirroring the `sanitizer` feature's contract.
+
+/// Per-switch fault and degradation state.
+///
+/// Held unconditionally by `QosSwitch`; zero-sized when the `faults`
+/// feature is off.
+#[cfg(feature = "faults")]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultControl {
+    /// Per-output: GB arbitration has fallen back from SSVC to LRG.
+    lrg_fallback: Vec<bool>,
+    /// Per-output: the GL class lost its lane and was demoted — GL no
+    /// longer preempts GB and the Eq. 1 bound is off.
+    gl_demoted: Vec<bool>,
+    /// Per-output transient retries remaining before a corrupted grant
+    /// escalates from retry to fallback.
+    retries_left: Vec<u32>,
+    /// The configured budget `retries_left` resets to on heal.
+    retry_budget: u32,
+    /// Whether any fault is currently armed: detection classifies (and
+    /// never panics) only while this is set.
+    armed: bool,
+}
+
+#[cfg(feature = "faults")]
+impl FaultControl {
+    /// A healthy controller for `radix` outputs with the configured
+    /// transient-retry budget.
+    #[must_use]
+    pub fn new(radix: usize, retry_budget: u32) -> Self {
+        FaultControl {
+            lrg_fallback: vec![false; radix],
+            gl_demoted: vec![false; radix],
+            retries_left: vec![retry_budget; radix],
+            retry_budget,
+            armed: false,
+        }
+    }
+
+    /// Whether any fault is currently armed.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Marks a fault as injected: detection sites start classifying.
+    pub fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Marks all faults healed. Degradations stay in force — restoring
+    /// SSVC or GL is an explicit re-admission decision, not a side
+    /// effect of the wire healing.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Whether output `o` arbitrates GB via the LRG fallback.
+    #[must_use]
+    pub fn lrg_fallback(&self, o: usize) -> bool {
+        self.lrg_fallback[o]
+    }
+
+    /// Sets or clears the LRG fallback for output `o`.
+    pub fn set_lrg_fallback(&mut self, o: usize, on: bool) {
+        self.lrg_fallback[o] = on;
+    }
+
+    /// Whether output `o`'s GL class is demoted (no longer preemptive).
+    #[must_use]
+    pub fn gl_demoted(&self, o: usize) -> bool {
+        self.gl_demoted[o]
+    }
+
+    /// Sets or clears GL demotion for output `o`.
+    pub fn set_gl_demoted(&mut self, o: usize, on: bool) {
+        self.gl_demoted[o] = on;
+    }
+
+    /// Transient retries left for output `o`.
+    #[must_use]
+    pub fn retries_left(&self, o: usize) -> u32 {
+        self.retries_left[o]
+    }
+
+    /// Consumes one retry for output `o`; returns `false` when the
+    /// budget is exhausted (the caller must escalate).
+    pub fn consume_retry(&mut self, o: usize) -> bool {
+        if self.retries_left[o] == 0 {
+            return false;
+        }
+        self.retries_left[o] -= 1;
+        true
+    }
+
+    /// Refills output `o`'s retry budget (on heal or SSVC restore).
+    pub fn reset_retries(&mut self, o: usize) {
+        self.retries_left[o] = self.retry_budget;
+    }
+}
+
+// --- Feature off: a zero-sized stub; every query is const false. ------
+
+/// Per-switch fault and degradation state (stub: `faults` feature off).
+#[cfg(not(feature = "faults"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultControl;
+
+#[cfg(not(feature = "faults"))]
+impl FaultControl {
+    /// A healthy controller (stub).
+    #[inline(always)]
+    #[must_use]
+    pub fn new(_radix: usize, _retry_budget: u32) -> Self {
+        FaultControl
+    }
+
+    /// Always `false`: no fault can be armed without the feature.
+    #[inline(always)]
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        false
+    }
+
+    /// Always `false` (stub).
+    #[inline(always)]
+    #[must_use]
+    pub fn lrg_fallback(&self, _o: usize) -> bool {
+        false
+    }
+
+    /// Always `false` (stub).
+    #[inline(always)]
+    #[must_use]
+    pub fn gl_demoted(&self, _o: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(all(test, feature = "faults"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retries_run_down_and_reset() {
+        let mut fc = FaultControl::new(4, 2);
+        assert_eq!(fc.retries_left(1), 2);
+        assert!(fc.consume_retry(1));
+        assert!(fc.consume_retry(1));
+        assert!(!fc.consume_retry(1));
+        fc.reset_retries(1);
+        assert_eq!(fc.retries_left(1), 2);
+        // Other outputs were untouched.
+        assert_eq!(fc.retries_left(0), 2);
+    }
+
+    #[test]
+    fn degradations_are_per_output_and_survive_disarm() {
+        let mut fc = FaultControl::new(4, 0);
+        fc.arm();
+        fc.set_lrg_fallback(2, true);
+        fc.set_gl_demoted(3, true);
+        assert!(fc.armed());
+        fc.disarm();
+        assert!(!fc.armed());
+        assert!(fc.lrg_fallback(2) && !fc.lrg_fallback(0));
+        assert!(fc.gl_demoted(3) && !fc.gl_demoted(0));
+    }
+}

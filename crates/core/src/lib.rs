@@ -72,6 +72,7 @@
 pub mod analyze;
 mod channel;
 mod config;
+pub mod faultctl;
 pub mod gl;
 mod packet;
 mod port;
@@ -83,8 +84,9 @@ pub mod vcd;
 pub use analyze::{AnalysisOptions, GlContract};
 pub use channel::{ChannelState, OutputChannel};
 pub use config::{ConfigError, Policy, SwitchConfig, SwitchConfigBuilder};
+pub use faultctl::FaultControl;
 pub use packet::Packet;
 pub use port::InputPort;
-pub use reservations::{GbReservation, Reservations};
+pub use reservations::{GbReservation, ReadmitAction, ReadmitDecision, Reservations};
 pub use ssq_check::{Preflight, Report};
 pub use switch::{QosSwitch, SwitchCounters};

@@ -91,6 +91,15 @@ pub struct InputPort {
     be: Vec<ClassQueue>,
     gb: Vec<ClassQueue>,
     gl: ClassQueue,
+    /// Link state of the input channel. `false` models a downed (or
+    /// currently-flapped-down) link: buffered packets stay put, but the
+    /// port neither accepts new packets nor requests arbitration. The
+    /// switch flips this only through its fault API, which emits the
+    /// matching trace events. Without the `faults` feature the field
+    /// does not exist and [`InputPort::is_link_up`] is a compile-time
+    /// `true`, so the hot-path link checks fold away entirely.
+    #[cfg(feature = "faults")]
+    link_up: bool,
 }
 
 impl InputPort {
@@ -116,6 +125,8 @@ impl InputPort {
                 .map(|_| ClassQueue::new(gb_buffer_flits))
                 .collect(),
             gl: ClassQueue::new(gl_buffer_flits),
+            #[cfg(feature = "faults")]
+            link_up: true,
         }
     }
 
@@ -135,6 +146,31 @@ impl InputPort {
     #[must_use]
     pub const fn input(&self) -> InputId {
         self.input
+    }
+
+    /// Whether the input link is up. Ports start up; only the fault
+    /// layer takes a link down (or back up). With the `faults` feature
+    /// off this is a compile-time `true`.
+    #[must_use]
+    pub const fn is_link_up(&self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            self.link_up
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            true
+        }
+    }
+
+    /// Forces the link state — the port-level half of the link-down /
+    /// flapping fault model. Buffered packets are retained either way;
+    /// a downed link just stops admitting and requesting. Callers are
+    /// responsible for tracing the transition (the switch's fault API
+    /// does).
+    #[cfg(feature = "faults")]
+    pub fn fault_set_link(&mut self, up: bool) {
+        self.link_up = up;
     }
 
     /// Whether a packet of `len_flits` flits of `class` headed to
@@ -323,6 +359,20 @@ mod tests {
     fn transmitting_from_empty_queue_is_a_bug() {
         let mut p = port();
         let _ = p.transmit_head_flit(TrafficClass::GuaranteedLatency, OutputId::new(0));
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn links_start_up_and_fault_toggles_them() {
+        let mut p = port();
+        assert!(p.is_link_up());
+        assert!(p.try_enqueue(make(0, TrafficClass::BestEffort, 1, 2)));
+        p.fault_set_link(false);
+        assert!(!p.is_link_up());
+        // Buffered traffic is retained across the outage.
+        assert_eq!(p.total_occupancy(), 2);
+        p.fault_set_link(true);
+        assert!(p.is_link_up());
     }
 
     #[test]

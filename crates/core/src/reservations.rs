@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ssq_types::{InputId, OutputId, Rate};
+use ssq_types::{InputId, OutputId, Rate, TrafficClass};
 
 use crate::config::ConfigError;
 
@@ -27,6 +27,44 @@ impl GbReservation {
     pub const fn packet_flits(self) -> u64 {
         self.packet_flits
     }
+}
+
+/// What re-admission decided for one reservation after a fault reduced
+/// an output's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadmitAction {
+    /// The reservation still fits and keeps its class.
+    Keep,
+    /// A GL allocation lost its lane and was demoted (bound forfeited).
+    Demote,
+    /// The reservation no longer fits and was removed.
+    Evict,
+}
+
+impl ReadmitAction {
+    /// Stable label used in `Readmitted` trace events.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            ReadmitAction::Keep => "keep",
+            ReadmitAction::Demote => "demote",
+            ReadmitAction::Evict => "evict",
+        }
+    }
+}
+
+/// One re-admission decision, ready to be emitted as a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[must_use]
+pub struct ReadmitDecision {
+    /// The flow's input (input 0 stands in for the shared GL class).
+    pub input: InputId,
+    /// The flow's output.
+    pub output: OutputId,
+    /// The class the reservation held *before* the decision.
+    pub class: TrafficClass,
+    /// What happened to it.
+    pub action: ReadmitAction,
 }
 
 /// Per-output bandwidth allocations: "each individual input may request a
@@ -188,6 +226,99 @@ impl Reservations {
         self.gl.iter().any(|r| !r.is_zero())
     }
 
+    /// Re-runs admission for one output against a post-fault capacity,
+    /// mutating the table to fit and returning one decision per affected
+    /// reservation — the re-admission layer of the degradation ladder
+    /// (DESIGN.md §8).
+    ///
+    /// Deterministic protocol:
+    ///
+    /// 1. If `gl_lane_lost` and the output carries a GL allocation, the
+    ///    GL class is *demoted*: its reserved rate is re-booked as a GB
+    ///    reservation from every input that does not already hold one
+    ///    cheaper — modelled here by clearing the GL rate (the bound is
+    ///    forfeited; the caller emits the `GuaranteeRevoked` event) and
+    ///    recording a [`ReadmitAction::Demote`].
+    /// 2. While the output's total allocation exceeds `capacity`, the GB
+    ///    flow with the **largest** rate is evicted (largest first so the
+    ///    fewest flows lose service); rate ties break toward the higher
+    ///    input index, so low-numbered inputs — conventionally the
+    ///    latency-critical ones — survive longest.
+    /// 3. Every reservation still standing gets a
+    ///    [`ReadmitAction::Keep`], so the trace records a decision for
+    ///    every flow the fault touched, not only the casualties.
+    ///
+    /// The same SSQ001 admission predicate used at config time
+    /// (`allocated <= capacity`) holds on return.
+    pub fn readmit(
+        &mut self,
+        output: OutputId,
+        capacity: f64,
+        gl_lane_lost: bool,
+    ) -> Vec<ReadmitDecision> {
+        assert!(output.index() < self.radix);
+        assert!(capacity >= 0.0, "capacity cannot be negative");
+        let mut decisions = Vec::new();
+        if gl_lane_lost && !self.gl[output.index()].is_zero() {
+            self.gl[output.index()] = Rate::ZERO;
+            decisions.push(ReadmitDecision {
+                // GL is a shared per-output class; input 0 stands for it.
+                input: InputId::new(0),
+                output,
+                class: TrafficClass::GuaranteedLatency,
+                action: ReadmitAction::Demote,
+            });
+        }
+        while self.allocated(output) > capacity + 1e-9 {
+            let victim = (0..self.radix)
+                .filter_map(|i| {
+                    self.gb[i * self.radix + output.index()].map(|r| (i, r.rate().value()))
+                })
+                // max_by prefers later elements on ties, so the higher
+                // input index loses the tie-break.
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((input, _)) = victim else {
+                // Only the GL class remains and still does not fit.
+                if !self.gl[output.index()].is_zero() {
+                    self.gl[output.index()] = Rate::ZERO;
+                    decisions.push(ReadmitDecision {
+                        input: InputId::new(0),
+                        output,
+                        class: TrafficClass::GuaranteedLatency,
+                        action: ReadmitAction::Evict,
+                    });
+                }
+                break;
+            };
+            self.gb[input * self.radix + output.index()] = None;
+            decisions.push(ReadmitDecision {
+                input: InputId::new(input),
+                output,
+                class: TrafficClass::GuaranteedBandwidth,
+                action: ReadmitAction::Evict,
+            });
+        }
+        for i in 0..self.radix {
+            if self.gb[i * self.radix + output.index()].is_some() {
+                decisions.push(ReadmitDecision {
+                    input: InputId::new(i),
+                    output,
+                    class: TrafficClass::GuaranteedBandwidth,
+                    action: ReadmitAction::Keep,
+                });
+            }
+        }
+        if !self.gl[output.index()].is_zero() {
+            decisions.push(ReadmitDecision {
+                input: InputId::new(0),
+                output,
+                class: TrafficClass::GuaranteedLatency,
+                action: ReadmitAction::Keep,
+            });
+        }
+        decisions
+    }
+
     /// Iterates over all GB reservations as `(input, output, reservation)`.
     pub fn iter_gb(&self) -> impl Iterator<Item = (InputId, OutputId, GbReservation)> + '_ {
         self.gb.iter().enumerate().filter_map(move |(idx, r)| {
@@ -292,5 +423,87 @@ mod tests {
         let res = Reservations::new(4);
         assert!(!res.any_gl());
         assert_eq!(res.allocated(out(3)), 0.0);
+    }
+
+    #[test]
+    fn readmit_evicts_largest_rates_first_until_fit() {
+        let mut res = Reservations::new(4);
+        res.reserve_gb(id(0), out(0), rate(0.1), 8).unwrap();
+        res.reserve_gb(id(1), out(0), rate(0.4), 8).unwrap();
+        res.reserve_gb(id(2), out(0), rate(0.3), 8).unwrap();
+        // Capacity halves: 0.8 allocated must fit into 0.5. Evict the
+        // 0.4 flow (input 1); 0.1 + 0.3 = 0.4 then fits.
+        let decisions = res.readmit(out(0), 0.5, false);
+        assert!(res.allocated(out(0)) <= 0.5 + 1e-9);
+        assert!(res.gb(id(1), out(0)).is_none());
+        let evicted: Vec<usize> = decisions
+            .iter()
+            .filter(|d| d.action == ReadmitAction::Evict)
+            .map(|d| d.input.index())
+            .collect();
+        assert_eq!(evicted, vec![1]);
+        let kept: Vec<usize> = decisions
+            .iter()
+            .filter(|d| d.action == ReadmitAction::Keep)
+            .map(|d| d.input.index())
+            .collect();
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn readmit_rate_ties_break_toward_higher_input() {
+        let mut res = Reservations::new(4);
+        res.reserve_gb(id(0), out(0), rate(0.4), 8).unwrap();
+        res.reserve_gb(id(3), out(0), rate(0.4), 8).unwrap();
+        let decisions = res.readmit(out(0), 0.4, false);
+        // Input 3 loses the tie; input 0 survives.
+        assert!(res.gb(id(0), out(0)).is_some());
+        assert!(res.gb(id(3), out(0)).is_none());
+        assert_eq!(
+            decisions
+                .iter()
+                .filter(|d| d.action == ReadmitAction::Evict)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn readmit_demotes_gl_when_its_lane_is_lost() {
+        let mut res = Reservations::new(2);
+        res.reserve_gb(id(0), out(1), rate(0.5), 8).unwrap();
+        res.reserve_gl(out(1), rate(0.1)).unwrap();
+        let decisions = res.readmit(out(1), 1.0, true);
+        assert!(res.gl(out(1)).is_zero());
+        assert_eq!(decisions[0].action, ReadmitAction::Demote);
+        assert_eq!(decisions[0].class, TrafficClass::GuaranteedLatency);
+        // The GB flow fits untouched.
+        assert!(res.gb(id(0), out(1)).is_some());
+    }
+
+    #[test]
+    fn readmit_is_deterministic() {
+        let build = || {
+            let mut res = Reservations::new(8);
+            for i in 0..8 {
+                res.reserve_gb(id(i), out(0), rate(0.1), 8).unwrap();
+            }
+            res.reserve_gl(out(0), rate(0.2)).unwrap();
+            res
+        };
+        let mut a = build();
+        let mut b = build();
+        assert_eq!(a.readmit(out(0), 0.35, true), b.readmit(out(0), 0.35, true));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn readmit_zero_capacity_clears_the_output() {
+        let mut res = Reservations::new(2);
+        res.reserve_gb(id(0), out(0), rate(0.3), 8).unwrap();
+        res.reserve_gl(out(0), rate(0.1)).unwrap();
+        let decisions = res.readmit(out(0), 0.0, false);
+        assert_eq!(res.allocated(out(0)), 0.0);
+        assert!(decisions.iter().all(|d| d.action == ReadmitAction::Evict));
     }
 }

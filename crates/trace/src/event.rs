@@ -5,8 +5,10 @@
 //! requester defeated on the thermometer bitlines), an `auxVC` update
 //! (with its saturation flag), a decay epoch (real-time-clock
 //! subtraction), a GL policing stall, a packet chaining, and an
-//! admission rejection. The wire format is one flat JSON object per
-//! line — hand-serialized and hand-parsed, since the workspace is fully
+//! admission rejection. The fault family (DESIGN.md §8) — injection,
+//! detection, degradation, guarantee revocation, and re-admission —
+//! shares the same wire. The format is one flat JSON object per line —
+//! hand-serialized and hand-parsed, since the workspace is fully
 //! offline (no serde).
 
 use std::fmt;
@@ -32,6 +34,9 @@ pub enum RejectReason {
     /// A GB packet without a matching reservation was demoted to BE
     /// (admitted, but not in the class it asked for).
     Demoted,
+    /// The packet's input link is down (fault-injected or real); the
+    /// offer was refused at admission.
+    LinkDown,
 }
 
 impl RejectReason {
@@ -42,6 +47,7 @@ impl RejectReason {
             RejectReason::StagingOverflow => "staging_overflow",
             RejectReason::BufferFull => "buffer_full",
             RejectReason::Demoted => "demoted",
+            RejectReason::LinkDown => "link_down",
         }
     }
 
@@ -50,6 +56,7 @@ impl RejectReason {
             "staging_overflow" => Some(RejectReason::StagingOverflow),
             "buffer_full" => Some(RejectReason::BufferFull),
             "demoted" => Some(RejectReason::Demoted),
+            "link_down" => Some(RejectReason::LinkDown),
             _ => None,
         }
     }
@@ -115,6 +122,50 @@ pub enum EventKind {
         class: TrafficClass,
         reason: RejectReason,
     },
+    /// A fault was injected (`healed == false`) or healed
+    /// (`healed == true`) at the named site. `site` is a stable label
+    /// from the fault taxonomy (DESIGN.md §8): `bitline_stuck`,
+    /// `thermometer`, `aux_bit_flip`, `epoch_skip`, `link`,
+    /// `grant_bus`, `sink`.
+    Fault {
+        site: String,
+        output: u32,
+        input: u32,
+        healed: bool,
+    },
+    /// A runtime detector classified corrupted state without panicking:
+    /// `code` names the tripped predicate (`SSQV00x` from the V1–V6
+    /// catalog, or `parity` for a thermometer-lane parity mismatch) and
+    /// `detail` carries the offending value (code/aux/winner index).
+    Detected {
+        output: u32,
+        code: String,
+        detail: u64,
+    },
+    /// An output changed its degradation mode: `lrg_fallback` (SSVC →
+    /// pure LRG after a lost GB lane), `retry` (bounded
+    /// retry-with-backoff armed on transient grant-bus corruption), or
+    /// `ssvc_restored` (healed back to full SSVC).
+    Degraded { output: u32, mode: String },
+    /// A previously admitted guarantee can no longer be honored: the
+    /// flow (`input` → `output`, `class`) keeps service but its stated
+    /// bound is replaced. `forfeited` means no bound at all survives;
+    /// otherwise `bound` is the recomputed (weaker) Eq. 1 wait bound.
+    GuaranteeRevoked {
+        output: u32,
+        input: u32,
+        class: TrafficClass,
+        bound: u64,
+        forfeited: bool,
+    },
+    /// Post-fault re-admission decided this flow's fate against the
+    /// shrunken capacity: `action` is `keep`, `demote`, or `evict`.
+    Readmitted {
+        output: u32,
+        input: u32,
+        class: TrafficClass,
+        action: String,
+    },
 }
 
 impl EventKind {
@@ -130,6 +181,11 @@ impl EventKind {
             EventKind::Decay { .. } => "decay",
             EventKind::GlPoliced { .. } => "gl_policed",
             EventKind::Reject { .. } => "reject",
+            EventKind::Fault { .. } => "fault",
+            EventKind::Detected { .. } => "detected",
+            EventKind::Degraded { .. } => "degraded",
+            EventKind::GuaranteeRevoked { .. } => "guarantee_revoked",
+            EventKind::Readmitted { .. } => "readmitted",
         }
     }
 }
@@ -230,6 +286,54 @@ impl Event {
                 push_str(&mut s, "class", class.label());
                 push_str(&mut s, "reason", reason.label());
             }
+            EventKind::Fault {
+                site,
+                output,
+                input,
+                healed,
+            } => {
+                push_str(&mut s, "site", site);
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "input", u64::from(*input));
+                push_bool(&mut s, "healed", *healed);
+            }
+            EventKind::Detected {
+                output,
+                code,
+                detail,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_str(&mut s, "code", code);
+                push_num(&mut s, "detail", *detail);
+            }
+            EventKind::Degraded { output, mode } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_str(&mut s, "mode", mode);
+            }
+            EventKind::GuaranteeRevoked {
+                output,
+                input,
+                class,
+                bound,
+                forfeited,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "input", u64::from(*input));
+                push_str(&mut s, "class", class.label());
+                push_num(&mut s, "bound", *bound);
+                push_bool(&mut s, "forfeited", *forfeited);
+            }
+            EventKind::Readmitted {
+                output,
+                input,
+                class,
+                action,
+            } => {
+                push_num(&mut s, "output", u64::from(*output));
+                push_num(&mut s, "input", u64::from(*input));
+                push_str(&mut s, "class", class.label());
+                push_str(&mut s, "action", action);
+            }
         }
         s.push('}');
         s
@@ -290,6 +394,34 @@ impl Event {
                 class: fields.class()?,
                 reason: RejectReason::from_label(fields.str("reason")?)
                     .ok_or_else(|| ParseError::new("unknown reject reason"))?,
+            },
+            "fault" => EventKind::Fault {
+                site: fields.str("site")?.to_string(),
+                output: fields.num32("output")?,
+                input: fields.num32("input")?,
+                healed: fields.boolean("healed")?,
+            },
+            "detected" => EventKind::Detected {
+                output: fields.num32("output")?,
+                code: fields.str("code")?.to_string(),
+                detail: fields.num("detail")?,
+            },
+            "degraded" => EventKind::Degraded {
+                output: fields.num32("output")?,
+                mode: fields.str("mode")?.to_string(),
+            },
+            "guarantee_revoked" => EventKind::GuaranteeRevoked {
+                output: fields.num32("output")?,
+                input: fields.num32("input")?,
+                class: fields.class()?,
+                bound: fields.num("bound")?,
+                forfeited: fields.boolean("forfeited")?,
+            },
+            "readmitted" => EventKind::Readmitted {
+                output: fields.num32("output")?,
+                input: fields.num32("input")?,
+                class: fields.class()?,
+                action: fields.str("action")?.to_string(),
             },
             other => return Err(ParseError::new(format!("unknown event kind `{other}`"))),
         };
@@ -362,6 +494,50 @@ impl fmt::Display for Event {
                 "reject     in{input} -> out{output} {} ({})",
                 class.label(),
                 reason.label()
+            ),
+            EventKind::Fault {
+                site,
+                output,
+                input,
+                healed,
+            } => write!(
+                f,
+                "fault      {site} out{output} in{input} {}",
+                if *healed { "HEALED" } else { "INJECTED" }
+            ),
+            EventKind::Detected {
+                output,
+                code,
+                detail,
+            } => write!(f, "detected   out{output} {code} detail={detail}"),
+            EventKind::Degraded { output, mode } => {
+                write!(f, "degraded   out{output} mode={mode}")
+            }
+            EventKind::GuaranteeRevoked {
+                output,
+                input,
+                class,
+                bound,
+                forfeited,
+            } => write!(
+                f,
+                "revoked    out{output} in{input} {} {}",
+                class.label(),
+                if *forfeited {
+                    "bound FORFEITED".to_string()
+                } else {
+                    format!("bound={bound}")
+                }
+            ),
+            EventKind::Readmitted {
+                output,
+                input,
+                class,
+                action,
+            } => write!(
+                f,
+                "readmit    out{output} in{input} {} -> {action}",
+                class.label()
             ),
         }
     }
@@ -595,6 +771,49 @@ mod tests {
                     reason: RejectReason::StagingOverflow,
                 },
             },
+            Event {
+                cycle: 9,
+                kind: EventKind::Fault {
+                    site: "bitline_stuck".to_string(),
+                    output: 0,
+                    input: 3,
+                    healed: false,
+                },
+            },
+            Event {
+                cycle: 10,
+                kind: EventKind::Detected {
+                    output: 0,
+                    code: "SSQV002".to_string(),
+                    detail: 0b101,
+                },
+            },
+            Event {
+                cycle: 11,
+                kind: EventKind::Degraded {
+                    output: 0,
+                    mode: "lrg_fallback".to_string(),
+                },
+            },
+            Event {
+                cycle: 12,
+                kind: EventKind::GuaranteeRevoked {
+                    output: 0,
+                    input: 3,
+                    class: TrafficClass::GuaranteedLatency,
+                    bound: 96,
+                    forfeited: false,
+                },
+            },
+            Event {
+                cycle: 13,
+                kind: EventKind::Readmitted {
+                    output: 0,
+                    input: 2,
+                    class: TrafficClass::GuaranteedBandwidth,
+                    action: "evict".to_string(),
+                },
+            },
         ]
     }
 
@@ -647,6 +866,22 @@ mod tests {
         ] {
             assert!(Event::from_jsonl(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn link_down_rejects_round_trip() {
+        let ev = Event {
+            cycle: 14,
+            kind: EventKind::Reject {
+                input: 2,
+                output: 1,
+                class: TrafficClass::GuaranteedBandwidth,
+                reason: RejectReason::LinkDown,
+            },
+        };
+        let line = ev.to_jsonl();
+        assert!(line.contains("\"reason\":\"link_down\""), "{line}");
+        assert_eq!(Event::from_jsonl(&line).expect(&line), ev);
     }
 
     #[test]

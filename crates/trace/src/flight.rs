@@ -55,19 +55,34 @@ pub fn render_post_mortem(
 /// Writes a post-mortem to `<dir>/flight-<name>.txt`, creating the
 /// directory if needed, and returns the path.
 ///
+/// Never clobbers an earlier post-mortem: if the primary path already
+/// exists the file is written as `flight-<name>-<seed>.txt` instead
+/// (and, should a same-seed artifact also exist, with an extra
+/// monotonically probed `.N` suffix), so every run of a sweep keeps its
+/// own evidence.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors from directory creation or the write.
 pub fn write_post_mortem(
     dir: &Path,
     name: &str,
+    seed: u64,
     reason: &str,
     tripped_at: u64,
     events: &[Event],
     metrics: Option<&MetricsRegistry>,
 ) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("flight-{name}.txt"));
+    let mut path = dir.join(format!("flight-{name}.txt"));
+    if path.exists() {
+        path = dir.join(format!("flight-{name}-{seed}.txt"));
+    }
+    let mut probe = 1u32;
+    while path.exists() {
+        path = dir.join(format!("flight-{name}-{seed}.{probe}.txt"));
+        probe += 1;
+    }
     std::fs::write(
         &path,
         render_post_mortem(reason, tripped_at, events, metrics),
@@ -114,10 +129,27 @@ mod tests {
     #[test]
     fn write_creates_directory_and_file() {
         let dir = std::env::temp_dir().join(format!("ssq-flight-{}", std::process::id()));
-        let path = write_post_mortem(&dir, "unit", "test trip", 7, &[], None).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write_post_mortem(&dir, "unit", 1, "test trip", 7, &[], None).unwrap();
         assert!(path.ends_with("flight-unit.txt"));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("test trip"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn existing_post_mortems_are_never_clobbered() {
+        let dir = std::env::temp_dir().join(format!("ssq-flight-clobber-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = write_post_mortem(&dir, "unit", 99, "first trip", 1, &[], None).unwrap();
+        assert!(first.ends_with("flight-unit.txt"));
+        let second = write_post_mortem(&dir, "unit", 99, "second trip", 2, &[], None).unwrap();
+        assert!(second.ends_with("flight-unit-99.txt"), "{second:?}");
+        let third = write_post_mortem(&dir, "unit", 99, "third trip", 3, &[], None).unwrap();
+        assert!(third.ends_with("flight-unit-99.1.txt"), "{third:?}");
+        // The earlier artifacts survived untouched.
+        assert!(std::fs::read_to_string(&first).unwrap().contains("first"));
+        assert!(std::fs::read_to_string(&second).unwrap().contains("second"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -66,6 +66,16 @@ pub struct TraceSummary {
     pub gl_policed_cycles: BTreeMap<u32, u64>,
     /// Admission rejections keyed by `(input, output, reason label)`.
     pub rejects: BTreeMap<(u32, u32, &'static str), u64>,
+    /// Fault injections (`false`) and heals (`true`) keyed by site label.
+    pub faults: BTreeMap<(String, bool), u64>,
+    /// Runtime detections keyed by classification code.
+    pub detections: BTreeMap<String, u64>,
+    /// Degradation transitions keyed by `(output, mode)`.
+    pub degradations: BTreeMap<(u32, String), u64>,
+    /// `GuaranteeRevoked` events keyed by `(input, output)`.
+    pub revocations: BTreeMap<(u32, u32), u64>,
+    /// Re-admission decisions keyed by action label.
+    pub readmissions: BTreeMap<String, u64>,
     /// First and last event cycles.
     pub span: Option<(u64, u64)>,
 }
@@ -140,6 +150,24 @@ impl TraceSummary {
                     .rejects
                     .entry((*input, *output, reason.label()))
                     .or_default() += 1;
+            }
+            EventKind::Fault { site, healed, .. } => {
+                *self.faults.entry((site.clone(), *healed)).or_default() += 1;
+            }
+            EventKind::Detected { code, .. } => {
+                *self.detections.entry(code.clone()).or_default() += 1;
+            }
+            EventKind::Degraded { output, mode } => {
+                *self
+                    .degradations
+                    .entry((*output, mode.clone()))
+                    .or_default() += 1;
+            }
+            EventKind::GuaranteeRevoked { output, input, .. } => {
+                *self.revocations.entry((*input, *output)).or_default() += 1;
+            }
+            EventKind::Readmitted { action, .. } => {
+                *self.readmissions.entry(action.clone()).or_default() += 1;
             }
             EventKind::Decision { .. } => {}
         }
@@ -237,6 +265,51 @@ impl TraceSummary {
             ]);
         }
         t
+    }
+
+    /// Fault-campaign activity: injections/heals, detections,
+    /// degradations, revocations, and re-admission decisions, flattened
+    /// into one `what / detail / count` table. Empty when the run had no
+    /// fault events, so healthy-run reports are unchanged.
+    #[must_use]
+    pub fn fault_table(&self) -> Table {
+        let mut t = Table::with_columns(&["what", "detail", "count"]);
+        t.numeric();
+        for ((site, healed), n) in &self.faults {
+            let what = if *healed { "heal" } else { "inject" };
+            t.row(vec![what.to_string(), site.clone(), n.to_string()]);
+        }
+        for (code, n) in &self.detections {
+            t.row(vec!["detected".to_string(), code.clone(), n.to_string()]);
+        }
+        for ((output, mode), n) in &self.degradations {
+            t.row(vec![
+                "degraded".to_string(),
+                format!("out{output} {mode}"),
+                n.to_string(),
+            ]);
+        }
+        for ((input, output), n) in &self.revocations {
+            t.row(vec![
+                "revoked".to_string(),
+                format!("in{input}->out{output}"),
+                n.to_string(),
+            ]);
+        }
+        for (action, n) in &self.readmissions {
+            t.row(vec!["readmit".to_string(), action.clone(), n.to_string()]);
+        }
+        t
+    }
+
+    /// Whether the trace contained any fault-family events at all.
+    #[must_use]
+    pub fn has_fault_activity(&self) -> bool {
+        !(self.faults.is_empty()
+            && self.detections.is_empty()
+            && self.degradations.is_empty()
+            && self.revocations.is_empty()
+            && self.readmissions.is_empty())
     }
 
     /// Admission rejections.
@@ -349,5 +422,76 @@ mod tests {
             1
         );
         assert_eq!(s.decay_epochs[&0], 4);
+        assert!(!s.has_fault_activity());
+    }
+
+    #[test]
+    fn fault_family_is_aggregated() {
+        let events = vec![
+            Event {
+                cycle: 1,
+                kind: EventKind::Fault {
+                    site: "bitline_stuck".to_string(),
+                    output: 0,
+                    input: 2,
+                    healed: false,
+                },
+            },
+            Event {
+                cycle: 2,
+                kind: EventKind::Detected {
+                    output: 0,
+                    code: "SSQV001".to_string(),
+                    detail: 3,
+                },
+            },
+            Event {
+                cycle: 3,
+                kind: EventKind::Degraded {
+                    output: 0,
+                    mode: "lrg_fallback".to_string(),
+                },
+            },
+            Event {
+                cycle: 4,
+                kind: EventKind::GuaranteeRevoked {
+                    output: 0,
+                    input: 1,
+                    class: TrafficClass::GuaranteedLatency,
+                    bound: 96,
+                    forfeited: false,
+                },
+            },
+            Event {
+                cycle: 5,
+                kind: EventKind::Readmitted {
+                    output: 0,
+                    input: 1,
+                    class: TrafficClass::GuaranteedLatency,
+                    action: "demote".to_string(),
+                },
+            },
+            Event {
+                cycle: 6,
+                kind: EventKind::Fault {
+                    site: "bitline_stuck".to_string(),
+                    output: 0,
+                    input: 2,
+                    healed: true,
+                },
+            },
+        ];
+        let s = TraceSummary::from_events(events);
+        assert!(s.has_fault_activity());
+        assert_eq!(s.faults[&("bitline_stuck".to_string(), false)], 1);
+        assert_eq!(s.faults[&("bitline_stuck".to_string(), true)], 1);
+        assert_eq!(s.detections["SSQV001"], 1);
+        assert_eq!(s.degradations[&(0, "lrg_fallback".to_string())], 1);
+        assert_eq!(s.revocations[&(1, 0)], 1);
+        assert_eq!(s.readmissions["demote"], 1);
+        let text = s.fault_table().to_text();
+        assert!(text.contains("inject"), "{text}");
+        assert!(text.contains("heal"), "{text}");
+        assert!(text.contains("revoked"), "{text}");
     }
 }

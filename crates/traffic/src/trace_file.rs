@@ -504,6 +504,86 @@ mod tests {
         assert_eq!(single.offered_load(), 0.0);
     }
 
+    /// Seeded corruption fuzz: whatever a damaged capture file looks
+    /// like — flipped bytes, truncations, spliced or duplicated lines —
+    /// the replay path either parses it or returns a structured
+    /// [`ParseTraceError`] pointing at a real line. It never panics.
+    #[test]
+    fn corrupted_traces_never_panic_and_errors_carry_real_lines() {
+        use ssq_types::rng::Xoshiro256StarStar;
+
+        let pristine: TraceFile = SAMPLE.parse().unwrap();
+        let rendered = pristine.to_string();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xFA_075);
+        for _ in 0..500 {
+            let mut bytes = rendered.clone().into_bytes();
+            for _ in 0..=rng.index(4) {
+                match rng.index(5) {
+                    // Flip one byte to a random printable character.
+                    0 => {
+                        let at = rng.index(bytes.len());
+                        bytes[at] = 0x20 + rng.below(0x5f) as u8;
+                    }
+                    // Delete one byte.
+                    1 => {
+                        let at = rng.index(bytes.len());
+                        bytes.remove(at);
+                    }
+                    // Truncate mid-file (torn write).
+                    2 => bytes.truncate(rng.index(bytes.len() + 1)),
+                    // Duplicate a line (double flush).
+                    3 => {
+                        let text = String::from_utf8_lossy(&bytes).into_owned();
+                        let lines: Vec<&str> = text.lines().collect();
+                        if !lines.is_empty() {
+                            let at = rng.index(lines.len());
+                            let mut out = lines.clone();
+                            out.insert(at, lines[at]);
+                            bytes = out.join("\n").into_bytes();
+                        }
+                    }
+                    // Splice in a junk line.
+                    _ => {
+                        let junk = match rng.index(4) {
+                            0 => "99 99 99 ZZ 99",
+                            1 => "not a trace line",
+                            2 => "1 2 3 GB",
+                            _ => "18446744073709551616 0 0 GB 8", // u64::MAX + 1
+                        };
+                        let at = rng.index(bytes.len() + 1);
+                        let mut spliced = bytes[..at].to_vec();
+                        spliced.extend_from_slice(b"\n");
+                        spliced.extend_from_slice(junk.as_bytes());
+                        spliced.extend_from_slice(b"\n");
+                        spliced.extend_from_slice(&bytes[at..]);
+                        bytes = spliced;
+                    }
+                }
+                if bytes.is_empty() {
+                    bytes.push(b'\n');
+                }
+            }
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            match text.parse::<TraceFile>() {
+                Ok(trace) => {
+                    // A parseable corruption must still replay cleanly
+                    // or be rejected loudly downstream.
+                    let _ = trace.into_injectors();
+                }
+                Err(e) => {
+                    let lines = text.lines().count();
+                    assert!(
+                        (1..=lines.max(1)).contains(&e.line()),
+                        "error line {} outside file of {lines} lines",
+                        e.line()
+                    );
+                    // The error formats without panicking.
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+
     #[test]
     fn sequence_dest_pops_in_order() {
         let mut p = SequenceDest::new(VecDeque::from(vec![OutputId::new(3), OutputId::new(1)]));

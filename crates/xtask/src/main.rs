@@ -23,7 +23,11 @@
 //!   waived `wire()` funnel);
 //! - `invariant-site-coverage` — every grant/inhibit/chain emission in
 //!   `crates/core/src/switch.rs` must have a `sanitize::` check within
-//!   the preceding window.
+//!   the preceding window;
+//! - `no-silent-degrade` — every QoS degradation site in the core and
+//!   faults crates (LRG fallback, GL demotion, re-admission) must have a
+//!   fault-family trace emission (`Degraded` / `GuaranteeRevoked` /
+//!   `Readmitted`) within the surrounding window.
 //!
 //! Violations print as `file:line · RULE · message` and make the process
 //! exit nonzero. A finding can be waived in place with

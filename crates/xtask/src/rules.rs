@@ -56,6 +56,9 @@ pub fn check_file(rel_path: &Path, scanned: &Scanned) -> Vec<Violation> {
     if rel == "crates/core/src/switch.rs" {
         invariant_site_coverage(scanned, &mut violations);
     }
+    if rel.starts_with("crates/core/src/") || rel.starts_with("crates/faults/src/") {
+        no_silent_degrade(scanned, &mut violations);
+    }
 
     violations.retain(|v| !scanned.suppressed(v.line - 1, v.rule));
     violations.sort_by_key(|v| v.line);
@@ -71,6 +74,7 @@ pub const ALL_RULES: &[&str] = &[
     "must-use-decision",
     "no-lossy-index",
     "invariant-site-coverage",
+    "no-silent-degrade",
 ];
 
 /// Whether `rel` is library code of a workspace crate: under
@@ -311,6 +315,53 @@ fn invariant_site_coverage(scanned: &Scanned, out: &mut Vec<Violation>) {
     }
 }
 
+/// `no-silent-degrade`: every QoS degradation site — flipping an output
+/// into LRG fallback or GL demotion, or re-running admission — must sit
+/// within sight of a fault-family trace emission (`Degraded`,
+/// `GuaranteeRevoked`, `Readmitted`, `Detected`, or one of the
+/// `emit_degraded`/`detected_degrade` funnels). The two-outcome contract
+/// of DESIGN.md §8 says a guarantee never weakens without a structured
+/// event on the record; this rule keeps new degradation paths from
+/// drifting silent as the code evolves. Deliberately quiet sites carry
+/// an `ssq-lint: allow(no-silent-degrade)` waiver.
+fn no_silent_degrade(scanned: &Scanned, out: &mut Vec<Violation>) {
+    /// How many lines, in either direction, may separate a degradation
+    /// from the event that announces it.
+    const WINDOW: usize = 25;
+    const SITES: &[&str] = &[".set_lrg_fallback(", ".set_gl_demoted(", ".readmit("];
+    const LOUD: &[&str] = &[
+        "EventKind::Degraded",
+        "EventKind::GuaranteeRevoked",
+        "EventKind::Readmitted",
+        "EventKind::Detected",
+        "emit_degraded(",
+        "detected_degrade(",
+    ];
+    let lines: Vec<&str> = scanned.masked.lines().collect();
+    for (idx, line) in each_hot_line(scanned) {
+        let Some(site) = SITES.iter().find(|s| line.contains(**s)) else {
+            continue;
+        };
+        let start = idx.saturating_sub(WINDOW);
+        let end = (idx + WINDOW).min(lines.len().saturating_sub(1));
+        let covered = lines[start..=end]
+            .iter()
+            .any(|l| LOUD.iter().any(|n| l.contains(n)));
+        if !covered {
+            out.push(Violation {
+                line: idx + 1,
+                rule: "no-silent-degrade",
+                message: format!(
+                    "degradation site `{}` has no fault-family trace emission within \
+                     {WINDOW} lines; emit Degraded/GuaranteeRevoked/Readmitted (or add \
+                     a waiver)",
+                    site.trim_start_matches('.').trim_end_matches('(')
+                ),
+            });
+        }
+    }
+}
+
 /// The type name if this line declares a struct or enum.
 fn declared_type_name(line: &str) -> Option<&str> {
     let t = line.trim_start();
@@ -516,6 +567,35 @@ mod tests {
         let waived = "fn f(&mut self) {\n    // ssq-lint: allow(invariant-site-coverage)\n    emit(EventKind::Chained { output: 0 });\n}\n";
         assert_eq!(check("crates/core/src/switch.rs", src).len(), 1);
         assert!(check("crates/core/src/switch.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn silent_degradation_site_is_flagged() {
+        let src = "fn f(&mut self, o: usize) {\n    self.faultctl.set_lrg_fallback(o, true);\n}\n";
+        let v = check("crates/core/src/switch.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-silent-degrade");
+        // Rule is scoped to the core and faults crates.
+        assert!(check("crates/arbiter/src/ssvc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn announced_degradation_passes_and_waiver_works() {
+        // The emission may follow the site (state first, event after).
+        let src = "fn f(&mut self, o: usize) {\n    self.faultctl.set_gl_demoted(o, true);\n    self.emit_degraded(now, o, \"gl_demoted\");\n}\n";
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+        let src = "fn f(&mut self) {\n    self.reservations.readmit(o, 0.5, false);\n    emit(EventKind::Readmitted { output: 0 });\n}\n";
+        assert!(check("crates/faults/src/plan.rs", src).is_empty());
+        let waived = "fn f(&mut self, o: usize) {\n    // ssq-lint: allow(no-silent-degrade)\n    self.faultctl.set_lrg_fallback(o, true);\n}\n";
+        assert!(check("crates/core/src/switch.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn readmit_output_wrapper_is_not_a_readmit_site() {
+        // `.readmit_output(` (the already-loud funnel) is not `.readmit(`.
+        let src =
+            "fn f(&mut self) {\n    switch.readmit_output(OutputId::new(0), 0.5, false, now);\n}\n";
+        assert!(check("crates/faults/src/plan.rs", src).is_empty());
     }
 
     #[test]

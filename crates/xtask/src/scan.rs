@@ -206,17 +206,61 @@ fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
     bytes.get(j) == Some(&b'"')
 }
 
-/// Marks every line covered by a `#[cfg(test)]` item (attribute through
-/// the matching close brace of the annotated item).
+/// Whether a complete `#[cfg(...)]` attribute gates on `test` — either
+/// the plain `#[cfg(test)]` or a predicate combinator mentioning the
+/// `test` token, e.g. `#[cfg(all(test, feature = "faults"))]`.
+fn cfg_gates_on_test(attr: &str) -> bool {
+    let bytes = attr.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = attr[from..].find("test") {
+        let at = from + rel;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let after = at + "test".len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        // `cfg(not(test))` gates on *not* being a test build.
+        let negated = attr[..at].ends_with("not(");
+        if before_ok && after_ok && !negated {
+            return true;
+        }
+        from = after;
+    }
+    false
+}
+
+/// Marks every line covered by a test-gated item — `#[cfg(test)]` or a
+/// combinator like `#[cfg(all(test, feature = "..."))]` — from the
+/// attribute through the matching close brace of the annotated item.
 fn test_lines(masked: &str) -> Vec<bool> {
     let line_count = masked.lines().count();
     let mut flags = vec![false; line_count.max(1)];
     let bytes = masked.as_bytes();
 
     let mut search_from = 0;
-    while let Some(rel) = masked[search_from..].find("#[cfg(test)]") {
+    while let Some(rel) = masked[search_from..].find("#[cfg(") {
         let attr_start = search_from + rel;
-        let mut j = attr_start + "#[cfg(test)]".len();
+        // Bracket-match the attribute itself to find its full text.
+        let mut j = attr_start + 1; // at '['
+        let mut attr_depth = 0usize;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'[' => attr_depth += 1,
+                b']' => {
+                    attr_depth -= 1;
+                    if attr_depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !cfg_gates_on_test(&masked[attr_start..j]) {
+            search_from = j.max(attr_start + 1);
+            continue;
+        }
         // Skip whitespace and any further attributes to the item body.
         loop {
             while j < bytes.len() && bytes[j].is_ascii_whitespace() {
@@ -353,6 +397,22 @@ mod tests {
             "enum TieBreak {\n    Lrg,\n    #[cfg(test)]\n    HighestIndex,\n}\nfn hot() {}\n";
         let s = scan(src);
         assert_eq!(s.test_lines, vec![false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_feature_region_is_test_gated() {
+        let src = "fn hot() {}\n#[cfg(all(test, feature = \"faults\"))]\nmod faults {\n    fn t() { x.unwrap(); }\n}\nfn also_hot() {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_lines, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_without_test_token_is_not_test_gated() {
+        // `feature = "latest"` contains the letters t-e-s-t but not the
+        // token; `not(test)` gates on NOT being a test build.
+        let src = "#[cfg(feature = \"latest\")]\nfn hot() {}\n#[cfg(not(test))]\nfn hotter() {}\n";
+        let s = scan(src);
+        assert!(s.test_lines.iter().all(|t| !t));
     }
 
     #[test]

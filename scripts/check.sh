@@ -19,6 +19,11 @@ cargo run --quiet -p xtask -- verify
 echo "== release build =="
 cargo build --workspace --release
 
+echo "== fault smoke tier (ssq faults) =="
+# Every single-fault chaos scenario must either preserve its bounds or
+# revoke loudly; a silent violation fails the gate.
+./target/release/ssq faults --smoke --csv
+
 echo "== tests =="
 cargo test -q --workspace
 

@@ -57,6 +57,10 @@ USAGE:
                              every reachable state of a small switch and
                              check the V1-V6 invariant catalog (SSQV00x);
                              --deep adds the bounded 4x4 battery
+  ssq faults [OPTIONS]       run the single-fault chaos-campaign catalog and
+                             judge every scenario against the two-outcome
+                             contract: bounds preserved, or a structured
+                             revocation — never a silent violation
   ssq gl-bound [OPTIONS]     evaluate the Eq. 1 worst-case GL waiting bound
   ssq gl-burst [OPTIONS]     evaluate the Eqs. 2-3 burst budgets
   ssq storage  [OPTIONS]     print the Table 1 storage model
@@ -108,6 +112,16 @@ TRACE-REPORT OPTIONS:
                           results/trace.jsonl)
   --csv                   emit the grant-latency table as CSV
 
+FAULTS OPTIONS:
+  --smoke                 run the whole catalog (the default; this is the
+                          fault smoke tier scripts/check.sh invokes)
+  --scenario NAME         run one catalog scenario by name
+  --seed N                campaign seed; MTBF-mode schedules replay
+                          bit-identically from it (default 7)
+  --trace-dir DIR         write each scenario's event trace to
+                          DIR/<scenario>.jsonl
+  --csv                   emit the verdict table as CSV
+
 GL-BOUND OPTIONS:
   --l-max N --l-min N --n-gl N --buffer N   (defaults 8, 1, 1, 4)
 
@@ -139,6 +153,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         // `ssq --trace --flow 0:0:GB:sat` just works.
         Some(leading) if leading.starts_with("--") && leading != "--help" => simulate(args),
         Some("verify") => verify(&args[1..]),
+        Some("faults") => faults_cmd(&args[1..]),
         Some("gl-bound") => gl_bound(&args[1..]),
         Some("gl-burst") => gl_burst(&args[1..]),
         Some("storage") => storage(&args[1..]),
@@ -510,6 +525,7 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             flight::write_post_mortem(
                 std::path::Path::new("results"),
                 name,
+                at,
                 reason,
                 at,
                 &events,
@@ -752,6 +768,114 @@ fn verify(args: &[String]) -> Result<(), Box<dyn Error>> {
             "verify[{tier}] clean: {count} scenarios, {states} states, {transitions} transitions \
              in {:.2}s",
             started.elapsed().as_secs_f64(),
+        );
+    }
+    Ok(())
+}
+
+/// `ssq faults [--smoke | --scenario NAME] [--seed N] [--trace-dir DIR]`:
+/// run the chaos-campaign catalog (or one scenario) and judge each run
+/// with the two-outcome oracle. Exits non-zero on a silent violation —
+/// a tripped watchdog with no revocation or degradation on record.
+fn faults_cmd(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use swizzle_qos::faults::{run_scenario, run_smoke, Verdict, SCENARIOS};
+
+    let opts = Opts::parse(args, &["smoke", "csv"])?;
+    let seed = opts.num("seed", 7)?;
+    let results = match opts.get("scenario") {
+        Some(name) => {
+            let result = run_scenario(name, seed).ok_or_else(|| {
+                let names: Vec<&str> = SCENARIOS.iter().map(|(n, _)| *n).collect();
+                err(format!(
+                    "unknown scenario {name:?}; catalog: {}",
+                    names.join(", ")
+                ))
+            })?;
+            vec![result]
+        }
+        None => run_smoke(seed),
+    };
+
+    if let Some(dir) = opts.get("trace-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| err(format!("creating {dir:?}: {e}")))?;
+        for r in &results {
+            let path = std::path::Path::new(dir).join(format!("{}.jsonl", r.name));
+            let mut text = String::new();
+            for event in &r.events {
+                text.push_str(&event.to_jsonl());
+                text.push('\n');
+            }
+            std::fs::write(&path, text)
+                .map_err(|e| err(format!("writing {}: {e}", path.display())))?;
+        }
+        if !opts.flag("csv") {
+            println!("scenario traces written to {dir}/<scenario>.jsonl");
+        }
+    }
+
+    let mut table = Table::with_columns(&[
+        "scenario",
+        "verdict",
+        "detected",
+        "degraded",
+        "revoked",
+        "faults",
+        "delivered flits",
+    ]);
+    table.numeric();
+    for r in &results {
+        let (verdict, detected, degraded, revoked) = match &r.verdict {
+            Verdict::BoundsPreserved => ("bounds-preserved".to_owned(), 0, 0, 0),
+            Verdict::Revoked {
+                revocations,
+                degradations,
+                detections,
+            } => (
+                "revoked".to_owned(),
+                *detections,
+                *degradations,
+                *revocations,
+            ),
+            Verdict::SilentViolation { reason } => (format!("SILENT VIOLATION: {reason}"), 0, 0, 0),
+        };
+        table.row(vec![
+            r.name.clone(),
+            verdict,
+            detected.to_string(),
+            degraded.to_string(),
+            revoked.to_string(),
+            r.fault_injections.to_string(),
+            r.delivered_flits.to_string(),
+        ]);
+    }
+    if opts.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+        for r in &results {
+            for note in &r.notes {
+                println!("note[{}]: {note}", r.name);
+            }
+        }
+    }
+
+    let silent: Vec<&str> = results
+        .iter()
+        .filter(|r| !r.verdict.is_acceptable())
+        .map(|r| r.name.as_str())
+        .collect();
+    if !silent.is_empty() {
+        return Err(err(format!(
+            "silent violation in scenario(s): {} — a guarantee broke with no \
+             structured revocation on record",
+            silent.join(", ")
+        )));
+    }
+    if !opts.flag("csv") {
+        println!(
+            "\ncampaign clean: {} scenario(s), seed {seed} — every fault either \
+             absorbed or loudly revoked",
+            results.len()
         );
     }
     Ok(())
@@ -1001,6 +1125,37 @@ mod tests {
         gl_bound(&strs(&["--n-gl", "4", "--buffer", "8"])).unwrap();
         gl_burst(&strs(&["--constraints", "150,300,600"])).unwrap();
         assert!(gl_burst(&strs(&[])).is_err(), "constraints required");
+    }
+
+    #[test]
+    fn faults_smoke_is_clean_and_writes_parseable_traces() {
+        let dir = std::env::temp_dir().join(format!("ssq-cli-faults-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "faults",
+            "--smoke",
+            "--seed",
+            "7",
+            "--trace-dir",
+            &dir_s,
+            "--csv",
+        ]))
+        .unwrap();
+        // One parseable JSONL trace per catalog scenario.
+        for (name, _) in swizzle_qos::faults::SCENARIOS {
+            let text = std::fs::read_to_string(dir.join(format!("{name}.jsonl"))).unwrap();
+            for line in text.lines() {
+                Event::from_jsonl(line).unwrap();
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faults_single_scenario_runs_and_unknown_is_rejected() {
+        faults_cmd(&strs(&["--scenario", "aux-seu", "--csv"])).unwrap();
+        let e = faults_cmd(&strs(&["--scenario", "bogus"])).expect_err("not in catalog");
+        assert!(e.to_string().contains("catalog"), "got: {e}");
     }
 
     #[test]

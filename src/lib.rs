@@ -25,6 +25,10 @@
 //!   latency-bound mathematics (Eqs. 1–3).
 //! * [`physical`] — storage (Table 1), area, and frequency (Table 2)
 //!   models.
+//! * [`faults`] — deterministic fault injection: seeded [`faults::FaultPlan`]
+//!   schedules (scripted or MTBF mode), the [`faults::ChaosSwitch`]
+//!   harness, the two-outcome [`faults::judge`] oracle, and the
+//!   single-fault chaos-campaign catalog behind `ssq faults`.
 //! * [`verify`] — the bounded exhaustive model checker: every reachable
 //!   state of a small switch, checked against the V1–V6 invariant
 //!   catalog (`SSQV00x` diagnostics), with minimal JSONL
@@ -84,6 +88,7 @@ pub use ssq_arbiter as arbiter;
 pub use ssq_check as check;
 pub use ssq_circuit as circuit;
 pub use ssq_core as core;
+pub use ssq_faults as faults;
 pub use ssq_physical as physical;
 pub use ssq_sim as sim;
 pub use ssq_stats as stats;
