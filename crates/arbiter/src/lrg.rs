@@ -142,6 +142,11 @@ impl Arbiter for Lrg {
         self.grant(winner);
         Some(winner)
     }
+
+    fn decide(&self, _now: Cycle, requests: &[Request]) -> Option<usize> {
+        let candidates: Vec<usize> = requests.iter().map(|r| r.input()).collect();
+        self.peek(&candidates)
+    }
 }
 
 impl fmt::Display for Lrg {

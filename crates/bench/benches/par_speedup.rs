@@ -1,0 +1,142 @@
+//! Micro-benchmark: sharded parallel engine speedup over the sequential
+//! runner at radix 64 under saturated uniform traffic.
+//!
+//! Reports wall-clock simulated-cycles-per-second for the sequential
+//! engine and the parallel engine at 1/2/4/8 threads, plus the speedup
+//! ratio. The parallel engine is bit-identical to the sequential one
+//! (see `tests/par_conformance.rs`), so this measures pure execution
+//! cost: the decide phase fans out across workers, prepare and merge
+//! stay serial.
+//!
+//! On a single-core host the expected "speedup" is ≤1.0 (barrier
+//! overhead with no extra compute); the numbers recorded in
+//! EXPERIMENTS.md note the host's core count alongside the measurement.
+
+use std::time::{Duration, Instant};
+
+use ssq_arbiter::CounterPolicy;
+use ssq_core::{Policy, QosSwitch, SwitchConfig};
+use ssq_sim::{ParRunner, Runner, Schedule, ShardedModel};
+use ssq_traffic::{Injector, Saturating, UniformDest};
+use ssq_types::{Cycle, Cycles, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+const RADIX: usize = 64;
+const WARMUP: u64 = 500;
+const MEASURE: u64 = 10_000;
+
+/// Saturated uniform traffic: every input offers continuously and every
+/// output stays contended, so per-cycle arbitration work spreads across
+/// all shards instead of concentrating in one hot output.
+fn saturated_switch() -> QosSwitch {
+    let width = Geometry::min_bus_width(RADIX, 3).max(128);
+    let geometry = Geometry::new(RADIX, width).expect("valid geometry");
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+        .gb_buffer_flits(16)
+        .be_buffer_flits(16)
+        .build()
+        .expect("valid config");
+    // A GB reservation per input at its "home" output keeps the SSVC
+    // machinery engaged on every shard.
+    for i in 0..RADIX {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(i),
+                OutputId::new(i),
+                Rate::new(0.5).expect("valid rate"),
+                8,
+            )
+            .expect("reservations fit");
+    }
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+    for i in 0..RADIX {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(UniformDest::new(RADIX, 1000 + i as u64)),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    switch
+}
+
+fn time_run(run: impl FnOnce(&mut QosSwitch)) -> (f64, u64) {
+    let mut switch = saturated_switch();
+    let start = Instant::now();
+    run(&mut switch);
+    let secs = start.elapsed().as_secs_f64();
+    (
+        (WARMUP + MEASURE) as f64 / secs,
+        switch.counters().delivered_flits,
+    )
+}
+
+/// Measures the decide phase's share of a cycle by running the sharded
+/// protocol single-threaded and timing each phase: only decide
+/// parallelizes, so this is the Amdahl `f` for projecting multi-core
+/// speedup from a single-core host.
+fn decide_fraction() -> f64 {
+    let mut switch = saturated_switch();
+    let mut decide = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    let mut now = Cycle::ZERO;
+    for _ in 0..(WARMUP + MEASURE) {
+        let t0 = Instant::now();
+        switch.shard_prepare(now);
+        let t1 = Instant::now();
+        let plans: Vec<_> = (0..switch.shard_count())
+            .map(|s| switch.shard_decide(s, now))
+            .collect();
+        let t2 = Instant::now();
+        switch.shard_merge(now, plans);
+        decide += t2 - t1;
+        total += t0.elapsed();
+        now = now.next();
+    }
+    decide.as_secs_f64() / total.as_secs_f64()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "\n== par_speedup (radix {RADIX}, {} cycles, host cores: {cores}) ==",
+        WARMUP + MEASURE
+    );
+
+    let schedule = Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE));
+    let (seq_rate, seq_flits) = time_run(|sw| {
+        Runner::new(schedule).run(sw);
+    });
+    println!(
+        "par_speedup/sequential        {seq_rate:>12.0} cycles/sec  (1.00x, {seq_flits} flits)"
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        let (rate, flits) = time_run(|sw| {
+            ParRunner::new(schedule, threads).run(sw);
+        });
+        assert_eq!(
+            flits, seq_flits,
+            "parallel engine diverged from sequential at {threads} threads"
+        );
+        println!(
+            "par_speedup/par_{threads}_threads   {rate:>12.0} cycles/sec  ({:.2}x)",
+            rate / seq_rate,
+        );
+    }
+
+    let f = decide_fraction();
+    println!(
+        "par_speedup/decide_fraction   {:>11.1}%  of cycle time is parallelizable",
+        f * 100.0
+    );
+    for threads in [2usize, 4, 8] {
+        let projected = 1.0 / ((1.0 - f) + f / threads as f64);
+        println!("par_speedup/amdahl_{threads}_threads  {projected:>11.2}x  projected on a {threads}-core host");
+    }
+}

@@ -42,7 +42,7 @@ fn build(policy: Policy) -> QosSwitch {
     }
     let mut switch = QosSwitch::new(config).expect("valid switch");
     for (i, _) in RATES.iter().enumerate() {
-        let source: Box<dyn ssq_traffic::TrafficSource> = if i == 0 {
+        let source: Box<dyn ssq_traffic::TrafficSource + Send + Sync> = if i == 0 {
             // The under-demanding reserved flow.
             Box::new(Bernoulli::new(0.1, LEN, 0xAB1))
         } else {

@@ -18,7 +18,7 @@ fn gl_rig(
     n_gl: usize,
     gl_buffer: u64,
     gl_len: u64,
-    gl_source: impl Fn(usize) -> Box<dyn ssq_traffic::TrafficSource>,
+    gl_source: impl Fn(usize) -> Box<dyn ssq_traffic::TrafficSource + Send + Sync>,
 ) -> QosSwitch {
     let geometry = Geometry::new(8, 128).expect("valid geometry");
     let mut config = SwitchConfig::builder(geometry)
@@ -75,7 +75,7 @@ fn eq1_table() -> Table {
         "within bound",
     ]);
     t.numeric();
-    type SourceMaker = fn(usize) -> Box<dyn ssq_traffic::TrafficSource>;
+    type SourceMaker = fn(usize) -> Box<dyn ssq_traffic::TrafficSource + Send + Sync>;
     let colliding: SourceMaker = |_k| Box::new(Periodic::new(61, 0, 1));
     let saturating: SourceMaker = |_k| Box::new(Saturating::new(1));
     for &n_gl in &[1usize, 2, 4] {

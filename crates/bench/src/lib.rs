@@ -104,7 +104,7 @@ pub fn congestion_rig(
     }
     let mut switch = QosSwitch::new(config).expect("valid switch");
     for (i, &reserved) in rates.iter().enumerate() {
-        let source: Box<dyn ssq_traffic::TrafficSource> = match load {
+        let source: Box<dyn ssq_traffic::TrafficSource + Send + Sync> = match load {
             Load::Saturating => Box::new(Saturating::new(len_flits)),
             Load::Bernoulli(rate) => {
                 Box::new(Bernoulli::new(rate, len_flits, seed ^ (i as u64) << 8))

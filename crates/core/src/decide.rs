@@ -1,0 +1,457 @@
+//! The pure per-output arbitration kernel shared by the sequential and
+//! sharded engines.
+//!
+//! [`QosSwitch::decide_output`] predicts everything one output will do
+//! this cycle — the gathered request sets, the arbitration winner, the
+//! inhibit-fabric cross-check outcome, and the exact trace events a
+//! grant would emit — **without mutating any switch state**. The
+//! sequential `step` and the parallel `shard_decide`/`shard_merge` pair
+//! both drive this one kernel, so their grant streams agree bit for bit
+//! by construction; the serial commit side lives in `switch.rs`.
+//!
+//! Purity here is load-bearing twice over: the sharded engine calls
+//! this concurrently from several workers through a shared `&self`, and
+//! the merge phase re-calls it for any plan invalidated by an
+//! earlier-output grant. The `no-shared-mut-in-shards` lint holds this
+//! file to that contract — no lock or interior-mutability primitive may
+//! appear in the kernel, because a shard that synchronized with its
+//! siblings would reintroduce the cross-output ordering dependence the
+//! engine exists to remove.
+
+use ssq_arbiter::{Arbiter, Request};
+use ssq_circuit::ArbitrationOutcome;
+use ssq_trace::{Event, EventKind, ShardBuffer};
+use ssq_types::{Cycle, OutputId, TrafficClass};
+
+use super::{wire, GbEngine, QosSwitch};
+use crate::channel::ChannelState;
+use crate::config::Policy;
+
+/// One output's precomputed cycle plan: what the output will do when the
+/// serial merge phase reaches it. Opaque outside the crate — a plan is
+/// only meaningful to the switch that produced it, and only for the
+/// cycle it was produced in.
+pub struct OutputPlan {
+    pub(crate) action: PlanAction,
+}
+
+impl OutputPlan {
+    /// Rough work estimate for load accounting: one unit plus the number
+    /// of requests the decision had to weigh.
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        match &self.action {
+            PlanAction::Transmit | PlanAction::NoRequests => 1,
+            PlanAction::AwaitLatency { inputs } => 1 + inputs.len() as u64,
+            PlanAction::Arbitrate(arb) => 1 + arb.inputs.len() as u64,
+        }
+    }
+}
+
+/// What [`QosSwitch::decide_output`] found the output doing this cycle.
+pub(crate) enum PlanAction {
+    /// The channel is mid-packet; the commit phase moves one flit (and
+    /// handles delivery/chaining) with live state.
+    Transmit,
+    /// No input requests this output: the arbitration-latency clock
+    /// resets.
+    NoRequests,
+    /// Requests are waiting but the arbitration latency has not elapsed;
+    /// `inputs` lists the requesters seen (the staleness probe).
+    AwaitLatency {
+        /// Inputs that contributed at least one request at decide time.
+        inputs: Vec<usize>,
+    },
+    /// The latency gate is open: a full arbitration decision, ready to
+    /// commit.
+    Arbitrate(Box<ArbPlan>),
+}
+
+/// A complete predicted arbitration for one output.
+pub(crate) struct ArbPlan {
+    /// Every input that contributed a request at decide time. If any of
+    /// them wins an earlier output during the merge, this plan is stale
+    /// and the kernel re-decides with the updated blocked set.
+    pub(crate) inputs: Vec<usize>,
+    /// Whether the GL policer withheld GL priority this cycle (the
+    /// commit phase counts it).
+    pub(crate) gl_policed: bool,
+    /// Which arbitration round the strict-priority ladder (or flat
+    /// policy) selected, with the request set that round weighs.
+    pub(crate) route: Route,
+    /// The predicted `(winner, class)`, for cross-checking the commit.
+    pub(crate) predicted: Option<(usize, TrafficClass)>,
+    /// Trace events this decision emits, in canonical order.
+    pub(crate) events: ShardBuffer,
+    /// Events below this index (the `GlPoliced` notice) are emitted as
+    /// soon as the commit reaches the arbitration; the rest only on a
+    /// clean grant (a detected fault suppresses them, exactly as the
+    /// sequential path never reaches its emission sites).
+    pub(crate) pre_events: usize,
+}
+
+/// The arbitration round a plan resolved to. Each variant carries the
+/// request set its commit-side twin feeds to the (mutating) arbiter.
+pub(crate) enum Route {
+    /// `Policy::LrgOnly`: class-blind LRG over deduplicated requesters.
+    FlatLrg {
+        /// One unit-length request per distinct requesting input.
+        reqs: Vec<Request>,
+    },
+    /// `Policy::FourLevel`: one leveled request per input.
+    FourLevel {
+        /// Requests tagged with the 4-level priority of their class.
+        reqs: Vec<Request>,
+    },
+    /// GL preempts everything (not policed, lane intact).
+    GlPreempt {
+        /// The GL request set.
+        gl: Vec<Request>,
+        /// The inhibit-fabric outcome on the same requests, if checked.
+        circuit: Option<ArbitrationOutcome>,
+    },
+    /// Degraded mode: the GB round runs on pure LRG.
+    GbFallback {
+        /// The GB request set (demoted GL merged in).
+        gb: Vec<Request>,
+        /// Inputs competing as demoted GL (win as GL class).
+        demoted_gl: Vec<usize>,
+    },
+    /// The reservation-weighing GB round.
+    GbRound {
+        /// The GB request set (demoted GL merged in).
+        gb: Vec<Request>,
+        /// Inputs competing as demoted GL (win as GL class).
+        demoted_gl: Vec<usize>,
+        /// The inhibit-fabric outcome on the same requests, if checked.
+        circuit: Option<ArbitrationOutcome>,
+    },
+    /// Policed GL serves below GB (here: no GB waiting).
+    GlBelowGb {
+        /// The GL request set.
+        gl: Vec<Request>,
+    },
+    /// Best effort, when no guaranteed class requests.
+    Be {
+        /// The BE request set.
+        be: Vec<Request>,
+    },
+}
+
+impl QosSwitch {
+    /// Predicts `output`'s action for cycle `now` against the `blocked`
+    /// input set, without mutating anything. The serial commit phase
+    /// (`commit_output` in `switch.rs`) applies the returned plan — or
+    /// re-calls this with an updated `blocked` when an earlier output's
+    /// grant invalidated it.
+    pub(crate) fn decide_output(
+        &self,
+        output: OutputId,
+        now: Cycle,
+        blocked: &[bool],
+    ) -> OutputPlan {
+        let o = output.index();
+        if matches!(self.channels[o].state(), ChannelState::Transmitting { .. }) {
+            return OutputPlan {
+                action: PlanAction::Transmit,
+            };
+        }
+        let (gl, gb, be) = self.gather(output, blocked);
+        if gl.is_empty() && gb.is_empty() && be.is_empty() {
+            return OutputPlan {
+                action: PlanAction::NoRequests,
+            };
+        }
+        let inputs: Vec<usize> = gl.iter().chain(&gb).chain(&be).map(|r| r.input()).collect();
+        let arb_latency = self.config.policy().arbitration_cycles();
+        if self.arb_wait[o] + 1 < arb_latency {
+            return OutputPlan {
+                action: PlanAction::AwaitLatency { inputs },
+            };
+        }
+        let arb = match self.config.policy() {
+            Policy::LrgOnly => self.decide_flat_lrg(output, now, &gl, &gb, &be, inputs),
+            Policy::FourLevel => self.decide_four_level(output, now, &gl, &gb, &be, inputs),
+            _ => self.decide_strict_priority(output, now, gl, gb, be, inputs),
+        };
+        OutputPlan {
+            action: PlanAction::Arbitrate(Box::new(arb)),
+        }
+    }
+
+    /// `Policy::LrgOnly`: class-blind LRG over every requester; a winner
+    /// sends its highest-class head.
+    fn decide_flat_lrg(
+        &self,
+        output: OutputId,
+        now: Cycle,
+        gl: &[Request],
+        gb: &[Request],
+        be: &[Request],
+        inputs: Vec<usize>,
+    ) -> ArbPlan {
+        let o = output.index();
+        let mut requesters: Vec<usize> = Vec::new();
+        for r in gl.iter().chain(gb).chain(be) {
+            if !requesters.contains(&r.input()) {
+                requesters.push(r.input());
+            }
+        }
+        let reqs: Vec<Request> = requesters.into_iter().map(|i| Request::new(i, 1)).collect();
+        let mut events = ShardBuffer::new(o);
+        let predicted = self.flat_lrg[o]
+            .decide(now, &reqs)
+            .map(|w| (w, self.best_class_of(w, output)));
+        if let Some((w, class)) = predicted {
+            push_decision(&mut events, now, o, class, reqs.len(), w, self.watching());
+        }
+        ArbPlan {
+            inputs,
+            gl_policed: false,
+            route: Route::FlatLrg { reqs },
+            predicted,
+            events,
+            pre_events: 0,
+        }
+    }
+
+    /// `Policy::FourLevel`: GL -> level 3, GB -> level 1, BE -> level 0;
+    /// per input, only its highest-class head competes.
+    fn decide_four_level(
+        &self,
+        output: OutputId,
+        now: Cycle,
+        gl: &[Request],
+        gb: &[Request],
+        be: &[Request],
+        inputs: Vec<usize>,
+    ) -> ArbPlan {
+        let o = output.index();
+        let mut reqs: Vec<Request> = Vec::new();
+        let add = |r: &Request, level: u8, reqs: &mut Vec<Request>| {
+            if !reqs.iter().any(|q| q.input() == r.input()) {
+                reqs.push(Request::new(r.input(), r.len_flits()).with_level(level));
+            }
+        };
+        for r in gl {
+            add(r, 3, &mut reqs);
+        }
+        for r in gb {
+            add(r, 1, &mut reqs);
+        }
+        for r in be {
+            add(r, 0, &mut reqs);
+        }
+        let mut events = ShardBuffer::new(o);
+        let predicted = self.four_level[o].decide(now, &reqs).and_then(|w| {
+            reqs.iter()
+                .find(|r| r.input() == w)
+                .map(|r| (w, four_level_class(r.level())))
+        });
+        if let Some((w, class)) = predicted {
+            push_decision(&mut events, now, o, class, reqs.len(), w, self.watching());
+        }
+        ArbPlan {
+            inputs,
+            gl_policed: false,
+            route: Route::FourLevel { reqs },
+            predicted,
+            events,
+            pre_events: 0,
+        }
+    }
+
+    /// The strict class-priority ladder: GL > GB > policed (or demoted)
+    /// GL > BE, mirroring the sequential branch structure condition for
+    /// condition.
+    fn decide_strict_priority(
+        &self,
+        output: OutputId,
+        now: Cycle,
+        gl: Vec<Request>,
+        mut gb: Vec<Request>,
+        be: Vec<Request>,
+        inputs: Vec<usize>,
+    ) -> ArbPlan {
+        let o = output.index();
+        let watch = self.watching();
+        let mut events = ShardBuffer::new(o);
+        let policed = self.gl_policers[o].policed();
+        let demoted = self.faultctl.gl_demoted(o);
+        let gl_policed = policed && !gl.is_empty();
+        if gl_policed && watch {
+            events.push(Event {
+                cycle: now.value(),
+                kind: EventKind::GlPoliced {
+                    output: wire(o),
+                    backlog: gl.len() as u32,
+                },
+            });
+        }
+        let pre_events = events.len();
+        // Demotion means GL lost its dedicated lane, not its service:
+        // demoted GL competes inside the GB round.
+        let mut demoted_gl: Vec<usize> = Vec::new();
+        if demoted {
+            for r in &gl {
+                if !gb.iter().any(|q| q.input() == r.input()) {
+                    demoted_gl.push(r.input());
+                    gb.push(Request::new(r.input(), r.len_flits()));
+                }
+            }
+        }
+
+        let (route, predicted) = if !gl.is_empty() && !policed && !demoted {
+            let circuit = self.fabric_decision(o, &gl, &[]);
+            let predicted = self.gl_lrg[o]
+                .decide(now, &gl)
+                .map(|w| (w, TrafficClass::GuaranteedLatency));
+            if let Some((w, class)) = predicted {
+                push_decision(&mut events, now, o, class, gl.len(), w, watch);
+            }
+            (Route::GlPreempt { gl, circuit }, predicted)
+        } else if !gb.is_empty() && self.faultctl.lrg_fallback(o) {
+            let predicted = self.flat_lrg[o].decide(now, &gb).map(|w| {
+                if demoted_gl.contains(&w) {
+                    (w, TrafficClass::GuaranteedLatency)
+                } else {
+                    (w, TrafficClass::GuaranteedBandwidth)
+                }
+            });
+            if let Some((w, class)) = predicted {
+                push_decision(&mut events, now, o, class, gb.len(), w, watch);
+            }
+            (Route::GbFallback { gb, demoted_gl }, predicted)
+        } else if !gb.is_empty() {
+            let circuit = self.fabric_decision(o, &[], &gb);
+            // Snapshot the MSB lanes before the (future) commit mutates
+            // auxVC state, so inhibit events carry the values the losers
+            // are actually defeated with.
+            let msbs: Vec<(usize, u64)> = match &self.gb_engines[o] {
+                GbEngine::Ssvc(ssvc) if watch => gb
+                    .iter()
+                    .map(|r| (r.input(), ssvc.msb_value(r.input())))
+                    .collect(),
+                _ => Vec::new(),
+            };
+            let predicted_w = self.gb_engines[o]
+                .as_arbiter_ref()
+                .and_then(|e| e.decide(now, &gb));
+            let predicted = predicted_w.map(|w| {
+                if let GbEngine::Ssvc(ssvc) = &self.gb_engines[o] {
+                    if watch {
+                        let winner_msb = msbs.iter().find(|&&(i, _)| i == w).map_or(0, |&(_, m)| m);
+                        let (aux, saturated) = ssvc.preview_win(w);
+                        for &(i, msb) in msbs.iter().filter(|&&(i, _)| i != w) {
+                            events.push(Event {
+                                cycle: now.value(),
+                                kind: EventKind::Inhibit {
+                                    output: wire(o),
+                                    input: wire(i),
+                                    msb,
+                                    winner_msb,
+                                },
+                            });
+                        }
+                        events.push(Event {
+                            cycle: now.value(),
+                            kind: EventKind::AuxVc {
+                                output: wire(o),
+                                input: wire(w),
+                                aux,
+                                saturated,
+                            },
+                        });
+                    }
+                }
+                let class = if demoted_gl.contains(&w) {
+                    TrafficClass::GuaranteedLatency
+                } else {
+                    TrafficClass::GuaranteedBandwidth
+                };
+                push_decision(&mut events, now, o, class, gb.len(), w, watch);
+                (w, class)
+            });
+            (
+                Route::GbRound {
+                    gb,
+                    demoted_gl,
+                    circuit,
+                },
+                predicted,
+            )
+        } else if !gl.is_empty() {
+            let predicted = self.gl_lrg[o]
+                .decide(now, &gl)
+                .map(|w| (w, TrafficClass::GuaranteedLatency));
+            if let Some((w, class)) = predicted {
+                push_decision(&mut events, now, o, class, gl.len(), w, watch);
+            }
+            (Route::GlBelowGb { gl }, predicted)
+        } else {
+            let predicted = self.be_lrg[o]
+                .decide(now, &be)
+                .map(|w| (w, TrafficClass::BestEffort));
+            if let Some((w, class)) = predicted {
+                push_decision(&mut events, now, o, class, be.len(), w, watch);
+            }
+            (Route::Be { be }, predicted)
+        };
+        ArbPlan {
+            inputs,
+            gl_policed,
+            route,
+            predicted,
+            events,
+            pre_events,
+        }
+    }
+
+    /// Whether any trace sink is attached (event prediction is skipped
+    /// entirely when off, exactly like the sequential emission sites).
+    fn watching(&self) -> bool {
+        !self.tracer.is_off()
+    }
+}
+
+impl ArbPlan {
+    /// Whether an earlier output's grant blocked one of this plan's
+    /// requesters since it was decided. Blocking is monotone within a
+    /// cycle, so this is the *only* way a plan can go stale.
+    pub(crate) fn stale(&self, blocked: &[bool]) -> bool {
+        self.inputs.iter().any(|&i| blocked[i])
+    }
+}
+
+/// Maps a 4-level priority back to its traffic class.
+fn four_level_class(level: u8) -> TrafficClass {
+    match level {
+        3 => TrafficClass::GuaranteedLatency,
+        1 => TrafficClass::GuaranteedBandwidth,
+        _ => TrafficClass::BestEffort,
+    }
+}
+
+/// Buffers the `Decision` event a committed arbitration emits.
+fn push_decision(
+    events: &mut ShardBuffer,
+    now: Cycle,
+    o: usize,
+    class: TrafficClass,
+    contenders: usize,
+    winner: usize,
+    watch: bool,
+) {
+    if !watch {
+        return;
+    }
+    events.push(Event {
+        cycle: now.value(),
+        kind: EventKind::Decision {
+            output: wire(o),
+            class,
+            contenders: contenders as u32,
+            winner: wire(winner),
+        },
+    });
+}

@@ -89,4 +89,4 @@ pub use packet::Packet;
 pub use port::InputPort;
 pub use reservations::{GbReservation, ReadmitAction, ReadmitDecision, Reservations};
 pub use ssq_check::{Preflight, Report};
-pub use switch::{QosSwitch, SwitchCounters};
+pub use switch::{OutputPlan, QosSwitch, SwitchCounters};

@@ -11,7 +11,7 @@
 use ssq_check::codes;
 use ssq_check::gl::{gl_burst_budgets, gl_latency_bound};
 use ssq_core::gl::{burst_budgets, latency_bound, GlScenario};
-use ssq_core::{Preflight, QosSwitch, SwitchConfig};
+use ssq_core::{QosSwitch, SwitchConfig};
 use ssq_sim::{Runner, Schedule};
 use ssq_types::{Cycles, Geometry, InputId, OutputId, Rate};
 

@@ -4,12 +4,16 @@
 //! switch, one fault from the DESIGN.md §8 taxonomy injected at a fixed
 //! cycle (or an MTBF schedule), optionally healed, and the run judged by
 //! the two-outcome oracle ([`crate::detect::judge`]). The smoke tier
-//! ([`run_smoke`]) runs every scenario and asserts none ends in a
-//! silent violation — the campaign's only hard failure.
+//! ([`run_smoke`]) runs every scenario through **both** execution
+//! engines — the sequential [`Runner`] and the sharded [`ParRunner`] —
+//! and asserts none ends in a silent violation; an engine divergence
+//! (verdict, counters, or trace bytes differing between the two) is
+//! itself reported as a silent violation, making every smoke run a
+//! differential test of the parallel engine under fault injection.
 
 use ssq_arbiter::CounterPolicy;
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
-use ssq_sim::{Runner, Schedule};
+use ssq_sim::{MonitorOutcome, ParRunner, Runner, Schedule};
 use ssq_trace::{Event, EventKind, JsonlSink, RingSink};
 use ssq_traffic::{FixedDest, Injector, Periodic, Saturating};
 use ssq_types::{Cycles, Geometry, InputId, OutputId, Rate, TrafficClass};
@@ -118,8 +122,59 @@ fn add_gl(config: &mut SwitchConfig, switch_rate: f64) {
 /// seed-independent), so a campaign replays exactly from `(name, seed)`.
 #[must_use]
 pub fn run_scenario(name: &str, seed: u64) -> Option<ScenarioResult> {
+    let (switch, plan) = build_scenario(name, seed)?;
+    let mut chaos = arm(switch, plan);
+    let outcome = Runner::new(Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE)))
+        .run_monitored(&mut chaos, Cycles::new(2_000), |_, _| {});
+    Some(finish(name, chaos, &outcome))
+}
+
+/// [`run_scenario`] on the sharded parallel engine with `threads`
+/// compute threads. The result must match [`run_scenario`] exactly —
+/// same verdict, same counters, same trace — which [`run_smoke`]
+/// enforces on every scenario.
+#[must_use]
+pub fn run_scenario_par(name: &str, seed: u64, threads: usize) -> Option<ScenarioResult> {
+    let (switch, plan) = build_scenario(name, seed)?;
+    let mut chaos = arm(switch, plan);
+    let outcome = ParRunner::new(
+        Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE)),
+        threads,
+    )
+    .run_monitored(&mut chaos, Cycles::new(2_000), |_, _| {});
+    Some(finish(name, chaos, &outcome))
+}
+
+fn arm(mut switch: QosSwitch, plan: FaultPlan) -> ChaosSwitch {
+    switch.tracer_mut().attach_ring(1 << 17);
+    ChaosSwitch::new(switch, plan)
+}
+
+fn finish(name: &str, chaos: ChaosSwitch, outcome: &MonitorOutcome) -> ScenarioResult {
+    let switch = chaos.into_switch();
+    let events = switch
+        .tracer()
+        .ring()
+        .map(RingSink::events)
+        .unwrap_or_default();
+    let mut notes = Vec::new();
+    if let Some(err) = switch.tracer().jsonl().and_then(JsonlSink::io_error) {
+        notes.push(format!("sink fault detected (sticky): {err}"));
+    }
+    let verdict = judge(outcome, &events);
+    ScenarioResult {
+        name: name.to_string(),
+        verdict,
+        fault_injections: switch.counters().fault_injections,
+        delivered_flits: switch.counters().delivered_flits,
+        notes,
+        events,
+    }
+}
+
+fn build_scenario(name: &str, seed: u64) -> Option<(QosSwitch, FaultPlan)> {
     let horizon = WARMUP + MEASURE;
-    let (mut switch, plan) = match name {
+    let (switch, plan) = match name {
         "link-down-heal" => {
             let mut switch = QosSwitch::new(gb_config(false, 2, &[0.4, 0.3])).expect("valid");
             saturate(&mut switch, 2);
@@ -254,39 +309,64 @@ pub fn run_scenario(name: &str, seed: u64) -> Option<ScenarioResult> {
         }
         _ => return None,
     };
-
-    switch.tracer_mut().attach_ring(1 << 17);
-    let mut chaos = ChaosSwitch::new(switch, plan);
-    let outcome = Runner::new(Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE)))
-        .run_monitored(&mut chaos, Cycles::new(2_000), |_, _| {});
-    let switch = chaos.into_switch();
-    let events = switch
-        .tracer()
-        .ring()
-        .map(RingSink::events)
-        .unwrap_or_default();
-    let mut notes = Vec::new();
-    if let Some(err) = switch.tracer().jsonl().and_then(JsonlSink::io_error) {
-        notes.push(format!("sink fault detected (sticky): {err}"));
-    }
-    let verdict = judge(&outcome, &events);
-    Some(ScenarioResult {
-        name: name.to_string(),
-        verdict,
-        fault_injections: switch.counters().fault_injections,
-        delivered_flits: switch.counters().delivered_flits,
-        notes,
-        events,
-    })
+    Some((switch, plan))
 }
 
-/// Runs every catalog scenario with `seed`.
+/// Runs every catalog scenario with `seed` on both engines.
+///
+/// Each scenario executes under the sequential runner and again under
+/// the parallel engine (two threads); the sequential result is returned,
+/// except that any divergence between the two — verdict, injection or
+/// delivery counters, or the event trace — replaces the verdict with a
+/// [`Verdict::SilentViolation`] naming the differential failure.
 #[must_use]
 pub fn run_smoke(seed: u64) -> Vec<ScenarioResult> {
     SCENARIOS
         .iter()
-        .map(|(name, _)| run_scenario(name, seed).expect("catalog names are valid"))
+        .map(|(name, _)| {
+            let seq = run_scenario(name, seed).expect("catalog names are valid");
+            let par = run_scenario_par(name, seed, 2).expect("catalog names are valid");
+            differential(seq, &par)
+        })
         .collect()
+}
+
+/// Folds a parallel-engine rerun into the sequential result: identical
+/// runs pass through; any observable difference is the one failure mode
+/// this subsystem exists to rule out, reported loudly.
+fn differential(mut seq: ScenarioResult, par: &ScenarioResult) -> ScenarioResult {
+    let mut diffs = Vec::new();
+    if seq.verdict != par.verdict {
+        diffs.push(format!("verdict {:?} vs {:?}", seq.verdict, par.verdict));
+    }
+    if seq.fault_injections != par.fault_injections {
+        diffs.push(format!(
+            "fault_injections {} vs {}",
+            seq.fault_injections, par.fault_injections
+        ));
+    }
+    if seq.delivered_flits != par.delivered_flits {
+        diffs.push(format!(
+            "delivered_flits {} vs {}",
+            seq.delivered_flits, par.delivered_flits
+        ));
+    }
+    if seq.events != par.events {
+        diffs.push(format!(
+            "event trace ({} vs {} events)",
+            seq.events.len(),
+            par.events.len()
+        ));
+    }
+    if !diffs.is_empty() {
+        seq.verdict = Verdict::SilentViolation {
+            reason: format!(
+                "parallel engine diverged from sequential: {}",
+                diffs.join("; ")
+            ),
+        };
+    }
+    seq
 }
 
 #[cfg(test)]
@@ -356,5 +436,30 @@ mod tests {
     #[test]
     fn unknown_scenario_is_none() {
         assert!(run_scenario("no-such-scenario", 0).is_none());
+        assert!(run_scenario_par("no-such-scenario", 0, 2).is_none());
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_under_faults() {
+        // The armed-fault paths (fabric corruption classification,
+        // degraded-mode scans) are the hardest cases for the shared
+        // decide/commit kernel: they mutate mid-arbitration. Hold the
+        // parallel engine bit-exact through them at 1 and 4 threads.
+        for name in ["bitline-stuck-0", "bitline-stuck-1", "gl-lane-lost"] {
+            let seq = run_scenario(name, 7).unwrap();
+            for threads in [1, 4] {
+                let par = run_scenario_par(name, 7, threads).unwrap();
+                assert_eq!(seq.verdict, par.verdict, "{name} @ {threads} threads");
+                assert_eq!(
+                    seq.fault_injections, par.fault_injections,
+                    "{name} @ {threads} threads"
+                );
+                assert_eq!(
+                    seq.delivered_flits, par.delivered_flits,
+                    "{name} @ {threads} threads"
+                );
+                assert_eq!(seq.events, par.events, "{name} @ {threads} threads");
+            }
+        }
     }
 }

@@ -12,6 +12,10 @@
 //!   [`Runner::run_monitored`]) that backs the flight recorder.
 //! * [`sweep`] — runs one experiment per parameter point across threads
 //!   (std scoped threads), preserving input order in the results.
+//! * [`ShardedModel`] / [`ParRunner`] / [`with_engine`] — the sharded
+//!   parallel engine: one cycle as parallel per-shard decisions plus a
+//!   serial in-order merge, bit-identical to the sequential runner at
+//!   any thread count.
 //!
 //! (The Value Change Dump writer lives in `ssq_core::vcd`, next to the
 //! switch recorder that uses it.)
@@ -49,9 +53,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod par;
 mod runner;
 mod sweep;
 
+pub use par::{with_engine, Engine, ParRunner, ShardedModel};
 pub use runner::{CycleModel, MonitorOutcome, Monitored, Runner, Schedule};
 pub use ssq_check::{Preflight, Report};
-pub use sweep::sweep;
+pub use sweep::{sweep, sweep_with_threads};

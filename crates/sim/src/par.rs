@@ -1,0 +1,720 @@
+//! The sharded parallel execution engine.
+//!
+//! One simulated cycle splits into three phases:
+//!
+//! 1. **prepare** (serial, `&mut`): advance clocks, inject traffic,
+//!    snapshot which channels are busy;
+//! 2. **decide** (parallel, `&`): every shard — for the switch, one
+//!    output port — computes its arbitration plan against the immutable
+//!    snapshot;
+//! 3. **merge** (serial, `&mut`): plans are committed **in shard
+//!    order**, replaying exactly the mutations and trace events the
+//!    sequential engine performs.
+//!
+//! Because decide is pure and merge is serial in a fixed order, the
+//! engine's observable behaviour — grants, counters, statistics, trace
+//! bytes — is identical to the sequential [`Runner`](crate::Runner) at
+//! any thread count, including one. The conformance suite in `tests/`
+//! holds both engines to that contract bit for bit.
+//!
+//! Worker threads persist across cycles (spawned once per
+//! [`with_engine`] scope) and synchronize on a yielding spin barrier, so
+//! the per-cycle cost is two barrier crossings rather than thread
+//! spawns. Shards are claimed from a shared cursor, which load-balances
+//! outputs whose request sets differ wildly in size.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use ssq_stats::ShardAccumulator;
+use ssq_types::{Cycle, Cycles};
+
+use crate::runner::{CycleModel, MonitorOutcome, Monitored, Schedule};
+
+/// A model whose cycle splits into parallel per-shard decisions plus a
+/// serial merge.
+///
+/// # Contract
+///
+/// For every reachable state and cycle, [`CycleModel::step`] must be
+/// observationally identical to:
+///
+/// ```text
+/// self.shard_prepare(now);
+/// let plans: Vec<_> = (0..self.shard_count())
+///     .map(|s| self.shard_decide(s, now))
+///     .collect();
+/// self.shard_merge(now, plans);
+/// ```
+///
+/// with `shard_decide` **pure** (no interior mutability, no shard
+/// ordering assumptions): the engine calls it concurrently from several
+/// threads in arbitrary order, and may call it again for the same shard
+/// during merge if a plan slot was lost to a worker failure.
+pub trait ShardedModel: CycleModel {
+    /// The per-shard decision, handed from decide to merge.
+    type Plan: Send;
+
+    /// Number of shards (constant for the lifetime of a run).
+    fn shard_count(&self) -> usize;
+
+    /// Phase 1: serial pre-cycle mutation (clock ticks, injection,
+    /// snapshotting).
+    fn shard_prepare(&mut self, now: Cycle);
+
+    /// Phase 2: pure decision for one shard against the prepared state.
+    fn shard_decide(&self, shard: usize, now: Cycle) -> Self::Plan;
+
+    /// Phase 3: serial commit. `plans[s]` is the plan shard `s`
+    /// produced; the implementation must apply them in ascending shard
+    /// order to reproduce the sequential engine's effects.
+    fn shard_merge(&mut self, now: Cycle, plans: Vec<Self::Plan>);
+
+    /// Relative cost estimate of a plan, for worker load accounting
+    /// only — it must not influence behaviour.
+    fn plan_cost(_plan: &Self::Plan) -> u64 {
+        1
+    }
+}
+
+/// Sense-reversing spin barrier with bounded spinning: after a short
+/// spin each waiter yields to the scheduler, so oversubscribed runs
+/// (more threads than cores) degrade gracefully instead of starving the
+/// thread that would release the barrier.
+struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+/// Spins before the first yield; past this, waiters stop burning cycles.
+const SPINS_BEFORE_YIELD: u32 = 64;
+
+/// Error returned by [`SpinBarrier::wait`] once any participant has
+/// panicked: the cycle can never complete, so waiters must unwind.
+struct BarrierPoisoned;
+
+impl SpinBarrier {
+    fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the barrier unusable; every current and future waiter
+    /// receives [`BarrierPoisoned`] instead of blocking forever.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    fn wait(&self) -> Result<(), BarrierPoisoned> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(BarrierPoisoned);
+        }
+        let gen = self.generation.load(Ordering::SeqCst);
+        if self.arrived.fetch_add(1, Ordering::SeqCst) + 1 == self.parties {
+            self.arrived.store(0, Ordering::SeqCst);
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            return Ok(());
+        }
+        let mut spins: u32 = 0;
+        while self.generation.load(Ordering::SeqCst) == gen {
+            if self.poisoned.load(Ordering::SeqCst) {
+                return Err(BarrierPoisoned);
+            }
+            spins = spins.saturating_add(1);
+            if spins >= SPINS_BEFORE_YIELD {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Poisons the barrier if the owning scope unwinds, releasing every
+/// thread parked on it so a panic anywhere tears the engine down
+/// instead of deadlocking it.
+struct PoisonOnPanic<'b>(&'b SpinBarrier);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// State shared between the driving thread and the persistent workers.
+struct Shared<'m, M: ShardedModel> {
+    /// The model. Workers take read locks during decide; the driver
+    /// holds the write lock through prepare and merge.
+    model: RwLock<&'m mut M>,
+    barrier: SpinBarrier,
+    /// Next unclaimed shard of the current cycle.
+    cursor: AtomicUsize,
+    /// The cycle being decided, published before the decide barrier.
+    now: AtomicU64,
+    stop: AtomicBool,
+    /// One plan slot per shard, filled during decide, drained at merge.
+    slots: Vec<Mutex<Option<M::Plan>>>,
+}
+
+/// Claims shards from the shared cursor until none remain, depositing
+/// each plan in its slot. Runs on workers *and* the driver, so a lone
+/// thread still decides every shard through the same code path.
+fn decide_claimed<M: ShardedModel>(
+    shared: &Shared<'_, M>,
+    model: &M,
+    now: Cycle,
+    acc: &mut ShardAccumulator,
+) {
+    loop {
+        let shard = shared.cursor.fetch_add(1, Ordering::SeqCst);
+        if shard >= shared.slots.len() {
+            return;
+        }
+        let plan = model.shard_decide(shard, now);
+        let cost = M::plan_cost(&plan);
+        *shared.slots[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(plan);
+        acc.record(cost);
+    }
+}
+
+/// The persistent worker loop: park at the cycle barrier, decide
+/// claimed shards, park at the completion barrier, repeat until told to
+/// stop. Returns this worker's private load accounting.
+fn worker<M: ShardedModel + Send + Sync>(shared: &Shared<'_, M>) -> ShardAccumulator {
+    let _poison_guard = PoisonOnPanic(&shared.barrier);
+    let mut acc = ShardAccumulator::new();
+    loop {
+        if shared.barrier.wait().is_err() {
+            return acc;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return acc;
+        }
+        {
+            let guard = shared.model.read().unwrap_or_else(|e| e.into_inner());
+            let model: &M = &**guard;
+            let now = Cycle::new(shared.now.load(Ordering::SeqCst));
+            decide_claimed(shared, model, now, &mut acc);
+        }
+        if shared.barrier.wait().is_err() {
+            return acc;
+        }
+    }
+}
+
+/// Handle the [`with_engine`] closure drives cycles through.
+///
+/// [`Engine::step`] runs one full prepare/decide/merge cycle;
+/// [`Engine::with_model`] gives serial access to the model between
+/// cycles (for observers, probes, VCD sampling, measurement
+/// boundaries). The workers are parked whenever the closure runs, so
+/// `with_model` access is exclusive without extra synchronization
+/// beyond the lock.
+pub struct Engine<'e, 'm, M: ShardedModel> {
+    shared: &'e Shared<'m, M>,
+    acc: ShardAccumulator,
+}
+
+impl<M: ShardedModel + Send + Sync> Engine<'_, '_, M> {
+    /// Runs one simulated cycle: serial prepare, parallel decide,
+    /// serial in-order merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked (the original panic is
+    /// re-raised when the engine scope unwinds).
+    pub fn step(&mut self, now: Cycle) {
+        let shared = self.shared;
+        {
+            let mut guard = shared.model.write().unwrap_or_else(|e| e.into_inner());
+            guard.shard_prepare(now);
+        }
+        shared.now.store(now.value(), Ordering::SeqCst);
+        shared.cursor.store(0, Ordering::SeqCst);
+        let opened = shared.barrier.wait().is_ok();
+        assert!(opened, "parallel engine: a worker thread panicked");
+        {
+            let guard = shared.model.read().unwrap_or_else(|e| e.into_inner());
+            let model: &M = &**guard;
+            decide_claimed(shared, model, now, &mut self.acc);
+        }
+        let decided = shared.barrier.wait().is_ok();
+        assert!(decided, "parallel engine: a worker thread panicked");
+        {
+            let mut guard = shared.model.write().unwrap_or_else(|e| e.into_inner());
+            let model: &mut M = &mut *guard;
+            let mut plans = Vec::with_capacity(shared.slots.len());
+            for (shard, slot) in shared.slots.iter().enumerate() {
+                let plan = slot
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    // A lost slot (worker died between claim and deposit)
+                    // is re-decided serially; decide is pure, so the
+                    // outcome is identical.
+                    .unwrap_or_else(|| model.shard_decide(shard, now));
+                plans.push(plan);
+            }
+            model.shard_merge(now, plans);
+        }
+    }
+
+    /// Serial access to the model between cycles.
+    pub fn with_model<R>(&mut self, f: impl FnOnce(&mut M) -> R) -> R {
+        let mut guard = self.shared.model.write().unwrap_or_else(|e| e.into_inner());
+        f(&mut *guard)
+    }
+}
+
+/// Spawns `threads.max(1)` total compute threads (the calling thread
+/// plus `threads - 1` scoped workers), runs `f` with an [`Engine`]
+/// driving the model, then parks the workers and returns `f`'s result
+/// together with the merged per-worker load accounting.
+///
+/// With `threads == 1` no worker is spawned and every phase runs on the
+/// calling thread through the same code path, which is what makes the
+/// single-thread parallel engine a true identity check against the
+/// sequential runner.
+pub fn with_engine<M, R, F>(threads: usize, model: &mut M, f: F) -> (R, ShardAccumulator)
+where
+    M: ShardedModel + Send + Sync,
+    F: FnOnce(&mut Engine<'_, '_, M>) -> R,
+{
+    let threads = threads.max(1);
+    let shards = model.shard_count();
+    let shared: Shared<'_, M> = Shared {
+        model: RwLock::new(model),
+        barrier: SpinBarrier::new(threads),
+        cursor: AtomicUsize::new(0),
+        now: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        slots: (0..shards).map(|_| Mutex::new(None)).collect(),
+    };
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (1..threads)
+            .map(|_| scope.spawn(|| worker(&shared)))
+            .collect();
+        let mut engine = Engine {
+            shared: &shared,
+            acc: ShardAccumulator::new(),
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut engine)));
+        shared.stop.store(true, Ordering::SeqCst);
+        if result.is_err() {
+            // Workers may be parked at either barrier; poisoning
+            // releases them wherever they are.
+            shared.barrier.poison();
+        } else {
+            // Workers are parked at the cycle barrier; one last crossing
+            // sends them into the stop check.
+            let _ = shared.barrier.wait();
+        }
+        let mut acc = engine.acc;
+        let mut worker_panic = None;
+        for handle in workers {
+            match handle.join() {
+                Ok(worker_acc) => acc.merge(&worker_acc),
+                Err(payload) => {
+                    // Keep the first worker payload: it is the root
+                    // cause; the driver's own panic is the echo.
+                    worker_panic.get_or_insert(payload);
+                }
+            }
+        }
+        match (result, worker_panic) {
+            (Ok(r), None) => (r, acc),
+            (Ok(_), Some(payload)) | (Err(_), Some(payload)) => std::panic::resume_unwind(payload),
+            (Err(payload), None) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Drives a [`ShardedModel`] through a [`Schedule`] on the parallel
+/// engine, mirroring [`Runner`](crate::Runner)'s phase semantics
+/// exactly — same cycles, same measurement boundary, same observer and
+/// watchdog hooks — so the two are drop-in interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParRunner {
+    schedule: Schedule,
+    threads: usize,
+}
+
+impl ParRunner {
+    /// Creates a parallel runner with `threads` total compute threads
+    /// (clamped to at least one).
+    #[must_use]
+    pub fn new(schedule: Schedule, threads: usize) -> Self {
+        ParRunner {
+            schedule,
+            threads: threads.max(1),
+        }
+    }
+
+    /// The schedule this runner executes.
+    #[must_use]
+    pub const fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Total compute threads, including the calling thread.
+    #[must_use]
+    pub const fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallel counterpart of [`Runner::run`](crate::Runner::run).
+    pub fn run<M>(&self, model: &mut M) -> Cycle
+    where
+        M: ShardedModel + Send + Sync,
+    {
+        self.run_observed(model, |_, _| {})
+    }
+
+    /// Parallel counterpart of
+    /// [`Runner::run_observed`](crate::Runner::run_observed): `observe`
+    /// runs serially after every cycle, with the workers parked.
+    pub fn run_observed<M, F>(&self, model: &mut M, mut observe: F) -> Cycle
+    where
+        M: ShardedModel + Send + Sync,
+        F: FnMut(&M, Cycle),
+    {
+        let warm_end = Cycle::ZERO + self.schedule.warmup();
+        let end = warm_end + self.schedule.measure();
+        let (final_cycle, _load) = with_engine(self.threads, model, |engine| {
+            let mut now = Cycle::ZERO;
+            while now < warm_end {
+                engine.step(now);
+                engine.with_model(|m| observe(m, now));
+                now = now.next();
+            }
+            engine.with_model(|m| m.begin_measurement(now));
+            while now < end {
+                engine.step(now);
+                engine.with_model(|m| observe(m, now));
+                now = now.next();
+            }
+            now
+        });
+        final_cycle
+    }
+
+    /// Like [`ParRunner::run`], but also returns the merged per-worker
+    /// shard accounting (how many shards each thread decided, at what
+    /// cost) for load-balance diagnostics.
+    pub fn run_accounted<M>(&self, model: &mut M) -> (Cycle, ShardAccumulator)
+    where
+        M: ShardedModel + Send + Sync,
+    {
+        let warm_end = Cycle::ZERO + self.schedule.warmup();
+        let end = warm_end + self.schedule.measure();
+        with_engine(self.threads, model, |engine| {
+            let mut now = Cycle::ZERO;
+            while now < warm_end {
+                engine.step(now);
+                now = now.next();
+            }
+            engine.with_model(|m| m.begin_measurement(now));
+            while now < end {
+                engine.step(now);
+                now = now.next();
+            }
+            now
+        })
+    }
+
+    /// Parallel counterpart of
+    /// [`Runner::run_monitored`](crate::Runner::run_monitored), with
+    /// identical watchdog semantics: violations trip immediately, an
+    /// unchanged progress measure over pending work trips after
+    /// `stall_window` cycles, idle phases reset the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stall_window` is empty.
+    pub fn run_monitored<M, F>(
+        &self,
+        model: &mut M,
+        stall_window: Cycles,
+        mut observe: F,
+    ) -> MonitorOutcome
+    where
+        M: ShardedModel + Monitored + Send + Sync,
+        F: FnMut(&M, Cycle),
+    {
+        assert!(stall_window.value() > 0, "stall window must be non-empty");
+        let warm_end = Cycle::ZERO + self.schedule.warmup();
+        let end = warm_end + self.schedule.measure();
+        let (outcome, _load) = with_engine(self.threads, model, |engine| {
+            let mut now = Cycle::ZERO;
+            let mut last_progress: Option<u64> = None;
+            let mut stalled_for: u64 = 0;
+            while now < end {
+                if now == warm_end {
+                    engine.with_model(|m| m.begin_measurement(now));
+                }
+                engine.step(now);
+                let (violation, progress) = engine.with_model(|m| {
+                    observe(m, now);
+                    (m.violation(), m.progress())
+                });
+                if let Some(reason) = violation {
+                    return MonitorOutcome::Tripped { at: now, reason };
+                }
+                match progress {
+                    None => {
+                        last_progress = None;
+                        stalled_for = 0;
+                    }
+                    Some(p) => {
+                        if last_progress == Some(p) {
+                            stalled_for += 1;
+                            if stalled_for >= stall_window.value() {
+                                return MonitorOutcome::Tripped {
+                                    at: now,
+                                    reason: format!(
+                                        "stall: pending work but no progress for {} cycles \
+                                         (progress measure stuck at {p})",
+                                        stall_window.value()
+                                    ),
+                                };
+                            }
+                        } else {
+                            last_progress = Some(p);
+                            stalled_for = 0;
+                        }
+                    }
+                }
+                now = now.next();
+            }
+            MonitorOutcome::Completed(now)
+        });
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{Runner, Schedule};
+
+    /// A deterministic toy sharded model: each shard's decide hashes
+    /// its state with the cycle, merge writes the results back in
+    /// order. `step` is defined via the sharded contract, so the
+    /// sequential runner and the parallel engine must agree exactly.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Toy {
+        outputs: Vec<u64>,
+        prepares: u64,
+        merged: u64,
+        boundary: Option<Cycle>,
+        /// When set, decide panics for this shard (failure-path test).
+        poison_shard: Option<usize>,
+    }
+
+    impl Toy {
+        fn new(shards: usize) -> Self {
+            Toy {
+                outputs: (0..shards as u64).collect(),
+                prepares: 0,
+                merged: 0,
+                boundary: None,
+                poison_shard: None,
+            }
+        }
+    }
+
+    impl CycleModel for Toy {
+        fn step(&mut self, now: Cycle) {
+            self.shard_prepare(now);
+            let plans: Vec<(usize, u64)> = (0..self.shard_count())
+                .map(|s| self.shard_decide(s, now))
+                .collect();
+            self.shard_merge(now, plans);
+        }
+        fn begin_measurement(&mut self, now: Cycle) {
+            self.boundary = Some(now);
+        }
+    }
+
+    impl ShardedModel for Toy {
+        type Plan = (usize, u64);
+        fn shard_count(&self) -> usize {
+            self.outputs.len()
+        }
+        fn shard_prepare(&mut self, _now: Cycle) {
+            self.prepares += 1;
+        }
+        fn shard_decide(&self, shard: usize, now: Cycle) -> (usize, u64) {
+            if self.poison_shard == Some(shard) {
+                panic!("poisoned shard");
+            }
+            let mixed = self.outputs[shard]
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(now.value());
+            (shard, mixed)
+        }
+        fn shard_merge(&mut self, _now: Cycle, plans: Vec<(usize, u64)>) {
+            assert_eq!(plans.len(), self.outputs.len(), "one plan per shard");
+            for (i, (shard, value)) in plans.into_iter().enumerate() {
+                assert_eq!(shard, i, "plans must arrive in shard order");
+                self.outputs[i] = value;
+                self.merged += 1;
+            }
+        }
+    }
+
+    impl Monitored for Toy {
+        fn progress(&self) -> Option<u64> {
+            Some(self.merged)
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_at_any_thread_count() {
+        let schedule = Schedule::new(Cycles::new(7), Cycles::new(50));
+        let mut reference = Toy::new(16);
+        let end_seq = Runner::new(schedule).run(&mut reference);
+        for threads in [1, 2, 4, 8] {
+            let mut par = Toy::new(16);
+            let end_par = ParRunner::new(schedule, threads).run(&mut par);
+            assert_eq!(end_par, end_seq);
+            assert_eq!(par, reference, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_observed_sees_every_cycle_in_order() {
+        let schedule = Schedule::new(Cycles::new(2), Cycles::new(3));
+        let mut seen = Vec::new();
+        let mut toy = Toy::new(4);
+        let end = ParRunner::new(schedule, 2).run_observed(&mut toy, |m, now| {
+            seen.push((now.value(), m.prepares));
+        });
+        assert_eq!(end, Cycle::new(5));
+        assert_eq!(seen, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(toy.boundary, Some(Cycle::new(2)));
+    }
+
+    #[test]
+    fn monitored_completion_matches_sequential() {
+        let schedule = Schedule::new(Cycles::new(5), Cycles::new(20));
+        let mut seq = Toy::new(8);
+        let seq_outcome = Runner::new(schedule).run_monitored(&mut seq, Cycles::new(3), |_, _| {});
+        let mut par = Toy::new(8);
+        let par_outcome =
+            ParRunner::new(schedule, 3).run_monitored(&mut par, Cycles::new(3), |_, _| {});
+        assert_eq!(par_outcome, seq_outcome);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn monitored_stall_trips_at_the_same_cycle() {
+        /// Stops merging (and thus progressing) after a fixed number of
+        /// cycles while still holding "pending work".
+        struct Stall<MOD> {
+            inner: MOD,
+            stall_after: u64,
+            cycles: u64,
+        }
+        impl CycleModel for Stall<Toy> {
+            fn step(&mut self, now: Cycle) {
+                self.shard_prepare(now);
+                let plans: Vec<(usize, u64)> = (0..self.inner.shard_count())
+                    .map(|s| self.shard_decide(s, now))
+                    .collect();
+                self.shard_merge(now, plans);
+            }
+            fn begin_measurement(&mut self, now: Cycle) {
+                self.inner.begin_measurement(now);
+            }
+        }
+        impl ShardedModel for Stall<Toy> {
+            type Plan = (usize, u64);
+            fn shard_count(&self) -> usize {
+                self.inner.shard_count()
+            }
+            fn shard_prepare(&mut self, now: Cycle) {
+                self.cycles += 1;
+                self.inner.shard_prepare(now);
+            }
+            fn shard_decide(&self, shard: usize, now: Cycle) -> (usize, u64) {
+                self.inner.shard_decide(shard, now)
+            }
+            fn shard_merge(&mut self, now: Cycle, plans: Vec<(usize, u64)>) {
+                if self.cycles <= self.stall_after {
+                    self.inner.shard_merge(now, plans);
+                }
+            }
+        }
+        impl Monitored for Stall<Toy> {
+            fn progress(&self) -> Option<u64> {
+                Some(self.inner.merged)
+            }
+        }
+
+        let schedule = Schedule::new(Cycles::ZERO, Cycles::new(1000));
+        let make = || Stall {
+            inner: Toy::new(4),
+            stall_after: 10,
+            cycles: 0,
+        };
+        let mut seq = make();
+        let seq_outcome = Runner::new(schedule).run_monitored(&mut seq, Cycles::new(7), |_, _| {});
+        let mut par = make();
+        let par_outcome =
+            ParRunner::new(schedule, 2).run_monitored(&mut par, Cycles::new(7), |_, _| {});
+        assert_eq!(par_outcome, seq_outcome);
+        assert!(!par_outcome.is_completed(), "stall must trip");
+    }
+
+    #[test]
+    fn accounts_every_shard_exactly_once() {
+        let schedule = Schedule::new(Cycles::ZERO, Cycles::new(40));
+        let mut toy = Toy::new(16);
+        let (_, load) = ParRunner::new(schedule, 4).run_accounted(&mut toy);
+        assert_eq!(load.shards(), 40 * 16, "every shard of every cycle");
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let runner = ParRunner::new(Schedule::new(Cycles::ZERO, Cycles::new(5)), 0);
+        assert_eq!(runner.threads(), 1);
+        let mut toy = Toy::new(3);
+        let end = runner.run(&mut toy);
+        assert_eq!(end, Cycle::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned shard")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let mut toy = Toy::new(8);
+        toy.poison_shard = Some(5);
+        let _ = ParRunner::new(Schedule::new(Cycles::ZERO, Cycles::new(3)), 4).run(&mut toy);
+    }
+
+    #[test]
+    fn with_engine_exposes_manual_stepping() {
+        let mut toy = Toy::new(4);
+        let ((), load) = with_engine(2, &mut toy, |engine| {
+            for c in 0..10u64 {
+                engine.step(Cycle::new(c));
+            }
+            engine.with_model(|m| m.begin_measurement(Cycle::new(10)));
+        });
+        assert_eq!(toy.prepares, 10);
+        assert_eq!(toy.boundary, Some(Cycle::new(10)));
+        assert_eq!(load.shards(), 40);
+    }
+}

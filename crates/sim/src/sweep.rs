@@ -1,8 +1,10 @@
 //! Thread-parallel parameter sweeps.
 
 /// Runs `f` once per parameter point, spreading points across up to
-/// `std::thread::available_parallelism()` scoped threads, and returns
-/// the results **in input order**.
+/// `std::thread::available_parallelism()` scoped threads (overridable
+/// via the `SSQ_SWEEP_THREADS` environment variable), and returns the
+/// results **in input order** — the result is a pure function of
+/// `params` and `f`, never of the machine's core count.
 ///
 /// Each experiment must be self-contained (build its own model from the
 /// parameter and a seed); the sweep only parallelizes across points, so
@@ -23,13 +25,37 @@ where
     R: Send,
     F: Fn(&P) -> R + Sync,
 {
+    sweep_with_threads(params, default_threads(), f)
+}
+
+/// Thread count [`sweep`] uses: the `SSQ_SWEEP_THREADS` environment
+/// variable when set to a positive integer, else the machine's
+/// available parallelism.
+fn default_threads() -> usize {
+    std::env::var("SSQ_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// [`sweep`] with an explicit thread count (clamped to at least one).
+/// The deterministic-results regression test runs the same sweep at
+/// several counts and asserts identical output.
+pub fn sweep_with_threads<P, R, F>(params: &[P], threads: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
     if params.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(params.len());
+    let threads = threads.max(1).min(params.len());
     if threads <= 1 {
         return params.iter().map(&f).collect();
     }
@@ -103,5 +129,35 @@ mod tests {
         let out = sweep(&params, |&p| p % 7);
         assert_eq!(out.len(), 5000);
         assert_eq!(out[4999], 4999 % 7);
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        // The determinism regression for sweeps: the same experiment at
+        // 1, 2, and 8 threads must produce byte-identical result
+        // vectors, in parameter order, regardless of which worker
+        // claimed which point.
+        let params: Vec<u64> = (0..257).collect();
+        let experiment = |&p: &u64| {
+            // A little state evolution so results are order-sensitive
+            // if anything leaks across points.
+            let mut x = p.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..100 {
+                x ^= x >> 13;
+                x = x.wrapping_mul(31).wrapping_add(p);
+            }
+            x
+        };
+        let reference = sweep_with_threads(&params, 1, experiment);
+        for threads in [2, 3, 8] {
+            let out = sweep_with_threads(&params, threads, experiment);
+            assert_eq!(out, reference, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn oversized_thread_request_is_clamped() {
+        let out = sweep_with_threads(&[1u64, 2, 3], 64, |&p| p * 10);
+        assert_eq!(out, vec![10, 20, 30]);
     }
 }

@@ -1,0 +1,112 @@
+//! Per-worker accounting for the sharded parallel engine.
+
+use std::fmt;
+
+use crate::histogram::Histogram;
+
+/// Work counters one parallel-engine worker owns privately.
+///
+/// The sharded decide phase forbids shared mutable state, so each worker
+/// accumulates into its own `ShardAccumulator` and the accumulators are
+/// [merged](ShardAccumulator::merge) after the workers join — the same
+/// stage-then-combine discipline the trace shard buffers use. `cost` is
+/// whatever unit the engine assigns a shard (the default engine counts
+/// one unit per shard decided).
+#[derive(Debug, Clone)]
+pub struct ShardAccumulator {
+    shards: u64,
+    cost: Histogram,
+}
+
+impl Default for ShardAccumulator {
+    fn default() -> Self {
+        ShardAccumulator::new()
+    }
+}
+
+impl ShardAccumulator {
+    /// Bin width of the per-shard cost histogram.
+    const COST_BIN: u64 = 1;
+    /// Number of cost bins (costs above this overflow-bucket).
+    const COST_BINS: usize = 64;
+
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardAccumulator {
+            shards: 0,
+            cost: Histogram::new(Self::COST_BIN, Self::COST_BINS),
+        }
+    }
+
+    /// Records one decided shard of the given cost.
+    pub fn record(&mut self, cost: u64) {
+        self.shards += 1;
+        self.cost.record(cost);
+    }
+
+    /// Total shards this worker decided.
+    #[must_use]
+    pub const fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// The per-shard cost distribution.
+    #[must_use]
+    pub const fn cost(&self) -> &Histogram {
+        &self.cost
+    }
+
+    /// Folds another worker's accumulator into this one.
+    pub fn merge(&mut self, other: &ShardAccumulator) {
+        self.shards += other.shards;
+        self.cost.merge(&other.cost);
+    }
+}
+
+impl fmt::Display for ShardAccumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shards, mean cost {:.2}",
+            self.shards,
+            self.cost.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_counts_shards_and_cost() {
+        let mut a = ShardAccumulator::new();
+        a.record(1);
+        a.record(3);
+        assert_eq!(a.shards(), 2);
+        assert_eq!(a.cost().count(), 2);
+        assert!((a.cost().mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = ShardAccumulator::new();
+        a.record(2);
+        let mut b = ShardAccumulator::new();
+        b.record(4);
+        b.record(6);
+        a.merge(&b);
+        assert_eq!(a.shards(), 3);
+        assert_eq!(a.cost().count(), 3);
+        assert!((a.cost().mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut a = ShardAccumulator::new();
+        a.record(5);
+        let s = a.to_string();
+        assert!(s.contains("1 shards"), "{s}");
+    }
+}

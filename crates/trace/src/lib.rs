@@ -31,9 +31,11 @@ pub mod event;
 pub mod flight;
 pub mod metrics;
 pub mod report;
+pub mod shard;
 pub mod sink;
 
 pub use event::{Event, EventKind, ParseError, RejectReason};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry};
 pub use report::{FlowGrants, TraceSummary};
-pub use sink::{JsonlSink, NullSink, RingSink, TraceSink, Tracer};
+pub use shard::{merge_canonical, ShardBuffer};
+pub use sink::{BoxedWriter, JsonlSink, NullSink, RingSink, TraceSink, Tracer};

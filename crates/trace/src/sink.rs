@@ -179,12 +179,17 @@ impl<W: Write> fmt::Debug for JsonlSink<W> {
     }
 }
 
+/// A boxed writer a [`Tracer`] can stream JSONL to. `Send + Sync` so a
+/// tracer-bearing model can be shared immutably across the parallel
+/// engine's decide shards.
+pub type BoxedWriter = Box<dyn Write + Send + Sync>;
+
 /// An attached sink (the tracer owns heterogeneous sinks without a
 /// virtual call on the hot path for the built-in ones).
 enum SinkSlot {
     Ring(RingSink),
-    Jsonl(JsonlSink<Box<dyn Write>>),
-    Custom(Box<dyn TraceSink>),
+    Jsonl(JsonlSink<BoxedWriter>),
+    Custom(Box<dyn TraceSink + Send + Sync>),
 }
 
 impl SinkSlot {
@@ -254,12 +259,12 @@ impl Tracer {
     }
 
     /// Attaches a JSONL stream writing to `out`.
-    pub fn attach_jsonl(&mut self, out: Box<dyn Write>) {
+    pub fn attach_jsonl(&mut self, out: BoxedWriter) {
         self.sinks.push(SinkSlot::Jsonl(JsonlSink::new(out)));
     }
 
     /// Attaches any custom sink.
-    pub fn attach(&mut self, sink: Box<dyn TraceSink>) {
+    pub fn attach(&mut self, sink: Box<dyn TraceSink + Send + Sync>) {
         self.sinks.push(SinkSlot::Custom(sink));
     }
 
@@ -292,7 +297,7 @@ impl Tracer {
 
     /// The first attached JSONL sink, if any.
     #[must_use]
-    pub fn jsonl(&self) -> Option<&JsonlSink<Box<dyn Write>>> {
+    pub fn jsonl(&self) -> Option<&JsonlSink<BoxedWriter>> {
         self.sinks.iter().find_map(|s| match s {
             SinkSlot::Jsonl(j) => Some(j),
             _ => None,
@@ -430,18 +435,21 @@ mod tests {
 
     #[test]
     fn custom_sinks_receive_events() {
-        struct Count(std::rc::Rc<std::cell::Cell<u32>>);
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+
+        struct Count(Arc<AtomicU32>);
         impl TraceSink for Count {
             fn record(&mut self, _: &Event) {
-                self.0.set(self.0.get() + 1);
+                self.0.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let n = std::rc::Rc::new(std::cell::Cell::new(0));
+        let n = Arc::new(AtomicU32::new(0));
         let mut t = Tracer::new();
         t.attach(Box::new(Count(n.clone())));
         t.emit(|| ev(0));
         t.emit(|| ev(1));
         t.flush();
-        assert_eq!(n.get(), 2);
+        assert_eq!(n.load(Ordering::Relaxed), 2);
     }
 }

@@ -36,19 +36,21 @@ pub struct PacketIntent {
 /// assert!(watchdog.poll(Cycle::new(1)).is_none());
 /// ```
 pub struct Injector {
-    source: Box<dyn TrafficSource>,
-    pattern: Box<dyn DestinationPattern>,
+    source: Box<dyn TrafficSource + Send + Sync>,
+    pattern: Box<dyn DestinationPattern + Send + Sync>,
     class: TrafficClass,
     input: InputId,
 }
 
 impl Injector {
     /// Creates an injector. The owning input port is attached later with
-    /// [`Injector::for_input`] (defaults to input 0).
+    /// [`Injector::for_input`] (defaults to input 0). The boxed source
+    /// and pattern are `Send + Sync` so a switch holding injectors can be
+    /// snapshotted immutably across the parallel engine's decide shards.
     #[must_use]
     pub fn new(
-        source: Box<dyn TrafficSource>,
-        pattern: Box<dyn DestinationPattern>,
+        source: Box<dyn TrafficSource + Send + Sync>,
+        pattern: Box<dyn DestinationPattern + Send + Sync>,
         class: TrafficClass,
     ) -> Self {
         Injector {

@@ -42,6 +42,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod diffcheck;
 mod rules;
 mod scan;
 
@@ -121,6 +122,26 @@ fn verify(args: &[String]) -> ExitCode {
             started.elapsed().as_secs_f64(),
         );
     }
+
+    // The engine-conformance battery rides the fast tier: every scenario
+    // runs under both the sequential and the sharded parallel engine,
+    // and any observable difference fails verify.
+    let started = std::time::Instant::now();
+    let report = diffcheck::run_battery();
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if !report.failures.is_empty() {
+        for failure in &report.failures {
+            eprintln!("verify[diff] ENGINE DIVERGENCE: {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "verify[diff] clean: {} scenarios, sequential == parallel in {:.2}s",
+        report.lines.len(),
+        started.elapsed().as_secs_f64(),
+    );
     ExitCode::SUCCESS
 }
 

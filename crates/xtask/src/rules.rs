@@ -56,6 +56,9 @@ pub fn check_file(rel_path: &Path, scanned: &Scanned) -> Vec<Violation> {
     if rel == "crates/core/src/switch.rs" {
         invariant_site_coverage(scanned, &mut violations);
     }
+    if rel == "crates/core/src/decide.rs" {
+        no_shared_mut_in_shards(scanned, &mut violations);
+    }
     if rel.starts_with("crates/core/src/") || rel.starts_with("crates/faults/src/") {
         no_silent_degrade(scanned, &mut violations);
     }
@@ -74,6 +77,7 @@ pub const ALL_RULES: &[&str] = &[
     "must-use-decision",
     "no-lossy-index",
     "invariant-site-coverage",
+    "no-shared-mut-in-shards",
     "no-silent-degrade",
 ];
 
@@ -311,6 +315,72 @@ fn invariant_site_coverage(scanned: &Scanned, out: &mut Vec<Violation>) {
                      add the invariant-sanitizer call (or a waiver)"
                 ),
             });
+        }
+    }
+}
+
+/// `no-shared-mut-in-shards`: the shard arbitration kernel
+/// (`crates/core/src/decide.rs`) must stay free of shared mutable state
+/// — no `Mutex`/`RwLock`/`Condvar`, no `Atomic*` types or
+/// `sync::atomic` paths, no `Cell`/`RefCell`/`UnsafeCell`. The parallel
+/// engine's determinism proof (DESIGN.md §9) rests on `shard_decide`
+/// being a pure function of the prepared snapshot: any synchronization
+/// or interior mutability would let shard scheduling order leak into
+/// decisions, silently breaking bit-exactness with the sequential
+/// engine. Deliberate exceptions carry an
+/// `ssq-lint: allow(no-shared-mut-in-shards)` waiver.
+fn no_shared_mut_in_shards(scanned: &Scanned, out: &mut Vec<Violation>) {
+    const TOKENS: &[&str] = &["Mutex", "RwLock", "Condvar", "RefCell", "UnsafeCell"];
+    for (idx, line) in each_hot_line(scanned) {
+        for needle in TOKENS {
+            if find_token(line, needle) {
+                out.push(Violation {
+                    line: idx + 1,
+                    rule: "no-shared-mut-in-shards",
+                    message: format!(
+                        "`{needle}` in the shard decide kernel; shard_decide must be a pure \
+                         function of the prepared snapshot (no shared mutable state)"
+                    ),
+                });
+            }
+        }
+        // Atomic types (AtomicBool, AtomicU64, ...) and atomic module
+        // paths: match the family prefix, not an exact token.
+        if line.contains("Atomic") || line.contains("atomic::") {
+            out.push(Violation {
+                line: idx + 1,
+                rule: "no-shared-mut-in-shards",
+                message: "atomics in the shard decide kernel; shard_decide must be a pure \
+                          function of the prepared snapshot (no shared mutable state)"
+                    .to_string(),
+            });
+        }
+        // `Cell` alone needs a boundary check that also rejects
+        // `RefCell`/`UnsafeCell` double counting: find_token only checks
+        // the trailing boundary, so verify the leading one here.
+        let mut from = 0;
+        while let Some(rel) = line[from..].find("Cell") {
+            let at = from + rel;
+            let lead_ok = at == 0
+                || !line[..at]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+            let end = at + "Cell".len();
+            let trail_ok = line[end..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_');
+            if lead_ok && trail_ok {
+                out.push(Violation {
+                    line: idx + 1,
+                    rule: "no-shared-mut-in-shards",
+                    message: "`Cell` in the shard decide kernel; shard_decide must be a pure \
+                              function of the prepared snapshot (no interior mutability)"
+                        .to_string(),
+                });
+            }
+            from = end;
         }
     }
 }
@@ -596,6 +666,54 @@ mod tests {
         let src =
             "fn f(&mut self) {\n    switch.readmit_output(OutputId::new(0), 0.5, false, now);\n}\n";
         assert!(check("crates/faults/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn shared_mutability_in_decide_kernel_is_flagged() {
+        let src = "use std::sync::Mutex;\nfn f() { let m = Mutex::new(0); }\n";
+        let v = check("crates/core/src/decide.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == "no-shared-mut-in-shards"));
+        // The rule is scoped to the kernel file only.
+        assert!(check("crates/core/src/switch.rs", src).is_empty());
+        assert!(check("crates/sim/src/par.rs", src).is_empty());
+    }
+
+    #[test]
+    fn every_shared_mut_family_is_caught() {
+        for src in [
+            "fn f(l: &RwLock<u64>) {}\n",
+            "fn f() { let c = Condvar::new(); }\n",
+            "fn f(x: &AtomicUsize) { x.load(Ordering::SeqCst); }\n",
+            "use std::sync::atomic::AtomicBool;\n",
+            "fn f(c: &Cell<u64>) {}\n",
+            "fn f(c: &RefCell<u64>) {}\n",
+            "fn f(c: &UnsafeCell<u64>) {}\n",
+        ] {
+            let v = check("crates/core/src/decide.rs", src);
+            assert!(
+                v.iter().any(|v| v.rule == "no-shared-mut-in-shards"),
+                "missed: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn refcell_is_one_violation_not_two() {
+        // `RefCell` must not also count as a bare `Cell` hit.
+        let v = check("crates/core/src/decide.rs", "fn f(c: &RefCell<u64>) {}\n");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn pure_decide_code_and_waivers_pass() {
+        let src = "fn decide(&self, o: OutputId) -> OutputPlan { self.plan(o) }\n";
+        assert!(check("crates/core/src/decide.rs", src).is_empty());
+        // `cost` and `CellLike`-free identifiers sharing letters are fine.
+        let src = "fn f(cancel: bool, atomically: u64) { g(cancel, atomically); }\n";
+        assert!(check("crates/core/src/decide.rs", src).is_empty());
+        let waived = "fn f(x: &AtomicUsize) {} // ssq-lint: allow(no-shared-mut-in-shards)\n";
+        assert!(check("crates/core/src/decide.rs", waived).is_empty());
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn run(batch_aggressive: bool) -> Result<(f64, f64, f64, f64), Box<dyn std::erro
         .for_input(InputId::new(0)),
     );
     // Batch job: polite (0.25) or aggressive (saturating).
-    let batch: Box<dyn swizzle_qos::traffic::TrafficSource> = if batch_aggressive {
+    let batch: Box<dyn swizzle_qos::traffic::TrafficSource + Send + Sync> = if batch_aggressive {
         Box::new(Saturating::new(LEN))
     } else {
         Box::new(Bernoulli::new(0.25, LEN, 12))

@@ -13,7 +13,9 @@ cargo fmt --all --check
 echo "== source lint (xtask) =="
 cargo run --quiet -p xtask -- lint
 
-echo "== model check, fast tier (xtask) =="
+echo "== model check + engine conformance, fast tier (xtask) =="
+# The fast tier ends with the sequential-vs-parallel differential
+# battery: every scenario must be bit-identical on both engines.
 cargo run --quiet -p xtask -- verify
 
 echo "== release build =="
@@ -21,7 +23,9 @@ cargo build --workspace --release
 
 echo "== fault smoke tier (ssq faults) =="
 # Every single-fault chaos scenario must either preserve its bounds or
-# revoke loudly; a silent violation fails the gate.
+# revoke loudly; a silent violation fails the gate. Each scenario runs
+# on the sequential AND the sharded parallel engine — any divergence
+# between them is reported as a silent violation.
 ./target/release/ssq faults --smoke --csv
 
 echo "== tests =="

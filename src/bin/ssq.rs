@@ -23,7 +23,7 @@ use swizzle_qos::core::gl::{burst_budgets, latency_bound, GlScenario};
 use swizzle_qos::core::vcd::SwitchVcdRecorder;
 use swizzle_qos::core::{Policy, Preflight, QosSwitch, SwitchConfig};
 use swizzle_qos::physical::{DelayModel, StorageModel, TABLE2_RADICES, TABLE2_WIDTHS};
-use swizzle_qos::sim::{CycleModel, MonitorOutcome, Runner, Schedule};
+use swizzle_qos::sim::{with_engine, CycleModel, MonitorOutcome, ParRunner, Runner, Schedule};
 use swizzle_qos::stats::Table;
 use swizzle_qos::trace::{flight, Event, MetricsRegistry, RingSink, TraceSummary};
 use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Saturating, TraceEvent, TraceFile};
@@ -75,6 +75,11 @@ SIMULATE OPTIONS:
                           (default ssvc-subtract)
   --cycles N              measured cycles (default 50000)
   --warmup N              warm-up cycles (default 5000)
+  --engine NAME           execution engine: seq (default) or par, the
+                          sharded parallel engine — bit-identical output
+                          at any thread count
+  --threads N             worker threads for --engine par (default: the
+                          machine's available parallelism)
   --reserve IN:OUT:PCT[:LEN]   GB reservation, PCT of the output's bandwidth
                                for IN's packets of LEN flits (LEN default 8)
   --gl-reserve OUT:PCT    GL class reservation at OUT
@@ -365,6 +370,17 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
     let cycles = opts.num("cycles", 50_000)?;
     let warmup = opts.num("warmup", 5_000)?;
     let policy = parse_policy(opts.get("policy").unwrap_or("ssvc-subtract"))?;
+    let parallel = match opts.get("engine").unwrap_or("seq") {
+        "seq" => false,
+        "par" => true,
+        other => return Err(err(format!("--engine: expected seq or par, got {other:?}"))),
+    };
+    let threads = match opts.num("threads", 0)? as usize {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    };
 
     // Observability settings, preflighted for consistency (SSQ011).
     let tracing = opts.flag("trace");
@@ -453,7 +469,7 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
     let mut probe = (metrics_interval > 0).then(|| MetricsProbe::new(metrics_interval));
     for (n, spec) in opts.get_all("flow").enumerate() {
         let (input, output, class, rate, len) = parse_flow(spec)?;
-        let source: Box<dyn swizzle_qos::traffic::TrafficSource> = match rate {
+        let source: Box<dyn swizzle_qos::traffic::TrafficSource + Send + Sync> = match rate {
             None => Box::new(Saturating::new(len)),
             Some(r) => Box::new(Bernoulli::new(r, len, 0x55_u64 + n as u64)),
         };
@@ -495,21 +511,31 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
         // bound, or (via the unwind hook below) a debug assertion, and
         // the flight recorder dumps its history to results/.
         let mut vcd_error: Option<std::io::Error> = None;
+        let schedule = Schedule::new(Cycles::new(warmup), Cycles::new(cycles));
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Runner::new(Schedule::new(Cycles::new(warmup), Cycles::new(cycles))).run_monitored(
-                &mut switch,
-                Cycles::new(stall_window.max(1)),
-                |sw, at| {
-                    if let Some(rec) = &mut vcd {
-                        if let Err(e) = rec.sample(sw, at) {
-                            vcd_error.get_or_insert(e);
-                        }
+            let observe = |sw: &QosSwitch, at: Cycle| {
+                if let Some(rec) = &mut vcd {
+                    if let Err(e) = rec.sample(sw, at) {
+                        vcd_error.get_or_insert(e);
                     }
-                    if let Some(p) = &mut probe {
-                        p.observe(sw, at);
-                    }
-                },
-            )
+                }
+                if let Some(p) = &mut probe {
+                    p.observe(sw, at);
+                }
+            };
+            if parallel {
+                ParRunner::new(schedule, threads).run_monitored(
+                    &mut switch,
+                    Cycles::new(stall_window.max(1)),
+                    observe,
+                )
+            } else {
+                Runner::new(schedule).run_monitored(
+                    &mut switch,
+                    Cycles::new(stall_window.max(1)),
+                    observe,
+                )
+            }
         }));
         let dump = |switch: &mut QosSwitch,
                     probe: &Option<MetricsProbe>,
@@ -563,6 +589,37 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
                 )));
             }
         }
+    } else if parallel {
+        // The same manual loop, on the sharded engine: workers persist
+        // across cycles and park while the probes observe the model.
+        let mut vcd_error: Option<std::io::Error> = None;
+        let (end, _load) = with_engine(threads, &mut switch, |engine| {
+            let mut at = Cycle::ZERO;
+            for _ in 0..warmup {
+                engine.step(at);
+                at = at.next();
+            }
+            engine.with_model(|m| m.begin_measurement(at));
+            for _ in 0..cycles {
+                engine.step(at);
+                engine.with_model(|m| {
+                    if let Some(rec) = &mut vcd {
+                        if let Err(e) = rec.sample(m, at) {
+                            vcd_error.get_or_insert(e);
+                        }
+                    }
+                    if let Some(p) = &mut probe {
+                        p.observe(m, at);
+                    }
+                });
+                at = at.next();
+            }
+            at
+        });
+        if let Some(e) = vcd_error {
+            return Err(err(format!("writing vcd: {e}")));
+        }
+        now = end;
     } else {
         let mut at = Cycle::ZERO;
         for _ in 0..warmup {

@@ -1,0 +1,376 @@
+//! Differential conformance: the sharded parallel engine must be
+//! **byte-identical** to the sequential runner — same grants, same
+//! counters, same per-flow metrics, same trace events — on every
+//! scenario at every thread count.
+//!
+//! The battery sweeps seeded random request matrices across all three
+//! SSVC counter policies and {BE, GB, GL} class mixes (216 scenarios),
+//! runs each through the sequential [`Runner`] and the [`ParRunner`] at
+//! 1, 2, and 8 threads, and compares the complete observable state. The
+//! final test exports the fig4-style scenario's JSONL trace through
+//! both engines and compares the files byte for byte.
+
+use std::io::Read as _;
+
+use swizzle_qos::arbiter::CounterPolicy;
+use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig, SwitchCounters};
+use swizzle_qos::sim::{ParRunner, Runner, Schedule};
+use swizzle_qos::trace::{Event, RingSink};
+use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Periodic, Saturating, UniformDest};
+use swizzle_qos::types::{
+    Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass, Xoshiro256StarStar,
+};
+
+const RADIX: usize = 8;
+const WARMUP: u64 = 50;
+const MEASURE: u64 = 400;
+/// Thread counts the parallel engine is held to, per scenario.
+const THREADS: &[usize] = &[1, 2, 8];
+
+/// Which traffic classes a scenario mixes.
+#[derive(Clone, Copy, Debug)]
+enum Mix {
+    BeOnly,
+    GbBe,
+    GbGlBe,
+}
+
+const POLICIES: &[CounterPolicy] = &[
+    CounterPolicy::SubtractRealClock,
+    CounterPolicy::Halve,
+    CounterPolicy::Reset,
+];
+const MIXES: &[Mix] = &[Mix::BeOnly, Mix::GbBe, Mix::GbGlBe];
+/// Seeds per (policy, mix) cell: 3 × 3 × 24 = 216 scenarios total.
+const SEEDS_PER_CELL: u64 = 24;
+
+/// Builds one seeded random scenario. Reservations, request matrix,
+/// rates, and packet lengths are all drawn from the scenario's own
+/// deterministic generator, so a scenario is a pure function of
+/// `(policy, mix, seed)` and both engines receive identical copies.
+fn build(policy: CounterPolicy, mix: Mix, seed: u64) -> QosSwitch {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut config = SwitchConfig::builder(Geometry::new(RADIX, 128).expect("valid geometry"))
+        .policy(Policy::Ssvc(policy))
+        .gb_buffer_flits(16)
+        .be_buffer_flits(16)
+        .sig_bits(3)
+        .build()
+        .expect("valid config");
+
+    // GB reservations: 2-4 flows contending for one hot output.
+    let hot = OutputId::new(rng.index(RADIX));
+    let mut gb_inputs = Vec::new();
+    if !matches!(mix, Mix::BeOnly) {
+        let flows = 2 + rng.index(3);
+        let budget = 0.2 + 0.6 * rng.f64();
+        for _ in 0..flows {
+            let mut input = InputId::new(rng.index(RADIX));
+            while gb_inputs.contains(&input) {
+                input = InputId::new(rng.index(RADIX));
+            }
+            let len = 1 << rng.index(4);
+            config
+                .reservations_mut()
+                .reserve_gb(
+                    input,
+                    hot,
+                    Rate::new(budget / flows as f64).expect("valid rate"),
+                    len,
+                )
+                .expect("reservation fits");
+            gb_inputs.push(input);
+        }
+    }
+    if matches!(mix, Mix::GbGlBe) {
+        config
+            .reservations_mut()
+            .reserve_gl(hot, Rate::new(0.02 + 0.06 * rng.f64()).expect("valid rate"))
+            .expect("GL reservation fits");
+    }
+
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+
+    // GB traffic: saturating sources pinned to the reserved output.
+    for &input in &gb_inputs {
+        let len = 1 << rng.index(4);
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(len)),
+                Box::new(FixedDest::new(hot)),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(input),
+        );
+    }
+    // One GL flow from an unreserved input, when the mix has GL.
+    if matches!(mix, Mix::GbGlBe) {
+        let mut input = InputId::new(rng.index(RADIX));
+        while gb_inputs.contains(&input) {
+            input = InputId::new(rng.index(RADIX));
+        }
+        switch.add_injector(
+            Injector::new(
+                Box::new(Periodic::new(rng.range(40, 150), rng.below(20), 1)),
+                Box::new(FixedDest::new(hot)),
+                TrafficClass::GuaranteedLatency,
+            )
+            .for_input(input),
+        );
+        gb_inputs.push(input);
+    }
+    // BE background: every remaining input fires with some probability,
+    // either at the hot output or uniformly.
+    for i in 0..RADIX {
+        let input = InputId::new(i);
+        if gb_inputs.contains(&input) || !rng.chance(0.7) {
+            continue;
+        }
+        let rate = 0.1 + 0.6 * rng.f64();
+        let len = 1 << rng.index(3);
+        let dest: Box<dyn swizzle_qos::traffic::DestinationPattern + Send + Sync> =
+            if rng.chance(0.5) {
+                Box::new(FixedDest::new(hot))
+            } else {
+                Box::new(UniformDest::new(RADIX, rng.next_u64()))
+            };
+        switch.add_injector(
+            Injector::new(
+                Box::new(Bernoulli::new(rate, len, rng.next_u64())),
+                dest,
+                TrafficClass::BestEffort,
+            )
+            .for_input(input),
+        );
+    }
+    switch
+}
+
+/// One engine run's complete observable state.
+#[derive(PartialEq)]
+struct Observation {
+    counters: SwitchCounters,
+    metrics: String,
+    events: Vec<Event>,
+}
+
+/// Per-flow metrics across all three classes, serialized exactly:
+/// integers verbatim, latency means as `f64` bit patterns.
+fn metrics_csv(switch: &QosSwitch) -> String {
+    use std::fmt::Write as _;
+    let mut csv = String::new();
+    for i in 0..RADIX {
+        for o in 0..RADIX {
+            let flow = FlowId::new(InputId::new(i), OutputId::new(o));
+            for (label, metrics) in [
+                ("BE", switch.be_metrics()),
+                ("GB", switch.gb_metrics()),
+                ("GL", switch.gl_metrics()),
+            ] {
+                let m = metrics.flow(flow);
+                if m.packets() == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    csv,
+                    "{flow},{label},{},{},{:#x},{}",
+                    m.packets(),
+                    m.flits(),
+                    m.mean_latency().to_bits(),
+                    m.max_latency().unwrap_or(0),
+                );
+            }
+        }
+    }
+    csv
+}
+
+fn observe(switch: &QosSwitch) -> Observation {
+    Observation {
+        counters: switch.counters(),
+        metrics: metrics_csv(switch),
+        events: switch
+            .tracer()
+            .ring()
+            .map(RingSink::events)
+            .unwrap_or_default(),
+    }
+}
+
+fn run_engine(mut switch: QosSwitch, threads: Option<usize>) -> Observation {
+    switch.tracer_mut().attach_ring(1 << 16);
+    let schedule = Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE));
+    match threads {
+        None => {
+            Runner::new(schedule).run(&mut switch);
+        }
+        Some(t) => {
+            ParRunner::new(schedule, t).run(&mut switch);
+        }
+    }
+    observe(&switch)
+}
+
+fn assert_identical(
+    seq: &Observation,
+    par: &Observation,
+    policy: CounterPolicy,
+    mix: Mix,
+    seed: u64,
+    threads: usize,
+) {
+    let tag = format!("[{policy:?}/{mix:?}/seed {seed} @ {threads} threads]");
+    assert_eq!(seq.counters, par.counters, "{tag} counters diverged");
+    assert_eq!(seq.metrics, par.metrics, "{tag} per-flow metrics diverged");
+    assert_eq!(
+        seq.events.len(),
+        par.events.len(),
+        "{tag} event counts diverged"
+    );
+    for (n, (a, b)) in seq.events.iter().zip(par.events.iter()).enumerate() {
+        assert_eq!(a, b, "{tag} first event divergence at index {n}");
+    }
+}
+
+/// The headline battery: 216 seeded scenarios × 3 thread counts, every
+/// observable identical between the engines.
+#[test]
+fn parallel_engine_is_bit_identical_across_seeded_scenarios() {
+    for &policy in POLICIES {
+        for &mix in MIXES {
+            for s in 0..SEEDS_PER_CELL {
+                // Spread cells across seed space so no two cells share
+                // a generator stream.
+                let seed = s
+                    .wrapping_add(0x9E37_79B9 * (policy as u64 + 1))
+                    .wrapping_add(0xC2B2_AE35 * (mix as u64 + 1));
+                let seq = run_engine(build(policy, mix, seed), None);
+                for &threads in THREADS {
+                    let par = run_engine(build(policy, mix, seed), Some(threads));
+                    assert_identical(&seq, &par, policy, mix, seed, threads);
+                }
+            }
+        }
+    }
+}
+
+/// A long saturated run exercising counter-policy epochs (decay, halve,
+/// reset) far past the short battery's horizon.
+#[test]
+fn parallel_engine_matches_on_long_saturated_run() {
+    for &policy in POLICIES {
+        let build_long = |policy| {
+            let mut switch = build(policy, Mix::GbBe, 4242);
+            switch.tracer_mut().attach_ring(1 << 17);
+            switch
+        };
+        let schedule = Schedule::new(Cycles::new(500), Cycles::new(8_000));
+        let mut seq_switch = build_long(policy);
+        Runner::new(schedule).run(&mut seq_switch);
+        let seq = observe(&seq_switch);
+        let mut par_switch = build_long(policy);
+        ParRunner::new(schedule, 4).run(&mut par_switch);
+        let par = observe(&par_switch);
+        assert!(
+            seq == par,
+            "{policy:?}: long-run divergence (events {} vs {})",
+            seq.events.len(),
+            par.events.len()
+        );
+    }
+}
+
+/// Builds the fig4-style saturated-GB scenario used by the paper's
+/// throughput figure: eight saturating GB flows with skewed reserved
+/// rates, all contending for output 0.
+fn fig4_switch() -> QosSwitch {
+    const FIG4_RATES: [f64; 8] = [0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05];
+    let mut config = SwitchConfig::builder(Geometry::new(RADIX, 128).expect("valid geometry"))
+        .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+        .gb_buffer_flits(16)
+        .sig_bits(4)
+        .build()
+        .expect("valid config");
+    for (i, &r) in FIG4_RATES.iter().enumerate() {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(i),
+                OutputId::new(0),
+                Rate::new(r).expect("valid rate"),
+                8,
+            )
+            .expect("reservation fits");
+    }
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+    for i in 0..RADIX {
+        switch.add_injector(
+            Injector::new(
+                Box::new(Saturating::new(8)),
+                Box::new(FixedDest::new(OutputId::new(0))),
+                TrafficClass::GuaranteedBandwidth,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    switch
+}
+
+/// Trace-ordering golden: the JSONL trace the parallel engine writes for
+/// the fig4 scenario is byte-identical to the sequential engine's —
+/// per-shard event buffers must merge back into exactly the sequential
+/// emission order.
+#[test]
+fn fig4_jsonl_trace_is_byte_identical() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let schedule = Schedule::new(Cycles::new(200), Cycles::new(3_000));
+
+    let mut paths = Vec::new();
+    for (label, threads) in [("seq", None), ("par2", Some(2)), ("par8", Some(8))] {
+        let path = dir.join(format!("ssq-fig4-conformance-{pid}-{label}.jsonl"));
+        let file = std::fs::File::create(&path).expect("create trace file");
+        let mut switch = fig4_switch();
+        switch
+            .tracer_mut()
+            .attach_jsonl(Box::new(std::io::BufWriter::new(file)));
+        match threads {
+            None => {
+                Runner::new(schedule).run(&mut switch);
+            }
+            Some(t) => {
+                ParRunner::new(schedule, t).run(&mut switch);
+            }
+        }
+        switch.tracer_mut().flush();
+        assert!(
+            switch.tracer().jsonl().and_then(|j| j.io_error()).is_none(),
+            "trace write failed for {label}"
+        );
+        drop(switch);
+        paths.push(path);
+    }
+
+    let mut golden = Vec::new();
+    std::fs::File::open(&paths[0])
+        .expect("open golden")
+        .read_to_end(&mut golden)
+        .expect("read golden");
+    assert!(!golden.is_empty(), "sequential trace is empty");
+    for path in &paths[1..] {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .expect("open parallel trace")
+            .read_to_end(&mut bytes)
+            .expect("read parallel trace");
+        assert_eq!(
+            golden,
+            bytes,
+            "parallel JSONL trace differs from sequential ({})",
+            path.display()
+        );
+    }
+    for path in paths {
+        let _ = std::fs::remove_file(path);
+    }
+}
