@@ -1,0 +1,21 @@
+// Fixture: definition side of feature-gate-hygiene (mapped to
+// crates/faults/src/inject.rs). `inject_fault` exists only under the
+// `faults` feature; `FaultPlan` has an ungated stub twin, so the name
+// is unconditional and never fires.
+
+#[cfg(feature = "faults")]
+pub fn inject_fault(x: u64) -> u64 {
+    x ^ 1
+}
+
+#[cfg(feature = "faults")]
+pub struct FaultPlan {
+    pub mask: u64,
+}
+
+#[cfg(not(feature = "faults"))]
+pub struct FaultPlan;
+
+pub fn exempt_crate_reference() -> u64 {
+    inject_fault(7)
+}

@@ -1,0 +1,21 @@
+// Fixture: reference side of feature-gate-hygiene (mapped to a
+// non-exempt crate). One ungated reference fires; the gated, waived,
+// and stub-name references do not.
+
+pub fn ungated() -> u64 {
+    inject_fault(3)
+}
+
+#[cfg(feature = "faults")]
+pub fn gated() -> u64 {
+    inject_fault(4)
+}
+
+pub fn waived() -> u64 {
+    // ssq-lint: allow(feature-gate-hygiene)
+    inject_fault(5)
+}
+
+pub fn stub_name_is_fine() -> FaultPlan {
+    FaultPlan::default()
+}

@@ -1,0 +1,17 @@
+// Fixture: invariant-site-coverage in the switch core (mapped to
+// crates/core/src/switch.rs). The rule looks backward only, so the
+// waived and firing sites come before the first sanitize:: call.
+
+pub fn emit_waived(&mut self) {
+    // ssq-lint: allow(invariant-site-coverage)
+    self.trace.push(EventKind::Chained);
+}
+
+pub fn emit_uncovered(&mut self) {
+    self.trace.push(EventKind::Grant);
+}
+
+pub fn emit_covered(&mut self) {
+    sanitize::check_grant(self);
+    self.trace.push(EventKind::Inhibit);
+}

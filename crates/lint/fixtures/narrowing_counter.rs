@@ -1,0 +1,9 @@
+// Fixture: no-narrowing-cast in counter arithmetic (mapped to
+// crates/stats/src/counter.rs by the test).
+
+pub fn fold(total: u64) -> u32 {
+    let t = total as u32;
+    // ssq-lint: allow(no-narrowing-cast)
+    let u = (total >> 1) as u32;
+    t + u
+}

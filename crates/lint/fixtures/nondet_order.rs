@@ -1,0 +1,25 @@
+// Fixture: no-nondeterministic-order in a kernel crate. BTreeMap is the
+// sanctioned replacement; test modules are exempt.
+
+use std::collections::BTreeMap;
+
+pub fn build(n: usize) -> BTreeMap<usize, u64> {
+    let mut m = BTreeMap::new();
+    let bad = HashMap::new();
+    // ssq-lint: allow(no-nondeterministic-order)
+    let tolerated = HashSet::new();
+    for i in 0..n {
+        m.insert(i, bad.len() as u64 + tolerated.len() as u64);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture: panic-freedom-reachability. `commit` (reachable from the
+// step root) holds one panic site, one indexing site, and one
+// arithmetic site; `waived_hot` is also reachable but waived.
+
+pub struct QosSwitch {
+    slots: Vec<u64>,
+}
+
+impl QosSwitch {
+    pub fn step(&mut self, now: u64) {
+        self.commit(now);
+        self.waived_hot();
+    }
+
+    fn commit(&mut self, now: u64) -> u64 {
+        let x = self.slots[0];
+        let y = x + now;
+        self.push(y).unwrap()
+    }
+
+    // ssq-lint: allow(panic-freedom-reachability)
+    fn waived_hot(&mut self) -> u64 {
+        self.slots[1]
+    }
+
+    fn push(&mut self, v: u64) -> Option<u64> {
+        self.slots.push(v);
+        Some(v)
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: no-print-in-lib in a library crate module.
+
+pub fn report(n: u64) {
+    println!("done: {n}");
+    // ssq-lint: allow(no-print-in-lib)
+    eprintln!("warn: {n}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        println!("tests may print");
+    }
+}

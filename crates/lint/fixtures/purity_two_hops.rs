@@ -1,0 +1,28 @@
+// Fixture: the shard-purity acceptance case. `tally` is impure (reads
+// a static) and sits TWO hops below the decide root:
+//   decide_output -> gather_requests -> tally
+// A second impure helper is reachable but carries a waiver.
+
+static HOT_DEBUG: u64 = 0;
+
+pub struct Switch;
+
+impl Switch {
+    pub fn decide_output(&self) -> u64 {
+        self.gather_requests() + self.noisy_helper()
+    }
+
+    fn gather_requests(&self) -> u64 {
+        tally()
+    }
+
+    // ssq-lint: allow(shard-purity)
+    fn noisy_helper(&self) -> u64 {
+        let t = std::time::Instant::now();
+        t.elapsed().as_nanos() as u64
+    }
+}
+
+fn tally() -> u64 {
+    HOT_DEBUG + 1
+}

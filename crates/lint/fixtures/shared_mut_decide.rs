@@ -1,0 +1,9 @@
+// Fixture: no-shared-mut-in-shards in the shard decide kernel (mapped
+// to crates/core/src/decide.rs).
+
+pub fn decide(&self) -> u64 {
+    let cache = RefCell::new(0u64);
+    // ssq-lint: allow(no-shared-mut-in-shards)
+    let guard = Mutex::new(1u64);
+    *cache.borrow() + *guard.lock().unwrap_or_default()
+}

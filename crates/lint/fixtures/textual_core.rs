@@ -1,0 +1,44 @@
+// Fixture: the per-line textual rules in a hot-path (core) crate file.
+// Every rule has a firing site and a waived twin; test-gated code is
+// exempt.
+
+pub fn f(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    // ssq-lint: allow(no-unwrap)
+    let b = x.unwrap();
+    a + b
+}
+
+pub fn g() {
+    todo!()
+}
+
+pub fn g2() {
+    // ssq-lint: allow(no-todo)
+    unimplemented!()
+}
+
+pub struct StepDecision;
+
+#[must_use]
+pub struct FinalGrant;
+
+// ssq-lint: allow(must-use-decision)
+pub struct RetryOutcome;
+
+pub fn h(winner: usize, port: usize) -> (u32, u16) {
+    let w = winner as u32;
+    // ssq-lint: allow(no-lossy-index)
+    let p = port as u16;
+    (w, p as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let x: Option<u8> = None;
+        x.unwrap();
+        todo!()
+    }
+}

@@ -1,0 +1,5 @@
+//! The rule set: the nine ported textual rules plus the four semantic
+//! lints built on the parser and call graph.
+
+pub mod semantic;
+pub mod textual;

@@ -1,0 +1,400 @@
+//! The four semantic lints: checks that need the call graph, the
+//! workspace definition map, or cfg-gate analysis rather than a single
+//! line of tokens.
+//!
+//! * `shard-purity` — every function reachable from the shard decide
+//!   kernel root must be free of statics, interior mutability, and I/O.
+//! * `panic-freedom-reachability` — aggregate per-function profile of
+//!   panic-capable sites (indexing, unwrap/expect, unchecked
+//!   arithmetic) reachable from `QosSwitch::step`.
+//! * `no-nondeterministic-order` — no `HashMap`/`HashSet` in kernel
+//!   crates, whose iteration order would break replay determinism.
+//! * `feature-gate-hygiene` — names defined *only* under a cargo
+//!   feature must not be referenced outside that feature's gate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::CallGraph;
+use crate::lexer::TokenKind;
+use crate::parse::{FnItem, ParsedFile};
+use crate::registry::EngineConfig;
+use crate::source::SourceFile;
+
+use super::textual::{hot_tokens, push};
+
+/// Identifier-position keywords that can legally precede `[` or an
+/// arithmetic operator without making the site value-like.
+const VALUE_BREAK_KEYWORDS: &[&str] = &[
+    "in", "return", "else", "match", "if", "while", "loop", "break", "mut", "ref", "let", "move",
+    "box", "dyn", "as", "unsafe", "impl", "where", "for", "const", "static", "use", "pub",
+];
+
+/// Runs every semantic lint over the whole scanned set.
+pub fn check(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    config: &EngineConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    no_nondeterministic_order(files, config, out);
+    feature_gate_hygiene(files, parsed, config, out);
+
+    // Both reachability lints share one call graph over the hot-path
+    // crate family.
+    let rels: Vec<String> = files.iter().map(|f| f.rel.clone()).collect();
+    let graph_fns: Vec<FnItem> = parsed
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            config
+                .graph_crates
+                .iter()
+                .any(|c| c == &files[*i].crate_name)
+        })
+        .flat_map(|(_, p)| p.fns.iter().cloned())
+        .collect();
+    let statics: BTreeSet<String> = parsed
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            config
+                .graph_crates
+                .iter()
+                .any(|c| c == &files[*i].crate_name)
+        })
+        .flat_map(|(_, p)| p.statics.iter().cloned())
+        .collect();
+    let graph = CallGraph::build(&graph_fns);
+
+    shard_purity(files, &graph, &statics, &rels, config, out);
+    panic_freedom(files, &graph, &rels, config, out);
+}
+
+/// `no-nondeterministic-order`: kernel crates must not touch hash-order
+/// collections. Sweep replays (DESIGN.md §9) require byte-identical
+/// event streams across runs; `HashMap`/`HashSet` iteration order is
+/// seeded per-process and silently breaks that.
+fn no_nondeterministic_order(
+    files: &[SourceFile],
+    config: &EngineConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    for file in files {
+        if !config.kernel_crates.iter().any(|c| c == &file.crate_name) {
+            continue;
+        }
+        for (_, line, text) in hot_tokens(file) {
+            if matches!(text, "HashMap" | "HashSet") {
+                push(
+                    file,
+                    out,
+                    "no-nondeterministic-order",
+                    line,
+                    format!(
+                        "`{text}` in a kernel crate: iteration order is per-process random \
+                         and breaks replay determinism; use Vec/BTreeMap/BTreeSet (or sort \
+                         before iterating)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `feature-gate-hygiene`: a name whose every definition requires some
+/// cargo feature forms that feature's gated API surface; referencing it
+/// without a covering `#[cfg(feature = ...)]` won't compile in default
+/// builds. Dual-definition stubs (a real item under the feature plus an
+/// ungated no-op twin) make the name unconditional and pass
+/// automatically.
+fn feature_gate_hygiene(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    config: &EngineConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    // name → the feature lists of each of its definitions.
+    let mut defs: BTreeMap<&str, Vec<&[String]>> = BTreeMap::new();
+    for p in parsed {
+        for d in &p.defs {
+            defs.entry(d.name.as_str()).or_default().push(&d.features);
+        }
+    }
+    // The gated surface: names where every definition needs a feature,
+    // keyed to the features common to all definitions.
+    let mut gated: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (name, feats) in &defs {
+        if feats.iter().any(|f| f.is_empty()) {
+            continue;
+        }
+        let common: Vec<&str> = feats[0]
+            .iter()
+            .map(String::as_str)
+            .filter(|f| feats.iter().all(|list| list.iter().any(|x| x == f)))
+            .collect();
+        if !common.is_empty() {
+            gated.insert(name, common);
+        }
+    }
+    if gated.is_empty() {
+        return;
+    }
+
+    for file in files {
+        if config
+            .feature_exempt_crates
+            .iter()
+            .any(|c| c == &file.crate_name)
+        {
+            continue;
+        }
+        for (_, line, text) in hot_tokens(file) {
+            let Some(required) = gated.get(text) else {
+                continue;
+            };
+            let granted = file.line_features(line);
+            if required.iter().any(|f| granted.iter().any(|g| g == f)) {
+                continue;
+            }
+            push(
+                file,
+                out,
+                "feature-gate-hygiene",
+                line,
+                format!(
+                    "`{text}` is only defined under #[cfg(feature = \"{}\")] but is referenced \
+                     here without that gate; add the cfg (or an ungated stub definition)",
+                    required.join("\" / \"")
+                ),
+            );
+        }
+    }
+}
+
+/// Impurity markers: interior-mutability containers.
+const INTERIOR_MUT: &[&str] = &[
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+];
+
+/// Impurity markers: `std::<module>` paths that reach outside the
+/// snapshot (I/O, environment, wall-clock, threads).
+const IO_MODULES: &[&str] = &["fs", "io", "net", "process", "env", "thread", "time"];
+
+/// Impurity markers: bare idents that imply I/O or wall-clock access.
+const IO_IDENTS: &[&str] = &["stdout", "stderr", "stdin", "File", "Instant", "SystemTime"];
+
+/// Impurity markers: output macros.
+const IO_MACROS: &[&str] = &["print", "println", "eprint", "eprintln", "dbg"];
+
+/// Scans a function body for impurity markers; returns the sorted set
+/// of offending token texts (annotated by class).
+fn impurities(file: &SourceFile, f: &FnItem, statics: &BTreeSet<String>) -> BTreeSet<String> {
+    let body: Vec<&crate::lexer::Token> = file.tokens[f.body.clone()]
+        .iter()
+        .filter(|t| t.kind.is_code())
+        .collect();
+    let text_of = |k: usize| body.get(k).map(|t| file.tok_text(t));
+    let mut found = BTreeSet::new();
+    for (k, tok) in body.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let s = file.tok_text(tok);
+        if INTERIOR_MUT.contains(&s) || (s.starts_with("Atomic") && s.len() > "Atomic".len()) {
+            found.insert(format!("{s} (interior mutability)"));
+        } else if s == "atomic" {
+            found.insert("atomic:: (shared state)".to_string());
+        } else if IO_IDENTS.contains(&s) {
+            found.insert(format!("{s} (I/O or wall clock)"));
+        } else if IO_MACROS.contains(&s) && text_of(k + 1) == Some("!") {
+            found.insert(format!("{s}! (output)"));
+        } else if IO_MODULES.contains(&s)
+            && text_of(k.wrapping_sub(1)) == Some(":")
+            && text_of(k.wrapping_sub(2)) == Some(":")
+            && text_of(k.wrapping_sub(3)) == Some("std")
+        {
+            found.insert(format!("std::{s} (I/O)"));
+        } else if statics.contains(s) {
+            found.insert(format!("{s} (static item)"));
+        }
+    }
+    found
+}
+
+/// `shard-purity`: the parallel engine's bit-exactness proof rests on
+/// the decide kernel being a pure function of the prepared snapshot
+/// (DESIGN.md §9). This walks everything reachable from the configured
+/// root and reports any function whose body mentions statics, interior
+/// mutability, or I/O.
+fn shard_purity(
+    files: &[SourceFile],
+    graph: &CallGraph<'_>,
+    statics: &BTreeSet<String>,
+    rels: &[String],
+    config: &EngineConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots = graph.roots(&config.purity_root_fn, Some(&config.purity_root_file), rels);
+    if roots.is_empty() {
+        return;
+    }
+    let reach = graph.reachable(&roots);
+    for &idx in &reach.seen {
+        let f = &graph.fns[idx];
+        let file = &files[f.file];
+        let found = impurities(file, f, statics);
+        if found.is_empty() {
+            continue;
+        }
+        let list: Vec<String> = found.iter().cloned().collect();
+        out.push(Diagnostic {
+            rule: "shard-purity",
+            severity: Severity::Deny,
+            file: file.rel.clone(),
+            line: f.line + 1,
+            message: format!(
+                "`{}` is reachable from `{}` ({}) but mentions {}; the shard decide kernel \
+                 must stay a pure function of its snapshot",
+                f.qual,
+                config.purity_root_fn,
+                reach.path_to(idx, graph.fns),
+                list.join(", ")
+            ),
+            anchor: format!("{}|{}", f.qual, list.join(",")),
+            baselined: false,
+        });
+    }
+}
+
+/// Whether the token text can end a value expression (making a
+/// following `[` an index and a following `+` a binary op).
+fn value_end(text: Option<&str>, kind: Option<TokenKind>) -> bool {
+    match (text, kind) {
+        (Some(t), Some(TokenKind::Ident)) => !VALUE_BREAK_KEYWORDS.contains(&t),
+        (_, Some(TokenKind::Num)) => true,
+        (Some(")" | "]"), Some(TokenKind::Punct)) => true,
+        _ => false,
+    }
+}
+
+/// Per-function panic-site profile.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct PanicProfile {
+    /// `.unwrap(` / `.expect(` / `panic!` / `unreachable!` / `assert*!`.
+    panics: usize,
+    /// `expr[...]` indexing sites.
+    indexing: usize,
+    /// Overflow/underflow/div-by-zero capable operators on values.
+    arithmetic: usize,
+}
+
+/// Counts panic-capable sites in a function body.
+fn panic_profile(file: &SourceFile, f: &FnItem) -> PanicProfile {
+    let body: Vec<&crate::lexer::Token> = file.tokens[f.body.clone()]
+        .iter()
+        .filter(|t| t.kind.is_code())
+        .collect();
+    let text_of = |k: usize| body.get(k).map(|t| file.tok_text(t));
+    let kind_of = |k: usize| body.get(k).map(|t| t.kind);
+    let mut p = PanicProfile::default();
+    for (k, tok) in body.iter().enumerate() {
+        let s = file.tok_text(tok);
+        match tok.kind {
+            TokenKind::Ident => {
+                let method = matches!(s, "unwrap" | "expect")
+                    && k > 0
+                    && text_of(k - 1) == Some(".")
+                    && text_of(k + 1) == Some("(");
+                let bang = matches!(
+                    s,
+                    "panic" | "unreachable" | "assert" | "assert_eq" | "assert_ne"
+                ) && text_of(k + 1) == Some("!");
+                if method || bang {
+                    p.panics += 1;
+                }
+            }
+            TokenKind::Punct => {
+                let prev_ok = k > 0 && value_end(text_of(k - 1), kind_of(k - 1));
+                match s {
+                    "[" if prev_ok => p.indexing += 1,
+                    "+" | "-" | "*" | "/" | "%" if prev_ok => {
+                        // `->` is an arrow, not subtraction; a shifted
+                        // `<<` is handled below.
+                        if s == "-" && text_of(k + 1) == Some(">") {
+                            continue;
+                        }
+                        let next_ok = matches!(
+                            (text_of(k + 1), kind_of(k + 1)),
+                            (_, Some(TokenKind::Ident | TokenKind::Num))
+                                | (Some("(" | "&" | "-" | "*" | "!" | "="), _)
+                        );
+                        if next_ok {
+                            p.arithmetic += 1;
+                        }
+                    }
+                    "<" if prev_ok => {
+                        // Adjacent `<<` is a shift; a spaced `< <` is not.
+                        let shifted = body
+                            .get(k + 1)
+                            .is_some_and(|n| file.tok_text(n) == "<" && n.start == tok.end);
+                        if shifted {
+                            p.arithmetic += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    p
+}
+
+/// `panic-freedom-reachability`: one aggregate finding per function
+/// reachable from the step root that contains panic-capable sites. The
+/// anchor embeds the site counts, so adding a site to an already-known
+/// function re-fires CI while untouched functions stay baselined.
+fn panic_freedom(
+    files: &[SourceFile],
+    graph: &CallGraph<'_>,
+    rels: &[String],
+    config: &EngineConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots = graph.roots(&config.panic_root_fn, Some(&config.panic_root_file), rels);
+    if roots.is_empty() {
+        return;
+    }
+    let reach = graph.reachable(&roots);
+    for &idx in &reach.seen {
+        let f = &graph.fns[idx];
+        let file = &files[f.file];
+        let p = panic_profile(file, f);
+        if p == PanicProfile::default() {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "panic-freedom-reachability",
+            severity: Severity::Deny,
+            file: file.rel.clone(),
+            line: f.line + 1,
+            message: format!(
+                "`{}` is reachable from `{}` and holds {} panic-capable call(s), {} unchecked \
+                 indexing site(s), {} overflow-capable arithmetic op(s); prefer get()/checked \
+                 ops, or baseline deliberate sites",
+                f.qual, config.panic_root_fn, p.panics, p.indexing, p.arithmetic
+            ),
+            anchor: format!("{}|p{}i{}a{}", f.qual, p.panics, p.indexing, p.arithmetic),
+            baselined: false,
+        });
+    }
+}

@@ -1,0 +1,279 @@
+//! `cargo xtask bench`: the perf-trajectory probe (ROADMAP item 5).
+//!
+//! Runs a small engine × radix × load matrix — sequential vs. 2-thread
+//! sharded engine, radix 16 and 64, Bernoulli-0.5 and saturated uniform
+//! traffic — and reports wall-clock simulated cycles/sec plus the
+//! decide phase's share of cycle time (the Amdahl `f` bounding parallel
+//! speedup). With `--json` the run is also recorded to
+//! `results/BENCH_6.json` so future PRs can diff simulator throughput
+//! against this seed.
+//!
+//! This is a manual tool, not a CI gate: wall-clock numbers depend on
+//! the host and build profile (both are stamped into the JSON), so
+//! `scripts/check.sh` deliberately does not run it. Record numbers with
+//! a release build: `cargo run --release -p xtask -- bench --json`.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ssq_arbiter::CounterPolicy;
+use ssq_core::{Policy, QosSwitch, SwitchConfig};
+use ssq_sim::{ParRunner, Runner, Schedule, ShardedModel};
+use ssq_traffic::{Bernoulli, Injector, Saturating, TrafficSource, UniformDest};
+use ssq_types::{Cycle, Cycles, Geometry, InputId, OutputId, Rate, TrafficClass};
+
+const WARMUP: u64 = 200;
+const MEASURE: u64 = 1_500;
+const RADICES: &[usize] = &[16, 64];
+const PAR_THREADS: usize = 2;
+
+/// The two offered-load points of the matrix.
+#[derive(Clone, Copy)]
+enum Load {
+    /// Bernoulli arrivals at 0.5 flits/cycle/input.
+    Bernoulli50,
+    /// A source that always has a packet ready (saturation throughput).
+    Saturated,
+}
+
+impl Load {
+    fn name(self) -> &'static str {
+        match self {
+            Load::Bernoulli50 => "bernoulli-0.5",
+            Load::Saturated => "saturated",
+        }
+    }
+
+    fn source(self, seed: u64) -> Box<dyn TrafficSource + Send + Sync> {
+        match self {
+            Load::Bernoulli50 => Box::new(Bernoulli::new(0.5, 8, seed)),
+            Load::Saturated => Box::new(Saturating::new(8)),
+        }
+    }
+}
+
+/// One engine measurement.
+struct EngineResult {
+    engine: &'static str,
+    threads: usize,
+    cycles_per_sec: f64,
+    delivered_flits: u64,
+}
+
+/// One (radix, load) cell of the matrix.
+struct Cell {
+    radix: usize,
+    load: Load,
+    decide_fraction: f64,
+    engines: Vec<EngineResult>,
+}
+
+/// Builds the benchmark rig: per-input GB reservations at each input's
+/// "home" output keep the SSVC machinery engaged on every shard, and
+/// best-effort uniform traffic contends all outputs.
+fn rig(radix: usize, load: Load) -> QosSwitch {
+    let width = Geometry::min_bus_width(radix, 3).max(128);
+    let geometry = Geometry::new(radix, width).expect("valid geometry");
+    let mut config = SwitchConfig::builder(geometry)
+        .policy(Policy::Ssvc(CounterPolicy::SubtractRealClock))
+        .gb_buffer_flits(16)
+        .be_buffer_flits(16)
+        .build()
+        .expect("valid config");
+    for i in 0..radix {
+        config
+            .reservations_mut()
+            .reserve_gb(
+                InputId::new(i),
+                OutputId::new(i),
+                Rate::new(0.5).expect("valid rate"),
+                8,
+            )
+            .expect("reservations fit");
+    }
+    let mut switch = QosSwitch::new(config).expect("valid switch");
+    for i in 0..radix {
+        switch.add_injector(
+            Injector::new(
+                load.source(7_000 + i as u64),
+                Box::new(UniformDest::new(radix, 1_000 + i as u64)),
+                TrafficClass::BestEffort,
+            )
+            .for_input(InputId::new(i)),
+        );
+    }
+    switch
+}
+
+fn time_run(radix: usize, load: Load, run: impl FnOnce(&mut QosSwitch)) -> (f64, u64) {
+    let mut switch = rig(radix, load);
+    let start = Instant::now();
+    run(&mut switch);
+    let secs = start.elapsed().as_secs_f64();
+    (
+        (WARMUP + MEASURE) as f64 / secs,
+        switch.counters().delivered_flits,
+    )
+}
+
+/// The decide phase's share of cycle time, measured by running the
+/// sharded protocol single-threaded and timing each phase (only decide
+/// parallelizes).
+fn decide_fraction(radix: usize, load: Load) -> f64 {
+    let mut switch = rig(radix, load);
+    let mut decide = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    let mut now = Cycle::ZERO;
+    for _ in 0..(WARMUP + MEASURE) {
+        let t0 = Instant::now();
+        switch.shard_prepare(now);
+        let t1 = Instant::now();
+        let plans: Vec<_> = (0..switch.shard_count())
+            .map(|s| switch.shard_decide(s, now))
+            .collect();
+        let t2 = Instant::now();
+        switch.shard_merge(now, plans);
+        decide += t2 - t1;
+        total += t0.elapsed();
+        now = now.next();
+    }
+    decide.as_secs_f64() / total.as_secs_f64()
+}
+
+fn measure_cell(radix: usize, load: Load) -> Cell {
+    let schedule = Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE));
+    let (seq_rate, seq_flits) = time_run(radix, load, |sw| {
+        Runner::new(schedule).run(sw);
+    });
+    let (par_rate, par_flits) = time_run(radix, load, |sw| {
+        ParRunner::new(schedule, PAR_THREADS).run(sw);
+    });
+    assert_eq!(
+        seq_flits,
+        par_flits,
+        "parallel engine diverged from sequential (radix {radix}, {})",
+        load.name()
+    );
+    Cell {
+        radix,
+        load,
+        decide_fraction: decide_fraction(radix, load),
+        engines: vec![
+            EngineResult {
+                engine: "sequential",
+                threads: 1,
+                cycles_per_sec: seq_rate,
+                delivered_flits: seq_flits,
+            },
+            EngineResult {
+                engine: "par",
+                threads: PAR_THREADS,
+                cycles_per_sec: par_rate,
+                delivered_flits: par_flits,
+            },
+        ],
+    }
+}
+
+fn render_json(cells: &[Cell], host_cores: usize) -> String {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"bench\": \"BENCH_6\",\n");
+    out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!(
+        "  \"warmup_cycles\": {WARMUP},\n  \"measure_cycles\": {MEASURE},\n  \"cells\": ["
+    ));
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"radix\": {}, \"load\": \"{}\", \"decide_fraction\": {:.4}, \"engines\": [",
+            cell.radix,
+            cell.load.name(),
+            cell.decide_fraction
+        ));
+        for (j, e) in cell.engines.iter().enumerate() {
+            out.push_str(if j == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "      {{\"engine\": \"{}\", \"threads\": {}, \"cycles_per_sec\": {:.0}, \
+                 \"delivered_flits\": {}}}",
+                e.engine, e.threads, e.cycles_per_sec, e.delivered_flits
+            ));
+        }
+        out.push_str("\n    ]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Entry point for `cargo xtask bench [--json]`.
+pub fn run(args: &[String], root: &Path) -> ExitCode {
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown bench flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    println!(
+        "== xtask bench (BENCH_6: {} cycles/cell, host cores: {host_cores}, profile: {profile}) ==",
+        WARMUP + MEASURE
+    );
+
+    let mut cells = Vec::new();
+    for &radix in RADICES {
+        for load in [Load::Bernoulli50, Load::Saturated] {
+            let cell = measure_cell(radix, load);
+            for e in &cell.engines {
+                println!(
+                    "bench/radix{:<3} {:<14} {:<10} x{} {:>12.0} cycles/sec  ({} flits)",
+                    cell.radix,
+                    cell.load.name(),
+                    e.engine,
+                    e.threads,
+                    e.cycles_per_sec,
+                    e.delivered_flits
+                );
+            }
+            println!(
+                "bench/radix{:<3} {:<14} decide_fraction {:>6.1}%",
+                cell.radix,
+                cell.load.name(),
+                cell.decide_fraction * 100.0
+            );
+            cells.push(cell);
+        }
+    }
+
+    if json {
+        let doc = render_json(&cells, host_cores);
+        let dir = root.join("results");
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("BENCH_6.json");
+        if let Err(err) = std::fs::write(&path, &doc) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench JSON written to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

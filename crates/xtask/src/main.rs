@@ -1,56 +1,47 @@
 //! Workspace automation for swizzle-qos.
 //!
 //! ```text
-//! cargo run -p xtask -- lint           # source-level lint over crates/*/src
-//! cargo run -p xtask -- verify         # fast-tier model check (2x2, exhaustive)
-//! cargo run -p xtask -- verify --deep  # + deep tier (4x4, bounded horizon)
+//! cargo run -p xtask -- lint                    # token-aware static analysis
+//! cargo run -p xtask -- lint --json             # machine-readable diagnostics
+//! cargo run -p xtask -- lint --update-baseline  # re-grandfather current findings
+//! cargo run -p xtask -- verify                  # fast-tier model check (2x2)
+//! cargo run -p xtask -- verify --deep           # + deep tier (4x4, bounded)
+//! cargo run -p xtask -- bench                   # perf trajectory probe
+//! cargo run -p xtask -- bench --json            # + write results/BENCH_6.json
 //! ```
 //!
-//! The lint pass is text/token-based (no external parser — see
-//! [`scan`]) and enforces the rules in [`rules`]:
-//!
-//! - `no-unwrap` — no `.unwrap()` / `.expect(...)` / `panic!` outside
-//!   `#[cfg(test)]` in the hot-path crates (arbiter, circuit, core, sim);
-//! - `no-narrowing-cast` — no truncating `as` casts in counter and
-//!   thermometer arithmetic;
-//! - `no-print-in-lib` — no `println!` / `eprintln!` in library crates
-//!   outside `#[cfg(test)]` (binaries and `src/bin/` are exempt);
-//! - `no-todo` — no `todo!` / `unimplemented!` in non-test code anywhere;
-//! - `must-use-decision` — `*Decision` / `*Grant` / `*Outcome` types must
-//!   be `#[must_use]`;
-//! - `no-lossy-index` — no narrowing `as` cast applied directly to a
-//!   port/flow identifier outside `ssq-types` (narrow through the one
-//!   waived `wire()` funnel);
-//! - `invariant-site-coverage` — every grant/inhibit/chain emission in
-//!   `crates/core/src/switch.rs` must have a `sanitize::` check within
-//!   the preceding window;
-//! - `no-silent-degrade` — every QoS degradation site in the core and
-//!   faults crates (LRG fallback, GL demotion, re-admission) must have a
-//!   fault-family trace emission (`Degraded` / `GuaranteeRevoked` /
-//!   `Readmitted`) within the surrounding window.
-//!
-//! Violations print as `file:line · RULE · message` and make the process
-//! exit nonzero. A finding can be waived in place with
-//! `// ssq-lint: allow(<rule>)` on (or immediately above) the line.
+//! The lint pass is the [`ssq_lint`] engine: an in-tree lexer and
+//! item/call-graph parser (no external dependencies) running the nine
+//! legacy rules token-aware plus four semantic lints (`shard-purity`,
+//! `panic-freedom-reachability`, `no-nondeterministic-order`,
+//! `feature-gate-hygiene`). Findings print as
+//! `file:line · RULE · message`; a finding can be waived in place with
+//! `// ssq-lint: allow(<rule>)` on (or immediately above) the line, and
+//! legacy findings recorded in `lint-baseline.txt` don't block CI —
+//! only *new* ones fail the pass.
 //!
 //! The verify pass runs the [`ssq_verify`] bounded exhaustive model
 //! checker over the fast-tier scenario battery (and, with `--deep`, the
 //! 4x4 deep tier), printing per-scenario state counts and failing the
 //! process on the first invariant violation (the minimal counterexample
 //! trace is printed as ssq-trace JSONL).
+//!
+//! The bench task seeds the perf-trajectory record (ROADMAP item 5): a
+//! small engine × radix × load matrix timed wall-clock, with the decide
+//! phase's Amdahl fraction, written to `results/BENCH_6.json`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod bench;
 mod diffcheck;
-mod rules;
-mod scan;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some("verify") => verify(&args[1..]),
+        Some("bench") => bench::run(&args[1..], &workspace_root()),
         Some(other) => {
             eprintln!("unknown task `{other}`");
             eprintln!("{USAGE}");
@@ -63,7 +54,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo run -p xtask -- <lint | verify [--deep]>";
+const USAGE: &str =
+    "usage: cargo run -p xtask -- <lint [--json] [--update-baseline] | verify [--deep] | bench [--json]>";
 
 /// Runs the model-checker tiers: the fast battery always, the deep
 /// battery with `--deep`. Prints one line per scenario and the first
@@ -145,53 +137,91 @@ fn verify(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn lint() -> ExitCode {
+/// Drives the [`ssq_lint`] engine over the workspace, partitions the
+/// findings against `lint-baseline.txt`, and fails on anything new.
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut update_baseline = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let root = workspace_root();
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
-        Ok(entries) => entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.is_dir())
-            .collect(),
+    let sources = match ssq_lint::load_workspace(&root) {
+        Ok(s) => s,
         Err(err) => {
-            eprintln!("cannot read {}: {err}", crates_dir.display());
+            eprintln!("cannot load workspace sources: {err}");
             return ExitCode::FAILURE;
         }
     };
-    crate_dirs.sort();
-    for dir in crate_dirs {
-        collect_rust_files(&dir.join("src"), &mut files);
-    }
-    files.sort();
+    let mut report = ssq_lint::run_sources(sources, &ssq_lint::EngineConfig::default());
 
-    let mut total = 0usize;
-    for file in &files {
-        let source = match std::fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(err) => {
-                eprintln!("cannot read {}: {err}", file.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file);
-        let scanned = scan::scan(&source);
-        for v in rules::check_file(rel, &scanned) {
-            println!("{}:{} · {} · {}", rel.display(), v.line, v.rule, v.message);
-            total += 1;
+    let baseline_path = root.join(ssq_lint::BASELINE_FILE);
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let baseline = ssq_lint::Baseline::parse(&baseline_text);
+    baseline.apply(&mut report.diagnostics);
+
+    if update_baseline {
+        let rendered = ssq_lint::baseline::render(&report.diagnostics);
+        if let Err(err) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("cannot write {}: {err}", baseline_path.display());
+            return ExitCode::FAILURE;
         }
+        println!(
+            "lint baseline updated: {} finding(s) grandfathered in {}",
+            report.diagnostics.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
     }
 
-    if total == 0 {
-        println!(
-            "lint clean: {} files, rules [{}]",
-            files.len(),
-            rules::ALL_RULES.join(", ")
+    if json {
+        // The JSON document goes to stdout (pipe it into results/);
+        // human summaries below go to stderr so the stream stays pure.
+        print!(
+            "{}",
+            ssq_lint::render_json(
+                &report.diagnostics,
+                report.files_scanned,
+                &ssq_lint::rule_names(),
+            )
         );
+    }
+
+    let blocking = report.blocking();
+    let baselined = report.diagnostics.iter().filter(|d| d.baselined).count();
+    if blocking.is_empty() {
+        let summary = format!(
+            "lint clean: {} files, {} rules, {} baselined finding(s), 0 new",
+            report.files_scanned,
+            ssq_lint::LINTS.len(),
+            baselined,
+        );
+        if json {
+            eprintln!("{summary}");
+        } else {
+            println!("{summary}");
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!("{total} lint violation(s)");
+        for d in &blocking {
+            eprintln!("{}", d.render());
+        }
+        eprintln!(
+            "{} new lint finding(s) ({} baselined); fix them, waive with \
+             `// ssq-lint: allow(<rule>)`, or (deliberately) run \
+             `cargo xtask lint --update-baseline`",
+            blocking.len(),
+            baselined,
+        );
         ExitCode::FAILURE
     }
 }
@@ -205,18 +235,4 @@ fn workspace_root() -> PathBuf {
         .and_then(Path::parent)
         .map(Path::to_path_buf)
         .unwrap_or(manifest)
-}
-
-fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.filter_map(Result::ok) {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
 }

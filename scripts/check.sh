@@ -10,8 +10,15 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
-echo "== source lint (xtask) =="
-cargo run --quiet -p xtask -- lint
+echo "== source lint (ssq-lint via xtask) =="
+# Token-aware engine (DESIGN.md §10): findings are diffed against the
+# checked-in lint-baseline.txt and any NEW finding fails the gate. The
+# machine-readable report is captured for tooling. After deliberately
+# accepting a finding, regenerate the baseline with
+#   cargo run -p xtask -- lint --update-baseline
+# and commit the diff.
+mkdir -p results
+cargo run --quiet -p xtask -- lint --json > results/lint.json
 
 echo "== model check + engine conformance, fast tier (xtask) =="
 # The fast tier ends with the sequential-vs-parallel differential
