@@ -11,12 +11,18 @@
 //! On a single-core host the expected "speedup" is ≤1.0 (barrier
 //! overhead with no extra compute); the numbers recorded in
 //! EXPERIMENTS.md note the host's core count alongside the measurement.
+//!
+//! The decide fraction comes from the in-switch cycle-phase profiler
+//! (`ssq-prof`, armed via this crate's `prof` feature — the bench is
+//! `required-features = ["prof"]`), the same source of truth behind
+//! `cargo xtask bench` and the BENCH_<pr>.json trajectory, so the
+//! Amdahl `f` printed here and recorded there cannot drift apart.
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use ssq_arbiter::CounterPolicy;
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
-use ssq_sim::{ParRunner, Runner, Schedule, ShardedModel};
+use ssq_sim::{CycleModel, ParRunner, Runner, Schedule};
 use ssq_traffic::{Injector, Saturating, UniformDest};
 use ssq_types::{Cycle, Cycles, Geometry, InputId, OutputId, Rate, TrafficClass};
 
@@ -74,29 +80,27 @@ fn time_run(run: impl FnOnce(&mut QosSwitch)) -> (f64, u64) {
     )
 }
 
-/// Measures the decide phase's share of a cycle by running the sharded
-/// protocol single-threaded and timing each phase: only decide
-/// parallelizes, so this is the Amdahl `f` for projecting multi-core
-/// speedup from a single-core host.
+/// Measures the decide phase's share of a cycle with the in-switch
+/// cycle-phase profiler: every measured cycle is sampled, and only the
+/// decide phase parallelizes, so the reported fraction is the Amdahl
+/// `f` for projecting multi-core speedup from a single-core host.
 fn decide_fraction() -> f64 {
     let mut switch = saturated_switch();
-    let mut decide = Duration::ZERO;
-    let mut total = Duration::ZERO;
     let mut now = Cycle::ZERO;
-    for _ in 0..(WARMUP + MEASURE) {
-        let t0 = Instant::now();
-        switch.shard_prepare(now);
-        let t1 = Instant::now();
-        let plans: Vec<_> = (0..switch.shard_count())
-            .map(|s| switch.shard_decide(s, now))
-            .collect();
-        let t2 = Instant::now();
-        switch.shard_merge(now, plans);
-        decide += t2 - t1;
-        total += t0.elapsed();
+    for _ in 0..WARMUP {
+        switch.step(now);
         now = now.next();
     }
-    decide.as_secs_f64() / total.as_secs_f64()
+    switch.begin_measurement(now);
+    switch.prof_arm(1);
+    for _ in 0..MEASURE {
+        switch.step(now);
+        now = now.next();
+    }
+    switch
+        .prof_report()
+        .and_then(|r| r.decide_fraction())
+        .expect("prof feature compiled in (required-features) and cycles sampled")
 }
 
 fn main() {

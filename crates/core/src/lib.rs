@@ -76,6 +76,7 @@ pub mod faultctl;
 pub mod gl;
 mod packet;
 mod port;
+pub mod prof;
 mod reservations;
 mod sanitize;
 mod switch;
@@ -87,6 +88,7 @@ pub use config::{ConfigError, Policy, SwitchConfig, SwitchConfigBuilder};
 pub use faultctl::FaultControl;
 pub use packet::Packet;
 pub use port::InputPort;
+pub use prof::CycleProf;
 pub use reservations::{GbReservation, ReadmitAction, ReadmitDecision, Reservations};
 pub use ssq_check::{Preflight, Report};
 pub use switch::{OutputPlan, QosSwitch, SwitchCounters};

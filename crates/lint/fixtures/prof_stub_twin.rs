@@ -1,0 +1,19 @@
+// Fixture: definition side of the profiler stub-twin pattern (mapped
+// to crates/core/src/prof.rs). `CycleProf` is dual-defined — real
+// under the `prof` feature, zero-sized stub otherwise — so the name is
+// unconditional and references to it never fire feature-gate-hygiene.
+// `arm_detail_buffer` exists only under `prof` with no stub twin, so an
+// ungated reference elsewhere must fire.
+
+#[cfg(feature = "prof")]
+pub struct CycleProf {
+    pub mask: u64,
+}
+
+#[cfg(not(feature = "prof"))]
+pub struct CycleProf;
+
+#[cfg(feature = "prof")]
+pub fn arm_detail_buffer(outputs: usize) -> usize {
+    outputs.saturating_mul(2)
+}

@@ -1,0 +1,22 @@
+// Fixture: reference side of the profiler stub-twin pattern (mapped to
+// a non-exempt crate). The dual-defined `CycleProf` name is clean
+// everywhere; the twinless prof-only `arm_detail_buffer` fires once,
+// from the ungated reference only.
+
+pub fn stub_twin_name_is_fine() -> CycleProf {
+    CycleProf::default()
+}
+
+pub fn ungated_detail() -> usize {
+    arm_detail_buffer(8)
+}
+
+#[cfg(feature = "prof")]
+pub fn gated_detail() -> usize {
+    arm_detail_buffer(16)
+}
+
+pub fn waived_detail() -> usize {
+    // ssq-lint: allow(feature-gate-hygiene)
+    arm_detail_buffer(32)
+}

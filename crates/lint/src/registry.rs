@@ -129,9 +129,9 @@ impl Default for EngineConfig {
             purity_root_file: "crates/core/src/decide.rs".to_string(),
             panic_root_fn: "step".to_string(),
             panic_root_file: "crates/core/src/switch.rs".to_string(),
-            kernel_crates: owned(&["types", "arbiter", "circuit", "core", "sim"]),
+            kernel_crates: owned(&["types", "arbiter", "circuit", "core", "sim", "prof"]),
             graph_crates: owned(&[
-                "types", "stats", "arbiter", "circuit", "traffic", "core", "trace",
+                "types", "stats", "arbiter", "circuit", "traffic", "core", "trace", "prof",
             ]),
             feature_exempt_crates: owned(&["faults"]),
         }

@@ -157,6 +157,39 @@ fn feature_gate_stub_and_exempt_crate_pass() {
 }
 
 #[test]
+fn prof_stub_twins_satisfy_feature_gate_hygiene() {
+    // The profiler's CycleProf/EngineProf pattern: the type name is
+    // dual-defined (real under `prof`, zero-sized stub otherwise) and
+    // never fires; a prof-only helper with no stub twin fires exactly
+    // once, from the one ungated reference.
+    let report = run_sources(
+        vec![
+            src(
+                "crates/core/src/prof.rs",
+                include_str!("../fixtures/prof_stub_twin.rs"),
+            ),
+            src(
+                "crates/sim/src/engineprof.rs",
+                include_str!("../fixtures/prof_stub_use.rs"),
+            ),
+        ],
+        &EngineConfig::default(),
+    );
+    let hits = by_rule(&report, "feature-gate-hygiene");
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    assert_eq!(hits[0].file, "crates/sim/src/engineprof.rs");
+    assert!(
+        hits[0].message.contains("arm_detail_buffer"),
+        "{}",
+        hits[0].message
+    );
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.message.contains("CycleProf")));
+}
+
+#[test]
 fn shard_purity_catches_impurity_two_hops_below_the_root() {
     // The ISSUE acceptance case: `tally` reads a static and sits two
     // call-graph hops below `decide_output`.

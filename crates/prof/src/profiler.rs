@@ -1,0 +1,535 @@
+//! The counter-sampled phase profiler.
+//!
+//! A [`Profiler`] owns one wall-clock accumulator per named phase plus
+//! optional per-shard accumulators for the decide phase. The embedding
+//! loop drives it with three calls:
+//!
+//! 1. [`Profiler::begin_cycle`] once per simulated cycle — disarmed
+//!    this is one branch; armed it is one counter add plus a mask test,
+//!    and the return value says whether this cycle is sampled;
+//! 2. on sampled cycles, [`Stopwatch`] laps around each phase feeding
+//!    [`Profiler::record_phase`] (and, in detail mode,
+//!    [`Profiler::record_shard`] per output);
+//! 3. [`Profiler::report`] at the end of the run.
+//!
+//! Sampling is counter-based (every 2^k-th cycle, `k` chosen from the
+//! requested rate) so the armed-but-unsampled hot path never touches the
+//! OS clock. Phase sets are named slices: the switch kernel uses
+//! [`KERNEL_PHASES`] (`prepare`/`decide`/`commit`), the parallel engine
+//! [`ENGINE_STAGES`] (`gather`/`decide`/`merge`); both index their
+//! `decide` at position 1, which is what [`ProfReport::decide_fraction`]
+//! reads.
+
+use std::time::Instant;
+
+use ssq_stats::Table;
+
+/// The sequential kernel's phase names, in cycle order.
+pub const KERNEL_PHASES: &[&str] = &["prepare", "decide", "commit"];
+
+/// The parallel engine's stage names, in cycle order.
+pub const ENGINE_STAGES: &[&str] = &["gather", "decide", "merge"];
+
+/// Index of the prepare phase in [`KERNEL_PHASES`].
+pub const PHASE_PREPARE: usize = 0;
+/// Index of the decide phase in both phase sets.
+pub const PHASE_DECIDE: usize = 1;
+/// Index of the commit phase in [`KERNEL_PHASES`].
+pub const PHASE_COMMIT: usize = 2;
+/// Index of the gather stage in [`ENGINE_STAGES`].
+pub const PHASE_GATHER: usize = 0;
+/// Index of the merge stage in [`ENGINE_STAGES`].
+pub const PHASE_MERGE: usize = 2;
+
+/// A monotonic nanosecond lap timer around one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the watch now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Nanoseconds since the last start/lap, saturating at `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Reads the elapsed nanoseconds and restarts the watch, so
+    /// consecutive laps tile a cycle without gaps.
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = u64::try_from(now.duration_since(self.0).as_nanos()).unwrap_or(u64::MAX);
+        self.0 = now;
+        ns
+    }
+}
+
+/// One accumulator: total nanoseconds and how many laps produced them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Acc {
+    ns: u64,
+    samples: u64,
+}
+
+impl Acc {
+    fn record(&mut self, ns: u64) {
+        self.ns = self.ns.saturating_add(ns);
+        self.samples = self.samples.saturating_add(1);
+    }
+
+    fn merge(&mut self, other: Acc) {
+        self.ns = self.ns.saturating_add(other.ns);
+        self.samples = self.samples.saturating_add(other.samples);
+    }
+}
+
+/// Counter-sampled per-phase (and optionally per-shard) wall-clock
+/// accumulators. See the module docs for the driving protocol.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    names: &'static [&'static str],
+    armed: bool,
+    detail: bool,
+    /// Sample when `cycles & mask == 0` (mask is `2^k - 1`).
+    mask: u64,
+    cycles: u64,
+    sampled: u64,
+    sampling: bool,
+    phases: Vec<Acc>,
+    shards: Vec<Acc>,
+}
+
+impl Profiler {
+    /// A disarmed profiler over the given phase names.
+    #[must_use]
+    pub fn new(names: &'static [&'static str]) -> Self {
+        Profiler {
+            names,
+            armed: false,
+            detail: false,
+            mask: 0,
+            cycles: 0,
+            sampled: 0,
+            sampling: false,
+            phases: vec![Acc::default(); names.len()],
+            shards: Vec::new(),
+        }
+    }
+
+    /// A disarmed profiler over the sequential kernel's phases.
+    #[must_use]
+    pub fn kernel() -> Self {
+        Profiler::new(KERNEL_PHASES)
+    }
+
+    /// A disarmed profiler over the parallel engine's stages.
+    #[must_use]
+    pub fn engine() -> Self {
+        Profiler::new(ENGINE_STAGES)
+    }
+
+    /// Arms sampling at roughly one cycle in `sample_every` (rounded up
+    /// to the next power of two; `0` and `1` both mean every cycle).
+    pub fn arm(&mut self, sample_every: u64) {
+        self.armed = true;
+        self.mask = sample_every.max(1).next_power_of_two().saturating_sub(1);
+    }
+
+    /// Arms like [`Profiler::arm`] and additionally attributes the
+    /// decide phase per shard (one accumulator per output).
+    pub fn arm_detailed(&mut self, sample_every: u64, shards: usize) {
+        self.arm(sample_every);
+        self.detail = true;
+        if self.shards.len() < shards {
+            self.shards.resize(shards, Acc::default());
+        }
+    }
+
+    /// Stops sampling; accumulated totals are kept.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+        self.sampling = false;
+    }
+
+    /// Whether the profiler is currently armed.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Whether per-shard attribution is on.
+    #[must_use]
+    pub fn detailed(&self) -> bool {
+        self.detail
+    }
+
+    /// Advances the cycle counter and decides whether this cycle is
+    /// sampled. This is the only call on the armed-but-unsampled hot
+    /// path: one add and one mask test.
+    #[inline]
+    pub fn begin_cycle(&mut self) -> bool {
+        if !self.armed {
+            return false;
+        }
+        let n = self.cycles;
+        self.cycles = n.wrapping_add(1);
+        self.sampling = n & self.mask == 0;
+        if self.sampling {
+            self.sampled = self.sampled.saturating_add(1);
+        }
+        self.sampling
+    }
+
+    /// Whether the current cycle is being sampled.
+    #[must_use]
+    pub fn sampling(&self) -> bool {
+        self.sampling
+    }
+
+    /// Adds one lap to a phase accumulator. Unknown indices are ignored
+    /// (the hot path must never panic on accounting).
+    #[inline]
+    pub fn record_phase(&mut self, phase: usize, ns: u64) {
+        if let Some(acc) = self.phases.get_mut(phase) {
+            acc.record(ns);
+        }
+    }
+
+    /// Adds one decide lap to a shard accumulator (detail mode; unknown
+    /// shards are ignored).
+    #[inline]
+    pub fn record_shard(&mut self, shard: usize, ns: u64) {
+        if let Some(acc) = self.shards.get_mut(shard) {
+            acc.record(ns);
+        }
+    }
+
+    /// Cycles seen while armed.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles that were sampled.
+    #[must_use]
+    pub fn sampled_cycles(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Folds another profiler's accumulators into this one (used to
+    /// merge per-worker profilers after a parallel run). Phases are
+    /// matched positionally; a mismatched phase set merges the common
+    /// prefix rather than panicking — accounting must never abort a run.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            mine.merge(*theirs);
+        }
+        if self.shards.len() < other.shards.len() {
+            self.shards.resize(other.shards.len(), Acc::default());
+        }
+        for (mine, theirs) in self.shards.iter_mut().zip(&other.shards) {
+            mine.merge(*theirs);
+        }
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.sampled = self.sampled.saturating_add(other.sampled);
+    }
+
+    /// Snapshots the accumulated totals.
+    #[must_use]
+    pub fn report(&self) -> ProfReport {
+        ProfReport {
+            cycles: self.cycles,
+            sampled_cycles: self.sampled,
+            phases: self
+                .names
+                .iter()
+                .zip(&self.phases)
+                .map(|(name, acc)| PhaseLine {
+                    name: (*name).to_string(),
+                    ns: acc.ns,
+                    samples: acc.samples,
+                })
+                .collect(),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard, acc)| ShardLine {
+                    shard,
+                    ns: acc.ns,
+                    samples: acc.samples,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One phase's accumulated totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseLine {
+    /// Phase name (`prepare`, `decide`, ...).
+    pub name: String,
+    /// Total sampled nanoseconds.
+    pub ns: u64,
+    /// Number of laps recorded.
+    pub samples: u64,
+}
+
+/// One shard's accumulated decide totals (detail mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLine {
+    /// Shard (output) index.
+    pub shard: usize,
+    /// Total sampled nanoseconds.
+    pub ns: u64,
+    /// Number of laps recorded.
+    pub samples: u64,
+}
+
+/// An immutable snapshot of a [`Profiler`]'s accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct ProfReport {
+    /// Cycles seen while armed.
+    pub cycles: u64,
+    /// Cycles whose phases were timed.
+    pub sampled_cycles: u64,
+    /// Per-phase totals, in phase order.
+    pub phases: Vec<PhaseLine>,
+    /// Per-shard decide totals (empty unless detail mode was armed).
+    pub shards: Vec<ShardLine>,
+}
+
+impl ProfReport {
+    /// Whether nothing was sampled (feature off, disarmed, or an empty
+    /// run).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sampled_cycles == 0
+    }
+
+    /// Total sampled nanoseconds across all phases.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().fold(0u64, |a, p| a.saturating_add(p.ns))
+    }
+
+    /// A named phase's share of total sampled time, if anything was
+    /// sampled.
+    #[must_use]
+    pub fn fraction(&self, name: &str) -> Option<f64> {
+        let total = self.total_ns();
+        if total == 0 {
+            return None;
+        }
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.ns as f64 / total as f64)
+    }
+
+    /// The decide phase's share of total sampled time — Amdahl's `f`
+    /// bounding parallel speedup.
+    #[must_use]
+    pub fn decide_fraction(&self) -> Option<f64> {
+        self.fraction("decide")
+    }
+
+    /// A named phase's mean nanoseconds per sampled cycle.
+    #[must_use]
+    pub fn ns_per_cycle(&self, name: &str) -> Option<f64> {
+        if self.sampled_cycles == 0 {
+            return None;
+        }
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.ns as f64 / self.sampled_cycles as f64)
+    }
+
+    /// The Amdahl projection `1 / ((1 - f) + f / threads)` for the
+    /// measured decide fraction, or `None` if nothing was sampled.
+    #[must_use]
+    pub fn amdahl_projection(&self, threads: u64) -> Option<f64> {
+        let f = self.decide_fraction()?;
+        let t = threads.max(1) as f64;
+        Some(1.0 / ((1.0 - f) + f / t))
+    }
+
+    /// The per-phase breakdown as a table (`phase`, `ns/cycle`,
+    /// `fraction`, `samples`).
+    #[must_use]
+    pub fn phase_table(&self) -> Table {
+        let mut t = Table::with_columns(&["phase", "ns/cycle", "fraction", "samples"]);
+        t.numeric();
+        for p in &self.phases {
+            t.row(vec![
+                p.name.clone(),
+                self.ns_per_cycle(&p.name)
+                    .map_or_else(|| String::from("-"), |v| format!("{v:.0}")),
+                self.fraction(&p.name)
+                    .map_or_else(|| String::from("-"), |v| format!("{:.1}%", v * 100.0)),
+                p.samples.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The per-shard decide breakdown as a table (`shard`, `ns/cycle`,
+    /// `share`, `samples`); empty unless detail mode was armed.
+    #[must_use]
+    pub fn shard_table(&self) -> Table {
+        let mut t = Table::with_columns(&["shard", "decide ns/cycle", "share", "samples"]);
+        t.numeric();
+        let total: u64 = self.shards.iter().fold(0u64, |a, s| a.saturating_add(s.ns));
+        for s in &self.shards {
+            let per_cycle = if self.sampled_cycles == 0 {
+                String::from("-")
+            } else {
+                format!("{:.0}", s.ns as f64 / self.sampled_cycles as f64)
+            };
+            let share = if total == 0 {
+                String::from("-")
+            } else {
+                format!("{:.1}%", s.ns as f64 / total as f64 * 100.0)
+            };
+            t.row(vec![
+                s.shard.to_string(),
+                per_cycle,
+                share,
+                s.samples.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the summary plus phase table as monospace text.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "profiled {} of {} cycles\n",
+            self.sampled_cycles, self.cycles
+        );
+        out.push_str(&self.phase_table().to_text());
+        if let Some(f) = self.decide_fraction() {
+            out.push_str(&format!("decide fraction: {:.1}%\n", f * 100.0));
+        }
+        if !self.shards.is_empty() {
+            out.push_str(&self.shard_table().to_text());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_profiler_never_samples() {
+        let mut p = Profiler::kernel();
+        for _ in 0..100 {
+            assert!(!p.begin_cycle());
+        }
+        assert!(p.report().is_empty());
+        assert_eq!(p.cycles(), 0, "disarmed cycles are not even counted");
+    }
+
+    #[test]
+    fn arm_one_samples_every_cycle() {
+        let mut p = Profiler::kernel();
+        p.arm(1);
+        let mut sampled = 0;
+        for _ in 0..64 {
+            if p.begin_cycle() {
+                sampled += 1;
+                p.record_phase(PHASE_PREPARE, 10);
+                p.record_phase(PHASE_DECIDE, 30);
+                p.record_phase(PHASE_COMMIT, 10);
+            }
+        }
+        assert_eq!(sampled, 64);
+        let r = p.report();
+        assert_eq!(r.sampled_cycles, 64);
+        assert_eq!(r.total_ns(), 64 * 50);
+        assert!((r.decide_fraction().unwrap() - 0.6).abs() < 1e-9);
+        assert!((r.ns_per_cycle("prepare").unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_rate_rounds_to_power_of_two() {
+        let mut p = Profiler::kernel();
+        p.arm(6); // rounds to 8
+        let sampled = (0..80).filter(|_| p.begin_cycle()).count();
+        assert_eq!(sampled, 10);
+        assert_eq!(p.cycles(), 80);
+        assert_eq!(p.sampled_cycles(), 10);
+    }
+
+    #[test]
+    fn detail_mode_attributes_shards() {
+        let mut p = Profiler::kernel();
+        p.arm_detailed(1, 4);
+        assert!(p.begin_cycle());
+        p.record_shard(0, 5);
+        p.record_shard(3, 15);
+        p.record_shard(99, 1); // out of range: ignored, not a panic
+        let r = p.report();
+        assert_eq!(r.shards.len(), 4);
+        assert_eq!(r.shards[0].ns, 5);
+        assert_eq!(r.shards[3].ns, 15);
+        assert_eq!(r.shards[1].ns, 0);
+        let text = r.shard_table().to_text();
+        assert!(text.contains("75.0%"), "{text}");
+    }
+
+    #[test]
+    fn merge_folds_phases_and_counts() {
+        let mut a = Profiler::engine();
+        a.arm(1);
+        assert!(a.begin_cycle());
+        a.record_phase(PHASE_GATHER, 7);
+        let mut b = Profiler::engine();
+        b.arm(1);
+        assert!(b.begin_cycle());
+        b.record_phase(PHASE_GATHER, 3);
+        b.record_phase(PHASE_MERGE, 10);
+        a.merge(&b);
+        let r = a.report();
+        assert_eq!(r.cycles, 2);
+        assert_eq!(r.phases[PHASE_GATHER].ns, 10);
+        assert_eq!(r.phases[PHASE_MERGE].ns, 10);
+    }
+
+    #[test]
+    fn stopwatch_laps_are_monotone() {
+        let mut w = Stopwatch::start();
+        let a = w.lap_ns();
+        let b = w.elapsed_ns();
+        // Both reads are valid nanosecond counts (no panic, no wrap).
+        assert!(a < u64::MAX && b < u64::MAX);
+    }
+
+    #[test]
+    fn amdahl_projection_matches_formula() {
+        let mut p = Profiler::kernel();
+        p.arm(1);
+        assert!(p.begin_cycle());
+        p.record_phase(PHASE_DECIDE, 60);
+        p.record_phase(PHASE_COMMIT, 40);
+        let r = p.report();
+        let projected = r.amdahl_projection(4).unwrap();
+        assert!((projected - 1.0 / (0.4 + 0.6 / 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_renders_without_percentages() {
+        let r = Profiler::kernel().report();
+        assert!(r.is_empty());
+        assert!(r.decide_fraction().is_none());
+        assert!(r.render_text().contains("profiled 0 of 0 cycles"));
+    }
+}

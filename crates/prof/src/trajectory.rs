@@ -1,0 +1,638 @@
+//! The schema-versioned perf-trajectory record (`results/BENCH_*.json`).
+//!
+//! Every PR's `cargo xtask bench --json` run appends one document to
+//! the trajectory: cycles/sec per (engine, radix, load) cell, the
+//! profiler's per-phase breakdown, and enough host metadata (core
+//! count, thread counts, build profile) to tell a measurement from an
+//! Amdahl projection. `--diff` compares a fresh run against the latest
+//! prior document and fails on regressions past a threshold, which is
+//! what `scripts/check.sh` gates on; `ssq perf-report` renders the
+//! whole trajectory as one table.
+//!
+//! Schema history:
+//! * **1** (PR 6) — cells with `decide_fraction` and engine rows; no
+//!   per-phase data, host core count at top level.
+//! * **2** (PR 7) — adds `pr`, `quick`, a `host` object (cores, and the
+//!   par engine's thread count so oversubscribed runs are labelled), a
+//!   per-cell `phases` breakdown from the in-switch profiler, and
+//!   per-cell `amdahl` projection points explicitly marked
+//!   `"mode": "projected"`.
+//!
+//! The parser reads both; the renderer always writes the current
+//! schema.
+
+use std::path::{Path, PathBuf};
+
+use ssq_stats::Table;
+
+use crate::json::{escape, Json};
+
+/// The schema version this crate writes.
+pub const CURRENT_SCHEMA: u64 = 2;
+
+/// One phase row of a cell's profiler breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPhase {
+    /// Phase name (`prepare` / `decide` / `commit`).
+    pub phase: String,
+    /// Mean sampled nanoseconds per cycle.
+    pub ns_per_cycle: f64,
+    /// Share of total sampled cycle time.
+    pub fraction: f64,
+}
+
+/// One measured engine row of a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEngine {
+    /// Engine name (`sequential` / `par`).
+    pub engine: String,
+    /// Total compute threads the engine ran with.
+    pub threads: u64,
+    /// Measured wall-clock simulated cycles per second.
+    pub cycles_per_sec: f64,
+    /// Delivered flits (the seq-vs-par equality check).
+    pub delivered_flits: u64,
+}
+
+/// One Amdahl projection point (never a measurement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmdahlPoint {
+    /// Hypothetical core/thread count.
+    pub threads: u64,
+    /// Projected speedup over sequential at that count.
+    pub speedup: f64,
+}
+
+/// One (radix, load) cell of the benchmark matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCell {
+    /// Switch radix.
+    pub radix: u64,
+    /// Offered-load label (`bernoulli-0.5` / `saturated`).
+    pub load: String,
+    /// The decide phase's share of cycle time (Amdahl's `f`).
+    pub decide_fraction: f64,
+    /// Profiler per-phase breakdown (empty in schema-1 documents).
+    pub phases: Vec<BenchPhase>,
+    /// Measured engine rows.
+    pub engines: Vec<BenchEngine>,
+    /// Amdahl projections derived from `decide_fraction` (labelled
+    /// projections, empty in schema-1 documents).
+    pub amdahl: Vec<AmdahlPoint>,
+}
+
+impl BenchCell {
+    /// The measured cycles/sec for an engine row, if present.
+    #[must_use]
+    pub fn rate(&self, engine: &str, threads: u64) -> Option<f64> {
+        self.engines
+            .iter()
+            .find(|e| e.engine == engine && e.threads == threads)
+            .map(|e| e.cycles_per_sec)
+    }
+}
+
+/// One PR's complete benchmark capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Schema version the document was parsed from.
+    pub schema: u64,
+    /// PR number the capture belongs to (`BENCH_<pr>.json`).
+    pub pr: u64,
+    /// Build profile (`release` / `debug`) — cross-profile diffs are
+    /// meaningless and are skipped.
+    pub profile: String,
+    /// Whether this was a `--quick` run (shorter matrix).
+    pub quick: bool,
+    /// Host core count at capture time.
+    pub host_cores: u64,
+    /// Thread count the par engine rows used (0 when unknown).
+    pub par_threads: u64,
+    /// Warm-up cycles per cell.
+    pub warmup_cycles: u64,
+    /// Measured cycles per cell.
+    pub measure_cycles: u64,
+    /// The benchmark matrix.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchDoc {
+    /// The canonical `BENCH_<pr>` name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("BENCH_{}", self.pr)
+    }
+
+    /// Finds a cell by (radix, load).
+    #[must_use]
+    pub fn cell(&self, radix: u64, load: &str) -> Option<&BenchCell> {
+        self.cells
+            .iter()
+            .find(|c| c.radix == radix && c.load == load)
+    }
+
+    /// Parses a schema-1 or schema-2 BENCH document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem.
+    pub fn parse(text: &str) -> Result<BenchDoc, String> {
+        let root = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema = field_u64(&root, "schema")?;
+        if schema == 0 || schema > CURRENT_SCHEMA {
+            return Err(format!("unsupported BENCH schema {schema}"));
+        }
+        let bench_name = root
+            .get("bench")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let pr = match root.get("pr").and_then(Json::as_u64) {
+            Some(pr) => pr,
+            // Schema 1 carries the PR only in the name ("BENCH_6").
+            None => bench_name
+                .strip_prefix("BENCH_")
+                .and_then(|n| n.parse::<u64>().ok())
+                .ok_or_else(|| format!("cannot derive PR number from bench name {bench_name:?}"))?,
+        };
+        let (host_cores, par_threads) = match root.get("host") {
+            Some(host) => (
+                field_u64(host, "cores")?,
+                host.get("par_threads").and_then(Json::as_u64).unwrap_or(0),
+            ),
+            None => (field_u64(&root, "host_cores")?, 0),
+        };
+        let mut cells = Vec::new();
+        for cell in root
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing cells array")?
+        {
+            cells.push(parse_cell(cell)?);
+        }
+        Ok(BenchDoc {
+            schema,
+            pr,
+            profile: root
+                .get("profile")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            quick: root.get("quick").and_then(Json::as_bool).unwrap_or(false),
+            host_cores,
+            par_threads,
+            warmup_cycles: field_u64(&root, "warmup_cycles")?,
+            measure_cycles: field_u64(&root, "measure_cycles")?,
+            cells,
+        })
+    }
+
+    /// Renders the document at the current schema, byte-stable for a
+    /// given value (the trajectory lives in git).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {CURRENT_SCHEMA},\n"));
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.name())));
+        out.push_str(&format!("  \"pr\": {},\n", self.pr));
+        out.push_str(&format!("  \"profile\": \"{}\",\n", escape(&self.profile)));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str(&format!(
+            "  \"host\": {{\"cores\": {}, \"par_threads\": {}}},\n",
+            self.host_cores, self.par_threads
+        ));
+        out.push_str(&format!(
+            "  \"warmup_cycles\": {},\n  \"measure_cycles\": {},\n  \"cells\": [",
+            self.warmup_cycles, self.measure_cycles
+        ));
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&render_cell(cell));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))?
+        .to_string())
+}
+
+fn parse_cell(cell: &Json) -> Result<BenchCell, String> {
+    let mut engines = Vec::new();
+    for e in cell
+        .get("engines")
+        .and_then(Json::as_arr)
+        .ok_or("cell missing engines array")?
+    {
+        engines.push(BenchEngine {
+            engine: field_str(e, "engine")?,
+            threads: field_u64(e, "threads")?,
+            cycles_per_sec: field_f64(e, "cycles_per_sec")?,
+            delivered_flits: field_u64(e, "delivered_flits")?,
+        });
+    }
+    let mut phases = Vec::new();
+    if let Some(list) = cell.get("phases").and_then(Json::as_arr) {
+        for p in list {
+            phases.push(BenchPhase {
+                phase: field_str(p, "phase")?,
+                ns_per_cycle: field_f64(p, "ns_per_cycle")?,
+                fraction: field_f64(p, "fraction")?,
+            });
+        }
+    }
+    let mut amdahl = Vec::new();
+    if let Some(list) = cell.get("amdahl").and_then(Json::as_arr) {
+        for a in list {
+            amdahl.push(AmdahlPoint {
+                threads: field_u64(a, "threads")?,
+                speedup: field_f64(a, "speedup")?,
+            });
+        }
+    }
+    Ok(BenchCell {
+        radix: field_u64(cell, "radix")?,
+        load: field_str(cell, "load")?,
+        decide_fraction: field_f64(cell, "decide_fraction")?,
+        phases,
+        engines,
+        amdahl,
+    })
+}
+
+fn render_cell(cell: &BenchCell) -> String {
+    let mut out = format!(
+        "    {{\"radix\": {}, \"load\": \"{}\", \"decide_fraction\": {:.4},\n",
+        cell.radix,
+        escape(&cell.load),
+        cell.decide_fraction
+    );
+    out.push_str("     \"phases\": [");
+    for (i, p) in cell.phases.iter().enumerate() {
+        out.push_str(if i == 0 { "" } else { ", " });
+        out.push_str(&format!(
+            "{{\"phase\": \"{}\", \"ns_per_cycle\": {:.1}, \"fraction\": {:.4}}}",
+            escape(&p.phase),
+            p.ns_per_cycle,
+            p.fraction
+        ));
+    }
+    out.push_str("],\n     \"engines\": [");
+    for (i, e) in cell.engines.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "      {{\"engine\": \"{}\", \"threads\": {}, \"cycles_per_sec\": {:.0}, \
+             \"delivered_flits\": {}, \"mode\": \"measured\"}}",
+            escape(&e.engine),
+            e.threads,
+            e.cycles_per_sec,
+            e.delivered_flits
+        ));
+    }
+    out.push_str("\n     ],\n     \"amdahl\": [");
+    for (i, a) in cell.amdahl.iter().enumerate() {
+        out.push_str(if i == 0 { "" } else { ", " });
+        out.push_str(&format!(
+            "{{\"threads\": {}, \"speedup\": {:.2}, \"mode\": \"projected\"}}",
+            a.threads, a.speedup
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The outcome of diffing a fresh capture against a prior one.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// One human-readable line per compared (engine, radix, load) cell.
+    pub lines: Vec<String>,
+    /// Cells whose throughput ratio fell below the threshold.
+    pub regressions: Vec<String>,
+    /// Why the comparison was skipped entirely, if it was.
+    pub skipped: Option<String>,
+}
+
+impl DiffReport {
+    /// Whether the diff gate passes (no regression past the threshold).
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `next` against `prev` cell by cell. `threshold` is the
+/// minimum acceptable `next/prev` cycles-per-second ratio — 0.5 means
+/// "fail if throughput halved". Cross-profile comparisons (debug vs
+/// release) are skipped: the numbers answer different questions.
+#[must_use]
+pub fn diff(prev: &BenchDoc, next: &BenchDoc, threshold: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    if prev.profile != next.profile {
+        report.skipped = Some(format!(
+            "profile mismatch ({} vs {}): wall-clock comparison skipped",
+            prev.profile, next.profile
+        ));
+        return report;
+    }
+    for cell in &next.cells {
+        let Some(prior) = prev.cell(cell.radix, &cell.load) else {
+            report.lines.push(format!(
+                "radix{} {}: new cell (no {} baseline)",
+                cell.radix,
+                cell.load,
+                prev.name()
+            ));
+            continue;
+        };
+        for engine in &cell.engines {
+            let label = format!(
+                "radix{} {} {} x{}",
+                cell.radix, cell.load, engine.engine, engine.threads
+            );
+            let Some(before) = prior.rate(&engine.engine, engine.threads) else {
+                report.lines.push(format!("{label}: new engine row"));
+                continue;
+            };
+            if before <= 0.0 {
+                report
+                    .lines
+                    .push(format!("{label}: prior rate was zero, skipped"));
+                continue;
+            }
+            let ratio = engine.cycles_per_sec / before;
+            report.lines.push(format!(
+                "{label}: {:.0} -> {:.0} cycles/sec ({ratio:.2}x vs {})",
+                before,
+                engine.cycles_per_sec,
+                prev.name()
+            ));
+            if ratio < threshold {
+                report.regressions.push(format!(
+                    "{label}: {:.0} -> {:.0} cycles/sec ({ratio:.2}x < {threshold:.2}x threshold)",
+                    before, engine.cycles_per_sec
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Scans a results directory for `BENCH_<n>.json` files, sorted by PR
+/// number. Unreadable directories yield an empty list (a fresh checkout
+/// has no trajectory yet).
+#[must_use]
+pub fn find_benches(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse::<u64>().ok())
+        {
+            found.push((n, entry.path()));
+        }
+    }
+    found.sort_by_key(|(n, _)| *n);
+    found
+}
+
+/// Renders a set of parsed BENCH documents (oldest first) as one
+/// trajectory table: one row per (pr, radix, load, engine).
+#[must_use]
+pub fn trajectory_table(docs: &[BenchDoc]) -> Table {
+    let mut t = Table::with_columns(&[
+        "pr",
+        "profile",
+        "cores",
+        "radix",
+        "load",
+        "engine",
+        "threads",
+        "cycles/sec",
+        "decide_frac",
+    ]);
+    t.numeric();
+    for doc in docs {
+        for cell in &doc.cells {
+            for engine in &cell.engines {
+                t.row(vec![
+                    doc.pr.to_string(),
+                    doc.profile.clone(),
+                    doc.host_cores.to_string(),
+                    cell.radix.to_string(),
+                    cell.load.clone(),
+                    engine.engine.clone(),
+                    engine.threads.to_string(),
+                    format!("{:.0}", engine.cycles_per_sec),
+                    format!("{:.3}", cell.decide_fraction),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(pr: u64, seq_rate: f64, par_rate: f64) -> BenchDoc {
+        BenchDoc {
+            schema: CURRENT_SCHEMA,
+            pr,
+            profile: "release".to_string(),
+            quick: false,
+            host_cores: 4,
+            par_threads: 2,
+            warmup_cycles: 200,
+            measure_cycles: 1500,
+            cells: vec![BenchCell {
+                radix: 16,
+                load: "saturated".to_string(),
+                decide_fraction: 0.57,
+                phases: vec![
+                    BenchPhase {
+                        phase: "prepare".to_string(),
+                        ns_per_cycle: 1000.0,
+                        fraction: 0.2,
+                    },
+                    BenchPhase {
+                        phase: "decide".to_string(),
+                        ns_per_cycle: 2850.0,
+                        fraction: 0.57,
+                    },
+                    BenchPhase {
+                        phase: "commit".to_string(),
+                        ns_per_cycle: 1150.0,
+                        fraction: 0.23,
+                    },
+                ],
+                engines: vec![
+                    BenchEngine {
+                        engine: "sequential".to_string(),
+                        threads: 1,
+                        cycles_per_sec: seq_rate,
+                        delivered_flits: 9000,
+                    },
+                    BenchEngine {
+                        engine: "par".to_string(),
+                        threads: 2,
+                        cycles_per_sec: par_rate,
+                        delivered_flits: 9000,
+                    },
+                ],
+                amdahl: vec![AmdahlPoint {
+                    threads: 4,
+                    speedup: 1.75,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let original = doc(7, 75_000.0, 71_000.0);
+        let text = original.render();
+        let parsed = BenchDoc::parse(&text).expect("round trip parses");
+        assert_eq!(parsed, original);
+        // Byte-stable: rendering the parsed document reproduces the text.
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parses_schema_1_document() {
+        // The shape PR 6 wrote (results/BENCH_6.json).
+        let text = r#"{
+  "schema": 1,
+  "bench": "BENCH_6",
+  "profile": "release",
+  "host_cores": 1,
+  "warmup_cycles": 200,
+  "measure_cycles": 1500,
+  "cells": [
+    {"radix": 16, "load": "saturated", "decide_fraction": 0.5770, "engines": [
+      {"engine": "sequential", "threads": 1, "cycles_per_sec": 75000, "delivered_flits": 100},
+      {"engine": "par", "threads": 2, "cycles_per_sec": 70000, "delivered_flits": 100}
+    ]}
+  ]
+}"#;
+        let parsed = BenchDoc::parse(text).expect("schema 1 parses");
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.pr, 6, "PR derived from the bench name");
+        assert_eq!(parsed.host_cores, 1);
+        assert!(parsed.phases_empty());
+        assert_eq!(
+            parsed.cell(16, "saturated").and_then(|c| c.rate("par", 2)),
+            Some(70000.0)
+        );
+    }
+
+    impl BenchDoc {
+        fn phases_empty(&self) -> bool {
+            self.cells.iter().all(|c| c.phases.is_empty())
+        }
+    }
+
+    #[test]
+    fn diff_accepts_steady_throughput() {
+        let prev = doc(6, 75_000.0, 71_000.0);
+        let next = doc(7, 74_000.0, 73_000.0);
+        let report = diff(&prev, &next, 0.5);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.lines.len(), 2);
+        assert!(report.lines[0].contains("0.99x"), "{:?}", report.lines);
+    }
+
+    #[test]
+    fn diff_fails_on_injected_synthetic_regression() {
+        // The ISSUE acceptance case: a synthetic 10x slowdown in one
+        // engine cell must fail the gate.
+        let prev = doc(6, 75_000.0, 71_000.0);
+        let next = doc(7, 7_500.0, 71_000.0);
+        let report = diff(&prev, &next, 0.5);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(
+            report.regressions[0].contains("sequential x1"),
+            "{:?}",
+            report.regressions
+        );
+        assert!(report.regressions[0].contains("0.10x"));
+    }
+
+    #[test]
+    fn diff_skips_cross_profile_comparison() {
+        let prev = doc(6, 75_000.0, 71_000.0);
+        let mut next = doc(7, 100.0, 100.0); // debug build: wildly slower
+        next.profile = "debug".to_string();
+        let report = diff(&prev, &next, 0.5);
+        assert!(report.passed(), "skipped, not failed");
+        assert!(report.skipped.is_some());
+    }
+
+    #[test]
+    fn diff_reports_new_cells_and_rows_without_failing() {
+        let mut prev = doc(6, 75_000.0, 71_000.0);
+        prev.cells[0].engines.pop(); // prior run had no par row
+        let mut next = doc(7, 74_000.0, 70_000.0);
+        next.cells.push(BenchCell {
+            radix: 64,
+            load: "saturated".to_string(),
+            decide_fraction: 0.6,
+            phases: Vec::new(),
+            engines: Vec::new(),
+            amdahl: Vec::new(),
+        });
+        let report = diff(&prev, &next, 0.5);
+        assert!(report.passed());
+        assert!(report.lines.iter().any(|l| l.contains("new engine row")));
+        assert!(report.lines.iter().any(|l| l.contains("new cell")));
+    }
+
+    #[test]
+    fn find_benches_sorts_by_pr_number() {
+        let dir = std::env::temp_dir().join(format!("ssq-prof-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [10, 2, 7] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap(); // ignored
+        std::fs::write(dir.join("lint.json"), "{}").unwrap(); // ignored
+        let found = find_benches(&dir);
+        let numbers: Vec<u64> = found.iter().map(|(n, _)| *n).collect();
+        assert_eq!(numbers, vec![2, 7, 10]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trajectory_table_spans_documents() {
+        let docs = vec![doc(6, 75_000.0, 71_000.0), doc(7, 80_000.0, 90_000.0)];
+        let table = trajectory_table(&docs);
+        let csv = table.to_csv();
+        assert!(
+            csv.starts_with("pr,profile,cores,radix,load,engine,threads,cycles/sec,decide_frac")
+        );
+        assert_eq!(csv.lines().count(), 5, "{csv}");
+        assert!(csv.contains("7,release,4,16,saturated,par,2,90000,0.570"));
+    }
+}

@@ -54,10 +54,12 @@
 #![warn(missing_docs)]
 
 mod par;
+pub mod prof;
 mod runner;
 mod sweep;
 
 pub use par::{with_engine, Engine, ParRunner, ShardedModel};
+pub use prof::EngineProf;
 pub use runner::{CycleModel, MonitorOutcome, Monitored, Runner, Schedule};
 pub use ssq_check::{Preflight, Report};
 pub use sweep::{sweep, sweep_with_threads};

@@ -29,6 +29,7 @@ use std::sync::{Mutex, RwLock};
 use ssq_stats::ShardAccumulator;
 use ssq_types::{Cycle, Cycles};
 
+use crate::prof::EngineProf;
 use crate::runner::{CycleModel, MonitorOutcome, Monitored, Schedule};
 
 /// A model whose cycle splits into parallel per-shard decisions plus a
@@ -225,6 +226,9 @@ fn worker<M: ShardedModel + Send + Sync>(shared: &Shared<'_, M>) -> ShardAccumul
 pub struct Engine<'e, 'm, M: ShardedModel> {
     shared: &'e Shared<'m, M>,
     acc: ShardAccumulator,
+    /// Stage profiler (zero-sized unless the `prof` feature is on;
+    /// disarmed by default even then).
+    prof: EngineProf,
 }
 
 impl<M: ShardedModel + Send + Sync> Engine<'_, '_, M> {
@@ -236,6 +240,30 @@ impl<M: ShardedModel + Send + Sync> Engine<'_, '_, M> {
     /// Panics if a worker thread panicked (the original panic is
     /// re-raised when the engine scope unwinds).
     pub fn step(&mut self, now: Cycle) {
+        // Profiler gate: with the `prof` feature off this is a const
+        // `false` and the lap path is dead code; armed, it is one
+        // counter add plus a mask test per cycle.
+        if self.prof.begin_cycle() {
+            let mut watch = ssq_prof::Stopwatch::start();
+            self.stage_gather(now);
+            self.prof
+                .record_stage(ssq_prof::PHASE_GATHER, watch.lap_ns());
+            self.stage_decide(now);
+            self.prof
+                .record_stage(ssq_prof::PHASE_DECIDE, watch.lap_ns());
+            self.stage_merge(now);
+            self.prof
+                .record_stage(ssq_prof::PHASE_MERGE, watch.lap_ns());
+            return;
+        }
+        self.stage_gather(now);
+        self.stage_decide(now);
+        self.stage_merge(now);
+    }
+
+    /// Stage 1 — gather: serial prepare under the write lock, then
+    /// publish the cycle and reset the shard cursor for the workers.
+    fn stage_gather(&mut self, now: Cycle) {
         let shared = self.shared;
         {
             let mut guard = shared.model.write().unwrap_or_else(|e| e.into_inner());
@@ -243,6 +271,12 @@ impl<M: ShardedModel + Send + Sync> Engine<'_, '_, M> {
         }
         shared.now.store(now.value(), Ordering::SeqCst);
         shared.cursor.store(0, Ordering::SeqCst);
+    }
+
+    /// Stage 2 — decide: open the cycle barrier, claim shards alongside
+    /// the workers, close the completion barrier.
+    fn stage_decide(&mut self, now: Cycle) {
+        let shared = self.shared;
         let opened = shared.barrier.wait().is_ok();
         assert!(opened, "parallel engine: a worker thread panicked");
         {
@@ -252,23 +286,41 @@ impl<M: ShardedModel + Send + Sync> Engine<'_, '_, M> {
         }
         let decided = shared.barrier.wait().is_ok();
         assert!(decided, "parallel engine: a worker thread panicked");
-        {
-            let mut guard = shared.model.write().unwrap_or_else(|e| e.into_inner());
-            let model: &mut M = &mut *guard;
-            let mut plans = Vec::with_capacity(shared.slots.len());
-            for (shard, slot) in shared.slots.iter().enumerate() {
-                let plan = slot
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .take()
-                    // A lost slot (worker died between claim and deposit)
-                    // is re-decided serially; decide is pure, so the
-                    // outcome is identical.
-                    .unwrap_or_else(|| model.shard_decide(shard, now));
-                plans.push(plan);
-            }
-            model.shard_merge(now, plans);
+    }
+
+    /// Stage 3 — merge: drain the plan slots in shard order under the
+    /// write lock and commit them.
+    fn stage_merge(&mut self, now: Cycle) {
+        let shared = self.shared;
+        let mut guard = shared.model.write().unwrap_or_else(|e| e.into_inner());
+        let model: &mut M = &mut *guard;
+        let mut plans = Vec::with_capacity(shared.slots.len());
+        for (shard, slot) in shared.slots.iter().enumerate() {
+            let plan = slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                // A lost slot (worker died between claim and deposit)
+                // is re-decided serially; decide is pure, so the
+                // outcome is identical.
+                .unwrap_or_else(|| model.shard_decide(shard, now));
+            plans.push(plan);
         }
+        model.shard_merge(now, plans);
+    }
+
+    /// Arms the engine-stage profiler: roughly one cycle in
+    /// `sample_every` laps a stopwatch around the gather/decide/merge
+    /// stages. A no-op unless the `prof` cargo feature is compiled in.
+    pub fn prof_arm(&mut self, sample_every: u64) {
+        self.prof.arm(sample_every);
+    }
+
+    /// The stage profiler's accumulated totals, or `None` in a build
+    /// without the `prof` feature.
+    #[must_use]
+    pub fn prof_report(&self) -> Option<ssq_prof::ProfReport> {
+        self.prof.report()
     }
 
     /// Serial access to the model between cycles.
@@ -309,6 +361,7 @@ where
         let mut engine = Engine {
             shared: &shared,
             acc: ShardAccumulator::new(),
+            prof: EngineProf::new(),
         };
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut engine)));
         shared.stop.store(true, Ordering::SeqCst);
@@ -408,6 +461,40 @@ impl ParRunner {
             now
         });
         final_cycle
+    }
+
+    /// Like [`ParRunner::run_accounted`], but additionally arms the
+    /// engine-stage profiler at the measurement boundary (sampling one
+    /// cycle in `sample_every`) and returns its gather/decide/merge
+    /// breakdown. The report is `None` in a build without the `prof`
+    /// cargo feature — callers surface that as a rebuild hint.
+    pub fn run_profiled<M>(
+        &self,
+        model: &mut M,
+        sample_every: u64,
+    ) -> (Cycle, Option<ssq_prof::ProfReport>, ShardAccumulator)
+    where
+        M: ShardedModel + Send + Sync,
+    {
+        let warm_end = Cycle::ZERO + self.schedule.warmup();
+        let end = warm_end + self.schedule.measure();
+        let ((final_cycle, report), load) = with_engine(self.threads, model, |engine| {
+            let mut now = Cycle::ZERO;
+            while now < warm_end {
+                engine.step(now);
+                now = now.next();
+            }
+            engine.with_model(|m| m.begin_measurement(now));
+            // Arm only for the measured phase, so warm-up noise never
+            // lands in the stage accumulators.
+            engine.prof_arm(sample_every);
+            while now < end {
+                engine.step(now);
+                now = now.next();
+            }
+            (now, engine.prof_report())
+        });
+        (final_cycle, report, load)
     }
 
     /// Like [`ParRunner::run`], but also returns the merged per-worker
@@ -685,6 +772,26 @@ mod tests {
         let mut toy = Toy::new(16);
         let (_, load) = ParRunner::new(schedule, 4).run_accounted(&mut toy);
         assert_eq!(load.shards(), 40 * 16, "every shard of every cycle");
+    }
+
+    #[test]
+    fn run_profiled_is_behaviour_preserving() {
+        let schedule = Schedule::new(Cycles::new(5), Cycles::new(32));
+        let mut reference = Toy::new(8);
+        Runner::new(schedule).run(&mut reference);
+        let mut profiled = Toy::new(8);
+        let (end, report, load) = ParRunner::new(schedule, 2).run_profiled(&mut profiled, 1);
+        assert_eq!(end, Cycle::new(37));
+        assert_eq!(profiled, reference, "profiling must not change behaviour");
+        assert_eq!(load.shards(), 37 * 8, "every shard of every cycle");
+        #[cfg(feature = "prof")]
+        {
+            let r = report.expect("prof feature on: report present");
+            assert_eq!(r.sampled_cycles, 32, "armed at the measurement boundary");
+            assert!(r.phases.iter().any(|p| p.name == "gather" && p.ns > 0));
+        }
+        #[cfg(not(feature = "prof"))]
+        assert!(report.is_none(), "prof feature off: no data");
     }
 
     #[test]

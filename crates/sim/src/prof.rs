@@ -1,0 +1,135 @@
+//! Engine-stage profiling hooks for the parallel runner (DESIGN.md §11).
+//!
+//! [`EngineProf`] wraps an [`ssq_prof::Profiler`] over the parallel
+//! engine's gather/decide/merge stages. The driving thread consults it
+//! once per cycle in [`Engine::step`](crate::Engine::step): a sampled
+//! cycle laps a stopwatch around each stage, every other cycle runs the
+//! stages back to back with no timer reads.
+//!
+//! With the `prof` cargo feature **off** (the default), the struct is a
+//! zero-sized stub and the per-cycle gate is an `#[inline(always)]`
+//! constant `false`, so the lap path is dead code and the barrier
+//! crossings are untouched — the same contract `ssq_core`'s `prof`
+//! feature keeps for the sequential kernel.
+
+use ssq_prof::ProfReport;
+
+/// Per-engine stage profiler state.
+///
+/// Held unconditionally by the parallel [`Engine`](crate::Engine);
+/// zero-sized when the `prof` feature is off.
+#[cfg(feature = "prof")]
+#[derive(Debug, Clone)]
+pub struct EngineProf {
+    inner: ssq_prof::Profiler,
+}
+
+#[cfg(feature = "prof")]
+impl EngineProf {
+    /// A disarmed profiler over the engine stages.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineProf {
+            inner: ssq_prof::Profiler::engine(),
+        }
+    }
+
+    /// Arms sampling at roughly one cycle in `sample_every` (rounded up
+    /// to a power of two; `0`/`1` mean every cycle).
+    pub fn arm(&mut self, sample_every: u64) {
+        self.inner.arm(sample_every);
+    }
+
+    /// Stops sampling; accumulated totals are kept.
+    pub fn disarm(&mut self) {
+        self.inner.disarm();
+    }
+
+    /// Advances the cycle counter; `true` when this cycle is sampled.
+    #[inline]
+    pub fn begin_cycle(&mut self) -> bool {
+        self.inner.begin_cycle()
+    }
+
+    /// Adds one lap to a stage accumulator.
+    #[inline]
+    pub fn record_stage(&mut self, stage: usize, ns: u64) {
+        self.inner.record_phase(stage, ns);
+    }
+
+    /// Snapshots the accumulated totals.
+    #[must_use]
+    pub fn report(&self) -> Option<ProfReport> {
+        Some(self.inner.report())
+    }
+}
+
+#[cfg(feature = "prof")]
+impl Default for EngineProf {
+    fn default() -> Self {
+        EngineProf::new()
+    }
+}
+
+// --- Feature off: a zero-sized stub; the gate is const false. ---------
+
+/// Per-engine stage profiler state (stub: `prof` feature off).
+#[cfg(not(feature = "prof"))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineProf;
+
+#[cfg(not(feature = "prof"))]
+impl EngineProf {
+    /// A disarmed profiler (stub).
+    #[inline(always)]
+    #[must_use]
+    pub fn new() -> Self {
+        EngineProf
+    }
+
+    /// No-op (stub): nothing to arm without the feature.
+    #[inline(always)]
+    pub fn arm(&mut self, _sample_every: u64) {}
+
+    /// No-op (stub).
+    #[inline(always)]
+    pub fn disarm(&mut self) {}
+
+    /// Always `false`: no cycle is ever sampled, so the lap path is
+    /// dead code the optimizer removes.
+    #[inline(always)]
+    #[must_use]
+    pub fn begin_cycle(&mut self) -> bool {
+        false
+    }
+
+    /// No-op (stub).
+    #[inline(always)]
+    pub fn record_stage(&mut self, _stage: usize, _ns: u64) {}
+
+    /// Always `None`: an unprofiled build has no data.
+    #[inline(always)]
+    #[must_use]
+    pub fn report(&self) -> Option<ProfReport> {
+        None
+    }
+}
+
+#[cfg(all(test, feature = "prof"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_profiler_accumulates_stage_laps() {
+        let mut p = EngineProf::new();
+        assert!(!p.begin_cycle(), "disarmed: never sampled");
+        p.arm(1);
+        assert!(p.begin_cycle());
+        p.record_stage(ssq_prof::PHASE_GATHER, 10);
+        p.record_stage(ssq_prof::PHASE_DECIDE, 80);
+        p.record_stage(ssq_prof::PHASE_MERGE, 10);
+        let report = p.report().expect("feature on: always Some");
+        assert_eq!(report.sampled_cycles, 1);
+        assert!((report.decide_fraction().unwrap() - 0.8).abs() < 1e-9);
+    }
+}

@@ -145,7 +145,7 @@ impl MetricsRegistry {
         }
         for (_, h) in &self.histograms {
             row.push(format!("{:.2}", h.mean()));
-            row.push(h.percentile(0.99).unwrap_or(0).to_string());
+            row.push(h.percentile(99.0).unwrap_or(0).to_string());
             row.push(h.max().unwrap_or(0).to_string());
         }
         self.rows.push((now, row));
@@ -208,7 +208,7 @@ impl MetricsRegistry {
             out.push((format!("{n}.mean"), format!("{:.2}", h.mean())));
             out.push((
                 format!("{n}.p99"),
-                h.percentile(0.99).unwrap_or(0).to_string(),
+                h.percentile(99.0).unwrap_or(0).to_string(),
             ));
             out.push((format!("{n}.max"), h.max().unwrap_or(0).to_string()));
         }
@@ -250,10 +250,61 @@ mod tests {
             lines.next(),
             Some("cycle,grants,fill,wait.mean,wait.p99,wait.max")
         );
-        // p99 follows ssq-stats' cumulative-count percentile semantics.
-        assert_eq!(lines.next(), Some("10,3,0.250,8.00,7,9"));
+        // p99 follows ssq-stats' cumulative-count percentile semantics:
+        // with samples {7, 9} it lands in the top bin, not the bottom.
+        assert_eq!(lines.next(), Some("10,3,0.250,8.00,9,9"));
         assert!(lines.next().is_some_and(|l| l.starts_with("20,4,")));
         assert_eq!(m.counter(c), 4);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_as_zero() {
+        // No samples: mean is 0, and the p99/max columns fall back to 0
+        // rather than poisoning the series.
+        let mut m = MetricsRegistry::new(1);
+        let _h = m.register_histogram("wait", 1, 8);
+        m.snapshot(0);
+        let csv = m.to_table().to_csv();
+        assert!(csv.ends_with("0,0.00,0,0\n"), "{csv}");
+    }
+
+    #[test]
+    fn single_sample_histogram_reports_it_at_every_percentile() {
+        let mut m = MetricsRegistry::new(1);
+        let h = m.register_histogram("wait", 1, 8);
+        m.record(h, 5);
+        m.snapshot(0);
+        let csv = m.to_table().to_csv();
+        assert!(csv.ends_with("0,5.00,5,5\n"), "{csv}");
+        // The one sample is every percentile of itself.
+        let (_, hist) = &m.histograms[0];
+        for p in [50.0, 90.0, 99.0] {
+            assert_eq!(hist.percentile(p), Some(5));
+        }
+    }
+
+    #[test]
+    fn saturated_bucket_percentiles_resolve_to_exact_max() {
+        // Samples past the binned range land in the overflow bucket;
+        // percentiles that fall there must report the exact observed
+        // maximum, not a bin edge.
+        let mut m = MetricsRegistry::new(1);
+        let h = m.register_histogram("wait", 1, 4);
+        for _ in 0..99 {
+            m.record(h, 1);
+        }
+        m.record(h, 1_000); // beyond the 4-bin range
+        let (_, hist) = &m.histograms[0];
+        assert_eq!(hist.percentile(50.0), Some(1));
+        assert_eq!(hist.percentile(90.0), Some(1));
+        assert_eq!(hist.percentile(99.0), Some(1));
+        assert_eq!(hist.percentile(100.0), Some(1_000));
+        m.snapshot(0);
+        let summary = m.latest_summary();
+        assert!(
+            summary.contains(&(String::from("wait.max"), String::from("1000"))),
+            "{summary:?}"
+        );
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! cargo run -p xtask -- verify                  # fast-tier model check (2x2)
 //! cargo run -p xtask -- verify --deep           # + deep tier (4x4, bounded)
 //! cargo run -p xtask -- bench                   # perf trajectory probe
-//! cargo run -p xtask -- bench --json            # + write results/BENCH_6.json
+//! cargo run -p xtask -- bench --json --diff     # record BENCH_<pr>.json, gate vs prior
+//! cargo run -p xtask -- bench --quick --diff    # the scripts/check.sh regression gate
 //! ```
 //!
 //! The lint pass is the [`ssq_lint`] engine: an in-tree lexer and
@@ -26,9 +27,13 @@
 //! process on the first invariant violation (the minimal counterexample
 //! trace is printed as ssq-trace JSONL).
 //!
-//! The bench task seeds the perf-trajectory record (ROADMAP item 5): a
-//! small engine × radix × load matrix timed wall-clock, with the decide
-//! phase's Amdahl fraction, written to `results/BENCH_6.json`.
+//! The bench task maintains the perf-trajectory record (ROADMAP
+//! item 5): a small engine × radix × load matrix timed wall-clock, with
+//! the in-switch profiler's prepare/decide/commit breakdown (xtask
+//! compiles the model crates with the `prof` feature), written as
+//! schema-versioned `results/BENCH_<pr>.json` documents and diffed
+//! against the prior document with a configurable regression threshold
+//! (`--diff`, nonzero exit on regression).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -54,8 +59,9 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str =
-    "usage: cargo run -p xtask -- <lint [--json] [--update-baseline] | verify [--deep] | bench [--json]>";
+const USAGE: &str = "usage: cargo run -p xtask -- <lint [--json] [--update-baseline] \
+     | verify [--deep] \
+     | bench [--json] [--diff] [--quick] [--threshold R] [--pr N] [--shards]>";
 
 /// Runs the model-checker tiers: the fast battery always, the deep
 /// battery with `--deep`. Prints one line per scenario and the first

@@ -38,4 +38,12 @@ echo "== fault smoke tier (ssq faults) =="
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== perf regression gate (xtask bench --quick --diff) =="
+# A shortened release-profile probe of the bench matrix, diffed against
+# the newest recorded results/BENCH_<n>.json: any cell slower than
+# 0.4x its recorded rate fails the gate. Thresholds are deliberately
+# loose — this catches order-of-magnitude cliffs, not CI jitter; the
+# full matrix is recorded once per PR with `bench --json --diff`.
+cargo run --quiet --release -p xtask -- bench --quick --diff --threshold 0.4
+
 echo "All checks passed."

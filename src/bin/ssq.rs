@@ -61,6 +61,8 @@ USAGE:
                              judge every scenario against the two-outcome
                              contract: bounds preserved, or a structured
                              revocation — never a silent violation
+  ssq perf-report [OPTIONS]  render the cross-PR perf trajectory from the
+                             recorded results/BENCH_<n>.json documents
   ssq gl-bound [OPTIONS]     evaluate the Eq. 1 worst-case GL waiting bound
   ssq gl-burst [OPTIONS]     evaluate the Eqs. 2-3 burst budgets
   ssq storage  [OPTIONS]     print the Table 1 storage model
@@ -111,6 +113,15 @@ OBSERVABILITY OPTIONS (simulate):
   --stall-window N        cycles of pending-but-stuck work before the
                           watchdog trips (default 10000)
   --gl-bound N            arm the GL wait watchdog at N cycles (Eq. 1)
+  --prof                  time every measured cycle's phases and print the
+                          prepare/decide/commit (seq) or gather/decide/
+                          merge (par) breakdown; needs a build with
+                          `--features prof`, and is incompatible with the
+                          monitored modes (--flight-recorder, --gl-bound)
+
+PERF-REPORT OPTIONS:
+  --results DIR           directory holding BENCH_<n>.json (default results)
+  --csv                   emit the trajectory table as CSV
 
 TRACE-REPORT OPTIONS:
   --in FILE               JSONL trace to summarize (default
@@ -154,6 +165,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
     match args.first().map(String::as_str) {
         Some("simulate") => simulate(&args[1..]),
         Some("trace-report") => trace_report(&args[1..]),
+        Some("perf-report") => perf_report(&args[1..]),
         // A leading option means `simulate` was implied:
         // `ssq --trace --flow 0:0:GB:sat` just works.
         Some(leading) if leading.starts_with("--") && leading != "--help" => simulate(args),
@@ -363,6 +375,7 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             "fabric-check",
             "trace",
             "flight-recorder",
+            "prof",
         ],
     )?;
     let radix = opts.num("radix", 8)? as usize;
@@ -397,6 +410,14 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
                 .map_err(|_| err(format!("--gl-bound: invalid number {v:?}")))?,
         ),
     };
+    let profiling = opts.flag("prof");
+    if profiling && (flight || gl_bound.is_some()) {
+        return Err(err(
+            "--prof times the plain measurement loop; drop --flight-recorder/--gl-bound \
+             (the monitored runner arms its own schedule, so the phase \
+             breakdown would mix warm-up into the accumulators)",
+        ));
+    }
     let trace_diag = analyze_trace_settings(&TraceSettings {
         tracing,
         trace_out: opts.get("trace-out").map(str::to_owned),
@@ -506,6 +527,9 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
         None => None,
     };
     let now;
+    // The parallel engine's stage profile must be read out before the
+    // engine (and its workers) wind down at the end of `with_engine`.
+    let mut par_prof: Option<swizzle_qos::prof::ProfReport> = None;
     if flight || gl_bound.is_some() {
         // Monitored run: the watchdog trips on a stall, a violated GL
         // bound, or (via the unwind hook below) a debug assertion, and
@@ -600,6 +624,11 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
                 at = at.next();
             }
             engine.with_model(|m| m.begin_measurement(at));
+            if profiling {
+                // Arm at the measurement boundary so warm-up never
+                // lands in the stage accumulators.
+                engine.prof_arm(1);
+            }
             for _ in 0..cycles {
                 engine.step(at);
                 engine.with_model(|m| {
@@ -614,6 +643,7 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
                 });
                 at = at.next();
             }
+            par_prof = engine.prof_report();
             at
         });
         if let Some(e) = vcd_error {
@@ -627,6 +657,11 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             at = at.next();
         }
         switch.begin_measurement(at);
+        if profiling {
+            // Arm at the measurement boundary so warm-up never lands in
+            // the phase accumulators.
+            switch.prof_arm(1);
+        }
         for _ in 0..cycles {
             switch.step(at);
             if let Some(rec) = &mut vcd {
@@ -732,6 +767,28 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             c.chained_packets,
         );
     }
+    if profiling && !opts.flag("csv") {
+        let report = if parallel {
+            par_prof
+        } else {
+            switch.prof_report()
+        };
+        match report {
+            Some(r) => {
+                if parallel {
+                    println!("\nengine stage profile (gather/decide/merge):");
+                } else {
+                    println!("\ncycle-phase profile (prepare/decide/commit):");
+                }
+                print!("{}", r.render_text());
+            }
+            None => println!(
+                "\n--prof: this build compiled the profiler hooks out; rebuild \
+                 with `cargo run --features prof --bin ssq -- ...` to get the \
+                 phase breakdown"
+            ),
+        }
+    }
     Ok(())
 }
 
@@ -773,6 +830,47 @@ fn trace_report(args: &[String]) -> Result<(), Box<dyn Error>> {
         println!("\nadmission rejections:");
         print!("{}", summary.reject_table().to_text());
     }
+    Ok(())
+}
+
+/// `ssq perf-report [--results DIR] [--csv]`: parse every recorded
+/// `BENCH_<n>.json` under the results directory and render the cross-PR
+/// perf trajectory (throughput, decide fraction) as one table.
+fn perf_report(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args, &["csv"])?;
+    let dir = opts.get("results").unwrap_or("results");
+    let found = swizzle_qos::prof::find_benches(std::path::Path::new(dir));
+    if found.is_empty() {
+        return Err(err(format!(
+            "no BENCH_<n>.json documents under {dir:?}; record one with \
+             `cargo run --release -p xtask -- bench --json`"
+        )));
+    }
+    let mut docs = Vec::new();
+    for (_, path) in &found {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("reading {}: {e}", path.display())))?;
+        docs.push(
+            swizzle_qos::prof::BenchDoc::parse(&text)
+                .map_err(|e| err(format!("{}: {e}", path.display())))?,
+        );
+    }
+    let table = swizzle_qos::prof::trajectory_table(&docs);
+    if opts.flag("csv") {
+        print!("{}", table.to_csv());
+        return Ok(());
+    }
+    println!(
+        "perf trajectory: {} document(s), PR {} to {} ({dir}/BENCH_<n>.json)",
+        docs.len(),
+        found.first().map_or(0, |(n, _)| *n),
+        found.last().map_or(0, |(n, _)| *n),
+    );
+    print!("{}", table.to_text());
+    println!(
+        "\nphases are wall-clock per measured cycle; amdahl rows in the \
+         documents are labelled projections, not measurements"
+    );
     Ok(())
 }
 
@@ -1150,6 +1248,71 @@ mod tests {
         trace_report(&strs(&["--in", trace.to_str().unwrap()])).unwrap();
         trace_report(&strs(&["--in", trace.to_str().unwrap(), "--csv"])).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profiled_simulate_runs_on_both_engines() {
+        // Feature-off builds print the rebuild hint; feature-on builds
+        // print the phase table. Either way the run must succeed, on
+        // the sequential and the sharded engine alike.
+        let base = [
+            "--radix",
+            "4",
+            "--cycles",
+            "500",
+            "--warmup",
+            "50",
+            "--flow",
+            "0:0:BE:0.2:4",
+            "--prof",
+        ];
+        simulate(&strs(&base)).unwrap();
+        let mut par = strs(&base);
+        par.extend(strs(&["--engine", "par", "--threads", "2"]));
+        simulate(&par).unwrap();
+        // The monitored runner owns its own schedule, so --prof with a
+        // watchdog mode is refused rather than silently mismeasured.
+        let mut monitored = strs(&base);
+        monitored.push("--flight-recorder".to_owned());
+        let e = simulate(&monitored).expect_err("--prof + monitored mode");
+        assert!(e.to_string().contains("--prof"), "got: {e}");
+    }
+
+    #[test]
+    fn perf_report_renders_recorded_trajectory() {
+        use swizzle_qos::prof::{BenchCell, BenchDoc, BenchEngine};
+        let dir = std::env::temp_dir().join(format!("ssq-cli-perf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = BenchDoc {
+            schema: 2,
+            pr: 3,
+            profile: "release".to_owned(),
+            quick: false,
+            host_cores: 8,
+            par_threads: 2,
+            warmup_cycles: 100,
+            measure_cycles: 400,
+            cells: vec![BenchCell {
+                radix: 16,
+                load: "saturated".to_owned(),
+                decide_fraction: 0.55,
+                phases: vec![],
+                engines: vec![BenchEngine {
+                    engine: "sequential".to_owned(),
+                    threads: 1,
+                    cycles_per_sec: 125_000.0,
+                    delivered_flits: 42,
+                }],
+                amdahl: vec![],
+            }],
+        };
+        std::fs::write(dir.join("BENCH_3.json"), doc.render()).unwrap();
+        let dir_s = dir.to_str().unwrap().to_owned();
+        run(&strs(&["perf-report", "--results", &dir_s])).unwrap();
+        perf_report(&strs(&["--results", &dir_s, "--csv"])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        let e = perf_report(&strs(&["--results", &dir_s])).expect_err("empty dir");
+        assert!(e.to_string().contains("BENCH"), "got: {e}");
     }
 
     #[test]

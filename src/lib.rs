@@ -25,6 +25,10 @@
 //!   latency-bound mathematics (Eqs. 1–3).
 //! * [`physical`] — storage (Table 1), area, and frequency (Table 2)
 //!   models.
+//! * [`prof`] — the cycle-phase profiler (zero-overhead-when-off, armed
+//!   by the `prof` cargo feature on the model crates) and the
+//!   schema-versioned `results/BENCH_<pr>.json` perf-trajectory record
+//!   behind `cargo xtask bench` and `ssq perf-report`.
 //! * [`faults`] — deterministic fault injection: seeded [`faults::FaultPlan`]
 //!   schedules (scripted or MTBF mode), the [`faults::ChaosSwitch`]
 //!   harness, the two-outcome [`faults::judge`] oracle, and the
@@ -90,6 +94,7 @@ pub use ssq_circuit as circuit;
 pub use ssq_core as core;
 pub use ssq_faults as faults;
 pub use ssq_physical as physical;
+pub use ssq_prof as prof;
 pub use ssq_sim as sim;
 pub use ssq_stats as stats;
 pub use ssq_trace as trace;
