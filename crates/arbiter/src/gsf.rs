@@ -86,7 +86,7 @@ impl Gsf {
     fn advance_frame(&mut self) {
         self.remaining.copy_from_slice(&self.budgets);
         self.elapsed = 0;
-        self.frames_completed += 1;
+        self.frames_completed = self.frames_completed.saturating_add(1);
     }
 }
 
@@ -141,7 +141,7 @@ impl Arbiter for Gsf {
     }
 
     fn tick(&mut self) {
-        self.elapsed += 1;
+        self.elapsed = self.elapsed.saturating_add(1);
         if self.elapsed >= self.frame_cycles {
             self.advance_frame();
         }

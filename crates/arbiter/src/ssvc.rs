@@ -111,21 +111,21 @@ impl SsvcConfig {
     /// `2^sig_bits`.
     #[must_use]
     pub const fn num_lanes(self) -> usize {
-        1 << self.sig_bits
+        1usize << self.sig_bits
     }
 
     /// Maximum representable `auxVC` value, at which saturation-triggered
     /// policies fire.
     #[must_use]
     pub const fn saturation_cap(self) -> u64 {
-        (1 << self.counter_bits) - 1
+        (1u64 << self.counter_bits) - 1
     }
 
     /// One MSB step: the amount subtracted from every counter when the
     /// real-time subcounter wraps.
     #[must_use]
     pub const fn msb_step(self) -> u64 {
-        1 << self.lsb_bits()
+        1u64 << self.lsb_bits()
     }
 }
 
@@ -310,7 +310,7 @@ impl SsvcArbiter {
     #[must_use]
     pub fn thermometer_code(&self, input: usize) -> u64 {
         let m = self.msb_value(input);
-        if m + 1 >= 64 {
+        if m >= 63 {
             u64::MAX
         } else {
             (1u64 << (m + 1)) - 1

@@ -64,7 +64,8 @@ impl CircuitConfig {
     /// Total lanes including the GL lane.
     #[must_use]
     pub const fn total_lanes(self) -> usize {
-        self.gb_lanes + if self.gl_lane { 1 } else { 0 }
+        self.gb_lanes
+            .saturating_add(if self.gl_lane { 1 } else { 0 })
     }
 
     /// Total bitlines used for arbitration.

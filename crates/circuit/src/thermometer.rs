@@ -69,7 +69,7 @@ impl ThermometerRegister {
     /// The encoded thermometer value: the sense lane.
     #[must_use]
     pub fn value(&self) -> u64 {
-        u64::from(self.code.count_ones()) - 1
+        u64::from(self.code.count_ones()).saturating_sub(1)
     }
 
     /// Shift up one position — the counter's significant bits increased.

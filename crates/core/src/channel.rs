@@ -101,8 +101,10 @@ impl OutputChannel {
         else {
             return None;
         };
-        self.busy_flit_cycles += 1;
-        let remaining = remaining_flits - 1;
+        self.busy_flit_cycles = self.busy_flit_cycles.saturating_add(1);
+        // `commit` asserts len_flits > 0 and the FSM returns to Idle at 1,
+        // so remaining_flits >= 1 whenever we are Transmitting.
+        let remaining = remaining_flits.saturating_sub(1);
         if remaining == 0 {
             self.state = ChannelState::Idle;
         } else {

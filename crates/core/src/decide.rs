@@ -151,6 +151,7 @@ impl QosSwitch {
         blocked: &[bool],
     ) -> OutputPlan {
         let o = output.index();
+        // ssq-lint: allow(unchecked-hot-arith) — per-output channel Vec sized num_ports at construction; `o` is a port id < radix
         if matches!(self.channels[o].state(), ChannelState::Transmitting { .. }) {
             return OutputPlan {
                 action: PlanAction::Transmit,
@@ -164,6 +165,7 @@ impl QosSwitch {
         }
         let inputs: Vec<usize> = gl.iter().chain(&gb).chain(&be).map(|r| r.input()).collect();
         let arb_latency = self.config.policy().arbitration_cycles();
+        // ssq-lint: allow(unchecked-hot-arith) — `arb_wait` is sized num_ports and held below `arbitration_cycles` by commit; `o` is a port id < radix
         if self.arb_wait[o] + 1 < arb_latency {
             return OutputPlan {
                 action: PlanAction::AwaitLatency { inputs },
@@ -199,6 +201,7 @@ impl QosSwitch {
         }
         let reqs: Vec<Request> = requesters.into_iter().map(|i| Request::new(i, 1)).collect();
         let mut events = ShardBuffer::new(o);
+        // ssq-lint: allow(unchecked-hot-arith) — per-output arbiter Vec sized num_ports at construction; `o` is a port id < radix
         let predicted = self.flat_lrg[o]
             .decide(now, &reqs)
             .map(|w| (w, self.best_class_of(w, output)));
@@ -243,6 +246,7 @@ impl QosSwitch {
             add(r, 0, &mut reqs);
         }
         let mut events = ShardBuffer::new(o);
+        // ssq-lint: allow(unchecked-hot-arith) — per-output arbiter Vec sized num_ports at construction; `o` is a port id < radix
         let predicted = self.four_level[o].decide(now, &reqs).and_then(|w| {
             reqs.iter()
                 .find(|r| r.input() == w)
@@ -276,6 +280,7 @@ impl QosSwitch {
         let o = output.index();
         let watch = self.watching();
         let mut events = ShardBuffer::new(o);
+        // ssq-lint: allow(unchecked-hot-arith) — per-output policer Vec sized num_ports at construction; `o` is a port id < radix
         let policed = self.gl_policers[o].policed();
         let demoted = self.faultctl.gl_demoted(o);
         let gl_policed = policed && !gl.is_empty();
@@ -303,6 +308,7 @@ impl QosSwitch {
 
         let (route, predicted) = if !gl.is_empty() && !policed && !demoted {
             let circuit = self.fabric_decision(o, &gl, &[]);
+            // ssq-lint: allow(unchecked-hot-arith) — per-output arbiter Vec sized num_ports at construction; `o` is a port id < radix
             let predicted = self.gl_lrg[o]
                 .decide(now, &gl)
                 .map(|w| (w, TrafficClass::GuaranteedLatency));
@@ -311,6 +317,7 @@ impl QosSwitch {
             }
             (Route::GlPreempt { gl, circuit }, predicted)
         } else if !gb.is_empty() && self.faultctl.lrg_fallback(o) {
+            // ssq-lint: allow(unchecked-hot-arith) — per-output arbiter Vec sized num_ports at construction; `o` is a port id < radix
             let predicted = self.flat_lrg[o].decide(now, &gb).map(|w| {
                 if demoted_gl.contains(&w) {
                     (w, TrafficClass::GuaranteedLatency)
@@ -327,6 +334,7 @@ impl QosSwitch {
             // Snapshot the MSB lanes before the (future) commit mutates
             // auxVC state, so inhibit events carry the values the losers
             // are actually defeated with.
+            // ssq-lint: allow(unchecked-hot-arith) — per-output engine Vec sized num_ports at construction; `o` is a port id < radix
             let msbs: Vec<(usize, u64)> = match &self.gb_engines[o] {
                 GbEngine::Ssvc(ssvc) if watch => gb
                     .iter()
@@ -334,10 +342,12 @@ impl QosSwitch {
                     .collect(),
                 _ => Vec::new(),
             };
+            // ssq-lint: allow(unchecked-hot-arith) — per-output engine Vec sized num_ports at construction; `o` is a port id < radix
             let predicted_w = self.gb_engines[o]
                 .as_arbiter_ref()
                 .and_then(|e| e.decide(now, &gb));
             let predicted = predicted_w.map(|w| {
+                // ssq-lint: allow(unchecked-hot-arith) — per-output engine Vec sized num_ports at construction; `o` is a port id < radix
                 if let GbEngine::Ssvc(ssvc) = &self.gb_engines[o] {
                     if watch {
                         let winner_msb = msbs.iter().find(|&&(i, _)| i == w).map_or(0, |&(_, m)| m);
@@ -381,6 +391,7 @@ impl QosSwitch {
                 predicted,
             )
         } else if !gl.is_empty() {
+            // ssq-lint: allow(unchecked-hot-arith) — per-output arbiter Vec sized num_ports at construction; `o` is a port id < radix
             let predicted = self.gl_lrg[o]
                 .decide(now, &gl)
                 .map(|w| (w, TrafficClass::GuaranteedLatency));
@@ -389,6 +400,7 @@ impl QosSwitch {
             }
             (Route::GlBelowGb { gl }, predicted)
         } else {
+            // ssq-lint: allow(unchecked-hot-arith) — per-output arbiter Vec sized num_ports at construction; `o` is a port id < radix
             let predicted = self.be_lrg[o]
                 .decide(now, &be)
                 .map(|w| (w, TrafficClass::BestEffort));
@@ -419,6 +431,7 @@ impl ArbPlan {
     /// requesters since it was decided. Blocking is monotone within a
     /// cycle, so this is the *only* way a plan can go stale.
     pub(crate) fn stale(&self, blocked: &[bool]) -> bool {
+        // ssq-lint: allow(unchecked-hot-arith) — `inputs` holds port ids < radix and `blocked` is sized num_ports by commit_cycle; the len==radix relation is outside the interval domain
         self.inputs.iter().any(|&i| blocked[i])
     }
 }

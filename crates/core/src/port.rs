@@ -26,14 +26,16 @@ impl ClassQueue {
     }
 
     fn has_room(&self, len_flits: u64) -> bool {
-        self.used_flits + len_flits <= self.capacity_flits
+        // Overflow-free form of `used + len <= capacity` (used <= capacity
+        // is a `push`-maintained invariant, so the subtraction is exact).
+        len_flits <= self.capacity_flits.saturating_sub(self.used_flits)
     }
 
     fn push(&mut self, packet: Packet) -> bool {
         if !self.has_room(packet.spec().len_flits()) {
             return false;
         }
-        self.used_flits += packet.spec().len_flits();
+        self.used_flits = self.used_flits.saturating_add(packet.spec().len_flits());
         self.packets.push_back(packet);
         true
     }
@@ -46,7 +48,9 @@ impl ClassQueue {
     /// and pops the packet if it completed.
     fn transmit_head_flit(&mut self) -> Option<Packet> {
         let head = self.packets.front_mut()?;
-        self.used_flits -= 1;
+        // A present head implies `used_flits >= 1`; saturating keeps the
+        // expression total without changing in-invariant behavior.
+        self.used_flits = self.used_flits.saturating_sub(1);
         if head.transmit_flit() {
             self.packets.pop_front()
         } else {

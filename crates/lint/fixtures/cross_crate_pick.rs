@@ -1,0 +1,11 @@
+// Fixture: cross-crate reachability. Mounted at crates/arbiter/src/lrg.rs
+// and reached from the core-crate `step` root two hops away
+// (step -> hot_decide -> cross_hop -> lrg::pick_winner). The unchecked
+// indexing here must surface as a panic-freedom-reachability finding in
+// *this* crate — the per-crate graphs alone would dead-end at the
+// crate boundary.
+
+pub fn pick_winner(x: u64) -> u64 {
+    let table = [1u64, 2, 4, 8];
+    table[x as usize]
+}

@@ -98,7 +98,13 @@ pub fn render(diags: &[Diagnostic]) -> String {
         "# ssq-lint baseline: findings grandfathered when the token-aware engine landed.\n\
          # New findings are NOT covered and fail `cargo xtask lint`.\n\
          # Regenerate intentionally with: cargo xtask lint --update-baseline\n\
-         # Format: rule<TAB>file<TAB>fingerprint<TAB>excerpt (first 3 fields semantic)\n",
+         # Format: rule<TAB>file<TAB>fingerprint<TAB>excerpt (first 3 fields semantic)\n\
+         #\n\
+         # Shrink policy: this file may only lose entries over time. Remove an entry\n\
+         # when its site is (a) fixed at the source, (b) discharged by the dataflow\n\
+         # layer (the proof appears in the `discharged` section of `--json`), or\n\
+         # (c) waived in-source with an evidence comment. `scripts/check.sh` fails\n\
+         # any change that *grows* the entry count versus the committed copy.\n",
     );
     for l in lines {
         out.push_str(&l);

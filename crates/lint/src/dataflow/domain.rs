@@ -1,0 +1,532 @@
+//! The joint abstract domains of the dataflow layer: unsigned
+//! **intervals** and **known-bits**, reduced against each other.
+//!
+//! Every integer value the interpreter tracks is a [`AbsVal`]: an
+//! interval `[lo, hi]` (kept in `u128` so `u64` arithmetic can be
+//! modelled without overflowing the *analysis*) plus a known-bits pair
+//! `(zeros, ones)` where bit `i` of `zeros` means "bit `i` is provably
+//! 0" and bit `i` of `ones` means "bit `i` is provably 1". The two
+//! domains catch different idioms — `x % 8` gives a tight interval,
+//! `x & 0x3f` gives tight known-bits — and [`AbsVal::reduce`] folds
+//! each domain's implied bound into the other, so `(x & 63) + 1` ends
+//! up with the interval `[1, 64]` even though neither domain alone
+//! would get there.
+//!
+//! All transfer functions are *sound over-approximations* of the
+//! corresponding wrapped-at-`u64` Rust semantics for values that do not
+//! overflow; where an operation may overflow/underflow `u64`, the
+//! transfer function returns ⊤ (full range) and the interpreter
+//! records the hazard at the site instead of trusting the result. The
+//! domains never claim a value the concrete execution could not take.
+
+/// The largest value any tracked quantity can concretely hold
+/// (`u64::MAX`; `usize` is at most 64-bit on every supported target).
+pub const VALUE_MAX: u128 = u64::MAX as u128;
+
+/// An unsigned interval `[lo, hi]`, `lo <= hi`, over `0..=u64::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest value the quantity can take.
+    pub lo: u128,
+    /// Largest value the quantity can take.
+    pub hi: u128,
+}
+
+impl Interval {
+    /// The full `u64` range: no information.
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: VALUE_MAX,
+    };
+
+    /// The interval holding exactly `v`.
+    #[must_use]
+    pub fn exact(v: u64) -> Interval {
+        Interval {
+            lo: u128::from(v),
+            hi: u128::from(v),
+        }
+    }
+
+    /// `[lo, hi]`, clamped into the representable range.
+    #[must_use]
+    pub fn new(lo: u128, hi: u128) -> Interval {
+        let hi = hi.min(VALUE_MAX);
+        Interval { lo: lo.min(hi), hi }
+    }
+
+    /// Whether this is the no-information interval.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        self.lo == 0 && self.hi == VALUE_MAX
+    }
+
+    /// Whether the interval is a single value.
+    #[must_use]
+    pub fn as_exact(&self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo as u64)
+    }
+
+    /// The least upper bound of two intervals.
+    #[must_use]
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Per-bit knowledge over the low 64 bits: `zeros` marks bits provably
+/// 0, `ones` marks bits provably 1. The two masks never overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownBits {
+    /// Bits provably zero.
+    pub zeros: u64,
+    /// Bits provably one.
+    pub ones: u64,
+}
+
+impl KnownBits {
+    /// Nothing known about any bit.
+    pub const TOP: KnownBits = KnownBits { zeros: 0, ones: 0 };
+
+    /// Every bit known: the constant `v`.
+    #[must_use]
+    pub fn exact(v: u64) -> KnownBits {
+        KnownBits { zeros: !v, ones: v }
+    }
+
+    /// The largest value consistent with the known-zero bits.
+    #[must_use]
+    pub fn max_value(&self) -> u64 {
+        !self.zeros
+    }
+
+    /// The least upper bound: keep only agreement.
+    #[must_use]
+    pub fn join(&self, other: &KnownBits) -> KnownBits {
+        KnownBits {
+            zeros: self.zeros & other.zeros,
+            ones: self.ones & other.ones,
+        }
+    }
+}
+
+/// The joint abstract value: interval × known-bits, mutually reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// The interval component.
+    pub iv: Interval,
+    /// The known-bits component.
+    pub kb: KnownBits,
+}
+
+impl AbsVal {
+    /// No information: the full `u64` range.
+    pub const TOP: AbsVal = AbsVal {
+        iv: Interval::TOP,
+        kb: KnownBits::TOP,
+    };
+
+    /// The constant `v`.
+    #[must_use]
+    pub fn exact(v: u64) -> AbsVal {
+        AbsVal {
+            iv: Interval::exact(v),
+            kb: KnownBits::exact(v),
+        }
+    }
+
+    /// The range `[lo, hi]` with known-bits derived from `hi`.
+    #[must_use]
+    pub fn range(lo: u64, hi: u64) -> AbsVal {
+        AbsVal {
+            iv: Interval::new(u128::from(lo), u128::from(hi)),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// Whether nothing is known.
+    #[must_use]
+    pub fn is_top(&self) -> bool {
+        self.iv.is_top() && self.kb == KnownBits::TOP
+    }
+
+    /// The proven-inclusive upper bound.
+    #[must_use]
+    pub fn hi(&self) -> u128 {
+        self.iv.hi
+    }
+
+    /// The proven-inclusive lower bound.
+    #[must_use]
+    pub fn lo(&self) -> u128 {
+        self.iv.lo
+    }
+
+    /// Whether the value is provably `< bound`.
+    #[must_use]
+    pub fn lt(&self, bound: u128) -> bool {
+        self.iv.hi < bound
+    }
+
+    /// Whether the value is provably nonzero.
+    #[must_use]
+    pub fn nonzero(&self) -> bool {
+        self.iv.lo >= 1 || self.kb.ones != 0
+    }
+
+    /// Folds each domain's implied bound into the other: known-zero high
+    /// bits cap the interval; an interval below `2^k` proves bits `>= k`
+    /// zero; a nonzero ones-mask raises the interval floor.
+    #[must_use]
+    pub fn reduce(mut self) -> AbsVal {
+        // Known bits → interval.
+        let kb_hi = u128::from(self.kb.max_value());
+        if kb_hi < self.iv.hi {
+            self.iv.hi = kb_hi;
+        }
+        let kb_lo = u128::from(self.kb.ones);
+        if kb_lo > self.iv.lo {
+            self.iv.lo = kb_lo;
+        }
+        if self.iv.lo > self.iv.hi {
+            // The domains disagree (dead code under analysis); collapse
+            // conservatively rather than invent an empty value.
+            self.iv.lo = self.iv.hi;
+        }
+        // Interval → known bits: everything at or above the highest
+        // possible set bit is zero.
+        if self.iv.hi < VALUE_MAX {
+            let width = 128 - u128::leading_zeros(self.iv.hi.max(1));
+            if width < 64 {
+                self.kb.zeros |= !((1u64 << width) - 1);
+            }
+        }
+        self
+    }
+
+    /// The least upper bound of two values.
+    #[must_use]
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: self.iv.join(&other.iv),
+            kb: self.kb.join(&other.kb),
+        }
+        .reduce()
+    }
+
+    /// `self + other` under `u64` semantics. Returns ⊤ when the sum may
+    /// exceed `u64::MAX` (the interpreter records the overflow hazard
+    /// separately).
+    #[must_use]
+    pub fn add(&self, other: &AbsVal) -> AbsVal {
+        let hi = self.iv.hi + other.iv.hi;
+        if hi > VALUE_MAX {
+            return AbsVal::TOP;
+        }
+        AbsVal {
+            iv: Interval::new(self.iv.lo + other.iv.lo, hi),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// `self - other` under `u64` semantics. Returns ⊤ when the
+    /// subtraction may underflow.
+    #[must_use]
+    pub fn sub(&self, other: &AbsVal) -> AbsVal {
+        if self.iv.lo < other.iv.hi {
+            return AbsVal::TOP;
+        }
+        AbsVal {
+            iv: Interval::new(self.iv.lo - other.iv.hi, self.iv.hi - other.iv.lo),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// `self * other`; ⊤ when the product may overflow.
+    #[must_use]
+    pub fn mul(&self, other: &AbsVal) -> AbsVal {
+        let hi = self.iv.hi.saturating_mul(other.iv.hi);
+        if hi > VALUE_MAX {
+            return AbsVal::TOP;
+        }
+        AbsVal {
+            iv: Interval::new(self.iv.lo * other.iv.lo, hi),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// `self / other`; ⊤ when the divisor may be zero.
+    #[must_use]
+    pub fn div(&self, other: &AbsVal) -> AbsVal {
+        if !other.nonzero() {
+            return AbsVal::TOP;
+        }
+        AbsVal {
+            iv: Interval::new(
+                self.iv.lo / other.iv.hi.max(1),
+                self.iv.hi / other.iv.lo.max(1),
+            ),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// `self % other`; ⊤ when the divisor may be zero. The result is
+    /// below the divisor and never above the dividend.
+    #[must_use]
+    pub fn rem(&self, other: &AbsVal) -> AbsVal {
+        if !other.nonzero() {
+            return AbsVal::TOP;
+        }
+        AbsVal {
+            iv: Interval::new(0, (other.iv.hi - 1).min(self.iv.hi)),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// Bitwise AND: known bits compose exactly; the interval is capped
+    /// by both operands.
+    #[must_use]
+    pub fn and(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: Interval::new(0, self.iv.hi.min(other.iv.hi)),
+            kb: KnownBits {
+                zeros: self.kb.zeros | other.kb.zeros,
+                ones: self.kb.ones & other.kb.ones,
+            },
+        }
+        .reduce()
+    }
+
+    /// Bitwise OR: a bit is zero iff zero in both.
+    #[must_use]
+    pub fn or(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: Interval::TOP,
+            kb: KnownBits {
+                zeros: self.kb.zeros & other.kb.zeros,
+                ones: self.kb.ones | other.kb.ones,
+            },
+        }
+        .reduce()
+    }
+
+    /// Bitwise XOR: a bit is known only when known in both.
+    #[must_use]
+    pub fn xor(&self, other: &AbsVal) -> AbsVal {
+        let known = (self.kb.zeros | self.kb.ones) & (other.kb.zeros | other.kb.ones);
+        let value = (self.kb.ones ^ other.kb.ones) & known;
+        AbsVal {
+            iv: Interval::TOP,
+            kb: KnownBits {
+                zeros: known & !value,
+                ones: value,
+            },
+        }
+        .reduce()
+    }
+
+    /// `self << other` under `u64` semantics; ⊤ when the amount may
+    /// reach the width or the result may overflow.
+    #[must_use]
+    pub fn shl(&self, other: &AbsVal) -> AbsVal {
+        if other.iv.hi >= 64 {
+            return AbsVal::TOP;
+        }
+        let hi = self.iv.hi << other.iv.hi;
+        if hi > VALUE_MAX {
+            return AbsVal::TOP;
+        }
+        AbsVal {
+            iv: Interval::new(self.iv.lo << other.iv.lo, hi),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// `self >> other`; ⊤ when the amount may reach the width.
+    #[must_use]
+    pub fn shr(&self, other: &AbsVal) -> AbsVal {
+        if other.iv.hi >= 64 {
+            return AbsVal::TOP;
+        }
+        AbsVal {
+            iv: Interval::new(self.iv.lo >> other.iv.hi, self.iv.hi >> other.iv.lo),
+            kb: KnownBits {
+                zeros: if other.iv.lo == other.iv.hi {
+                    // An exact shift moves known-zero bits down exactly;
+                    // the vacated top bits become known zero.
+                    (self.kb.zeros >> other.iv.lo) | !(u64::MAX >> other.iv.lo)
+                } else {
+                    0
+                },
+                ones: if other.iv.lo == other.iv.hi {
+                    self.kb.ones >> other.iv.lo
+                } else {
+                    0
+                },
+            },
+        }
+        .reduce()
+    }
+
+    /// `self.min(other)`.
+    #[must_use]
+    pub fn min(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: Interval::new(self.iv.lo.min(other.iv.lo), self.iv.hi.min(other.iv.hi)),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// `self.max(other)`.
+    #[must_use]
+    pub fn max(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            iv: Interval::new(self.iv.lo.max(other.iv.lo), self.iv.hi.max(other.iv.hi)),
+            kb: KnownBits::TOP,
+        }
+        .reduce()
+    }
+
+    /// Caps the value at `hi` (used by `<`/`<=` branch refinement).
+    #[must_use]
+    pub fn refine_below(&self, hi: u128) -> AbsVal {
+        AbsVal {
+            iv: Interval::new(self.iv.lo.min(hi), self.iv.hi.min(hi)),
+            kb: self.kb,
+        }
+        .reduce()
+    }
+
+    /// Raises the floor to `lo` (used by `>`/`>=` branch refinement).
+    #[must_use]
+    pub fn refine_above(&self, lo: u128) -> AbsVal {
+        AbsVal {
+            iv: Interval::new(self.iv.lo.max(lo), self.iv.hi.max(lo)),
+            kb: self.kb,
+        }
+        .reduce()
+    }
+
+    /// A compact human rendering for evidence strings: exact values
+    /// print as themselves, ranges as `[lo, hi]` (with known-bits masks
+    /// when they add information), ⊤ as `unbounded`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        if self.is_top() {
+            return "unbounded".to_string();
+        }
+        if let Some(v) = self.iv.as_exact() {
+            return format!("= {v}");
+        }
+        let mut out = format!("in [{}, {}]", self.iv.lo, self.iv.hi);
+        if self.kb.zeros != 0 {
+            let implied = if self.iv.hi < VALUE_MAX {
+                let width = 128 - u128::leading_zeros(self.iv.hi.max(1));
+                if width < 64 {
+                    !((1u64 << width) - 1)
+                } else {
+                    0
+                }
+            } else {
+                0
+            };
+            if self.kb.zeros & !implied != 0 {
+                out.push_str(&format!(" (known-zero mask {:#x})", self.kb.zeros));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_arithmetic_stays_exact() {
+        let a = AbsVal::exact(5);
+        let b = AbsVal::exact(3);
+        assert_eq!(a.add(&b).iv.as_exact(), Some(8));
+        assert_eq!(a.sub(&b).iv.as_exact(), Some(2));
+        assert_eq!(a.mul(&b).iv.as_exact(), Some(15));
+        assert_eq!(a.div(&b).iv.as_exact(), Some(1));
+        assert_eq!(a.rem(&b).iv.hi, 2);
+    }
+
+    #[test]
+    fn overflow_and_underflow_collapse_to_top() {
+        let big = AbsVal::exact(u64::MAX);
+        assert!(big.add(&AbsVal::exact(1)).is_top());
+        assert!(AbsVal::exact(1).sub(&AbsVal::exact(2)).is_top());
+        assert!(big.mul(&AbsVal::exact(2)).is_top());
+        assert!(AbsVal::TOP.div(&AbsVal::range(0, 4)).is_top());
+    }
+
+    #[test]
+    fn mask_reduces_interval_and_mod_reduces_bits() {
+        // x & 0x3f: known-bits cap the interval at 63.
+        let masked = AbsVal::TOP.and(&AbsVal::exact(0x3f));
+        assert_eq!(masked.iv.hi, 63);
+        assert!(masked.lt(64));
+        // x % 8: interval [0,7] implies bits >= 3 known zero.
+        let modded = AbsVal::TOP.rem(&AbsVal::exact(8));
+        assert_eq!(modded.iv.hi, 7);
+        assert_eq!(modded.kb.zeros & !0b111, !0b111);
+    }
+
+    #[test]
+    fn reduction_composes_across_domains() {
+        // (x & 63) + 1 ∈ [1, 64] — interval math over a bit-derived cap.
+        let v = AbsVal::TOP.and(&AbsVal::exact(63)).add(&AbsVal::exact(1));
+        assert_eq!(v.iv.lo, 1);
+        assert_eq!(v.iv.hi, 64);
+    }
+
+    #[test]
+    fn shifts_guard_the_width() {
+        assert!(AbsVal::exact(1).shl(&AbsVal::range(0, 64)).is_top());
+        let ok = AbsVal::exact(1).shl(&AbsVal::range(0, 63));
+        assert_eq!(ok.iv.lo, 1);
+        assert_eq!(ok.iv.hi, 1u128 << 63);
+        let down = AbsVal::range(0, 4095).shr(&AbsVal::exact(9));
+        assert_eq!(down.iv.hi, 7);
+    }
+
+    #[test]
+    fn join_widens_and_refine_narrows() {
+        let a = AbsVal::range(1, 3).join(&AbsVal::range(5, 9));
+        assert_eq!((a.iv.lo, a.iv.hi), (1, 9));
+        let r = AbsVal::TOP.refine_below(63);
+        assert!(r.lt(64));
+        let f = AbsVal::TOP.refine_above(1);
+        assert!(f.nonzero());
+    }
+
+    #[test]
+    fn describe_is_compact() {
+        assert_eq!(AbsVal::exact(7).describe(), "= 7");
+        assert_eq!(AbsVal::range(0, 63).describe(), "in [0, 63]");
+        assert_eq!(AbsVal::TOP.describe(), "unbounded");
+    }
+
+    #[test]
+    fn min_max_and_exact_shr_bits() {
+        let m = AbsVal::TOP.min(&AbsVal::exact(63));
+        assert!(m.lt(64));
+        let m2 = AbsVal::range(10, 20).max(&AbsVal::exact(15));
+        assert_eq!((m2.iv.lo, m2.iv.hi), (15, 20));
+        let v = AbsVal::range(0, 0xfff).shr(&AbsVal::exact(9));
+        assert!(v.lt(8));
+    }
+}

@@ -1,0 +1,449 @@
+//! The intraprocedural abstract interpreter: walks a function body's
+//! token structure (an approximate CFG: straight-line statements,
+//! `if`/`match` joins, single-pass widened loops) carrying an
+//! environment of [`Value`]s, and records a [`SiteProof`] for every
+//! panic-capable site it can judge.
+//!
+//! The interpreter is *only* a discharge engine: it never raises
+//! findings, it only proves sites safe, so every approximation must
+//! degrade toward "unproven". Anything it cannot parse is ⊤; any site
+//! it never reaches stays unproven; signed values are modeled only
+//! while provably non-negative; widths default to the strictest
+//! possibility (`i8`) when unknown. See DESIGN.md §12.
+
+use std::collections::BTreeMap;
+
+use crate::dataflow::domain::{AbsVal, VALUE_MAX};
+use crate::dataflow::facts::{parse_num, seed_summary, TyInfo, WorkspaceFacts};
+use crate::dataflow::sites::{self, Site, SiteKind};
+use crate::lexer::{Token, TokenKind};
+use crate::parse::ParsedFile;
+use crate::source::SourceFile;
+
+/// Evaluation fuel per analyzed function: each expression step burns
+/// one unit; exhaustion degrades remaining work to ⊤, never blocks.
+const FUEL: u32 = 60_000;
+
+/// Maximum accessor-inlining depth.
+const MAX_INLINE_DEPTH: u32 = 2;
+
+/// Maximum body size (code tokens) an inlined accessor may have.
+const MAX_INLINE_TOKENS: usize = 96;
+
+/// The verdict on one panic-capable site.
+#[derive(Debug, Clone)]
+pub struct SiteProof {
+    /// The site (token index, line, kind).
+    pub site: Site,
+    /// Whether the site is provably panic-free.
+    pub safe: bool,
+    /// Human-readable evidence (or what is missing, when unsafe).
+    pub why: String,
+}
+
+/// The result of analyzing one function.
+#[derive(Debug, Default)]
+pub struct FnAnalysis {
+    /// Per-site proofs keyed by full-stream token index. Every site
+    /// [`sites::enumerate`] finds is present.
+    pub proofs: BTreeMap<usize, SiteProof>,
+}
+
+impl FnAnalysis {
+    /// Whether every *profiled* non-panic site is proven safe (panic
+    /// sites cannot be discharged; they gate on the `p` count instead).
+    #[must_use]
+    pub fn all_profiled_safe(&self) -> bool {
+        self.proofs
+            .values()
+            .filter(|p| p.site.kind.profiled() && p.site.kind != SiteKind::Panic)
+            .all(|p| p.safe)
+    }
+}
+
+/// An abstract runtime value: the joint numeric domain plus the type
+/// and provenance facts needed to judge sites.
+#[derive(Debug, Clone)]
+pub(crate) struct Value {
+    /// Numeric abstraction; meaningful only when `nonneg`.
+    v: AbsVal,
+    /// Provably non-negative (unsigned type, literal, or refined).
+    nonneg: bool,
+    /// Representation width in bits, when known.
+    width: Option<u32>,
+    /// Unsuffixed literal: adopts the other operand's width.
+    poly: bool,
+    /// Declared signed (models only the non-negative case).
+    signed: bool,
+    /// Float: arithmetic cannot panic.
+    float: bool,
+    /// `Vec<_>` receiver (length in `[0, isize::MAX]`).
+    is_vec: bool,
+    /// Known element count for `[T; N]` receivers.
+    arr_len: Option<u128>,
+    /// Element type for arrays/vecs/slices.
+    elem: Option<TyInfo>,
+    /// Named struct type, for field-fact lookup.
+    tyname: Option<String>,
+    /// `(owning struct, field, path prefix)` when this is a field read
+    /// — the key for constructor-proved relations.
+    fld: Option<(String, String, String)>,
+    /// The textual path (`x`, `self.cfg`) this value was read from, so
+    /// field relations can require a shared receiver.
+    path: Option<String>,
+    /// Short provenance note for evidence strings.
+    note: Option<String>,
+    /// `a..b` / `a..=b` bounds, for `for`-loop binders.
+    range_of: Option<(Box<Value>, Box<Value>, bool)>,
+    /// Whether `.enumerate()` was applied (binder is `(index, item)`).
+    enumerated: bool,
+}
+
+impl Value {
+    pub(crate) fn top() -> Value {
+        Value {
+            v: AbsVal::TOP,
+            nonneg: false,
+            width: None,
+            poly: false,
+            signed: false,
+            float: false,
+            is_vec: false,
+            arr_len: None,
+            elem: None,
+            tyname: None,
+            fld: None,
+            path: None,
+            note: None,
+            range_of: None,
+            enumerated: false,
+        }
+    }
+
+    /// The abstraction of a typed but otherwise unknown value.
+    pub(crate) fn of_ty(ty: &TyInfo) -> Value {
+        let mut val = Value::top();
+        val.float = ty.float;
+        val.signed = ty.signed;
+        val.width = ty.width;
+        val.is_vec = ty.is_vec;
+        val.arr_len = ty.arr_len;
+        val.elem = ty.elem.as_deref().cloned();
+        val.tyname = ty.name.clone();
+        if !ty.signed && !ty.float {
+            if let Some(max) = ty.max_value() {
+                val.nonneg = true;
+                val.v = AbsVal::range(0, max as u64);
+            }
+        }
+        if ty.elem.is_some() && ty.arr_len.is_none() && !ty.is_vec {
+            // A slice: shaped like an array of unknown length.
+        }
+        val
+    }
+
+    fn literal(n: u128, suffix: Option<TyInfo>) -> Value {
+        let mut val = Value::top();
+        if n <= VALUE_MAX {
+            val.v = AbsVal::exact(n as u64);
+            val.nonneg = true;
+        }
+        match suffix {
+            Some(ty) => {
+                val.width = ty.width;
+                val.signed = ty.signed;
+            }
+            None => val.poly = true,
+        }
+        val
+    }
+
+    fn of_bool() -> Value {
+        let mut val = Value::top();
+        val.nonneg = true;
+        val.width = Some(1);
+        val.v = AbsVal::range(0, 1);
+        val
+    }
+
+    /// Interval rendering plus the provenance note, for evidence.
+    fn describe(&self) -> String {
+        let base = if self.nonneg {
+            self.v.describe()
+        } else if self.float {
+            "float".to_string()
+        } else {
+            "unbounded".to_string()
+        };
+        match &self.note {
+            Some(n) => format!("{base} ({n})"),
+            None => base,
+        }
+    }
+
+    /// The largest representable value under the known width, with the
+    /// strictest (`i8`) assumption when nothing is known. `poly`
+    /// literals defer to the other operand.
+    fn repr_max(&self, other: &Value) -> u128 {
+        let w = match (self.poly, self.width, other.poly, other.width) {
+            (false, Some(a), false, Some(b)) => Some(a.min(b)),
+            (false, Some(a), _, _) => Some(a),
+            (_, _, false, Some(b)) => Some(b),
+            (true, _, true, _) => None, // two bare literals: i32 default
+            _ => None,
+        };
+        match w {
+            Some(w) => ty_max(w, self.signed || other.signed),
+            // Two bare literals infer `i32` by default; anything else
+            // unknown assumes the strictest width.
+            None if self.poly && other.poly => ty_max(32, true),
+            None => ty_max(8, true),
+        }
+    }
+
+    /// Shift-width limit for `self << amt` / `>>`: the lhs width, with
+    /// the strictest assumption when unknown.
+    fn shift_width(&self) -> u32 {
+        if self.poly {
+            // An unsuffixed literal's type is inferred from context; the
+            // strictest inferable integer width is 8 bits.
+            8
+        } else {
+            self.width.unwrap_or(8)
+        }
+    }
+}
+
+/// Largest value of a `w`-bit integer (positive half when signed).
+fn ty_max(w: u32, signed: bool) -> u128 {
+    let bits = if signed { w.saturating_sub(1) } else { w };
+    if bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+/// Analyzes `parsed[file_idx].fns[fn_idx]`, returning per-site proofs.
+#[must_use]
+pub fn analyze_fn(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    facts: &WorkspaceFacts,
+    file_idx: usize,
+    fn_idx: usize,
+) -> FnAnalysis {
+    let mut interp = Interp {
+        files,
+        parsed,
+        facts,
+        file: file_idx,
+        proofs: BTreeMap::new(),
+        site_kinds: BTreeMap::new(),
+        record: true,
+        depth: 0,
+        fuel: FUEL,
+    };
+    let file = &files[file_idx];
+    let f = &parsed[file_idx].fns[fn_idx];
+    for s in sites::enumerate(file, f) {
+        interp.site_kinds.insert(s.tok, s);
+    }
+    let mut env = interp.param_env(file_idx, fn_idx);
+    let body = interp.body_of(file_idx, fn_idx);
+    interp.exec_block(&body, &mut env);
+    let mut analysis = FnAnalysis {
+        proofs: interp.proofs,
+    };
+    for (tok, site) in interp.site_kinds {
+        let why = if site.kind == SiteKind::Panic {
+            "explicit panic-capable call (never auto-discharged)".to_string()
+        } else {
+            "site not reached by the interpreter (unsupported syntax)".to_string()
+        };
+        analysis.proofs.entry(tok).or_insert_with(|| SiteProof {
+            site,
+            safe: false,
+            why,
+        });
+    }
+    analysis
+}
+
+type Env = BTreeMap<String, Value>;
+type Body<'t> = Vec<(usize, &'t Token)>;
+
+struct Interp<'a> {
+    files: &'a [SourceFile],
+    parsed: &'a [ParsedFile],
+    facts: &'a WorkspaceFacts,
+    /// Index of the file owning the function under analysis.
+    file: usize,
+    proofs: BTreeMap<usize, SiteProof>,
+    /// Site tokens of the function under analysis.
+    site_kinds: BTreeMap<usize, Site>,
+    /// False inside inlined callees: their sites belong to their own
+    /// function's profile, not the caller's.
+    record: bool,
+    depth: u32,
+    fuel: u32,
+}
+
+impl<'a> Interp<'a> {
+    fn src(&self) -> &'a SourceFile {
+        &self.files[self.file]
+    }
+
+    fn body_of(&self, file_idx: usize, fn_idx: usize) -> Body<'a> {
+        let file = &self.files[file_idx];
+        let f = &self.parsed[file_idx].fns[fn_idx];
+        file.tokens[f.body.clone()]
+            .iter()
+            .enumerate()
+            .map(|(k, t)| (f.body.start + k, t))
+            .filter(|(_, t)| t.kind.is_code())
+            .collect()
+    }
+
+    /// Builds the entry environment from the function signature:
+    /// `self` typed by the impl block, `name: Ty` params typed by
+    /// annotation, destructuring patterns dropped to ⊤.
+    fn param_env(&self, file_idx: usize, fn_idx: usize) -> Env {
+        let file = &self.files[file_idx];
+        let f = &self.parsed[file_idx].fns[fn_idx];
+        let mut env = Env::new();
+        // Locate the signature: code tokens from the `fn` keyword line
+        // to the body start.
+        let code: Vec<&Token> = file
+            .tokens
+            .iter()
+            .take(f.body.start)
+            .filter(|t| t.kind.is_code())
+            .collect();
+        // Find the param list: scan back from the body for the `(` that
+        // follows the fn name (skip generics).
+        let fn_pos = code.iter().rposition(|t| {
+            file.tok_text(t) == "fn" && t.line == f.line && t.kind == TokenKind::Ident
+        });
+        let Some(fn_pos) = fn_pos else { return env };
+        let mut j = fn_pos + 2; // past `fn name`
+                                // Skip generic params.
+        if code.get(j).is_some_and(|t| file.tok_text(t) == "<") {
+            let mut d = 0i32;
+            while j < code.len() {
+                match file.tok_text(code[j]) {
+                    "<" => d += 1,
+                    ">" if file.tok_text(code[j - 1]) != "-" => {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if code.get(j).is_none_or(|t| file.tok_text(t) != "(") {
+            return env;
+        }
+        // Split params on depth-1 commas.
+        let mut d = 0i32;
+        let mut start = j + 1;
+        let mut groups: Vec<std::ops::Range<usize>> = Vec::new();
+        while j < code.len() {
+            match file.tok_text(code[j]) {
+                "(" | "[" | "<" => d += 1,
+                ")" | "]" => {
+                    d -= 1;
+                    if d == 0 {
+                        if j > start {
+                            groups.push(start..j);
+                        }
+                        break;
+                    }
+                }
+                ">" if file.tok_text(code[j - 1]) != "-" => d -= 1,
+                "," if d == 1 => {
+                    groups.push(start..j);
+                    start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for g in groups {
+            let toks = &code[g];
+            let mut i = 0;
+            while i < toks.len()
+                && (matches!(file.tok_text(toks[i]), "&" | "mut")
+                    || toks[i].kind == TokenKind::Lifetime)
+            {
+                i += 1;
+            }
+            let Some(t) = toks.get(i) else { continue };
+            let name = file.tok_text(t);
+            if name == "self" {
+                let mut me = Value::top();
+                if let Some((ty, _)) = f.qual.rsplit_once("::") {
+                    me.tyname = Some(ty.rsplit("::").next().unwrap_or(ty).to_string());
+                }
+                env.insert("self".to_string(), me);
+                continue;
+            }
+            if t.kind != TokenKind::Ident || toks.get(i + 1).is_none_or(|t| file.tok_text(t) != ":")
+            {
+                continue; // destructuring pattern: stays ⊤ by absence
+            }
+            let mut ty_start = i + 2;
+            while toks.get(ty_start).is_some_and(|t| {
+                matches!(file.tok_text(t), "&" | "mut") || t.kind == TokenKind::Lifetime
+            }) {
+                ty_start += 1;
+            }
+            let ty_toks: Vec<&Token> = toks[ty_start..].to_vec();
+            let ty = crate::dataflow::facts::ty_of_tokens(file, &ty_toks, &self.facts.consts);
+            env.insert(name.to_string(), Value::of_ty(&ty));
+        }
+        env
+    }
+
+    /// Records a proof for a site token (no-op for non-sites and inside
+    /// inlined callees). Repeated judgments combine conservatively: a
+    /// site is safe only if every evaluation proved it.
+    fn prove(&mut self, full_idx: usize, safe: bool, why: String) {
+        if !self.record {
+            return;
+        }
+        let Some(&site) = self.site_kinds.get(&full_idx) else {
+            return;
+        };
+        self.proofs
+            .entry(full_idx)
+            .and_modify(|p| {
+                if p.safe && !safe {
+                    p.safe = false;
+                    p.why = why.clone();
+                }
+            })
+            .or_insert(SiteProof { site, safe, why });
+    }
+
+    fn burn(&mut self) -> bool {
+        if self.fuel == 0 {
+            return false;
+        }
+        self.fuel -= 1;
+        true
+    }
+}
+
+// The statement walker and expression evaluator are in `interp_exec.rs`
+// (included below) to keep file sizes reviewable.
+include!("interp_exec.rs");
+
+#[cfg(test)]
+mod tests {
+    include!("interp_tests.rs");
+}

@@ -1,0 +1,2488 @@
+// Included by interp.rs: the statement walker (this impl block) and the
+// expression evaluator (second impl block below). Split out only to
+// keep file sizes reviewable; everything here is `Interp` internals.
+
+/// A branch refinement extracted from a guard conjunct.
+#[derive(Debug, Clone)]
+enum Refine {
+    /// `x <= bound` (inclusive), with evidence.
+    Below(u128, String),
+    /// `x >= bound` (inclusive), with evidence.
+    Above(u128, String),
+}
+
+/// A batch of named refinements (binding name, bound).
+type Refs = Vec<(String, Refine)>;
+
+type Slice<'t> = [(usize, &'t Token)];
+
+/// Applies refinements to an environment (only to provably-nonnegative
+/// bindings — a negative value would satisfy `x < k` vacuously in our
+/// unsigned model).
+fn apply_refs(env: &mut Env, refs: &[(String, Refine)]) {
+    for (name, r) in refs {
+        let Some(v) = env.get_mut(name) else { continue };
+        if !v.nonneg {
+            continue;
+        }
+        match r {
+            Refine::Below(b, why) => {
+                v.v = v.v.refine_below(*b);
+                v.note = Some(why.clone());
+            }
+            Refine::Above(b, why) => {
+                v.v = v.v.refine_above(*b);
+                v.note = Some(why.clone());
+            }
+        }
+    }
+}
+
+/// The least upper bound of two values (used at `if`/`match` joins).
+fn join_value(a: &Value, b: &Value) -> Value {
+    let mut out = Value::top();
+    out.float = a.float && b.float;
+    out.signed = a.signed || b.signed;
+    out.width = match (a.width, b.width) {
+        (Some(x), Some(y)) if x == y => Some(x),
+        _ => None,
+    };
+    out.poly = a.poly && b.poly;
+    if a.nonneg && b.nonneg {
+        out.nonneg = true;
+        out.v = a.v.join(&b.v);
+    }
+    if a.arr_len == b.arr_len {
+        out.arr_len = a.arr_len;
+    }
+    if a.tyname == b.tyname {
+        out.tyname = a.tyname.clone();
+        out.is_vec = a.is_vec && b.is_vec;
+        out.elem = a.elem.clone();
+    }
+    out
+}
+
+/// Joins `other` into `env` over `env`'s key set.
+fn join_env(env: &mut Env, other: &Env) {
+    let keys: Vec<String> = env.keys().cloned().collect();
+    for k in keys {
+        match other.get(&k) {
+            Some(o) => {
+                let j = join_value(&env[&k], o);
+                env.insert(k, j);
+            }
+            None => {
+                env.insert(k, Value::top());
+            }
+        }
+    }
+}
+
+impl<'a> Interp<'a> {
+    /// Token text at body index `k` (`""` past the end).
+    fn t(&self, toks: &Slice<'a>, k: usize) -> &'a str {
+        toks.get(k).map_or("", |(_, t)| self.src().tok_text(t))
+    }
+
+    fn kind(&self, toks: &Slice<'a>, k: usize) -> Option<TokenKind> {
+        toks.get(k).map(|(_, t)| t.kind)
+    }
+
+    /// Index of the bracket matching the opener at `k` (or the end).
+    fn close_of(&self, toks: &Slice<'a>, k: usize) -> usize {
+        let (open, close) = match self.t(toks, k) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return k,
+        };
+        let mut d = 0i32;
+        for j in k..toks.len() {
+            let s = self.t(toks, j);
+            if s == open {
+                d += 1;
+            } else if s == close {
+                d -= 1;
+                if d == 0 {
+                    return j;
+                }
+            }
+        }
+        toks.len()
+    }
+
+    /// First index at or after `k` where `what` appears at zero
+    /// paren/bracket/brace depth, stopping at `stop` tokens (also at
+    /// depth 0). Returns `None` if not found.
+    fn find_at_depth0(
+        &self,
+        toks: &Slice<'a>,
+        k: usize,
+        what: &str,
+        stop: &[&str],
+    ) -> Option<usize> {
+        let mut d = 0i32;
+        let mut j = k;
+        while j < toks.len() {
+            let s = self.t(toks, j);
+            if d == 0 {
+                if s == what {
+                    return Some(j);
+                }
+                if stop.contains(&s) {
+                    return None;
+                }
+            }
+            match s {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => {
+                    if d == 0 {
+                        return None;
+                    }
+                    d -= 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Executes a statement block; returns the tail expression value.
+    fn exec_block(&mut self, toks: &Slice<'a>, env: &mut Env) -> Value {
+        let mut shadowed: Vec<(String, Option<Value>)> = Vec::new();
+        let mut tail = Value::top();
+        let mut k = 0;
+        while k < toks.len() {
+            if !self.burn() {
+                break;
+            }
+            let start = k;
+            tail = Value::top();
+            match self.t(toks, k) {
+                ";" => k += 1,
+                "let" => k = self.exec_let(toks, k, env, &mut shadowed),
+                "if" => {
+                    let (v, nk) = self.parse_if(toks, k, env);
+                    tail = v;
+                    k = nk;
+                }
+                "while" => k = self.exec_while(toks, k, env),
+                "loop" => k = self.exec_loop(toks, k, env),
+                "for" => k = self.exec_for(toks, k, env),
+                "match" => {
+                    let (v, nk) = self.parse_match(toks, k, env);
+                    tail = v;
+                    k = nk;
+                }
+                "fn" => k = self.exec_nested_fn(toks, k),
+                "unsafe" if self.t(toks, k + 1) == "{" => k += 1,
+                "{" => {
+                    let close = self.close_of(toks, k);
+                    tail = self.exec_block(&toks[k + 1..close], env);
+                    k = close + 1;
+                }
+                "return" | "break" | "continue" => {
+                    k += 1;
+                    if !matches!(self.t(toks, k), ";" | "}" | "") {
+                        let (_, nk) = self.eval_expr(toks, k, 0, env, false);
+                        k = nk.max(k + 1);
+                    }
+                }
+                "assert" if self.t(toks, k + 1) == "!" => {
+                    k = self.exec_assert(toks, k, env);
+                }
+                _ => {
+                    k = self.exec_expr_stmt(toks, k, env, &mut tail);
+                }
+            }
+            if k <= start {
+                k = start + 1; // guarantee progress on malformed input
+            }
+        }
+        for (name, old) in shadowed.into_iter().rev() {
+            match old {
+                Some(v) => env.insert(name, v),
+                None => env.remove(&name),
+            };
+        }
+        tail
+    }
+
+    /// An expression statement, possibly an assignment (`x = e`,
+    /// `x += e`, `v[i] = e`, `self.f = e`).
+    fn exec_expr_stmt(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env, tail: &mut Value) -> usize {
+        // Find a top-level assignment `=` before the statement ends.
+        let assign = self.find_assign(toks, k);
+        let Some((eq, op_start)) = assign else {
+            let (v, nk) = self.eval_expr(toks, k, 0, env, false);
+            *tail = v;
+            return nk;
+        };
+        // Evaluate the lvalue (records its index/field sites).
+        let (lhs, _) = self.eval_expr(&toks[..op_start], k, 0, env, false);
+        let (rhs, nk) = self.eval_expr(toks, eq + 1, 0, env, false);
+        let simple = toks.get(k).filter(|(_, t)| t.kind == TokenKind::Ident);
+        let target = match simple {
+            Some((_, t)) if op_start == k + 1 => Some(self.src().tok_text(t).to_string()),
+            _ => None,
+        };
+        let result = if op_start < eq {
+            // Compound assignment: the operator token is a site.
+            let op: String = (op_start..eq).map(|j| self.t(toks, j)).collect();
+            self.binop(&op, Some(toks[op_start].0), &lhs, &rhs)
+        } else {
+            rhs
+        };
+        if let Some(name) = target {
+            if env.contains_key(&name) {
+                env.insert(name, result);
+            }
+        } else if let Some(name) = self.field_store_root(toks, k, op_start) {
+            // Writing through `x.f = …` / `x[i] = …`: drop what we knew
+            // about the root (its aggregate contents changed).
+            if let Some(v) = env.get_mut(&name) {
+                let keep = v.tyname.clone();
+                *v = Value::top();
+                v.tyname = keep;
+            }
+        }
+        nk
+    }
+
+    /// If the statement starting at `k` is an assignment, returns
+    /// `(index of '=', index where the compound operator starts)`;
+    /// for plain `=` both point at the `=`.
+    fn find_assign(&self, toks: &Slice<'a>, k: usize) -> Option<(usize, usize)> {
+        let mut d = 0i32;
+        let mut j = k;
+        while j < toks.len() {
+            let s = self.t(toks, j);
+            match s {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => {
+                    if d == 0 {
+                        return None;
+                    }
+                    d -= 1;
+                }
+                ";" if d == 0 => return None,
+                "=" if d == 0 => {
+                    // Exclude `==`, `<=`, `>=`, `!=`, `=>`.
+                    if self.t(toks, j + 1) == "=" || self.t(toks, j + 1) == ">" {
+                        j += 2;
+                        continue;
+                    }
+                    if matches!(self.t(toks, j.wrapping_sub(1)), "=" | "<" | ">" | "!") {
+                        // part of a two-token comparison — but `<<=` and
+                        // `>>=` end in `<=`/`>=`-lookalikes; those have
+                        // the shift pair before. Handle below.
+                        let p1 = self.t(toks, j.wrapping_sub(1));
+                        let p2 = self.t(toks, j.wrapping_sub(2));
+                        if (p1 == "<" && p2 == "<") || (p1 == ">" && p2 == ">") {
+                            return Some((j, j - 2));
+                        }
+                        j += 1;
+                        continue;
+                    }
+                    // Compound single-char op directly before `=`?
+                    let p1 = self.t(toks, j.wrapping_sub(1));
+                    if matches!(p1, "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^") {
+                        return Some((j, j - 1));
+                    }
+                    return Some((j, j));
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// For `x.f = …` / `x[i] = …`, the root identifier `x`.
+    fn field_store_root(&self, toks: &Slice<'a>, k: usize, op_start: usize) -> Option<String> {
+        let (_, t) = toks.get(k)?;
+        if t.kind != TokenKind::Ident || op_start <= k + 1 {
+            return None;
+        }
+        match self.t(toks, k + 1) {
+            "." | "[" => Some(self.src().tok_text(t).to_string()),
+            _ => None,
+        }
+    }
+
+    /// `let [mut] PAT [: Ty] = EXPR ;` (plus let-else). Returns the
+    /// index past the statement.
+    fn exec_let(
+        &mut self,
+        toks: &Slice<'a>,
+        k: usize,
+        env: &mut Env,
+        shadowed: &mut Vec<(String, Option<Value>)>,
+    ) -> usize {
+        let semi = self
+            .find_at_depth0(toks, k, ";", &[])
+            .unwrap_or(toks.len());
+        let eq = match self.find_assign(toks, k + 1) {
+            Some((eq, _)) if eq < semi => eq,
+            _ => {
+                // `let x;` — declared, unknown.
+                let mut j = k + 1;
+                if self.t(toks, j) == "mut" {
+                    j += 1;
+                }
+                if self.kind(toks, j) == Some(TokenKind::Ident) {
+                    let name = self.t(toks, j).to_string();
+                    shadowed.push((name.clone(), env.insert(name, Value::top())));
+                }
+                return semi + 1;
+            }
+        };
+        // Pattern and optional annotation.
+        let mut p = k + 1;
+        if self.t(toks, p) == "mut" {
+            p += 1;
+        }
+        let colon = self.find_at_depth0(toks, p, ":", &["="]).filter(|&c| c < eq);
+        let pat_end = colon.unwrap_or(eq);
+        let ann_ty = colon.map(|c| {
+            let tt: Vec<&Token> = toks[c + 1..eq].iter().map(|&(_, t)| t).collect();
+            crate::dataflow::facts::ty_of_tokens(self.src(), &tt, &self.facts.consts)
+        });
+        // Evaluate the initializer (let-else: up to `else`). A
+        // depth-0 `else` preceded by `}` belongs to an `if`/`else if`
+        // chain inside the initializer, not to `let ... else` — the
+        // grammar forbids let-else after a `}`-terminated expression.
+        let mut else_kw = None;
+        let mut scan = eq + 1;
+        while let Some(e) = self.find_at_depth0(toks, scan, "else", &[";"]) {
+            if e > eq + 1 && self.t(toks, e - 1) == "}" {
+                scan = e + 1;
+                continue;
+            }
+            else_kw = Some(e);
+            break;
+        }
+        let (mut value, _) = self.eval_expr(&toks[..else_kw.unwrap_or(semi)], eq + 1, 0, env, false);
+        if let Some(close_else) = else_kw {
+            // Walk the diverging else block for its sites.
+            if self.t(toks, close_else + 1) == "{" {
+                let bclose = self.close_of(toks, close_else + 1);
+                let mut dead = env.clone();
+                self.exec_block(&toks[close_else + 2..bclose], &mut dead);
+            }
+        }
+        if let Some(ty) = ann_ty {
+            if value.poly || value.width.is_none() {
+                value.width = ty.width.or(value.width);
+                value.signed = value.signed || ty.signed;
+                value.poly = false;
+            }
+            if !value.nonneg {
+                // The annotation's type may bound an otherwise-unknown
+                // initializer (e.g. an un-modeled call returning `u8`).
+                let typed = Value::of_ty(&ty);
+                if typed.nonneg {
+                    value.nonneg = true;
+                    value.v = typed.v;
+                }
+                value.arr_len = value.arr_len.or(typed.arr_len);
+                value.elem = value.elem.or(typed.elem);
+                value.is_vec = value.is_vec || typed.is_vec;
+                value.tyname = value.tyname.or(typed.tyname);
+                value.float = value.float || typed.float;
+            }
+        }
+        // Bind: a single ident gets the value; patterns kill each ident.
+        let pat: Vec<usize> = (p..pat_end).collect();
+        let single = pat.len() == 1 && self.kind(toks, p) == Some(TokenKind::Ident);
+        if single {
+            let name = self.t(toks, p).to_string();
+            shadowed.push((name.clone(), env.insert(name, value)));
+        } else {
+            for j in pat {
+                if self.kind(toks, j) == Some(TokenKind::Ident)
+                    && !self.t(toks, j).chars().next().is_some_and(char::is_uppercase)
+                    && self.t(toks, j + 1) != ":"
+                {
+                    let name = self.t(toks, j).to_string();
+                    shadowed.push((name.clone(), env.insert(name, Value::top())));
+                }
+            }
+        }
+        semi + 1
+    }
+
+    /// `if`/`if let`, as statement or expression. Returns the join of
+    /// the branch values and advances past the final brace.
+    fn parse_if(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> (Value, usize) {
+        let mut j = k + 1;
+        let mut killed: Vec<String> = Vec::new();
+        let (pos_refs, neg_refs);
+        if self.t(toks, j) == "let" {
+            // `if let PAT = EXPR` — pattern idents are killed in the
+            // then-branch; no numeric refinements.
+            let eq = self
+                .find_assign(toks, j + 1)
+                .map_or(j + 1, |(eq, _)| eq);
+            for p in j + 1..eq {
+                if self.kind(toks, p) == Some(TokenKind::Ident)
+                    && !self.t(toks, p).chars().next().is_some_and(char::is_uppercase)
+                {
+                    killed.push(self.t(toks, p).to_string());
+                }
+            }
+            let brace = self
+                .find_at_depth0(toks, eq + 1, "{", &[";"])
+                .unwrap_or(toks.len());
+            self.eval_expr(&toks[..brace], eq + 1, 0, env, true);
+            pos_refs = Vec::new();
+            neg_refs = Vec::new();
+            j = brace;
+        } else {
+            let brace = self
+                .find_at_depth0(toks, j, "{", &[";"])
+                .unwrap_or(toks.len());
+            self.eval_expr(&toks[..brace], j, 0, env, true);
+            let (p, n) = self.refinements(&toks[j..brace], env);
+            pos_refs = p;
+            neg_refs = n;
+            j = brace;
+        }
+        if self.t(toks, j) != "{" {
+            return (Value::top(), j + 1);
+        }
+        let close = self.close_of(toks, j);
+        let mut env_then = env.clone();
+        apply_refs(&mut env_then, &pos_refs);
+        for name in &killed {
+            env_then.insert(name.clone(), Value::top());
+        }
+        let v_then = self.exec_block(&toks[j + 1..close], &mut env_then);
+        let mut after = close + 1;
+        let mut env_else = env.clone();
+        apply_refs(&mut env_else, &neg_refs);
+        let mut v_else = Value::top();
+        let mut has_else = false;
+        if self.t(toks, after) == "else" {
+            has_else = true;
+            if self.t(toks, after + 1) == "if" {
+                let (v, nk) = self.parse_if(toks, after + 1, &mut env_else);
+                v_else = v;
+                after = nk;
+            } else if self.t(toks, after + 1) == "{" {
+                let eclose = self.close_of(toks, after + 1);
+                v_else = self.exec_block(&toks[after + 2..eclose], &mut env_else);
+                after = eclose + 1;
+            } else {
+                after += 1;
+            }
+        }
+        join_env(&mut env_then, &env_else);
+        *env = env_then;
+        let value = if has_else {
+            join_value(&v_then, &v_else)
+        } else {
+            Value::top()
+        };
+        (value, after)
+    }
+
+    /// `match EXPR { arms }` as statement or expression.
+    fn parse_match(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> (Value, usize) {
+        let brace = self
+            .find_at_depth0(toks, k + 1, "{", &[";"])
+            .unwrap_or(toks.len());
+        self.eval_expr(&toks[..brace], k + 1, 0, env, true);
+        if self.t(toks, brace) != "{" {
+            return (Value::top(), brace + 1);
+        }
+        let close = self.close_of(toks, brace);
+        let mut j = brace + 1;
+        let mut joined: Option<(Env, Value)> = None;
+        while j < close {
+            if !self.burn() {
+                break;
+            }
+            // Pattern runs to the `=>` at depth 0.
+            let mut d = 0i32;
+            let mut arrow = close;
+            let mut p = j;
+            while p < close {
+                match self.t(toks, p) {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "=" if d == 0 && self.t(toks, p + 1) == ">" => {
+                        arrow = p;
+                        break;
+                    }
+                    _ => {}
+                }
+                p += 1;
+            }
+            if arrow >= close {
+                break;
+            }
+            let mut env_arm = env.clone();
+            // Kill pattern bindings; evaluate a guard if present.
+            let guard = self.find_at_depth0(&toks[..arrow], j, "if", &[]);
+            let pat_end = guard.unwrap_or(arrow);
+            for q in j..pat_end {
+                if self.kind(toks, q) == Some(TokenKind::Ident)
+                    && !self.t(toks, q).chars().next().is_some_and(char::is_uppercase)
+                    && self.t(toks, q + 1) != ":"
+                    && self.t(toks, q.wrapping_sub(1)) != ":"
+                {
+                    env_arm.insert(self.t(toks, q).to_string(), Value::top());
+                }
+            }
+            if let Some(g) = guard {
+                self.eval_expr(&toks[..arrow], g + 1, 0, &mut env_arm, true);
+                let (pos, _) = self.refinements(&toks[g + 1..arrow], &env_arm);
+                apply_refs(&mut env_arm, &pos);
+            }
+            // Arm body: block or expression up to the depth-0 comma.
+            let body_start = arrow + 2;
+            let v;
+            if self.t(toks, body_start) == "{" {
+                let bclose = self.close_of(toks, body_start);
+                v = self.exec_block(&toks[body_start + 1..bclose], &mut env_arm);
+                j = bclose + 1;
+                if self.t(toks, j) == "," {
+                    j += 1;
+                }
+            } else {
+                let end = self
+                    .find_at_depth0(toks, body_start, ",", &[])
+                    .unwrap_or(close)
+                    .min(close);
+                let (av, _) = self.eval_expr(&toks[..end], body_start, 0, &mut env_arm, false);
+                v = av;
+                j = end + 1;
+            }
+            joined = Some(match joined {
+                None => (env_arm, v),
+                Some((mut je, jv)) => {
+                    join_env(&mut je, &env_arm);
+                    (je, join_value(&jv, &v))
+                }
+            });
+        }
+        let value = match joined {
+            Some((je, jv)) => {
+                *env = je;
+                jv
+            }
+            None => Value::top(),
+        };
+        (value, close + 1)
+    }
+
+    /// `while COND { … }`: widen assigned locals, refine from the
+    /// condition, single body pass.
+    fn exec_while(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> usize {
+        let brace = self
+            .find_at_depth0(toks, k + 1, "{", &[";"])
+            .unwrap_or(toks.len());
+        if self.t(toks, brace) != "{" {
+            return brace + 1;
+        }
+        let close = self.close_of(toks, brace);
+        self.widen_assigned(&toks[brace + 1..close], env);
+        let is_let = self.t(toks, k + 1) == "let";
+        let mut env_body = env.clone();
+        if is_let {
+            for p in k + 2..brace {
+                if self.kind(toks, p) == Some(TokenKind::Ident)
+                    && !self.t(toks, p).chars().next().is_some_and(char::is_uppercase)
+                {
+                    env_body.insert(self.t(toks, p).to_string(), Value::top());
+                }
+            }
+            if let Some((eq, _)) = self.find_assign(toks, k + 2).filter(|&(eq, _)| eq < brace) {
+                self.eval_expr(&toks[..brace], eq + 1, 0, env, true);
+            }
+        } else {
+            self.eval_expr(&toks[..brace], k + 1, 0, env, true);
+            let (pos, _) = self.refinements(&toks[k + 1..brace], env);
+            apply_refs(&mut env_body, &pos);
+        }
+        self.exec_block(&toks[brace + 1..close], &mut env_body);
+        close + 1
+    }
+
+    /// `loop { … }`: widen, single pass.
+    fn exec_loop(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> usize {
+        if self.t(toks, k + 1) != "{" {
+            return k + 1;
+        }
+        let close = self.close_of(toks, k + 1);
+        self.widen_assigned(&toks[k + 2..close], env);
+        let mut env_body = env.clone();
+        self.exec_block(&toks[k + 2..close], &mut env_body);
+        close + 1
+    }
+
+    /// `for PAT in ITER { … }`: range/array binders, widening, single
+    /// body pass.
+    fn exec_for(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> usize {
+        let Some(in_kw) = self.find_at_depth0(toks, k + 1, "in", &["{", ";"]) else {
+            return k + 1;
+        };
+        let brace = self
+            .find_at_depth0(toks, in_kw + 1, "{", &[";"])
+            .unwrap_or(toks.len());
+        if self.t(toks, brace) != "{" {
+            return brace.min(toks.len());
+        }
+        let close = self.close_of(toks, brace);
+        let (iter, _) = self.eval_expr(&toks[..brace], in_kw + 1, 0, env, true);
+        self.widen_assigned(&toks[brace + 1..close], env);
+        let mut env_body = env.clone();
+        // Pattern idents default to ⊤ …
+        let mut pat_idents: Vec<String> = Vec::new();
+        for p in k + 1..in_kw {
+            if self.kind(toks, p) == Some(TokenKind::Ident)
+                && !self.t(toks, p).chars().next().is_some_and(char::is_uppercase)
+            {
+                pat_idents.push(self.t(toks, p).to_string());
+            }
+        }
+        for name in &pat_idents {
+            env_body.insert(name.clone(), Value::top());
+        }
+        // … then pick up precise binders where the iterator shape allows.
+        if let Some((lo, hi, inclusive)) = iter.range_of.as_ref().map(|(a, b, i)| {
+            (a.clone(), b.clone(), *i)
+        }) {
+            if pat_idents.len() == 1 && lo.nonneg && hi.nonneg {
+                let top = if inclusive {
+                    hi.v.hi()
+                } else {
+                    hi.v.hi().saturating_sub(1)
+                };
+                let mut binder = Value::top();
+                binder.nonneg = true;
+                binder.v = AbsVal::range(lo.v.lo() as u64, top.max(lo.v.lo()).min(VALUE_MAX) as u64);
+                binder.width = lo.width.or(hi.width);
+                env_body.insert(pat_idents[0].clone(), binder);
+                // Loop entry implies the range is nonempty: an
+                // exclusive upper bound that is a plain ident is > lo.
+                if !inclusive {
+                    let last = self.t(toks, brace.wrapping_sub(1));
+                    if self.kind(toks, brace.wrapping_sub(1)) == Some(TokenKind::Ident)
+                        && env_body.get(last).is_some_and(|v| v.nonneg)
+                        && lo.v.lo() < VALUE_MAX
+                    {
+                        if let Some(v) = env_body.get_mut(last) {
+                            v.v = v.v.refine_above(lo.v.lo() + 1);
+                        }
+                    }
+                }
+            }
+        } else if let Some(len) = iter.arr_len {
+            if iter.enumerated && pat_idents.len() == 2 {
+                let mut idx = Value::top();
+                idx.nonneg = true;
+                idx.width = Some(64);
+                idx.v = AbsVal::range(0, len.max(1).saturating_sub(1).min(VALUE_MAX) as u64);
+                env_body.insert(pat_idents[0].clone(), idx);
+                if let Some(elem) = &iter.elem {
+                    env_body.insert(pat_idents[1].clone(), Value::of_ty(elem));
+                }
+            } else if pat_idents.len() == 1 {
+                if let Some(elem) = &iter.elem {
+                    env_body.insert(pat_idents[0].clone(), Value::of_ty(elem));
+                }
+            }
+        } else if let Some(elem) = &iter.elem {
+            if pat_idents.len() == 1 {
+                env_body.insert(pat_idents[0].clone(), Value::of_ty(elem));
+            } else if iter.enumerated && pat_idents.len() == 2 {
+                env_body.insert(pat_idents[1].clone(), Value::of_ty(elem));
+            }
+        }
+        self.exec_block(&toks[brace + 1..close], &mut env_body);
+        close + 1
+    }
+
+    /// Nested `fn` items: re-walked with a fresh typed environment (they
+    /// are also parsed as standalone items, but their sites sit inside
+    /// this body's profile too, so they must be judged here as well).
+    fn exec_nested_fn(&mut self, toks: &Slice<'a>, k: usize) -> usize {
+        let brace = self
+            .find_at_depth0(toks, k + 1, "{", &[";"])
+            .unwrap_or(toks.len());
+        if self.t(toks, brace) != "{" {
+            return brace.min(toks.len()) + 1;
+        }
+        let close = self.close_of(toks, brace);
+        // Find the matching FnItem for a typed param env.
+        let full_idx = toks[k].0;
+        let owner = self.parsed[self.file]
+            .fns
+            .iter()
+            .position(|f| f.body.start > full_idx && f.body.end <= toks[close.min(toks.len() - 1)].0 + 1);
+        let mut env = match owner {
+            Some(fi) => self.param_env(self.file, fi),
+            None => Env::new(),
+        };
+        self.exec_block(&toks[brace + 1..close], &mut env);
+        close + 1
+    }
+
+    /// `assert!(COND, …)`: evaluate, then apply COND's refinements to
+    /// the fall-through state (the program continues only if it held).
+    fn exec_assert(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> usize {
+        if self.t(toks, k + 2) != "(" {
+            return k + 2;
+        }
+        let close = self.close_of(toks, k + 2);
+        let cond_end = self
+            .find_at_depth0(toks, k + 3, ",", &[])
+            .unwrap_or(close)
+            .min(close);
+        self.eval_expr(&toks[..cond_end], k + 3, 0, env, false);
+        // Message args still carry sites.
+        if cond_end < close {
+            let mut j = cond_end + 1;
+            while j < close {
+                let end = self
+                    .find_at_depth0(toks, j, ",", &[])
+                    .unwrap_or(close)
+                    .min(close);
+                self.eval_expr(&toks[..end], j, 0, env, false);
+                j = end + 1;
+            }
+        }
+        let (pos, _) = self.refinements(&toks[k + 3..cond_end], env);
+        apply_refs(env, &pos);
+        close + 1
+    }
+
+    /// Widens (kills) every local assigned anywhere in a loop body,
+    /// including `&mut` borrows handed to callees.
+    fn widen_assigned(&mut self, toks: &Slice<'a>, env: &mut Env) {
+        let mut j = 0;
+        while j < toks.len() {
+            if self.kind(toks, j) == Some(TokenKind::Ident) {
+                let name = self.t(toks, j);
+                if env.contains_key(name) {
+                    let next = self.t(toks, j + 1);
+                    let assigned = match next {
+                        "=" if self.t(toks, j + 2) != "=" => {
+                            !matches!(self.t(toks, j.wrapping_sub(1)), "<" | ">" | "!" | "=")
+                        }
+                        "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^" => {
+                            self.t(toks, j + 2) == "="
+                        }
+                        "<" => self.t(toks, j + 2) == "<" && self.t(toks, j + 3) == "=",
+                        ">" => self.t(toks, j + 2) == ">" && self.t(toks, j + 3) == "=",
+                        _ => false,
+                    };
+                    let borrowed = self.t(toks, j.wrapping_sub(1)) == "mut"
+                        && self.t(toks, j.wrapping_sub(2)) == "&";
+                    if assigned || borrowed {
+                        let keep = env[name].tyname.clone();
+                        let widened = {
+                            let mut w = Value::top();
+                            w.tyname = keep;
+                            // Keep the declared width: reassignments
+                            // cannot change a local's type.
+                            w.width = env[name].width;
+                            w.signed = env[name].signed;
+                            w.float = env[name].float;
+                            if !w.signed && !w.float {
+                                if let Some(width) = w.width {
+                                    w.nonneg = true;
+                                    w.v = AbsVal::range(0, ty_max(width, false).min(VALUE_MAX) as u64);
+                                }
+                            }
+                            w
+                        };
+                        env.insert(name.to_string(), widened);
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+
+    /// Extracts `(then, else)` refinements from a guard expression.
+    fn refinements(
+        &mut self,
+        cond: &Slice<'a>,
+        env: &Env,
+    ) -> (Refs, Refs) {
+        // Split on depth-0 `&&` / `||` (mixed chains give up).
+        let mut d = 0i32;
+        let mut ands = Vec::new();
+        let mut ors = Vec::new();
+        let mut start = 0;
+        let mut j = 0;
+        while j < cond.len() {
+            match self.t(cond, j) {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                "&" if d == 0 && self.t(cond, j + 1) == "&" => {
+                    ands.push(start..j);
+                    start = j + 2;
+                    j += 1;
+                }
+                "|" if d == 0 && self.t(cond, j + 1) == "|" => {
+                    ors.push(start..j);
+                    start = j + 2;
+                    j += 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let tailr = start..cond.len();
+        let (conjuncts, disjuncts): (Vec<_>, Vec<_>) = if !ands.is_empty() && ors.is_empty() {
+            ands.push(tailr);
+            (ands, Vec::new())
+        } else if ands.is_empty() && !ors.is_empty() {
+            ors.push(tailr);
+            (Vec::new(), ors)
+        } else if ands.is_empty() && ors.is_empty() {
+            (vec![tailr], Vec::new())
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        let single_conj = conjuncts.len() == 1;
+        for r in &conjuncts {
+            let (p, n) = self.conjunct_refs(&cond[r.clone()], env);
+            pos.extend(p);
+            if single_conj {
+                neg.extend(n);
+            }
+        }
+        let single_disj = disjuncts.len() == 1;
+        for r in &disjuncts {
+            let (p, n) = self.conjunct_refs(&cond[r.clone()], env);
+            neg.extend(n);
+            if single_disj {
+                pos.extend(p);
+            }
+        }
+        (pos, neg)
+    }
+
+    /// Refinements from one comparison conjunct.
+    fn conjunct_refs(
+        &mut self,
+        c: &Slice<'a>,
+        env: &Env,
+    ) -> (Refs, Refs) {
+        let mut none = (Vec::new(), Vec::new());
+        // Locate the comparison operator at depth 0.
+        let mut d = 0i32;
+        let mut cmp = None;
+        for j in 0..c.len() {
+            match self.t(c, j) {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                "<" | ">" if d == 0 => {
+                    // Exclude shifts.
+                    if self.t(c, j + 1) == self.t(c, j) {
+                        return none;
+                    }
+                    let two = self.t(c, j + 1) == "=";
+                    cmp = Some((j, format!("{}{}", self.t(c, j), if two { "=" } else { "" })));
+                    break;
+                }
+                "=" | "!" if d == 0 && self.t(c, j + 1) == "=" => {
+                    cmp = Some((j, format!("{}=", self.t(c, j))));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some((at, op)) = cmp else { return none };
+        let rhs_start = at + if op.len() == 2 { 2 } else { 1 };
+        let why: String = c
+            .iter()
+            .map(|(_, t)| self.src().tok_text(t))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let why = format!("guarded by `{why}`");
+
+        // Left shapes: `x` or `x + LIT` (wrap-guarded).
+        let lhs = &c[..at];
+        let (name, offset) = match lhs.len() {
+            1 if self.kind(c, 0) == Some(TokenKind::Ident) => (self.t(c, 0).to_string(), 0u128),
+            3 if self.kind(c, 0) == Some(TokenKind::Ident)
+                && self.t(c, 1) == "+"
+                && self.kind(c, 2) == Some(TokenKind::Num) =>
+            {
+                match parse_num(self.t(c, 2)) {
+                    Some((v, _)) => (self.t(c, 0).to_string(), v),
+                    None => return none,
+                }
+            }
+            _ => {
+                // Mirrored `LIT cmp x`.
+                if c.len() == rhs_start + 1
+                    && self.kind(c, rhs_start) == Some(TokenKind::Ident)
+                    && at == 1
+                    && self.kind(c, 0) == Some(TokenKind::Num)
+                {
+                    if let Some((v, _)) = parse_num(self.t(c, 0)) {
+                        let x = self.t(c, rhs_start).to_string();
+                        if !env.get(&x).is_some_and(|v| v.nonneg) {
+                            return none;
+                        }
+                        let mk = |r| vec![(x.clone(), r)];
+                        // `K op x` mirrors to `x op' K`.
+                        return match op.as_str() {
+                            "<" => (
+                                v.checked_add(1).map_or(Vec::new(), |b| mk(Refine::Above(b, why.clone()))),
+                                mk(Refine::Below(v, why)),
+                            ),
+                            "<=" => (
+                                mk(Refine::Above(v, why.clone())),
+                                v.checked_sub(1).map_or(Vec::new(), |b| mk(Refine::Below(b, why))),
+                            ),
+                            ">" => (
+                                v.checked_sub(1).map_or(Vec::new(), |b| mk(Refine::Below(b, why.clone()))),
+                                mk(Refine::Above(v, why)),
+                            ),
+                            ">=" => (
+                                mk(Refine::Below(v, why.clone())),
+                                v.checked_add(1).map_or(Vec::new(), |b| mk(Refine::Above(b, why))),
+                            ),
+                            "==" => (
+                                vec![
+                                    (x.clone(), Refine::Below(v, why.clone())),
+                                    (x, Refine::Above(v, why)),
+                                ],
+                                Vec::new(),
+                            ),
+                            _ => none,
+                        };
+                    }
+                }
+                return none;
+            }
+        };
+        let Some(xv) = env.get(&name) else { return none };
+        if !xv.nonneg {
+            return none;
+        }
+        // Wrap guard for `x + LIT`: the guard expression itself must not
+        // overflow, or release builds would wrap before comparing.
+        if offset > 0 && xv.v.hi().checked_add(offset).is_none_or(|s| s > VALUE_MAX) {
+            return none;
+        }
+        // Evaluate the right side against a scratch env (sites in it
+        // were already recorded by the main evaluation pass).
+        let mut scratch = env.clone();
+        let record = self.record;
+        self.record = false;
+        let (rv, _) = self.eval_expr(&c[..c.len()], rhs_start, 0, &mut scratch, true);
+        self.record = record;
+        let r_hi = rv.v.hi();
+        let r_lo = rv.v.lo();
+        let mk = |r| vec![(name.clone(), r)];
+        let below = |bound: u128| bound.checked_sub(offset);
+        let above = |bound: u128| bound.checked_sub(offset);
+        let (p, n) = match op.as_str() {
+            // x + c < R  →  x <= R.hi - 1 - c; negation: x + c >= R → x >= R.lo - c.
+            "<" => (
+                r_hi.checked_sub(1)
+                    .and_then(below)
+                    .map_or(Vec::new(), |b| mk(Refine::Below(b, why.clone()))),
+                above(r_lo).map_or(Vec::new(), |b| mk(Refine::Above(b, why.clone()))),
+            ),
+            "<=" => (
+                below(r_hi).map_or(Vec::new(), |b| mk(Refine::Below(b, why.clone()))),
+                r_lo.checked_add(1)
+                    .and_then(above)
+                    .map_or(Vec::new(), |b| mk(Refine::Above(b, why.clone()))),
+            ),
+            ">" => (
+                r_lo.checked_add(1)
+                    .and_then(above)
+                    .map_or(Vec::new(), |b| mk(Refine::Above(b, why.clone()))),
+                below(r_hi).map_or(Vec::new(), |b| mk(Refine::Below(b, why.clone()))),
+            ),
+            ">=" => (
+                above(r_lo).map_or(Vec::new(), |b| mk(Refine::Above(b, why.clone()))),
+                r_hi.checked_sub(1)
+                    .and_then(below)
+                    .map_or(Vec::new(), |b| mk(Refine::Below(b, why.clone()))),
+            ),
+            "==" if offset == 0 => (
+                vec![
+                    (name.clone(), Refine::Below(r_hi, why.clone())),
+                    (name.clone(), Refine::Above(r_lo, why.clone())),
+                ],
+                // `x == 0` failing means the nonneg `x` is at least 1.
+                if r_hi == 0 {
+                    mk(Refine::Above(1, format!("{why} (else branch: nonzero)")))
+                } else {
+                    Vec::new()
+                },
+            ),
+            "!=" if offset == 0 => (
+                if r_hi == 0 {
+                    mk(Refine::Above(1, format!("{why} (nonzero)")))
+                } else {
+                    Vec::new()
+                },
+                vec![
+                    (name.clone(), Refine::Below(r_hi, why.clone())),
+                    (name.clone(), Refine::Above(r_lo, why.clone())),
+                ],
+            ),
+            _ => return none,
+        };
+        none = (p, n);
+        none
+    }
+}
+
+/// Binding powers for infix operators (left, right).
+fn infix_bp(op: &str) -> (u8, u8) {
+    match op {
+        "*" | "/" | "%" => (19, 20),
+        "+" | "-" => (17, 18),
+        "<<" | ">>" => (15, 16),
+        "&" => (13, 14),
+        "^" => (11, 12),
+        "|" => (9, 10),
+        "==" | "!=" | "<" | ">" | "<=" | ">=" => (7, 8),
+        "&&" => (5, 6),
+        "||" => (3, 4),
+        ".." | "..=" => (2, 3),
+        _ => (0, 0),
+    }
+}
+
+impl<'a> Interp<'a> {
+    /// The Pratt expression evaluator. Evaluates starting at `k`,
+    /// returning the value and the index past the expression.
+    /// `no_struct` suppresses struct-literal parsing (condition and
+    /// iterator position, mirroring Rust's own restriction).
+    fn eval_expr(
+        &mut self,
+        toks: &Slice<'a>,
+        k: usize,
+        min_bp: u8,
+        env: &mut Env,
+        no_struct: bool,
+    ) -> (Value, usize) {
+        if k >= toks.len() || !self.burn() {
+            return (Value::top(), toks.len().min(k + 1).max(k));
+        }
+        let (mut lhs, mut k) = self.primary(toks, k, env, no_struct);
+        loop {
+            if k >= toks.len() || !self.burn() {
+                break;
+            }
+            // Postfix operators bind tightest.
+            match self.t(toks, k) {
+                "." if self.t(toks, k + 1) != "." => {
+                    k = self.postfix_dot(toks, k, env, &mut lhs);
+                    continue;
+                }
+                "[" => {
+                    let close = self.close_of(toks, k);
+                    let site_tok = toks[k].0;
+                    let (idx, _) = self.eval_expr(&toks[..close], k + 1, 0, env, false);
+                    self.prove_index(site_tok, &lhs, &idx);
+                    let elem = lhs.elem.clone();
+                    lhs = match &elem {
+                        Some(e) => Value::of_ty(e),
+                        None => Value::top(),
+                    };
+                    k = close + 1;
+                    continue;
+                }
+                "?" => {
+                    lhs = Value::top();
+                    k += 1;
+                    continue;
+                }
+                "as" if self.kind(toks, k + 1) == Some(TokenKind::Ident) => {
+                    lhs = cast_value(&lhs, self.t(toks, k + 1));
+                    k += 2;
+                    continue;
+                }
+                "(" => {
+                    // Calling a non-path value (a closure).
+                    let (_, nk) = self.eval_call_args(toks, k, env);
+                    lhs = Value::top();
+                    k = nk;
+                    continue;
+                }
+                _ => {}
+            }
+            let Some((op, ntok)) = self.peek_op(toks, k) else {
+                break;
+            };
+            let (lbp, rbp) = infix_bp(&op);
+            if lbp < min_bp || lbp == 0 {
+                break;
+            }
+            let site_tok = toks[k].0;
+            let after_op = k + ntok;
+            if op == ".." || op == "..=" {
+                // Open-ended ranges (`..`, `a..`, `..b`).
+                let has_rhs = !matches!(self.t(toks, after_op), "" | ")" | "]" | "}" | "," | ";" | "{" | "=");
+                let (rhs, nk) = if has_rhs {
+                    self.eval_expr(toks, after_op, rbp, env, no_struct)
+                } else {
+                    (Value::top(), after_op)
+                };
+                let mut v = Value::top();
+                v.range_of = Some((Box::new(lhs.clone()), Box::new(rhs), op == "..="));
+                lhs = v;
+                k = nk;
+                continue;
+            }
+            let (rhs, nk) = self.eval_expr(toks, after_op, rbp, env, no_struct);
+            k = nk;
+            lhs = self.binop(&op, Some(site_tok), &lhs, &rhs);
+        }
+        (lhs, k)
+    }
+
+    /// Peeks the infix operator at `k`, returning `(op, token count)`.
+    /// Returns `None` at assignment operators and expression stops.
+    fn peek_op(&self, toks: &Slice<'a>, k: usize) -> Option<(String, usize)> {
+        let a = self.t(toks, k);
+        let b = self.t(toks, k + 1);
+        let c = self.t(toks, k + 2);
+        match a {
+            "+" | "*" | "/" | "%" | "^" => {
+                if b == "=" {
+                    None
+                } else {
+                    Some((a.to_string(), 1))
+                }
+            }
+            "-" => {
+                if b == "=" || b == ">" {
+                    None
+                } else {
+                    Some((a.to_string(), 1))
+                }
+            }
+            "<" => match b {
+                "<" => {
+                    if c == "=" {
+                        None
+                    } else {
+                        Some(("<<".to_string(), 2))
+                    }
+                }
+                "=" => Some(("<=".to_string(), 2)),
+                _ => Some(("<".to_string(), 1)),
+            },
+            ">" => match b {
+                ">" => {
+                    if c == "=" {
+                        None
+                    } else {
+                        Some((">>".to_string(), 2))
+                    }
+                }
+                "=" => Some((">=".to_string(), 2)),
+                _ => Some((">".to_string(), 1)),
+            },
+            "&" => match b {
+                "&" => Some(("&&".to_string(), 2)),
+                "=" => None,
+                _ => Some(("&".to_string(), 1)),
+            },
+            "|" => match b {
+                "|" => Some(("||".to_string(), 2)),
+                "=" => None,
+                _ => Some(("|".to_string(), 1)),
+            },
+            "=" => {
+                if b == "=" {
+                    Some(("==".to_string(), 2))
+                } else {
+                    None
+                }
+            }
+            "!" => {
+                if b == "=" {
+                    Some(("!=".to_string(), 2))
+                } else {
+                    None
+                }
+            }
+            "." => {
+                if b == "." {
+                    if c == "=" {
+                        Some(("..=".to_string(), 3))
+                    } else {
+                        Some(("..".to_string(), 2))
+                    }
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// A primary expression (atoms and prefix operators).
+    fn primary(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env, no_struct: bool) -> (Value, usize) {
+        let Some(&(_, tok)) = toks.get(k) else {
+            return (Value::top(), k);
+        };
+        let s = self.src().tok_text(tok);
+        match tok.kind {
+            TokenKind::Num => {
+                if s.contains('.') {
+                    let mut v = Value::top();
+                    v.float = true;
+                    return (v, k + 1);
+                }
+                match parse_num(s) {
+                    Some((n, suffix)) => (Value::literal(n, suffix), k + 1),
+                    None => (Value::top(), k + 1),
+                }
+            }
+            TokenKind::Str | TokenKind::Char | TokenKind::Lifetime => (Value::top(), k + 1),
+            TokenKind::Ident => match s {
+                "true" | "false" => (Value::of_bool(), k + 1),
+                "if" => self.parse_if(toks, k, env),
+                "match" => self.parse_match(toks, k, env),
+                "while" => (Value::top(), self.exec_while(toks, k, env)),
+                "loop" => (Value::top(), self.exec_loop(toks, k, env)),
+                "for" => (Value::top(), self.exec_for(toks, k, env)),
+                "unsafe" if self.t(toks, k + 1) == "{" => self.primary(toks, k + 1, env, no_struct),
+                "move" => self.primary(toks, k + 1, env, no_struct),
+                "return" | "break" | "continue" => {
+                    let j = k + 1;
+                    if matches!(self.t(toks, j), ";" | "}" | ")" | "," | "") {
+                        (Value::top(), j)
+                    } else {
+                        let (_, nk) = self.eval_expr(toks, j, 0, env, no_struct);
+                        (Value::top(), nk)
+                    }
+                }
+                _ => self.ident_primary(toks, k, env, no_struct),
+            },
+            TokenKind::Punct => match s {
+                "(" => {
+                    let close = self.close_of(toks, k);
+                    let (inner, nk) = self.eval_expr(&toks[..close], k + 1, 0, env, false);
+                    // Tuples: evaluate the remaining elements, value ⊤.
+                    let mut v = inner;
+                    let mut j = nk;
+                    while self.t(&toks[..close], j) == "," {
+                        v = Value::top();
+                        let (_, n2) = self.eval_expr(&toks[..close], j + 1, 0, env, false);
+                        j = n2;
+                    }
+                    (v, close + 1)
+                }
+                "[" => self.array_literal(toks, k, env),
+                "{" => {
+                    let close = self.close_of(toks, k);
+                    let v = self.exec_block(&toks[k + 1..close], env);
+                    (v, close + 1)
+                }
+                "-" => {
+                    // Negative value: modeled only as "not nonneg".
+                    let (operand, nk) = self.eval_expr(toks, k + 1, 21, env, no_struct);
+                    let mut v = Value::top();
+                    v.float = operand.float;
+                    v.signed = true;
+                    v.width = operand.width;
+                    (v, nk)
+                }
+                "!" => {
+                    let (operand, nk) = self.eval_expr(toks, k + 1, 21, env, no_struct);
+                    if operand.width == Some(1) {
+                        (Value::of_bool(), nk)
+                    } else {
+                        let mut v = Value::top();
+                        v.width = operand.width;
+                        v.signed = operand.signed;
+                        if !operand.signed {
+                            if let Some(w) = operand.width {
+                                v.nonneg = true;
+                                v.v = AbsVal::range(0, ty_max(w, false).min(VALUE_MAX) as u64);
+                            }
+                        }
+                        (v, nk)
+                    }
+                }
+                "*" => self.eval_expr(toks, k + 1, 21, env, no_struct),
+                "&" => {
+                    let mut j = k + 1;
+                    while matches!(self.t(toks, j), "&" | "mut") {
+                        j += 1;
+                    }
+                    self.eval_expr(toks, j, 21, env, no_struct)
+                }
+                "|" => self.closure(toks, k, env),
+                _ => (Value::top(), k + 1),
+            },
+            _ => (Value::top(), k + 1),
+        }
+    }
+
+    /// `|params| body` closures: params are killed in a scratch env,
+    /// the body is walked for its sites, the value is ⊤.
+    fn closure(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> (Value, usize) {
+        let mut scratch = env.clone();
+        let body_start = if self.t(toks, k + 1) == "|" {
+            k + 2
+        } else {
+            let mut j = k + 1;
+            let mut d = 0i32;
+            while j < toks.len() {
+                match self.t(toks, j) {
+                    "(" | "[" | "<" => d += 1,
+                    ")" | "]" => d -= 1,
+                    ">" if self.t(toks, j.wrapping_sub(1)) != "-" => d -= 1,
+                    "|" if d == 0 => break,
+                    _ => {
+                        if self.kind(toks, j) == Some(TokenKind::Ident)
+                            && !matches!(self.t(toks, j), "mut")
+                            && self.t(toks, j.wrapping_sub(1)) != ":"
+                        {
+                            scratch.insert(self.t(toks, j).to_string(), Value::top());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            j + 1
+        };
+        // Skip an optional `-> Ty` return annotation.
+        let mut b = body_start;
+        if self.t(toks, b) == "-" && self.t(toks, b + 1) == ">" {
+            b += 2;
+            while b < toks.len() && self.t(toks, b) != "{" {
+                b += 1;
+            }
+        }
+        let (_, nk) = self.eval_expr(toks, b, 2, &mut scratch, false);
+        (Value::top(), nk)
+    }
+
+    /// `[a, b, c]` and `[x; N]` array literals.
+    fn array_literal(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> (Value, usize) {
+        let close = self.close_of(toks, k);
+        let semi = self.find_at_depth0(&toks[..close], k + 1, ";", &[]);
+        let mut v = Value::top();
+        if let Some(semi) = semi {
+            self.eval_expr(&toks[..semi], k + 1, 0, env, false);
+            let (n, _) = self.eval_expr(&toks[..close], semi + 1, 0, env, false);
+            if n.nonneg && n.v.lo() == n.v.hi() {
+                v.arr_len = Some(n.v.lo());
+            }
+        } else {
+            let mut j = k + 1;
+            let mut count = 0u128;
+            while j < close {
+                let end = self
+                    .find_at_depth0(&toks[..close], j, ",", &[])
+                    .unwrap_or(close);
+                let (_, _) = self.eval_expr(&toks[..end], j, 0, env, false);
+                count += 1;
+                j = end + 1;
+            }
+            v.arr_len = Some(count);
+        }
+        (v, close + 1)
+    }
+
+    /// Identifier-headed primaries: locals, consts, paths, calls,
+    /// macros, struct literals.
+    fn ident_primary(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env, no_struct: bool) -> (Value, usize) {
+        let name = self.t(toks, k);
+        let nxt = self.t(toks, k + 1);
+        // Macros.
+        if nxt == "!" && matches!(self.t(toks, k + 2), "(" | "[") {
+            let close = self.close_of(toks, k + 2);
+            let mut j = k + 3;
+            while j < close {
+                let end = self
+                    .find_at_depth0(&toks[..close], j, ",", &[])
+                    .unwrap_or(close);
+                self.eval_expr(&toks[..end], j, 0, env, false);
+                j = end + 1;
+            }
+            let mut v = Value::top();
+            if name == "vec" {
+                v.is_vec = true;
+            }
+            return (v, close + 1);
+        }
+        // Paths (`T::method(..)`, `u64::MAX`, `mod::CONST`).
+        if nxt == ":" && self.t(toks, k + 2) == ":" {
+            return self.path_primary(toks, k, env);
+        }
+        // Free function call.
+        if nxt == "(" {
+            let (args, nk) = self.eval_call_args(toks, k + 1, env);
+            // `Some(x)` / `Ok(x)` wrappers pass their payload through
+            // shape-wise often enough that ⊤ is the only sound answer.
+            let _ = args;
+            return (Value::top(), nk);
+        }
+        // Struct literal.
+        if nxt == "{"
+            && !no_struct
+            && name.chars().next().is_some_and(char::is_uppercase)
+        {
+            let close = self.close_of(toks, k + 1);
+            let mut j = k + 2;
+            while j < close {
+                let end = self
+                    .find_at_depth0(&toks[..close], j, ",", &[])
+                    .unwrap_or(close);
+                // `field: expr` / shorthand / `..base`.
+                if self.kind(toks, j) == Some(TokenKind::Ident) && self.t(toks, j + 1) == ":" {
+                    self.eval_expr(&toks[..end], j + 2, 0, env, false);
+                } else {
+                    self.eval_expr(&toks[..end], j, 0, env, false);
+                }
+                j = end + 1;
+            }
+            let mut v = Value::top();
+            v.tyname = Some(name.to_string());
+            return (v, close + 1);
+        }
+        // Plain identifier.
+        if let Some(v) = env.get(name) {
+            let mut v = v.clone();
+            v.path = Some(name.to_string());
+            return (v, k + 1);
+        }
+        if let Some(c) = self.facts.consts.get(name) {
+            let mut v = Value::literal(c.value, None);
+            v.note = Some(format!("const {name} = {} ({})", c.value, c.why));
+            return (v, k + 1);
+        }
+        if let Some((len, elem)) = self.facts.arrays.get(name) {
+            let mut v = Value::top();
+            v.arr_len = *len;
+            v.elem = Some(elem.clone());
+            v.path = Some(name.to_string());
+            return (v, k + 1);
+        }
+        (Value::top(), k + 1)
+    }
+
+    /// `a::b::c`-style paths, including `u64::MAX`, qualified calls,
+    /// and module-pathed consts.
+    fn path_primary(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env) -> (Value, usize) {
+        let mut segs: Vec<&str> = vec![self.t(toks, k)];
+        let mut j = k + 1;
+        while self.t(toks, j) == ":" && self.t(toks, j + 1) == ":" {
+            if self.t(toks, j + 2) == "<" {
+                // Turbofish: skip the generic args.
+                let mut d = 0i32;
+                let mut g = j + 2;
+                while g < toks.len() {
+                    match self.t(toks, g) {
+                        "<" => d += 1,
+                        ">" if self.t(toks, g.wrapping_sub(1)) != "-" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    g += 1;
+                }
+                j = g + 1;
+                continue;
+            }
+            if self.kind(toks, j + 2) != Some(TokenKind::Ident) {
+                break;
+            }
+            segs.push(self.t(toks, j + 2));
+            j += 3;
+        }
+        let last = *segs.last().unwrap_or(&"");
+        let prev = if segs.len() >= 2 {
+            segs[segs.len() - 2]
+        } else {
+            ""
+        };
+        // Primitive associated constants.
+        if let Some(ty) = TyInfo::prim(prev) {
+            if !ty.float {
+                match last {
+                    "MAX" => {
+                        let mut v = match ty.max_value() {
+                            Some(m) if m <= VALUE_MAX => Value::literal(m, Some(ty.clone())),
+                            _ => Value::top(),
+                        };
+                        v.note = Some(format!("{prev}::MAX"));
+                        return (v, j);
+                    }
+                    "MIN" if !ty.signed => {
+                        return (Value::literal(0, Some(ty.clone())), j);
+                    }
+                    "BITS" => {
+                        if let Some(w) = ty.width {
+                            return (Value::literal(w as u128, None), j);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if self.t(toks, j) == "(" {
+            let (args, nk) = self.eval_call_args(toks, j, env);
+            let v = self.assoc_call(prev, last, &args);
+            return (v, nk);
+        }
+        if segs.len() >= 2 && prev.chars().next().is_some_and(char::is_lowercase) {
+            if let Some(c) = self.facts.consts.get(last) {
+                let mut v = Value::literal(c.value, None);
+                v.note = Some(format!("const {last} = {} ({})", c.value, c.why));
+                return (v, j);
+            }
+            if let Some((len, elem)) = self.facts.arrays.get(last) {
+                let mut v = Value::top();
+                v.arr_len = *len;
+                v.elem = Some(elem.clone());
+                return (v, j);
+            }
+        }
+        (Value::top(), j)
+    }
+
+    /// Evaluates a parenthesized argument list starting at the `(`.
+    /// Returns the values and the index past the `)`.
+    fn eval_call_args(&mut self, toks: &Slice<'a>, open: usize, env: &mut Env) -> (Vec<Value>, usize) {
+        let close = self.close_of(toks, open);
+        let mut vals = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            let end = self
+                .find_at_depth0(&toks[..close], j, ",", &[])
+                .unwrap_or(close);
+            let (v, _) = self.eval_expr(&toks[..end], j, 0, env, false);
+            vals.push(v);
+            j = end + 1;
+        }
+        (vals, close + 1)
+    }
+
+    /// `.name` postfix: tuple index, field read, or method call.
+    fn postfix_dot(&mut self, toks: &Slice<'a>, k: usize, env: &mut Env, lhs: &mut Value) -> usize {
+        let name_k = k + 1;
+        if self.kind(toks, name_k) == Some(TokenKind::Num) {
+            *lhs = Value::top();
+            return name_k + 1;
+        }
+        if self.kind(toks, name_k) != Some(TokenKind::Ident) {
+            *lhs = Value::top();
+            return name_k;
+        }
+        let name = self.t(toks, name_k).to_string();
+        // Optional turbofish between name and `(`.
+        let mut j = name_k + 1;
+        if self.t(toks, j) == ":" && self.t(toks, j + 1) == ":" && self.t(toks, j + 2) == "<" {
+            let mut d = 0i32;
+            let mut g = j + 2;
+            while g < toks.len() {
+                match self.t(toks, g) {
+                    "<" => d += 1,
+                    ">" if self.t(toks, g.wrapping_sub(1)) != "-" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                g += 1;
+            }
+            j = g + 1;
+        }
+        if self.t(toks, j) == "(" {
+            let (args, nk) = self.eval_call_args(toks, j, env);
+            *lhs = self.method_call(lhs, &name, &args);
+            return nk;
+        }
+        // Field read.
+        *lhs = self.field_read(lhs, &name);
+        name_k + 1
+    }
+
+    /// Reads a struct field through the workspace fact base.
+    fn field_read(&mut self, recv: &Value, fname: &str) -> Value {
+        let Some(ty) = recv.tyname.as_deref() else {
+            return Value::top();
+        };
+        let Some(fi) = self.facts.field(ty, fname) else {
+            return Value::top();
+        };
+        let mut v = Value::of_ty(&fi.ty);
+        if v.nonneg {
+            if let Some(hi) = fi.hi {
+                v.v = v.v.refine_below(hi);
+            }
+            if let Some(lo) = fi.lo {
+                v.v = v.v.refine_above(lo);
+            }
+            if (fi.hi.is_some() || fi.lo.is_some()) && !fi.why.is_empty() {
+                v.note = Some(fi.why.clone());
+            }
+        }
+        if let Some(p) = &recv.path {
+            v.fld = Some((ty.to_string(), fname.to_string(), p.clone()));
+            v.path = Some(format!("{p}.{fname}"));
+        }
+        v
+    }
+
+    /// Method dispatch: seed summaries, intrinsics, bounded inlining.
+    fn method_call(&mut self, recv: &Value, name: &str, args: &[Value]) -> Value {
+        if let Some(ty) = recv.tyname.as_deref() {
+            if let Some((lo, hi, why)) = seed_summary(ty, name) {
+                let mut v = Value::top();
+                v.nonneg = true;
+                v.width = Some(64);
+                v.v = AbsVal::range(lo.min(VALUE_MAX) as u64, hi.min(VALUE_MAX) as u64);
+                v.note = Some(why.to_string());
+                return v;
+            }
+        }
+        let a0 = args.first();
+        match name {
+            "len" if recv.arr_len.is_some() => {
+                let mut v = Value::literal(recv.arr_len.unwrap_or(0), None);
+                v.poly = false;
+                v.width = Some(64);
+                v.note = Some("fixed-size array length".to_string());
+                v
+            }
+            "len" if recv.is_vec || recv.elem.is_some() => {
+                let mut v = Value::top();
+                v.nonneg = true;
+                v.width = Some(64);
+                v.v = AbsVal::range(0, i64::MAX as u64);
+                v
+            }
+            "min" => match a0 {
+                Some(a) if recv.nonneg && a.nonneg => {
+                    let mut v = Value::top();
+                    v.nonneg = true;
+                    v.v = recv.v.min(&a.v);
+                    v.width = recv.width.or(a.width);
+                    v.signed = recv.signed && a.signed;
+                    v
+                }
+                _ => widthy_top(recv),
+            },
+            "max" => match a0 {
+                Some(a) if recv.nonneg || a.nonneg => {
+                    let mut v = Value::top();
+                    v.nonneg = true;
+                    let l = if recv.nonneg { recv.v } else { AbsVal::TOP };
+                    let r = if a.nonneg { a.v } else { AbsVal::TOP };
+                    v.v = l.max(&r);
+                    v.width = recv.width.or(a.width);
+                    v
+                }
+                _ => widthy_top(recv),
+            },
+            "clamp" => match (args.first(), args.get(1)) {
+                (Some(lo), Some(hi)) if lo.nonneg && hi.nonneg => {
+                    let mut v = Value::top();
+                    v.nonneg = true;
+                    v.v = AbsVal::range(
+                        lo.v.lo().min(VALUE_MAX) as u64,
+                        hi.v.hi().min(VALUE_MAX) as u64,
+                    );
+                    v.width = recv.width;
+                    v
+                }
+                _ => widthy_top(recv),
+            },
+            "saturating_add" | "saturating_mul" => match a0 {
+                Some(a) if recv.nonneg && a.nonneg => {
+                    let cap = recv
+                        .width
+                        .map_or(VALUE_MAX, |w| ty_max(w, recv.signed).min(VALUE_MAX));
+                    let (sl, sh) = if name == "saturating_add" {
+                        (
+                            recv.v.lo().saturating_add(a.v.lo()),
+                            recv.v.hi().saturating_add(a.v.hi()),
+                        )
+                    } else {
+                        (
+                            recv.v.lo().saturating_mul(a.v.lo()),
+                            recv.v.hi().saturating_mul(a.v.hi()),
+                        )
+                    };
+                    let mut v = Value::top();
+                    v.nonneg = true;
+                    v.v = AbsVal::range(sl.min(cap) as u64, sh.min(cap) as u64);
+                    v.width = recv.width;
+                    v
+                }
+                _ => widthy_top(recv),
+            },
+            "saturating_sub" => {
+                if recv.nonneg && (a0.is_some_and(|a| a.nonneg) || (!recv.signed && recv.width.is_some())) {
+                    let mut v = Value::top();
+                    v.nonneg = true;
+                    v.v = AbsVal::range(0, recv.v.hi().min(VALUE_MAX) as u64);
+                    v.width = recv.width;
+                    v
+                } else {
+                    widthy_top(recv)
+                }
+            }
+            "wrapping_add" | "wrapping_sub" | "wrapping_mul" | "wrapping_shl" | "wrapping_shr"
+            | "rotate_left" | "rotate_right" | "swap_bytes" | "reverse_bits" => widthy_top(recv),
+            "count_ones" | "count_zeros" | "leading_zeros" | "trailing_zeros" => {
+                let mut v = Value::top();
+                v.nonneg = true;
+                v.width = Some(32);
+                let mut hi = u64::from(recv.width.unwrap_or(128));
+                // A nonzero receiver has at least one set bit, so its
+                // leading/trailing zero count is at most width - 1.
+                if matches!(name, "leading_zeros" | "trailing_zeros")
+                    && recv.nonneg
+                    && recv.v.lo() >= 1
+                    && recv.width.is_some()
+                {
+                    hi = hi.saturating_sub(1);
+                    v.note = recv.note.clone().or_else(|| {
+                        Some(format!("{name} of a nonzero value is < its bit width"))
+                    });
+                }
+                v.v = AbsVal::range(0, hi);
+                v
+            }
+            "iter" | "iter_mut" | "into_iter" | "copied" | "cloned" | "rev" | "as_slice"
+            | "as_mut_slice" | "as_ref" | "as_mut" => {
+                let mut v = recv.clone();
+                v.path = None;
+                v.fld = None;
+                v
+            }
+            "enumerate" => {
+                let mut v = recv.clone();
+                v.enumerated = true;
+                v.path = None;
+                v.fld = None;
+                v
+            }
+            "clone" | "to_owned" => recv.clone(),
+            "count" => {
+                let mut v = Value::top();
+                v.nonneg = true;
+                v.width = Some(64);
+                v
+            }
+            "is_empty" | "contains" | "any" | "all" | "is_some" | "is_none" | "is_ok"
+            | "is_err" | "is_power_of_two" | "eq" | "ne" | "lt" | "gt" | "le" | "ge"
+            | "starts_with" | "ends_with" => Value::of_bool(),
+            "checked_add" | "checked_sub" | "checked_mul" | "checked_div" | "checked_rem"
+            | "checked_shl" | "checked_shr" | "get" | "get_mut" | "first" | "last" => Value::top(),
+            _ => self
+                .try_inline(recv.tyname.as_deref(), name, Some(recv), args)
+                .or_else(|| self.declared_summary(recv.tyname.as_deref(), name))
+                .unwrap_or_else(|| {
+                    if recv.float {
+                        let mut v = Value::top();
+                        v.float = true;
+                        v
+                    } else {
+                        Value::top()
+                    }
+                }),
+        }
+    }
+
+    /// Falls back to the callee's declared `-> Ty` annotation when
+    /// inlining is impossible (loops, size): the signature still bounds
+    /// the result's type range — `fn next_u64(&mut self) -> u64` can
+    /// return anything *in u64*, which is exactly what a width-sensitive
+    /// shift proof needs.
+    fn declared_summary(&self, ty: Option<&str>, name: &str) -> Option<Value> {
+        let ty = ty?;
+        let &(fi, fk) = self.facts.methods.get(&(ty.to_string(), name.to_string()))?;
+        let mut v = self.declared_return(fi, fk)?;
+        if v.note.is_none() {
+            v.note = Some(format!("declared return type of {ty}::{name}"));
+        }
+        Some(v)
+    }
+
+    /// Parses the `-> Ty` return annotation of a workspace function
+    /// into an abstract value. `None` when the function returns `()`
+    /// or the annotation shape is unrecognized.
+    fn declared_return(&self, file_idx: usize, fn_idx: usize) -> Option<Value> {
+        let file = &self.files[file_idx];
+        let f = &self.parsed[file_idx].fns[fn_idx];
+        let code: Vec<&Token> = file
+            .tokens
+            .iter()
+            .take(f.body.start)
+            .filter(|t| t.kind.is_code())
+            .collect();
+        // Only tokens of this function's own signature: from the `fn`
+        // keyword on its declaring line (earlier items in the file also
+        // live before `body.start`).
+        let fn_pos = code.iter().rposition(|t| {
+            file.tok_text(t) == "fn" && t.line == f.line && t.kind == TokenKind::Ident
+        })?;
+        let sig = &code[fn_pos..];
+        // The return arrow directly follows the param list's closing
+        // paren — an `Fn(...) -> T` arrow inside a parameter must not
+        // be mistaken for it.
+        let open = sig.iter().position(|t| file.tok_text(t) == "(")?;
+        let mut d = 0i32;
+        let mut close = None;
+        for (j, t) in sig.iter().enumerate().skip(open) {
+            match file.tok_text(t) {
+                "(" => d += 1,
+                ")" => {
+                    d -= 1;
+                    if d == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close?;
+        let arrow = close + 1;
+        if sig.get(arrow).is_none_or(|t| file.tok_text(t) != "-")
+            || sig.get(arrow + 1).is_none_or(|t| file.tok_text(t) != ">")
+        {
+            return None;
+        }
+        let end = sig[arrow + 2..]
+            .iter()
+            .position(|t| matches!(file.tok_text(t), "where" | "{"))
+            .map_or(sig.len(), |j| arrow + 2 + j);
+        let ty_toks: Vec<&Token> = sig[arrow + 2..end].to_vec();
+        if ty_toks.is_empty() {
+            return None;
+        }
+        let ty = crate::dataflow::facts::ty_of_tokens(file, &ty_toks, &self.facts.consts);
+        if ty.width.is_none() && ty.elem.is_none() && !ty.float && ty.name.is_none() {
+            return None;
+        }
+        Some(Value::of_ty(&ty))
+    }
+
+    /// `T::name(args)` associated calls.
+    fn assoc_call(&mut self, ty: &str, name: &str, args: &[Value]) -> Value {
+        if let Some(prim) = TyInfo::prim(ty) {
+            if name == "from" && !prim.signed && !prim.float {
+                // `u64::from(x)` is a widening conversion.
+                if let Some(a) = args.first() {
+                    let mut v = if a.nonneg {
+                        let mut v = Value::top();
+                        v.nonneg = true;
+                        v.v = a.v;
+                        v
+                    } else {
+                        Value::of_ty(&prim)
+                    };
+                    v.width = prim.width;
+                    v.signed = false;
+                    v.poly = false;
+                    return v;
+                }
+            }
+            return Value::top();
+        }
+        if let Some((lo, hi, why)) = seed_summary(ty, name) {
+            let mut v = Value::top();
+            v.nonneg = true;
+            v.width = Some(64);
+            v.v = AbsVal::range(lo.min(VALUE_MAX) as u64, hi.min(VALUE_MAX) as u64);
+            v.note = Some(why.to_string());
+            return v;
+        }
+        if let Some(v) = self.try_inline(Some(ty), name, None, args) {
+            let mut v = v;
+            if matches!(name, "new" | "default") {
+                v.tyname = Some(ty.to_string());
+            }
+            return v;
+        }
+        if matches!(name, "new" | "default") {
+            let mut v = Value::top();
+            v.tyname = Some(ty.to_string());
+            return v;
+        }
+        self.declared_summary(Some(ty), name).unwrap_or_else(Value::top)
+    }
+
+    /// Bounded accessor inlining: straight-line callee bodies up to
+    /// [`MAX_INLINE_TOKENS`] code tokens, depth-limited, with the
+    /// callee's sites *not* recorded (they belong to its own profile).
+    fn try_inline(
+        &mut self,
+        ty: Option<&str>,
+        name: &str,
+        recv: Option<&Value>,
+        args: &[Value],
+    ) -> Option<Value> {
+        let ty = ty?;
+        if self.depth >= MAX_INLINE_DEPTH {
+            return None;
+        }
+        let &(fi, fk) = self.facts.methods.get(&(ty.to_string(), name.to_string()))?;
+        let body = self.body_of(fi, fk);
+        if body.len() > MAX_INLINE_TOKENS {
+            return None;
+        }
+        let callee_file = &self.files[fi];
+        if body.iter().any(|(_, t)| {
+            matches!(
+                callee_file.tok_text(t),
+                "for" | "while" | "loop" | "fn" | "unsafe"
+            )
+        }) {
+            return None;
+        }
+        let mut env = self.param_env(fi, fk);
+        if let (Some(r), true) = (recv, env.contains_key("self")) {
+            let declared_ty = env["self"].tyname.clone();
+            let mut me = r.clone();
+            me.tyname = me.tyname.or(declared_ty);
+            me.path = Some("self".to_string());
+            env.insert("self".to_string(), me);
+        }
+        let names = self.param_list(fi, fk);
+        let mut ai = 0;
+        for n in names {
+            if n == "self" {
+                continue;
+            }
+            if let Some(a) = args.get(ai) {
+                let merged = merge_arg(env.get(&n), a);
+                env.insert(n, merged);
+            }
+            ai += 1;
+        }
+        let (save_file, save_rec) = (self.file, self.record);
+        self.file = fi;
+        self.record = false;
+        self.depth += 1;
+        let tail = self.exec_block(&body, &mut env);
+        self.file = save_file;
+        self.record = save_rec;
+        self.depth -= 1;
+        let mut out = tail;
+        out.path = None;
+        out.fld = None;
+        if out.note.is_none() {
+            out.note = Some(format!("via {ty}::{name}"));
+        }
+        Some(out)
+    }
+
+    /// Ordered parameter names of a function (including `self`).
+    fn param_list(&self, file_idx: usize, fn_idx: usize) -> Vec<String> {
+        let file = &self.files[file_idx];
+        let f = &self.parsed[file_idx].fns[fn_idx];
+        let code: Vec<&Token> = file
+            .tokens
+            .iter()
+            .take(f.body.start)
+            .filter(|t| t.kind.is_code())
+            .collect();
+        let fn_pos = code.iter().rposition(|t| {
+            file.tok_text(t) == "fn" && t.line == f.line && t.kind == TokenKind::Ident
+        });
+        let Some(mut j) = fn_pos.map(|p| p + 2) else {
+            return Vec::new();
+        };
+        if code.get(j).is_some_and(|t| file.tok_text(t) == "<") {
+            let mut d = 0i32;
+            while j < code.len() {
+                match file.tok_text(code[j]) {
+                    "<" => d += 1,
+                    ">" if file.tok_text(code[j - 1]) != "-" => {
+                        d -= 1;
+                        if d == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if code.get(j).is_none_or(|t| file.tok_text(t) != "(") {
+            return Vec::new();
+        }
+        let mut names = Vec::new();
+        let mut d = 0i32;
+        let mut at_start = true;
+        while j < code.len() {
+            match file.tok_text(code[j]) {
+                "(" | "[" | "<" => d += 1,
+                ")" | "]" => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                ">" if file.tok_text(code[j - 1]) != "-" => d -= 1,
+                "," if d == 1 => at_start = true,
+                "&" | "mut" => {}
+                t => {
+                    if at_start && d == 1 && code[j].kind == TokenKind::Ident {
+                        names.push(t.to_string());
+                        at_start = false;
+                    } else if d == 1 {
+                        at_start = false;
+                    }
+                }
+            }
+            j += 1;
+        }
+        names
+    }
+
+    /// Records the proof for an indexing site.
+    fn prove_index(&mut self, site_tok: usize, recv: &Value, idx: &Value) {
+        if idx.range_of.is_some() {
+            self.prove(
+                site_tok,
+                false,
+                "range slicing is not modeled by the interpreter".to_string(),
+            );
+            return;
+        }
+        match recv.arr_len {
+            Some(len) if idx.nonneg && idx.v.hi() < len => {
+                self.prove(
+                    site_tok,
+                    true,
+                    format!("index {} < fixed length {}", idx.describe(), len),
+                );
+            }
+            Some(len) => {
+                self.prove(
+                    site_tok,
+                    false,
+                    format!(
+                        "index {} not provably < fixed length {}",
+                        idx.describe(),
+                        len
+                    ),
+                );
+            }
+            None => {
+                self.prove(
+                    site_tok,
+                    false,
+                    format!(
+                        "receiver length unknown (index {})",
+                        idx.describe()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// A binary operation: judges the site (if it is one) and computes
+    /// the result value.
+    fn binop(&mut self, op: &str, site: Option<usize>, l: &Value, r: &Value) -> Value {
+        match op {
+            "+" | "-" | "*" => self.arith(op, site, l, r),
+            "/" | "%" => self.divmod(op, site, l, r),
+            "<<" | ">>" => self.shift(op, site, l, r),
+            "&" => {
+                let mut v = Value::top();
+                v.width = out_width(l, r).0;
+                v.signed = out_width(l, r).1;
+                if l.nonneg && r.nonneg {
+                    v.nonneg = true;
+                    v.v = l.v.and(&r.v);
+                } else if r.nonneg {
+                    v.nonneg = true;
+                    v.v = AbsVal::range(0, r.v.hi().min(VALUE_MAX) as u64);
+                } else if l.nonneg {
+                    v.nonneg = true;
+                    v.v = AbsVal::range(0, l.v.hi().min(VALUE_MAX) as u64);
+                }
+                v
+            }
+            "|" | "^" => {
+                let mut v = Value::top();
+                v.width = out_width(l, r).0;
+                v.signed = out_width(l, r).1;
+                if l.nonneg && r.nonneg {
+                    v.nonneg = true;
+                    v.v = if op == "|" {
+                        l.v.or(&r.v)
+                    } else {
+                        l.v.xor(&r.v)
+                    };
+                }
+                v
+            }
+            "<" | ">" | "<=" | ">=" | "==" | "!=" | "&&" | "||" => Value::of_bool(),
+            _ => Value::top(),
+        }
+    }
+
+    /// `+`, `-`, `*`: overflow sites.
+    fn arith(&mut self, op: &str, site: Option<usize>, l: &Value, r: &Value) -> Value {
+        if l.float || r.float {
+            if let Some(s) = site {
+                self.prove(s, true, "float arithmetic cannot panic".to_string());
+            }
+            let mut v = Value::top();
+            v.float = true;
+            return v;
+        }
+        let cap = l.repr_max(r);
+        let (width, signed) = out_width(l, r);
+        let mut result = Value::top();
+        result.width = width;
+        result.signed = signed;
+        result.poly = l.poly && r.poly;
+        let unsigned_cap = || {
+            // Post-site, the value fits the representation either way
+            // (debug: no panic happened; release: wrapped into range).
+            AbsVal::range(0, cap.min(VALUE_MAX) as u64)
+        };
+        match op {
+            "-" => {
+                if l.nonneg && r.nonneg && l.v.lo() >= r.v.hi() {
+                    if let Some(s) = site {
+                        self.prove(
+                            s,
+                            true,
+                            format!(
+                                "{} - {} cannot underflow (lhs lower bound >= rhs upper bound)",
+                                l.describe(),
+                                r.describe()
+                            ),
+                        );
+                    }
+                    result.nonneg = true;
+                    result.v = l.v.sub(&r.v);
+                } else if let Some(why) = self.ctor_relation(l, r) {
+                    if let Some(s) = site {
+                        self.prove(s, true, why);
+                    }
+                    result.nonneg = true;
+                    result.v = AbsVal::range(0, l.v.hi().min(VALUE_MAX) as u64);
+                } else {
+                    if let Some(s) = site {
+                        self.prove(
+                            s,
+                            false,
+                            format!(
+                                "cannot order operands: {} - {}",
+                                l.describe(),
+                                r.describe()
+                            ),
+                        );
+                    }
+                    if width.is_some() && !signed {
+                        result.nonneg = true;
+                        result.v = unsigned_cap();
+                    }
+                }
+            }
+            _ => {
+                // `+` / `*`.
+                if l.nonneg && r.nonneg {
+                    let (lo, hi) = if op == "+" {
+                        (
+                            l.v.lo().saturating_add(r.v.lo()),
+                            l.v.hi().saturating_add(r.v.hi()),
+                        )
+                    } else {
+                        (
+                            l.v.lo().saturating_mul(r.v.lo()),
+                            l.v.hi().saturating_mul(r.v.hi()),
+                        )
+                    };
+                    if hi <= cap {
+                        if let Some(s) = site {
+                            self.prove(
+                                s,
+                                true,
+                                format!(
+                                    "{} {} {} <= type max {}",
+                                    l.describe(),
+                                    op,
+                                    r.describe(),
+                                    cap
+                                ),
+                            );
+                        }
+                        result.nonneg = true;
+                        result.v = AbsVal::range(lo.min(VALUE_MAX) as u64, hi.min(VALUE_MAX) as u64);
+                    } else {
+                        if let Some(s) = site {
+                            self.prove(
+                                s,
+                                false,
+                                format!(
+                                    "{} {} {} may exceed type max {}",
+                                    l.describe(),
+                                    op,
+                                    r.describe(),
+                                    cap
+                                ),
+                            );
+                        }
+                        if width.is_some() && !signed {
+                            result.nonneg = true;
+                            result.v = unsigned_cap();
+                        }
+                    }
+                } else {
+                    if let Some(s) = site {
+                        self.prove(
+                            s,
+                            false,
+                            format!(
+                                "operand bounds unknown: {} {} {}",
+                                l.describe(),
+                                op,
+                                r.describe()
+                            ),
+                        );
+                    }
+                    if width.is_some() && !signed && op == "+" {
+                        // Unsigned-typed operands wrap into range even
+                        // when we cannot bound them.
+                        if !l.signed && !r.signed && l.width.is_some() && r.width.is_some() {
+                            result.nonneg = true;
+                            result.v = unsigned_cap();
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// `/`, `%`: division-by-zero sites.
+    fn divmod(&mut self, op: &str, site: Option<usize>, l: &Value, r: &Value) -> Value {
+        if l.float || r.float {
+            if let Some(s) = site {
+                self.prove(s, true, "float division cannot panic".to_string());
+            }
+            let mut v = Value::top();
+            v.float = true;
+            return v;
+        }
+        let safe = r.nonneg && r.v.lo() >= 1;
+        if let Some(s) = site {
+            if safe {
+                self.prove(s, true, format!("divisor {} >= 1", r.describe()));
+            } else {
+                self.prove(
+                    s,
+                    false,
+                    format!("divisor not provably nonzero: {}", r.describe()),
+                );
+            }
+        }
+        let (width, signed) = out_width(l, r);
+        let mut v = Value::top();
+        v.width = width;
+        v.signed = signed;
+        if safe && l.nonneg {
+            v.nonneg = true;
+            v.v = if op == "/" {
+                l.v.div(&r.v)
+            } else {
+                l.v.rem(&r.v)
+            };
+        }
+        v
+    }
+
+    /// `<<`, `>>`: shift-amount sites. Value overflow of `<<` is not a
+    /// panic (it truncates), only an amount >= the width is.
+    fn shift(&mut self, op: &str, site: Option<usize>, l: &Value, r: &Value) -> Value {
+        let w = l.shift_width();
+        let safe = r.nonneg && r.v.hi() < u128::from(w);
+        if let Some(s) = site {
+            if safe {
+                self.prove(
+                    s,
+                    true,
+                    format!("shift amount {} < width {}", r.describe(), w),
+                );
+            } else {
+                self.prove(
+                    s,
+                    false,
+                    format!(
+                        "shift amount {} not provably < width {} (lhs {})",
+                        r.describe(),
+                        w,
+                        l.describe()
+                    ),
+                );
+            }
+        }
+        let mut v = Value::top();
+        v.width = l.width;
+        v.signed = l.signed;
+        if !safe {
+            return v;
+        }
+        let cap = ty_max(w, false).min(VALUE_MAX);
+        if op == "<<" {
+            if l.nonneg && !l.signed {
+                let s = l.v.shl(&r.v);
+                v.nonneg = true;
+                v.v = if s.hi() <= cap {
+                    s
+                } else {
+                    AbsVal::range(0, cap as u64)
+                };
+            }
+        } else if l.nonneg {
+            v.nonneg = true;
+            v.v = l.v.shr(&r.v);
+        } else if !l.signed && l.width.is_some() {
+            v.nonneg = true;
+            v.v = AbsVal::range(0, cap as u64);
+        }
+        v
+    }
+
+    /// A constructor-proved relation allowing `l - r`: both sides are
+    /// fields of the same struct instance with `r.field <= l.field`.
+    fn ctor_relation(&self, l: &Value, r: &Value) -> Option<String> {
+        let (lt, lf, lp) = l.fld.as_ref()?;
+        let (rt, rf, rp) = r.fld.as_ref()?;
+        if lt != rt || lp != rp {
+            return None;
+        }
+        let rel = self
+            .facts
+            .relations(lt)
+            .iter()
+            .find(|rel| rel.lhs == *rf && rel.rhs == *lf)?;
+        Some(format!(
+            "{lp}.{rf} {} {lp}.{lf} by constructor invariant: {}",
+            if rel.strict { "<" } else { "<=" },
+            rel.why
+        ))
+    }
+}
+
+/// Merges a caller argument value into a callee parameter slot: the
+/// argument's bounds win, the declared type fills unknown width/sign
+/// and supplies bounds when the argument has none. Path identity never
+/// crosses the call.
+fn merge_arg(declared: Option<&Value>, arg: &Value) -> Value {
+    let mut v = arg.clone();
+    if let Some(d) = declared {
+        if v.poly || v.width.is_none() {
+            v.width = d.width;
+            v.signed = v.signed || d.signed;
+            v.poly = false;
+        }
+        if !v.nonneg && d.nonneg {
+            v.nonneg = true;
+            v.v = d.v;
+        }
+        v.float = v.float || d.float;
+        v.tyname = v.tyname.or_else(|| d.tyname.clone());
+        v.elem = v.elem.or_else(|| d.elem.clone());
+        v.arr_len = v.arr_len.or(d.arr_len);
+        v.is_vec = v.is_vec || d.is_vec;
+    }
+    v.path = None;
+    v.fld = None;
+    v
+}
+
+/// Result width/signedness of a binary op (`poly` literals defer).
+fn out_width(l: &Value, r: &Value) -> (Option<u32>, bool) {
+    match (l.poly, r.poly) {
+        (true, false) => (r.width, r.signed),
+        (false, true) => (l.width, l.signed),
+        _ => (
+            match (l.width, r.width) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            l.signed || r.signed,
+        ),
+    }
+}
+
+/// ⊤ constrained only by the receiver's unsigned representation.
+fn widthy_top(recv: &Value) -> Value {
+    let mut v = Value::top();
+    v.width = recv.width;
+    v.signed = recv.signed;
+    if !recv.signed {
+        if let Some(w) = recv.width {
+            v.nonneg = true;
+            v.v = AbsVal::range(0, ty_max(w, false).min(VALUE_MAX) as u64);
+        }
+    }
+    v
+}
+
+/// `expr as Ty` cast semantics (casts never panic).
+fn cast_value(operand: &Value, ty_name: &str) -> Value {
+    let Some(ty) = TyInfo::prim(ty_name) else {
+        return Value::top();
+    };
+    if ty.float {
+        let mut v = Value::top();
+        v.float = true;
+        return v;
+    }
+    let mut v = Value::top();
+    v.width = ty.width;
+    v.signed = ty.signed;
+    let Some(w) = ty.width else {
+        // u128/i128: out of the value domain; keep only nonneg.
+        if !ty.signed && operand.nonneg {
+            v.nonneg = true;
+            v.v = operand.v;
+        }
+        return v;
+    };
+    let cap = ty_max(w, ty.signed).min(VALUE_MAX);
+    if !ty.signed {
+        v.nonneg = true;
+        if operand.nonneg && operand.v.hi() <= cap {
+            v.v = operand.v;
+        } else if operand.nonneg && w < 64 {
+            // Truncation keeps the low bits.
+            v.v = operand.v.and(&AbsVal::exact(cap as u64));
+        } else {
+            v.v = AbsVal::range(0, cap as u64);
+        }
+    } else if operand.nonneg && operand.v.hi() <= cap {
+        v.nonneg = true;
+        v.v = operand.v;
+    }
+    v
+}

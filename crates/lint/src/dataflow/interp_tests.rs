@@ -1,0 +1,280 @@
+// Included as the body of `mod tests` in interp.rs.
+
+use super::*;
+use crate::parse::parse;
+
+fn analyze(src: &str, fn_name: &str) -> FnAnalysis {
+    let files = vec![SourceFile::new("crates/core/src/t.rs", src.to_string())];
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| parse(f, i))
+        .collect();
+    let facts = WorkspaceFacts::build(&files, &parsed);
+    let fk = parsed[0]
+        .fns
+        .iter()
+        .position(|f| f.name == fn_name)
+        .unwrap_or_else(|| panic!("no fn named {fn_name}"));
+    analyze_fn(&files, &parsed, &facts, 0, fk)
+}
+
+fn assert_all_safe(src: &str, fn_name: &str) {
+    let a = analyze(src, fn_name);
+    let bad: Vec<String> = a
+        .proofs
+        .values()
+        .filter(|p| p.site.kind.profiled() && p.site.kind != SiteKind::Panic && !p.safe)
+        .map(|p| format!("line {}: {:?}: {}", p.site.line + 1, p.site.kind, p.why))
+        .collect();
+    assert!(bad.is_empty(), "expected all safe, got:\n{}", bad.join("\n"));
+    assert!(a.all_profiled_safe());
+}
+
+fn assert_some_unsafe(src: &str, fn_name: &str) {
+    let a = analyze(src, fn_name);
+    assert!(
+        !a.all_profiled_safe(),
+        "expected at least one unproven site, all were proven"
+    );
+}
+
+#[test]
+fn literal_arithmetic_is_safe() {
+    assert_all_safe(
+        "fn f() -> u64 { let a: u64 = 3; let b: u64 = 4; a + b }",
+        "f",
+    );
+}
+
+#[test]
+fn typed_params_bound_products() {
+    // 255 * 255 fits u32.
+    assert_all_safe("fn f(x: u8, y: u8) -> u32 { x as u32 * y as u32 }", "f");
+}
+
+#[test]
+fn unbounded_add_stays_unproven() {
+    assert_some_unsafe("fn f(x: u64, y: u64) -> u64 { x + y }", "f");
+}
+
+#[test]
+fn narrow_width_blocks_wide_sum() {
+    // The same bound that passes for u32 must fail for u8.
+    assert_some_unsafe("fn f(x: u8, y: u8) -> u8 { x * y }", "f");
+}
+
+#[test]
+fn guard_refines_shift_amount() {
+    assert_all_safe(
+        "fn f(x: usize) -> u64 { if x < 64 { 1u64 << x } else { 0 } }",
+        "f",
+    );
+}
+
+#[test]
+fn else_branch_gets_negated_guard() {
+    assert_all_safe(
+        "fn f(x: u64) -> u64 { if x >= 64 { 0 } else { 1u64 << x } }",
+        "f",
+    );
+}
+
+#[test]
+fn shift_by_unbounded_variable_stays_unproven() {
+    assert_some_unsafe("fn f(x: u64, s: u32) -> u64 { x << s }", "f");
+}
+
+#[test]
+fn shift_width_uses_lhs_type() {
+    assert_all_safe("fn f(x: u8) -> u8 { x << 7 }", "f");
+    assert_some_unsafe("fn g(x: u8) -> u8 { x << 8 }", "g");
+}
+
+#[test]
+fn array_literal_index_in_bounds() {
+    assert_all_safe("fn f() -> u64 { let a = [1u64, 2, 3]; a[2] }", "f");
+}
+
+#[test]
+fn unbounded_index_stays_unproven() {
+    assert_some_unsafe("fn f(a: [u64; 4], i: usize) -> u64 { a[i] }", "f");
+}
+
+#[test]
+fn modulo_bounds_index() {
+    assert_all_safe("fn f(a: [u64; 4], i: usize) -> u64 { a[i % 4] }", "f");
+}
+
+#[test]
+fn for_range_binder_bounds_index() {
+    assert_all_safe(
+        "fn f(a: [u64; 8]) -> u64 { let mut s = 0u64; for i in 0..8 { s = a[i]; } s }",
+        "f",
+    );
+}
+
+#[test]
+fn division_guard_excludes_zero() {
+    assert_all_safe("fn f(n: u64, d: u64) -> u64 { if d > 0 { n / d } else { 0 } }", "f");
+}
+
+#[test]
+fn unguarded_division_stays_unproven() {
+    assert_some_unsafe("fn f(n: u64, d: u64) -> u64 { n / d }", "f");
+}
+
+#[test]
+fn literal_guard_orders_subtraction() {
+    assert_all_safe("fn f(a: u64) -> u64 { if a >= 10 { a - 10 } else { 0 } }", "f");
+}
+
+#[test]
+fn ident_vs_ident_comparison_is_not_relational() {
+    // `a >= b` refines neither side against the other (the domains are
+    // per-variable); the subtraction must stay unproven.
+    assert_some_unsafe(
+        "fn f(a: u32, b: u32) -> u32 { if a >= b { a - b } else { 0 } }",
+        "f",
+    );
+}
+
+#[test]
+fn wrapping_result_is_width_bounded() {
+    assert_all_safe("fn f(c: u64) -> u64 { let n = c.wrapping_add(1); n % 8 }", "f");
+}
+
+#[test]
+fn assert_condition_is_harvested() {
+    assert_all_safe("fn f(x: u64) -> u64 { assert!(x < 16); 1u64 << x }", "f");
+}
+
+#[test]
+fn debug_assert_is_not_harvested() {
+    // `debug_assert!` is compiled out in release builds, so it proves
+    // nothing about the following code.
+    assert_some_unsafe("fn f(x: u64) -> u64 { debug_assert!(x < 16); 1u64 << x }", "f");
+}
+
+#[test]
+fn accessor_inlining_bounds_result() {
+    assert_all_safe(
+        "struct P { v: u64 }\n\
+         impl P {\n\
+             fn val(&self) -> u64 { self.v % 8 }\n\
+         }\n\
+         fn f(p: P) -> u64 { 1u64 << p.val() }",
+        "f",
+    );
+}
+
+#[test]
+fn constructor_relation_orders_field_subtraction() {
+    assert_all_safe(
+        "struct C { lo: u64, hi: u64 }\n\
+         impl C {\n\
+             pub fn new(lo: u64, hi: u64) -> C { assert!(lo <= hi); C { lo, hi } }\n\
+         }\n\
+         fn f(c: C) -> u64 { c.hi - c.lo }",
+        "f",
+    );
+}
+
+#[test]
+fn relation_requires_same_instance() {
+    assert_some_unsafe(
+        "struct C { lo: u64, hi: u64 }\n\
+         impl C {\n\
+             pub fn new(lo: u64, hi: u64) -> C { assert!(lo <= hi); C { lo, hi } }\n\
+         }\n\
+         fn f(a: C, b: C) -> u64 { a.hi - b.lo }",
+        "f",
+    );
+}
+
+#[test]
+fn match_arms_join_for_divisor() {
+    assert_all_safe(
+        "fn f(x: u8) -> u64 { let s = match x { 0 => 1u64, 1 => 2, _ => 3 }; 64 / s }",
+        "f",
+    );
+}
+
+#[test]
+fn loop_widening_is_conservative() {
+    // `i` is widened to its full type range at the loop head, so the
+    // increment cannot be proven overflow-free.
+    assert_some_unsafe(
+        "fn f() -> u64 { let mut i = 0u64; loop { i += 1; if i > 10 { break; } } i }",
+        "f",
+    );
+}
+
+#[test]
+fn panic_sites_are_never_discharged() {
+    let a = analyze("fn f(x: Option<u64>) -> u64 { x.unwrap() }", "f");
+    let panics: Vec<_> = a
+        .proofs
+        .values()
+        .filter(|p| p.site.kind == SiteKind::Panic)
+        .collect();
+    assert_eq!(panics.len(), 1);
+    assert!(!panics[0].safe);
+    // A panic site alone does not block `all_profiled_safe` (that is
+    // gated separately on the `p` count).
+    assert!(a.all_profiled_safe());
+}
+
+#[test]
+fn every_enumerated_site_gets_a_proof() {
+    let src = "fn f(a: [u64; 4], x: u64, s: u32) -> u64 { a[0] + (x << s) - 1 }";
+    let files = vec![SourceFile::new("crates/core/src/t.rs", src.to_string())];
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| parse(f, i))
+        .collect();
+    let f = &parsed[0].fns[0];
+    let n_sites = sites::enumerate(&files[0], f).len();
+    let facts = WorkspaceFacts::build(&files, &parsed);
+    let a = analyze_fn(&files, &parsed, &facts, 0, 0);
+    assert_eq!(a.proofs.len(), n_sites);
+    assert!(n_sites >= 4, "expected index, add, shift, sub sites");
+}
+
+#[test]
+fn else_if_chain_in_let_initializer_is_walked() {
+    // The chain's depth-0 `else` tokens must not be mistaken for a
+    // `let ... else` diverging block, which would truncate evaluation
+    // after the first branch and leave the later arms' sites unproven.
+    let a = analyze(
+        "fn f(a: [u64; 4], c: bool, d: bool) -> u64 {\n\
+             let v = if c { a[0] } else if d { a[1] } else { a[2] };\n\
+             v\n\
+         }",
+        "f",
+    );
+    assert_eq!(a.proofs.len(), 3);
+    let unreached: Vec<&SiteProof> = a.proofs.values().filter(|p| !p.safe).collect();
+    assert!(unreached.is_empty(), "{unreached:?}");
+}
+
+#[test]
+fn conjoined_ctor_asserts_close_over_relations() {
+    // `sb < cb && cb <= 32` must bound BOTH fields: cb directly, sb
+    // through the relation closure (sb <= 31), mirroring SsvcConfig.
+    let src = "struct C { cb: u32, sb: u32 }\n\
+         impl C {\n\
+             pub fn new(cb: u32, sb: u32) -> Self {\n\
+                 assert!(sb > 0 && sb < cb && cb <= 32, \"need {sb} < {cb}\");\n\
+                 C { cb, sb }\n\
+             }\n\
+             pub const fn lsb(self) -> u32 { self.cb - self.sb }\n\
+         }\n\
+         fn f(c: C) -> u64 { 1u64 << c.sb }\n\
+         fn g(c: C) -> u64 { 1u64 << c.lsb() }";
+    let a = analyze(src, "f");
+    assert!(a.all_profiled_safe(), "{:?}", a.proofs);
+    let b = analyze(src, "g");
+    assert!(b.all_profiled_safe(), "{:?}", b.proofs);
+}

@@ -1,0 +1,35 @@
+//! The dataflow layer: an intraprocedural abstract interpreter over the
+//! token-level IR, proving panic-capable sites safe.
+//!
+//! * [`domain`] — the joint value domain: intervals over `[0, u64::MAX]`
+//!   and known-bits masks, each reduced against the other after every
+//!   transfer function.
+//! * [`sites`] — the canonical enumeration of panic-capable sites,
+//!   shared between the `p{}i{}a{}` profile and the interpreter so
+//!   per-site proofs subtract cleanly from per-function findings.
+//! * [`facts`] — workspace facts: struct field types, constructor
+//!   `assert!` invariants (revoked if the type is ever built outside
+//!   its `new`), literal consts/statics, and the method map used for
+//!   bounded accessor inlining.
+//! * [`interp`] — the interpreter itself: an approximate CFG walk over
+//!   token structure with branch refinement from guards, widening at
+//!   loop heads (assigned locals go to ⊤ before the single body pass),
+//!   and a per-site proof map with human-readable evidence strings.
+//!
+//! Soundness posture: the interpreter only ever *discharges* findings
+//! the token-level lints already raised, so every approximation must
+//! err toward "unproven". Values it cannot see are ⊤; signed values
+//! are modeled only while provably non-negative; arithmetic proofs
+//! bound results by the narrowest known operand width (unknown widths
+//! assume `i8`); branch refinements apply only when the guard
+//! expression itself provably cannot wrap. See DESIGN.md §12.
+
+pub mod domain;
+pub mod facts;
+pub mod interp;
+pub mod sites;
+
+pub use domain::AbsVal;
+pub use facts::WorkspaceFacts;
+pub use interp::{analyze_fn, FnAnalysis, SiteProof};
+pub use sites::{Site, SiteKind};

@@ -1,0 +1,298 @@
+//! Canonical enumeration of panic-capable sites in a function body.
+//!
+//! This is the single source of truth shared by the
+//! `panic-freedom-reachability` profile (which counts sites into its
+//! `p{}i{}a{}` anchor) and the abstract interpreter (which tries to
+//! prove each site safe). Keeping both on one enumeration is what makes
+//! per-site discharge sound: a proof map keyed by token index subtracts
+//! cleanly from the profile because both passes agree on exactly which
+//! tokens are sites.
+//!
+//! Profiled kinds (counted into the anchor): explicit panics, `expr[…]`
+//! indexing, and overflow-capable arithmetic operators including
+//! adjacent `<<`. Right shifts are additionally enumerated for
+//! `mask-width-safety` but are *not* profiled — `>>` cannot overflow a
+//! value, only the shift amount can be out of range, and the legacy
+//! profile never counted it (anchors in the committed baseline would
+//! churn if it started to).
+
+use crate::lexer::{Token, TokenKind};
+use crate::parse::FnItem;
+use crate::source::SourceFile;
+
+/// Identifier-position keywords that can legally precede `[` or an
+/// arithmetic operator without making the site value-like.
+pub const VALUE_BREAK_KEYWORDS: &[&str] = &[
+    "in", "return", "else", "match", "if", "while", "loop", "break", "mut", "ref", "let", "move",
+    "box", "dyn", "as", "unsafe", "impl", "where", "for", "const", "static", "use", "pub",
+];
+
+/// Whether the token text can end a value expression (making a
+/// following `[` an index and a following `+` a binary op).
+#[must_use]
+pub fn value_end(text: Option<&str>, kind: Option<TokenKind>) -> bool {
+    match (text, kind) {
+        (Some(t), Some(TokenKind::Ident)) => !VALUE_BREAK_KEYWORDS.contains(&t),
+        (_, Some(TokenKind::Num)) => true,
+        (Some(")" | "]"), Some(TokenKind::Punct)) => true,
+        _ => false,
+    }
+}
+
+/// What kind of panic-capable site a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `.unwrap(`/`.expect(`/`panic!`/`unreachable!`/`assert*!`.
+    Panic,
+    /// `expr[…]` indexing (the `[` token).
+    Index,
+    /// An overflow/underflow/div-by-zero capable binary operator
+    /// (`+ - * / %`, including the compound-assignment forms).
+    Arith(char),
+    /// An adjacent `<<` left shift (the first `<` token).
+    Shl,
+    /// An adjacent `>>` right shift (the first `>` token). Enumerated
+    /// for `mask-width-safety` only; never profiled.
+    Shr,
+}
+
+impl SiteKind {
+    /// Whether the legacy `p{}i{}a{}` profile counts this site.
+    #[must_use]
+    pub fn profiled(self) -> bool {
+        !matches!(self, SiteKind::Shr)
+    }
+}
+
+/// One panic-capable site in a function body.
+#[derive(Debug, Clone, Copy)]
+pub struct Site {
+    /// Index of the site's token in the owning file's full token
+    /// stream (the `[` for indexing, the operator's first character
+    /// for arithmetic and shifts, the name/macro token for panics).
+    pub tok: usize,
+    /// 0-based line of the site.
+    pub line: usize,
+    /// Site classification.
+    pub kind: SiteKind,
+}
+
+/// Enumerates every panic-capable site in `f`'s body, in token order.
+#[must_use]
+pub fn enumerate(file: &SourceFile, f: &FnItem) -> Vec<Site> {
+    let body: Vec<(usize, &Token)> = file.tokens[f.body.clone()]
+        .iter()
+        .enumerate()
+        .map(|(k, t)| (f.body.start + k, t))
+        .filter(|(_, t)| t.kind.is_code())
+        .collect();
+    let text_of = |k: usize| body.get(k).map(|(_, t)| file.tok_text(t));
+    let kind_of = |k: usize| body.get(k).map(|(_, t)| t.kind);
+    let mut out = Vec::new();
+    for (k, &(idx, tok)) in body.iter().enumerate() {
+        let s = file.tok_text(tok);
+        match tok.kind {
+            TokenKind::Ident => {
+                let method = matches!(s, "unwrap" | "expect")
+                    && k > 0
+                    && text_of(k - 1) == Some(".")
+                    && text_of(k + 1) == Some("(");
+                let bang = matches!(
+                    s,
+                    "panic" | "unreachable" | "assert" | "assert_eq" | "assert_ne"
+                ) && text_of(k + 1) == Some("!");
+                if method || bang {
+                    out.push(Site {
+                        tok: idx,
+                        line: tok.line,
+                        kind: SiteKind::Panic,
+                    });
+                }
+            }
+            TokenKind::Punct => {
+                let prev_ok = k > 0 && value_end(text_of(k - 1), kind_of(k - 1));
+                match s {
+                    "[" if prev_ok => out.push(Site {
+                        tok: idx,
+                        line: tok.line,
+                        kind: SiteKind::Index,
+                    }),
+                    "+" | "-" | "*" | "/" | "%" if prev_ok => {
+                        // `->` is an arrow, not subtraction; a shifted
+                        // `<<` is handled below.
+                        if s == "-" && text_of(k + 1) == Some(">") {
+                            continue;
+                        }
+                        let next_ok = matches!(
+                            (text_of(k + 1), kind_of(k + 1)),
+                            (_, Some(TokenKind::Ident | TokenKind::Num))
+                                | (Some("(" | "&" | "-" | "*" | "!" | "="), _)
+                        );
+                        if next_ok {
+                            out.push(Site {
+                                tok: idx,
+                                line: tok.line,
+                                kind: SiteKind::Arith(s.as_bytes()[0] as char),
+                            });
+                        }
+                    }
+                    "<" if prev_ok => {
+                        // Adjacent `<<` is a shift; a spaced `< <` is not.
+                        let shifted = body
+                            .get(k + 1)
+                            .is_some_and(|(_, n)| file.tok_text(n) == "<" && n.start == tok.end);
+                        if shifted {
+                            out.push(Site {
+                                tok: idx,
+                                line: tok.line,
+                                kind: SiteKind::Shl,
+                            });
+                        }
+                    }
+                    ">" if prev_ok => {
+                        // Adjacent `>>` with a value-position operand on
+                        // the right is a right shift — unless the pair
+                        // closes a nested generic argument list
+                        // (`Vec<Vec<u64>>`, `collect::<Vec<_>>()`).
+                        // Those are told apart by scanning back for the
+                        // `<` the pair would match: a matched opener
+                        // preceded by a type path means generics. Not
+                        // profiled — see module docs.
+                        let shifted = body
+                            .get(k + 1)
+                            .is_some_and(|(_, n)| file.tok_text(n) == ">" && n.start == tok.end);
+                        let operand = matches!(
+                            (text_of(k + 2), kind_of(k + 2)),
+                            (_, Some(TokenKind::Ident | TokenKind::Num))
+                                | (Some("(" | "&" | "-" | "*" | "!" | "="), _)
+                        ) && text_of(k + 2) != Some("as");
+                        if shifted
+                            && operand
+                            && text_of(k - 1) != Some(">")
+                            && !closes_generics(file, &body, k)
+                        {
+                            out.push(Site {
+                                tok: idx,
+                                line: tok.line,
+                                kind: SiteKind::Shr,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether the adjacent `>>` pair whose first `>` sits at body index `k`
+/// closes a nested generic argument list rather than shifting a value:
+/// scan backwards for the `<` the pair would match (the pair closes two
+/// angle levels), balancing parens/brackets, and check what precedes it.
+/// A matched opener after an identifier or `::` is a type path; hitting
+/// expression punctuation first means the `>>` operates on a value.
+fn closes_generics(file: &SourceFile, body: &[(usize, &Token)], k: usize) -> bool {
+    let mut angle = 2i32;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for j in (0..k).rev().take(64) {
+        let t = body[j].1;
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        let s = file.tok_text(t);
+        match s {
+            ")" => paren += 1,
+            "]" => bracket += 1,
+            "(" if paren > 0 => paren -= 1,
+            "[" if bracket > 0 => bracket -= 1,
+            _ if paren > 0 || bracket > 0 => {}
+            // `->` (fn-type arrows inside generics) closes nothing.
+            ">" if !(j > 0 && file.tok_text(body[j - 1].1) == "-") => angle += 1,
+            "<" => {
+                angle -= 1;
+                if angle == 0 {
+                    return j > 0
+                        && (body[j - 1].1.kind == TokenKind::Ident
+                            || file.tok_text(body[j - 1].1) == ":");
+                }
+            }
+            // Arrow halves are type syntax; a bare minus is a value.
+            "-" if body.get(j + 1).is_none_or(|(_, n)| file.tok_text(n) != ">") => return false,
+            "(" | "[" | "{" | "}" | ";" | "=" | "+" | "*" | "/" | "%" | "!" | "?" | "#" | "." => {
+                return false
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn sites_of(body: &str) -> Vec<SiteKind> {
+        let src = format!("fn f(x: u64, v: Vec<u64>) -> Vec<u64> {{\n{body}\n}}\n");
+        let file = SourceFile::new("crates/core/src/demo.rs", src);
+        let parsed = parse(&file, 0);
+        enumerate(&file, &parsed.fns[0])
+            .iter()
+            .map(|s| s.kind)
+            .collect()
+    }
+
+    #[test]
+    fn panics_indexing_and_arith_are_counted() {
+        assert_eq!(
+            sites_of("let a = v[0] + x; y.unwrap(); assert!(x > 0);"),
+            vec![
+                SiteKind::Index,
+                SiteKind::Arith('+'),
+                SiteKind::Panic,
+                SiteKind::Panic
+            ]
+        );
+    }
+
+    #[test]
+    fn shifts_are_classified_by_direction() {
+        assert_eq!(
+            sites_of("let a = x << 3; let b = x >> 2;"),
+            vec![SiteKind::Shl, SiteKind::Shr]
+        );
+        assert!(!SiteKind::Shr.profiled());
+        assert!(SiteKind::Shl.profiled());
+    }
+
+    #[test]
+    fn generic_closers_are_not_right_shifts() {
+        assert_eq!(sites_of("let a: Vec<Vec<u64>> = make();"), vec![]);
+        assert_eq!(sites_of("let a = frob::<Vec<u64>>();"), vec![]);
+        assert_eq!(sites_of("let a: Vec<Vec<(u32, u32)>> = make();"), vec![]);
+        assert_eq!(
+            sites_of("let f: Vec<Box<dyn Fn() -> u64>> = make();"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn parenthesized_shift_operand_still_fires() {
+        assert_eq!(sites_of("let y = (x & m) >> s;"), vec![SiteKind::Shr]);
+    }
+
+    #[test]
+    fn arrow_and_spaced_angles_do_not_fire() {
+        assert_eq!(sites_of("let f = |q: u64| -> u64 { q };"), vec![]);
+        assert_eq!(sites_of("let c = x < 3 && 4 < x;"), vec![]);
+    }
+
+    #[test]
+    fn compound_assignment_counts_once() {
+        assert_eq!(sites_of("x += 1;"), vec![SiteKind::Arith('+')]);
+        assert_eq!(sites_of("x <<= 1;"), vec![SiteKind::Shl]);
+    }
+}

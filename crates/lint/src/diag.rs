@@ -70,6 +70,26 @@ impl Diagnostic {
     }
 }
 
+/// A finding the dataflow layer proved cannot fire: the site (or the
+/// whole per-function profile) was certified in-bounds by the abstract
+/// interpreter, so the would-be diagnostic is suppressed and reported
+/// here with its evidence instead. Discharges never gate CI; they are
+/// the machine-checkable audit trail for baseline shrinkage.
+#[derive(Debug, Clone)]
+pub struct Discharge {
+    /// The rule whose finding was discharged.
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number of the certified site (or function).
+    pub line: usize,
+    /// Fingerprint the suppressed finding *would* have had — matches
+    /// the entry that may be removed from `lint-baseline.txt`.
+    pub fingerprint: u64,
+    /// The interpreter's proof, human-readable.
+    pub evidence: String,
+}
+
 /// FNV-1a, 64-bit: the one hash the offline workspace needs.
 pub struct Fnv(u64);
 
@@ -121,11 +141,18 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders the full diagnostics document (schema version 1). Findings
-/// must already be in their final deterministic order.
+/// Renders the full diagnostics document (schema version 2: adds the
+/// `discharged` section carrying the dataflow layer's certificates).
+/// Findings and discharges must already be in their final
+/// deterministic order.
 #[must_use]
-pub fn render_json(diags: &[Diagnostic], files_scanned: usize, rules: &[&str]) -> String {
-    let mut out = String::from("{\n  \"schema\": 1,\n  \"engine\": \"ssq-lint\",\n");
+pub fn render_json(
+    diags: &[Diagnostic],
+    discharged: &[Discharge],
+    files_scanned: usize,
+    rules: &[&str],
+) -> String {
+    let mut out = String::from("{\n  \"schema\": 2,\n  \"engine\": \"ssq-lint\",\n");
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str(&format!(
         "  \"rules\": [{}],\n",
@@ -137,10 +164,11 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize, rules: &[&str]) -
     ));
     let new = diags.iter().filter(|d| !d.baselined).count();
     out.push_str(&format!(
-        "  \"summary\": {{\"total\": {}, \"new\": {}, \"baselined\": {}}},\n",
+        "  \"summary\": {{\"total\": {}, \"new\": {}, \"baselined\": {}, \"discharged\": {}}},\n",
         diags.len(),
         new,
-        diags.len() - new
+        diags.len() - new,
+        discharged.len()
     ));
     out.push_str("  \"findings\": [");
     for (i, d) in diags.iter().enumerate() {
@@ -157,7 +185,25 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize, rules: &[&str]) -
             json_escape(&d.message),
         ));
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str(if diags.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"discharged\": [");
+    for (i, d) in discharged.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"fingerprint\": \"{:016x}\", \"evidence\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.file),
+            d.line,
+            d.fingerprint,
+            json_escape(&d.evidence),
+        ));
+    }
+    out.push_str(if discharged.is_empty() {
+        "]\n}\n"
+    } else {
+        "\n  ]\n}\n"
+    });
     out
 }
 
@@ -203,10 +249,31 @@ mod tests {
 
     #[test]
     fn json_document_shape() {
-        let doc = render_json(&[diag("no-unwrap", "a")], 2, &["no-unwrap"]);
-        assert!(doc.contains("\"schema\": 1"));
+        let doc = render_json(&[diag("no-unwrap", "a")], &[], 2, &["no-unwrap"]);
+        assert!(doc.contains("\"schema\": 2"));
         assert!(doc.contains("\"files_scanned\": 2"));
-        assert!(doc.contains("\"summary\": {\"total\": 1, \"new\": 1, \"baselined\": 0}"));
+        assert!(doc.contains(
+            "\"summary\": {\"total\": 1, \"new\": 1, \"baselined\": 0, \"discharged\": 0}"
+        ));
         assert!(doc.contains("\"rule\": \"no-unwrap\""));
+        assert!(doc.contains("\"discharged\": []"));
+    }
+
+    #[test]
+    fn json_discharged_section_carries_evidence() {
+        let d = Discharge {
+            rule: "mask-width-safety",
+            file: "crates/core/src/decide.rs".to_string(),
+            line: 7,
+            fingerprint: 0xdead_beef,
+            evidence: "shift amount in [0, 63] (radix premise)".to_string(),
+        };
+        let doc = render_json(&[], &[d], 1, &["mask-width-safety"]);
+        assert!(doc.contains("\"findings\": []"));
+        assert!(doc.contains("\"discharged\": 1"));
+        assert!(doc.contains("\"fingerprint\": \"00000000deadbeef\""));
+        assert!(doc.contains("shift amount in [0, 63] (radix premise)"));
+        let opens = doc.matches(['{', '[']).count();
+        assert_eq!(opens, doc.matches(['}', ']']).count());
     }
 }

@@ -12,6 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::parse::{CallSite, FnItem};
+use crate::source::SourceFile;
 
 /// The resolved call graph over a set of parsed functions.
 pub struct CallGraph<'a> {
@@ -49,6 +50,44 @@ impl<'a> CallGraph<'a> {
             by_name,
             by_suffix,
         }
+    }
+
+    /// Indexes `fns` for *workspace-wide* resolution. On top of
+    /// [`CallGraph::build`], every non-test free function also gains
+    /// module-qualified aliases derived from its defining file — the
+    /// file stem (`fairness::jains` for `crates/stats/src/fairness.rs`)
+    /// and the owning crate (`ssq_stats::jains`) — so cross-crate
+    /// `module::fn` call sites resolve to their targets instead of
+    /// dead-ending at the crate boundary. The old per-crate index could
+    /// only resolve `Type::method` suffixes, which provably missed
+    /// two-hop chains entering another crate through a module-qualified
+    /// free function.
+    #[must_use]
+    pub fn build_workspace(fns: &'a [FnItem], files: &[SourceFile]) -> Self {
+        let mut g = Self::build(fns);
+        for (idx, f) in fns.iter().enumerate() {
+            if f.is_test || f.is_method {
+                continue;
+            }
+            let Some(file) = files.get(f.file) else {
+                continue;
+            };
+            let stem = file
+                .rel
+                .rsplit('/')
+                .next()
+                .unwrap_or("")
+                .trim_end_matches(".rs");
+            if !stem.is_empty() && !matches!(stem, "lib" | "mod" | "main") {
+                push_unique(&mut g.by_suffix, format!("{stem}::{}", f.name), idx);
+            }
+            if !file.crate_name.is_empty() {
+                let krate = file.crate_name.replace('-', "_");
+                push_unique(&mut g.by_suffix, format!("ssq_{krate}::{}", f.name), idx);
+                push_unique(&mut g.by_suffix, format!("{krate}::{}", f.name), idx);
+            }
+        }
+        g
     }
 
     /// The function indices a call site may land on.
@@ -139,6 +178,14 @@ impl<'a> CallGraph<'a> {
     }
 }
 
+/// Inserts `idx` under `key` unless already recorded there.
+fn push_unique(map: &mut BTreeMap<String, Vec<usize>>, key: String, idx: usize) {
+    let v = map.entry(key).or_default();
+    if !v.contains(&idx) {
+        v.push(idx);
+    }
+}
+
 /// The result of a reachability sweep.
 pub struct Reachability {
     /// Every reachable function index, roots included.
@@ -208,6 +255,39 @@ mod tests {
         assert!(names.contains(&"B::new"));
         assert!(!names.contains(&"A::new"));
         assert!(!names.contains(&"touch"));
+    }
+
+    #[test]
+    fn workspace_graph_resolves_cross_crate_module_calls() {
+        // `fairness::jains(...)` from core must reach the free fn in
+        // `crates/stats/src/fairness.rs` — the per-crate `Type::method`
+        // index alone cannot resolve this two-hop chain.
+        let files = vec![
+            SourceFile::new(
+                "crates/core/src/decide.rs",
+                "fn kernel() { helper(); }\nfn helper() { fairness::jains(1); }\n".to_string(),
+            ),
+            SourceFile::new(
+                "crates/stats/src/fairness.rs",
+                "pub fn jains(x: u64) -> u64 { x }\n".to_string(),
+            ),
+        ];
+        let fns: Vec<FnItem> = files
+            .iter()
+            .enumerate()
+            .flat_map(|(i, f)| parse(f, i).fns)
+            .collect();
+
+        let per_crate = CallGraph::build(&fns);
+        let root = vec![fns.iter().position(|f| f.name == "kernel").unwrap()];
+        assert_eq!(per_crate.reachable(&root).seen.len(), 2, "old graph stops");
+
+        let ws = CallGraph::build_workspace(&fns, &files);
+        let r = ws.reachable(&root);
+        let names: Vec<&str> = r.seen.iter().map(|&i| fns[i].name.as_str()).collect();
+        assert_eq!(names, vec!["kernel", "helper", "jains"]);
+        let jains = fns.iter().position(|f| f.name == "jains").unwrap();
+        assert_eq!(r.path_to(jains, &fns), "kernel -> helper -> jains");
     }
 
     #[test]

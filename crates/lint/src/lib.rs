@@ -14,12 +14,21 @@
 //!   feature-gated definitions.
 //! * [`graph`] — the name-resolved call graph with reachability and
 //!   explanatory paths; deliberately an over-approximation, the sound
-//!   direction for purity and panic-freedom lints.
-//! * [`rules`] — the nine ported textual rules plus the four semantic
+//!   direction for purity and panic-freedom lints. The workspace
+//!   build adds module/crate aliases so cross-crate free-fn calls
+//!   resolve instead of dead-ending at the crate boundary.
+//! * [`dataflow`] — the abstract interpreter: joint interval +
+//!   known-bits domains widened at loop heads, workspace fact
+//!   harvesting (ctor-assert field invariants with revocation, method
+//!   summaries), and per-site safety proofs that *discharge* findings
+//!   with evidence.
+//! * [`rules`] — the nine ported textual rules plus the six semantic
 //!   lints (`shard-purity`, `panic-freedom-reachability`,
+//!   `mask-width-safety`, `unchecked-hot-arith`,
 //!   `no-nondeterministic-order`, `feature-gate-hygiene`).
 //! * [`diag`] / [`baseline`] — severities, stable fingerprints, the
-//!   `--json` document, and the checked-in baseline that keeps legacy
+//!   `--json` document (schema 2, findings plus discharge
+//!   certificates), and the checked-in baseline that keeps legacy
 //!   findings from blocking CI while new ones still fail it.
 //! * [`registry`] — rule metadata and the engine driver
 //!   ([`registry::run_sources`] over in-memory files,
@@ -35,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod dataflow;
 pub mod diag;
 pub mod graph;
 pub mod lexer;
@@ -44,7 +54,7 @@ pub mod rules;
 pub mod source;
 
 pub use baseline::{Baseline, BASELINE_FILE};
-pub use diag::{render_json, Diagnostic, Severity};
+pub use diag::{render_json, Diagnostic, Discharge, Severity};
 pub use registry::{
     load_workspace, rule_names, run_sources, EngineConfig, LintInfo, Report, LINTS,
 };

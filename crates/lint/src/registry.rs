@@ -7,7 +7,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::diag::{Diagnostic, Severity};
+use crate::diag::{Diagnostic, Discharge, Severity};
 use crate::parse::{parse, ParsedFile};
 use crate::rules;
 use crate::source::SourceFile;
@@ -82,6 +82,16 @@ pub const LINTS: &[LintInfo] = &[
         summary: "panic/index/overflow sites reachable from QosSwitch::step, per fn",
     },
     LintInfo {
+        name: "mask-width-safety",
+        severity: Severity::Deny,
+        summary: "shift amounts reachable from QosSwitch::step must be provably in-range",
+    },
+    LintInfo {
+        name: "unchecked-hot-arith",
+        severity: Severity::Deny,
+        summary: "decide-kernel arithmetic/indexing must have dataflow-bounded operands",
+    },
+    LintInfo {
         name: "no-nondeterministic-order",
         severity: Severity::Deny,
         summary: "no HashMap/HashSet iteration-order dependence in kernel crates",
@@ -114,11 +124,17 @@ pub struct EngineConfig {
     pub panic_root_file: String,
     /// Crates under `no-nondeterministic-order`.
     pub kernel_crates: Vec<String>,
-    /// Crates whose functions join the reachability call graph.
-    pub graph_crates: Vec<String>,
     /// Crates exempt from `feature-gate-hygiene` (they force-enable the
     /// features whose surface they drive).
     pub feature_exempt_crates: Vec<String>,
+    /// Files whose step-reachable functions are held to
+    /// `unchecked-hot-arith` (the decide kernel).
+    pub hot_arith_files: Vec<String>,
+    /// Crates excluded from the workspace call graph entirely: the
+    /// analysis tooling itself (its `step`/`reduce`/`peek` methods
+    /// collide by name with switch hot-path code but can never be
+    /// called from it).
+    pub graph_exempt_crates: Vec<String>,
 }
 
 impl Default for EngineConfig {
@@ -130,10 +146,9 @@ impl Default for EngineConfig {
             panic_root_fn: "step".to_string(),
             panic_root_file: "crates/core/src/switch.rs".to_string(),
             kernel_crates: owned(&["types", "arbiter", "circuit", "core", "sim", "prof"]),
-            graph_crates: owned(&[
-                "types", "stats", "arbiter", "circuit", "traffic", "core", "trace", "prof",
-            ]),
             feature_exempt_crates: owned(&["faults"]),
+            hot_arith_files: owned(&["crates/core/src/decide.rs"]),
+            graph_exempt_crates: owned(&["lint", "xtask"]),
         }
     }
 }
@@ -144,6 +159,9 @@ pub struct Report {
     /// All findings after waiver filtering, in deterministic order
     /// (file, line, rule, anchor).
     pub diagnostics: Vec<Diagnostic>,
+    /// Findings the dataflow layer proved cannot fire, with evidence,
+    /// in deterministic order (file, line, rule, fingerprint).
+    pub discharged: Vec<Discharge>,
     /// How many files were scanned.
     pub files_scanned: usize,
 }
@@ -183,11 +201,12 @@ pub fn run_sources(sources: Vec<(String, String)>, config: &EngineConfig) -> Rep
         .collect();
 
     let mut diags = Vec::new();
+    let mut discharged = Vec::new();
     for (file, parsed_file) in files.iter().zip(&parsed) {
         let crate_has_lib = libs.contains(file.crate_name.as_str());
         rules::textual::check_file(file, parsed_file, crate_has_lib, &mut diags);
     }
-    rules::semantic::check(&files, &parsed, config, &mut diags);
+    rules::semantic::check(&files, &parsed, config, &mut diags, &mut discharged);
 
     // Drop waived findings: the waiver line is the finding's own line
     // (`diag.line` is 1-based; waivers are 0-based).
@@ -202,9 +221,18 @@ pub fn run_sources(sources: Vec<(String, String)>, config: &EngineConfig) -> Rep
             b.anchor.as_str(),
         ))
     });
+    discharged.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.fingerprint).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.fingerprint,
+        ))
+    });
     Report {
         files_scanned: files.len(),
         diagnostics: diags,
+        discharged,
     }
 }
 
@@ -259,7 +287,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_nonempty() {
         let names = rule_names();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 15);
         let mut sorted = names.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -14,8 +14,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::diag::{Diagnostic, Severity};
-use crate::graph::CallGraph;
+use crate::dataflow::sites::{self, SiteKind};
+use crate::dataflow::{analyze_fn, FnAnalysis, SiteProof, WorkspaceFacts};
+use crate::diag::{Diagnostic, Discharge, Severity};
+use crate::graph::{CallGraph, Reachability};
 use crate::lexer::TokenKind;
 use crate::parse::{FnItem, ParsedFile};
 use crate::registry::EngineConfig;
@@ -23,52 +25,60 @@ use crate::source::SourceFile;
 
 use super::textual::{hot_tokens, push};
 
-/// Identifier-position keywords that can legally precede `[` or an
-/// arithmetic operator without making the site value-like.
-const VALUE_BREAK_KEYWORDS: &[&str] = &[
-    "in", "return", "else", "match", "if", "while", "loop", "break", "mut", "ref", "let", "move",
-    "box", "dyn", "as", "unsafe", "impl", "where", "for", "const", "static", "use", "pub",
-];
-
 /// Runs every semantic lint over the whole scanned set.
 pub fn check(
     files: &[SourceFile],
     parsed: &[ParsedFile],
     config: &EngineConfig,
     out: &mut Vec<Diagnostic>,
+    discharged: &mut Vec<Discharge>,
 ) {
     no_nondeterministic_order(files, config, out);
     feature_gate_hygiene(files, parsed, config, out);
 
-    // Both reachability lints share one call graph over the hot-path
-    // crate family.
+    // All reachability lints share one *workspace-wide* call graph:
+    // every scanned crate's functions join, and module-qualified free
+    // functions resolve across crate boundaries.
     let rels: Vec<String> = files.iter().map(|f| f.rel.clone()).collect();
-    let graph_fns: Vec<FnItem> = parsed
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| {
-            config
-                .graph_crates
-                .iter()
-                .any(|c| c == &files[*i].crate_name)
-        })
-        .flat_map(|(_, p)| p.fns.iter().cloned())
-        .collect();
+    let mut graph_fns: Vec<FnItem> = Vec::new();
+    let mut locs: Vec<(usize, usize)> = Vec::new();
+    for (fi, p) in parsed.iter().enumerate() {
+        if config.graph_exempt_crates.contains(&files[fi].crate_name) {
+            continue;
+        }
+        for (fk, f) in p.fns.iter().enumerate() {
+            graph_fns.push(f.clone());
+            locs.push((fi, fk));
+        }
+    }
     let statics: BTreeSet<String> = parsed
         .iter()
-        .enumerate()
-        .filter(|(i, _)| {
-            config
-                .graph_crates
-                .iter()
-                .any(|c| c == &files[*i].crate_name)
-        })
-        .flat_map(|(_, p)| p.statics.iter().cloned())
+        .flat_map(|p| p.statics.iter().cloned())
         .collect();
-    let graph = CallGraph::build(&graph_fns);
+    let graph = CallGraph::build_workspace(&graph_fns, files);
 
     shard_purity(files, &graph, &statics, &rels, config, out);
-    panic_freedom(files, &graph, &rels, config, out);
+
+    // The panic-freedom family shares the step-kernel reachable set and
+    // one abstract-interpreter pass per reachable function.
+    let roots = graph.roots(&config.panic_root_fn, Some(&config.panic_root_file), &rels);
+    if roots.is_empty() {
+        return;
+    }
+    let reach = graph.reachable(&roots);
+    let facts = WorkspaceFacts::build(files, parsed);
+    let analyses: BTreeMap<usize, FnAnalysis> = reach
+        .seen
+        .iter()
+        .map(|&idx| {
+            let (fi, fk) = locs[idx];
+            (idx, analyze_fn(files, parsed, &facts, fi, fk))
+        })
+        .collect();
+
+    panic_freedom(files, &graph, &reach, &analyses, config, out, discharged);
+    mask_width_safety(files, &graph, &reach, &analyses, config, out, discharged);
+    unchecked_hot_arith(files, &graph, &reach, &analyses, config, out, discharged);
 }
 
 /// `no-nondeterministic-order`: kernel crates must not touch hash-order
@@ -275,17 +285,6 @@ fn shard_purity(
     }
 }
 
-/// Whether the token text can end a value expression (making a
-/// following `[` an index and a following `+` a binary op).
-fn value_end(text: Option<&str>, kind: Option<TokenKind>) -> bool {
-    match (text, kind) {
-        (Some(t), Some(TokenKind::Ident)) => !VALUE_BREAK_KEYWORDS.contains(&t),
-        (_, Some(TokenKind::Num)) => true,
-        (Some(")" | "]"), Some(TokenKind::Punct)) => true,
-        _ => false,
-    }
-}
-
 /// Per-function panic-site profile.
 #[derive(Debug, Default, PartialEq, Eq)]
 struct PanicProfile {
@@ -297,84 +296,61 @@ struct PanicProfile {
     arithmetic: usize,
 }
 
-/// Counts panic-capable sites in a function body.
+/// Counts panic-capable sites in a function body, via the shared
+/// [`sites`] enumerator the dataflow interpreter also consumes — the
+/// profile and the per-site proofs are over the *same* site set by
+/// construction.
 fn panic_profile(file: &SourceFile, f: &FnItem) -> PanicProfile {
-    let body: Vec<&crate::lexer::Token> = file.tokens[f.body.clone()]
-        .iter()
-        .filter(|t| t.kind.is_code())
-        .collect();
-    let text_of = |k: usize| body.get(k).map(|t| file.tok_text(t));
-    let kind_of = |k: usize| body.get(k).map(|t| t.kind);
     let mut p = PanicProfile::default();
-    for (k, tok) in body.iter().enumerate() {
-        let s = file.tok_text(tok);
-        match tok.kind {
-            TokenKind::Ident => {
-                let method = matches!(s, "unwrap" | "expect")
-                    && k > 0
-                    && text_of(k - 1) == Some(".")
-                    && text_of(k + 1) == Some("(");
-                let bang = matches!(
-                    s,
-                    "panic" | "unreachable" | "assert" | "assert_eq" | "assert_ne"
-                ) && text_of(k + 1) == Some("!");
-                if method || bang {
-                    p.panics += 1;
-                }
-            }
-            TokenKind::Punct => {
-                let prev_ok = k > 0 && value_end(text_of(k - 1), kind_of(k - 1));
-                match s {
-                    "[" if prev_ok => p.indexing += 1,
-                    "+" | "-" | "*" | "/" | "%" if prev_ok => {
-                        // `->` is an arrow, not subtraction; a shifted
-                        // `<<` is handled below.
-                        if s == "-" && text_of(k + 1) == Some(">") {
-                            continue;
-                        }
-                        let next_ok = matches!(
-                            (text_of(k + 1), kind_of(k + 1)),
-                            (_, Some(TokenKind::Ident | TokenKind::Num))
-                                | (Some("(" | "&" | "-" | "*" | "!" | "="), _)
-                        );
-                        if next_ok {
-                            p.arithmetic += 1;
-                        }
-                    }
-                    "<" if prev_ok => {
-                        // Adjacent `<<` is a shift; a spaced `< <` is not.
-                        let shifted = body
-                            .get(k + 1)
-                            .is_some_and(|n| file.tok_text(n) == "<" && n.start == tok.end);
-                        if shifted {
-                            p.arithmetic += 1;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            _ => {}
+    for site in sites::enumerate(file, f) {
+        match site.kind {
+            SiteKind::Panic => p.panics += 1,
+            SiteKind::Index => p.indexing += 1,
+            SiteKind::Arith(_) | SiteKind::Shl => p.arithmetic += 1,
+            // `>>` cannot overflow and was never profiled.
+            SiteKind::Shr => {}
         }
     }
     p
+}
+
+/// Compresses a function's site proofs into one bounded evidence line.
+fn evidence_summary(proofs: &[&SiteProof]) -> String {
+    let mut parts: Vec<String> = proofs
+        .iter()
+        .take(3)
+        .map(|p| format!("L{}: {}", p.site.line + 1, p.why))
+        .collect();
+    if proofs.len() > 3 {
+        parts.push(format!("(+{} more)", proofs.len() - 3));
+    }
+    let mut s = parts.join("; ");
+    if s.len() > 360 {
+        s.truncate(357);
+        s.push_str("...");
+    }
+    s
 }
 
 /// `panic-freedom-reachability`: one aggregate finding per function
 /// reachable from the step root that contains panic-capable sites. The
 /// anchor embeds the site counts, so adding a site to an already-known
 /// function re-fires CI while untouched functions stay baselined.
+///
+/// Functions whose every profiled arithmetic/indexing site the abstract
+/// interpreter proves in-bounds (and that hold no panic-capable calls)
+/// are *discharged*: the finding is suppressed and its fingerprint plus
+/// evidence land in the report's `discharged` section, licensing the
+/// removal of the matching `lint-baseline.txt` entry.
 fn panic_freedom(
     files: &[SourceFile],
     graph: &CallGraph<'_>,
-    rels: &[String],
+    reach: &Reachability,
+    analyses: &BTreeMap<usize, FnAnalysis>,
     config: &EngineConfig,
     out: &mut Vec<Diagnostic>,
+    discharged: &mut Vec<Discharge>,
 ) {
-    let roots = graph.roots(&config.panic_root_fn, Some(&config.panic_root_file), rels);
-    if roots.is_empty() {
-        return;
-    }
-    let reach = graph.reachable(&roots);
     for &idx in &reach.seen {
         let f = &graph.fns[idx];
         let file = &files[f.file];
@@ -382,7 +358,7 @@ fn panic_freedom(
         if p == PanicProfile::default() {
             continue;
         }
-        out.push(Diagnostic {
+        let diag = Diagnostic {
             rule: "panic-freedom-reachability",
             severity: Severity::Deny,
             file: file.rel.clone(),
@@ -395,6 +371,147 @@ fn panic_freedom(
             ),
             anchor: format!("{}|p{}i{}a{}", f.qual, p.panics, p.indexing, p.arithmetic),
             baselined: false,
-        });
+        };
+        let analysis = analyses.get(&idx);
+        if p.panics == 0 && analysis.is_some_and(FnAnalysis::all_profiled_safe) {
+            let proofs: Vec<&SiteProof> = analysis
+                .map(|a| {
+                    a.proofs
+                        .values()
+                        .filter(|pr| pr.site.kind.profiled())
+                        .collect()
+                })
+                .unwrap_or_default();
+            discharged.push(Discharge {
+                rule: diag.rule,
+                file: diag.file.clone(),
+                line: diag.line,
+                fingerprint: diag.fingerprint(),
+                evidence: format!(
+                    "`{}`: all {} profiled site(s) proven in-bounds — {}",
+                    f.qual,
+                    proofs.len(),
+                    evidence_summary(&proofs)
+                ),
+            });
+            continue;
+        }
+        out.push(diag);
+    }
+}
+
+/// `mask-width-safety`: every shift reachable from the step kernel must
+/// have a provably in-range amount (`< lhs width`, i.e. bounded by the
+/// radix for the u64 port masks). Proven sites become `discharged`
+/// certificates carrying the interpreter's evidence; unprovable sites
+/// fire.
+fn mask_width_safety(
+    files: &[SourceFile],
+    graph: &CallGraph<'_>,
+    reach: &Reachability,
+    analyses: &BTreeMap<usize, FnAnalysis>,
+    config: &EngineConfig,
+    out: &mut Vec<Diagnostic>,
+    discharged: &mut Vec<Discharge>,
+) {
+    for &idx in &reach.seen {
+        let f = &graph.fns[idx];
+        let file = &files[f.file];
+        let Some(analysis) = analyses.get(&idx) else {
+            continue;
+        };
+        let mut occ = 0usize;
+        for proof in analysis.proofs.values() {
+            let op = match proof.site.kind {
+                SiteKind::Shl => "<<",
+                SiteKind::Shr => ">>",
+                _ => continue,
+            };
+            let diag = Diagnostic {
+                rule: "mask-width-safety",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: proof.site.line + 1,
+                message: format!(
+                    "`{}` is reachable from `{}` and shifts (`{}`) by an amount the dataflow \
+                     layer cannot bound below the operand width: {}; mask the amount (`& 63`), \
+                     assert! the bound, or waive with evidence",
+                    f.qual, config.panic_root_fn, op, proof.why
+                ),
+                anchor: format!("{}|{}#{}", f.qual, op, occ),
+                baselined: false,
+            };
+            occ += 1;
+            if proof.safe {
+                discharged.push(Discharge {
+                    rule: diag.rule,
+                    file: diag.file.clone(),
+                    line: diag.line,
+                    fingerprint: diag.fingerprint(),
+                    evidence: format!("`{}` `{}`: {}", f.qual, op, proof.why),
+                });
+            } else {
+                out.push(diag);
+            }
+        }
+    }
+}
+
+/// `unchecked-hot-arith`: add/sub/mul/div/index sites in the configured
+/// hot files (the decide kernel) reachable from the step root whose
+/// operands the joint interval/known-bits domains cannot bound. Proven
+/// sites become `discharged` certificates.
+fn unchecked_hot_arith(
+    files: &[SourceFile],
+    graph: &CallGraph<'_>,
+    reach: &Reachability,
+    analyses: &BTreeMap<usize, FnAnalysis>,
+    config: &EngineConfig,
+    out: &mut Vec<Diagnostic>,
+    discharged: &mut Vec<Discharge>,
+) {
+    for &idx in &reach.seen {
+        let f = &graph.fns[idx];
+        let file = &files[f.file];
+        if !config.hot_arith_files.iter().any(|h| &file.rel == h) {
+            continue;
+        }
+        let Some(analysis) = analyses.get(&idx) else {
+            continue;
+        };
+        let mut occ = 0usize;
+        for proof in analysis.proofs.values() {
+            let what = match proof.site.kind {
+                SiteKind::Arith(op) => format!("`{op}`"),
+                SiteKind::Index => "indexing".to_string(),
+                _ => continue,
+            };
+            let diag = Diagnostic {
+                rule: "unchecked-hot-arith",
+                severity: Severity::Deny,
+                file: file.rel.clone(),
+                line: proof.site.line + 1,
+                message: format!(
+                    "`{}` is hot-path code reachable from `{}` with {} whose operands the \
+                     dataflow layer cannot bound: {}; tighten the types, guard the range, or \
+                     use checked/wrapping ops",
+                    f.qual, config.panic_root_fn, what, proof.why
+                ),
+                anchor: format!("{}|{}#{}", f.qual, what, occ),
+                baselined: false,
+            };
+            occ += 1;
+            if proof.safe {
+                discharged.push(Discharge {
+                    rule: diag.rule,
+                    file: diag.file.clone(),
+                    line: diag.line,
+                    fingerprint: diag.fingerprint(),
+                    evidence: format!("`{}` {}: {}", f.qual, what, proof.why),
+                });
+            } else {
+                out.push(diag);
+            }
+        }
     }
 }

@@ -243,6 +243,100 @@ fn panic_freedom_profiles_reachable_functions() {
     assert_eq!(by_rule(&report, "no-unwrap").len(), 1);
 }
 
+fn run_dataflow_fixtures() -> Report {
+    // One connected workspace: the switch-file root calls into the
+    // decide-kernel fixture, which calls into the arbiter crate.
+    run_sources(
+        vec![
+            src(
+                "crates/core/src/switch.rs",
+                include_str!("../fixtures/mask_width.rs"),
+            ),
+            src(
+                "crates/core/src/decide.rs",
+                include_str!("../fixtures/hot_arith.rs"),
+            ),
+            src(
+                "crates/arbiter/src/lrg.rs",
+                include_str!("../fixtures/cross_crate_pick.rs"),
+            ),
+        ],
+        &EngineConfig::default(),
+    )
+}
+
+#[test]
+fn mask_width_fires_on_shift_by_unbounded_variable() {
+    let report = run_dataflow_fixtures();
+    let hits = by_rule(&report, "mask-width-safety");
+    assert_eq!(hits.len(), 1, "{:?}", report.diagnostics);
+    let d = hits[0];
+    assert_eq!(d.file, "crates/core/src/switch.rs");
+    assert_eq!(d.line, 21, "anchored on the raw `1u64 << amt`");
+    assert!(d.message.contains("shift_unbounded"), "{}", d.message);
+    // The waived twin shifts by the same raw parameter but stays quiet
+    // (it still fires panic-freedom — the waiver names only this rule).
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|x| x.rule == "mask-width-safety" && x.anchor.contains("shift_waived")));
+}
+
+#[test]
+fn mask_width_discharges_the_assert_bounded_shift() {
+    let report = run_dataflow_fixtures();
+    let proof = report
+        .discharged
+        .iter()
+        .find(|d| d.rule == "mask-width-safety" && d.evidence.contains("shift_proven"))
+        .expect("assert!(bits < 64) must certify the shift");
+    assert_eq!(proof.file, "crates/core/src/switch.rs");
+    assert!(
+        proof.evidence.contains("<<"),
+        "evidence names the operator: {}",
+        proof.evidence
+    );
+}
+
+#[test]
+fn hot_arith_fires_waives_and_discharges() {
+    let report = run_dataflow_fixtures();
+    let hits = by_rule(&report, "unchecked-hot-arith");
+    // Only the raw `a + b` fires; the masked add is proven and the
+    // indexing site is waived.
+    assert!(
+        hits.iter().all(|d| d.file == "crates/core/src/decide.rs"),
+        "{hits:?}"
+    );
+    assert!(
+        hits.iter().any(|d| d.anchor.contains("unbounded_sum")),
+        "{hits:?}"
+    );
+    assert!(!hits.iter().any(|d| d.anchor.contains("waived_mix")));
+    assert!(!hits.iter().any(|d| d.anchor.contains("bounded_diff")));
+    let proof = report
+        .discharged
+        .iter()
+        .find(|d| d.rule == "unchecked-hot-arith" && d.evidence.contains("bounded_diff"))
+        .expect("the masked add must be discharged with evidence");
+    assert_eq!(proof.file, "crates/core/src/decide.rs");
+}
+
+#[test]
+fn panic_freedom_reaches_across_crates_in_two_hops() {
+    // step (core) -> hot_decide (core) -> cross_hop -> lrg::pick_winner
+    // (arbiter): the unified workspace graph must carry the panic-freedom
+    // contract into the second crate.
+    let report = run_dataflow_fixtures();
+    let hits = by_rule(&report, "panic-freedom-reachability");
+    let cross = hits
+        .iter()
+        .find(|d| d.file == "crates/arbiter/src/lrg.rs")
+        .expect("cross-crate target must be profiled");
+    assert!(cross.message.contains("pick_winner"), "{}", cross.message);
+    assert_eq!(cross.anchor, "pick_winner|p0i1a0");
+}
+
 #[test]
 fn baseline_round_trip_unblocks_recorded_findings_only() {
     let report = run_textual_fixtures();

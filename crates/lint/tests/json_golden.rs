@@ -28,7 +28,12 @@ fn document() -> String {
         ],
         &EngineConfig::default(),
     );
-    render_json(&report.diagnostics, report.files_scanned, &rule_names())
+    render_json(
+        &report.diagnostics,
+        &report.discharged,
+        report.files_scanned,
+        &rule_names(),
+    )
 }
 
 #[test]
@@ -56,11 +61,11 @@ fn json_document_matches_golden() {
 fn json_document_structural_contract() {
     let doc = document();
     for key in [
-        "\"schema\": 1",
+        "\"schema\": 2",
         "\"engine\": \"ssq-lint\"",
         "\"files_scanned\": 2",
         "\"rules\": [",
-        "\"summary\": {\"total\": 3, \"new\": 3, \"baselined\": 0}",
+        "\"summary\": {\"total\": 3, \"new\": 3, \"baselined\": 0, \"discharged\": ",
         "\"findings\": [",
         "\"fingerprint\": \"",
         "\"severity\": \"deny\"",

@@ -55,7 +55,7 @@ impl BatchMeans {
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         self.current_sum += x;
-        self.current_count += 1;
+        self.current_count = self.current_count.saturating_add(1);
         if self.current_count == self.batch_size {
             self.batch_stats
                 .push(self.current_sum / self.batch_size as f64);

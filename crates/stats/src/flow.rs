@@ -65,7 +65,7 @@ impl FlowMetrics {
 
     /// Records a delivered packet: its end-to-end latency and flit count.
     pub fn record_delivery(&mut self, latency: Cycles, flits: u64) {
-        self.packets += 1;
+        self.packets = self.packets.saturating_add(1);
         self.latency.record(latency.value());
         self.latency_stats.push(latency.as_f64());
         self.throughput.record_flits(flits);

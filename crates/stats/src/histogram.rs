@@ -56,15 +56,14 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum += u128::from(value);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(value));
         self.max = self.max.max(value);
         self.min = self.min.min(value);
         let bin = (value / self.bin_width) as usize;
-        if bin < self.bins.len() {
-            self.bins[bin] += 1;
-        } else {
-            self.overflow += 1;
+        match self.bins.get_mut(bin) {
+            Some(b) => *b = b.saturating_add(1),
+            None => self.overflow = self.overflow.saturating_add(1),
         }
     }
 

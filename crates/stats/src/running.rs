@@ -45,7 +45,7 @@ impl RunningStats {
 
     /// Adds one sample.
     pub fn push(&mut self, x: f64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
         self.m2 += delta * (x - self.mean);

@@ -41,7 +41,7 @@ impl ShardAccumulator {
 
     /// Records one decided shard of the given cost.
     pub fn record(&mut self, cost: u64) {
-        self.shards += 1;
+        self.shards = self.shards.saturating_add(1);
         self.cost.record(cost);
     }
 

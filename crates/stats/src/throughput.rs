@@ -47,12 +47,12 @@ impl ThroughputMeter {
 
     /// Records delivery of a single flit.
     pub fn record_flit(&mut self) {
-        self.flits += 1;
+        self.flits = self.flits.saturating_add(1);
     }
 
     /// Records delivery of `n` flits.
     pub fn record_flits(&mut self, n: u64) {
-        self.flits += n;
+        self.flits = self.flits.saturating_add(n);
     }
 
     /// Flits delivered since the window started.

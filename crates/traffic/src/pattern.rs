@@ -102,7 +102,7 @@ impl DestinationPattern for HotspotDest {
         // Uniform over the other outputs.
         let pick = self.rng.index(self.radix - 1);
         let idx = if pick >= self.hot.index() {
-            pick + 1
+            pick.saturating_add(1)
         } else {
             pick
         };
@@ -185,16 +185,16 @@ impl Shuffle {
             radix.is_power_of_two() && radix > 1,
             "radix {radix} must be a power of two > 1"
         );
-        Shuffle {
-            bits: radix.trailing_zeros(),
-        }
+        let bits = radix.trailing_zeros();
+        assert!(bits >= 1 && bits <= 63, "shuffle rotate width out of range");
+        Shuffle { bits }
     }
 }
 
 impl DestinationPattern for Shuffle {
     fn dest(&mut self, input: InputId) -> OutputId {
         let i = input.index();
-        let mask = (1 << self.bits) - 1;
+        let mask = (1usize << self.bits) - 1;
         OutputId::new(((i << 1) | (i >> (self.bits - 1))) & mask)
     }
 }

@@ -44,7 +44,7 @@ impl Cycle {
     /// Advances by one cycle.
     #[must_use]
     pub const fn next(self) -> Self {
-        Cycle(self.0 + 1)
+        Cycle(self.0.wrapping_add(1))
     }
 
     /// The duration since `earlier`, saturating to zero if `earlier` is in

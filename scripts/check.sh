@@ -20,6 +20,24 @@ echo "== source lint (ssq-lint via xtask) =="
 mkdir -p results
 cargo run --quiet -p xtask -- lint --json > results/lint.json
 
+echo "== baseline shrink gate =="
+# The baseline may only lose entries over time (see the policy header in
+# lint-baseline.txt): any change that GROWS the entry count versus the
+# committed copy fails here. Skipped when git or the committed copy is
+# unavailable (fresh checkouts, tarball builds).
+if committed=$(git show HEAD:lint-baseline.txt 2>/dev/null); then
+  now=$(grep -vc '^#' lint-baseline.txt || true)
+  then=$(printf '%s\n' "$committed" | grep -vc '^#' || true)
+  if [ "$now" -gt "$then" ]; then
+    echo "lint-baseline.txt grew: $then -> $now entries." >&2
+    echo "Fix, discharge, or waive the new finding instead of baselining it." >&2
+    exit 1
+  fi
+  echo "baseline entries: $now (committed: $then) — ok"
+else
+  echo "baseline shrink gate skipped (no git history available)"
+fi
+
 echo "== model check + engine conformance, fast tier (xtask) =="
 # The fast tier ends with the sequential-vs-parallel differential
 # battery: every scenario must be bit-identical on both engines.
