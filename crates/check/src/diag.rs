@@ -38,6 +38,11 @@ pub mod codes {
     /// budget) cannot preserve the Eq. 1 GL bound for the admitted
     /// flow set if a single fault lands.
     pub const FAULT_TOLERANCE: &str = "SSQ012";
+    /// A fabric link cannot cover the GB/GL reservations crossing it:
+    /// the per-hop Eq. 1 admission predicate (reserved rates within
+    /// channel bandwidth, credit depth covering the GL wait bound)
+    /// fails on that hop.
+    pub const TOPOLOGY_UNDERPROVISIONED: &str = "SSQ013";
 }
 
 /// How serious a diagnostic is.

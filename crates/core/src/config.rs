@@ -6,6 +6,7 @@ use std::fmt;
 use ssq_arbiter::CounterPolicy;
 use ssq_types::{Geometry, InputId, OutputId};
 
+use crate::backoff::BackoffPolicy;
 use crate::reservations::Reservations;
 
 /// The arbitration policy driving every output channel.
@@ -157,6 +158,7 @@ pub struct SwitchConfig {
     be_voq: bool,
     spare_gb_lanes: u32,
     fault_retry_budget: u32,
+    fault_backoff: Option<BackoffPolicy>,
 }
 
 impl SwitchConfig {
@@ -188,6 +190,7 @@ impl SwitchConfig {
             be_voq: false,
             spare_gb_lanes: 0,
             fault_retry_budget: 0,
+            fault_backoff: None,
         }
     }
 
@@ -286,6 +289,17 @@ impl SwitchConfig {
     #[must_use]
     pub const fn fault_retry_budget(&self) -> u32 {
         self.fault_retry_budget
+    }
+
+    /// The effective retry/timeout policy for degraded-mode
+    /// arbitration: an explicitly configured
+    /// [`SwitchConfigBuilder::fault_backoff`] policy, or the legacy
+    /// [`BackoffPolicy::immediate`] countdown derived from
+    /// [`SwitchConfigBuilder::fault_retry_budget`].
+    #[must_use]
+    pub fn fault_backoff(&self) -> BackoffPolicy {
+        self.fault_backoff
+            .unwrap_or(BackoffPolicy::immediate(self.fault_retry_budget))
     }
 
     /// The bandwidth allocation table.
@@ -390,6 +404,7 @@ pub struct SwitchConfigBuilder {
     be_voq: bool,
     spare_gb_lanes: u32,
     fault_retry_budget: u32,
+    fault_backoff: Option<BackoffPolicy>,
 }
 
 impl SwitchConfigBuilder {
@@ -524,6 +539,20 @@ impl SwitchConfigBuilder {
         self
     }
 
+    /// Replaces the fixed retry countdown with a full
+    /// retry/timeout/backoff policy for degraded-mode arbitration:
+    /// each transient retry opens a (possibly growing, possibly
+    /// jittered) hold window during which further detections ride the
+    /// in-flight retry instead of burning budget. The policy's
+    /// `max_retries` supersedes [`SwitchConfigBuilder::fault_retry_budget`];
+    /// [`BackoffPolicy::immediate`] reproduces the legacy countdown
+    /// exactly.
+    #[must_use]
+    pub fn fault_backoff(mut self, policy: BackoffPolicy) -> Self {
+        self.fault_backoff = Some(policy);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -553,6 +582,7 @@ impl SwitchConfigBuilder {
             be_voq: self.be_voq,
             spare_gb_lanes: self.spare_gb_lanes,
             fault_retry_budget: self.fault_retry_budget,
+            fault_backoff: self.fault_backoff,
         };
         config.validate()?;
         Ok(config)
@@ -612,6 +642,21 @@ mod tests {
             .unwrap();
         assert_eq!(c.spare_gb_lanes(), 2);
         assert_eq!(c.fault_retry_budget(), 3);
+    }
+
+    #[test]
+    fn fault_backoff_defaults_to_the_immediate_countdown() {
+        let c = SwitchConfig::builder(geom())
+            .fault_retry_budget(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.fault_backoff(), BackoffPolicy::immediate(3));
+        let policy = BackoffPolicy::exponential(5, 8, 2, 64).with_jitter(3, 42);
+        let c = SwitchConfig::builder(geom())
+            .fault_backoff(policy)
+            .build()
+            .unwrap();
+        assert_eq!(c.fault_backoff(), policy);
     }
 
     #[test]

@@ -2,15 +2,22 @@
 //!
 //! [`FaultControl`] tracks which degradations are currently in force —
 //! per-output SSVC→LRG fallback, GL demotion, and the remaining
-//! transient-retry budget — so the arbitration hot path can consult a
-//! single source of truth. Mutation happens only through the
-//! `QosSwitch::fault_*` methods, which pair every state change with a
-//! trace event (the `no-silent-degrade` lint holds them to it).
+//! transient-retry budget under the shared
+//! [`BackoffPolicy`](crate::backoff::BackoffPolicy) — so the
+//! arbitration hot path can consult a single source of truth. Mutation
+//! happens only through the `QosSwitch::fault_*` methods, which pair
+//! every state change with a trace event (the `no-silent-degrade` lint
+//! holds them to it).
 //!
 //! With the `faults` cargo feature **off** (the default), the struct is
 //! a zero-sized stub and every query is an `#[inline(always)]` constant
 //! `false`: the hot path is bit-identical to an uninstrumented build,
 //! mirroring the `sanitizer` feature's contract.
+
+#[cfg(feature = "faults")]
+use crate::backoff::{BackoffPolicy, RetryTimer};
+#[cfg(feature = "faults")]
+use ssq_types::rng::Xoshiro256StarStar;
 
 /// Per-switch fault and degradation state.
 ///
@@ -24,11 +31,12 @@ pub struct FaultControl {
     /// Per-output: the GL class lost its lane and was demoted — GL no
     /// longer preempts GB and the Eq. 1 bound is off.
     gl_demoted: Vec<bool>,
-    /// Per-output transient retries remaining before a corrupted grant
-    /// escalates from retry to fallback.
-    retries_left: Vec<u32>,
-    /// The configured budget `retries_left` resets to on heal.
-    retry_budget: u32,
+    /// Per-output transient-retry bookkeeping against `policy`.
+    retry: Vec<RetryTimer>,
+    /// The shared retry/timeout/backoff policy (DESIGN.md §8, §13).
+    policy: BackoffPolicy,
+    /// Jitter stream for `policy` (untouched by jitter-free policies).
+    rng: Xoshiro256StarStar,
     /// Whether any fault is currently armed: detection classifies (and
     /// never panics) only while this is set.
     armed: bool,
@@ -36,15 +44,23 @@ pub struct FaultControl {
 
 #[cfg(feature = "faults")]
 impl FaultControl {
-    /// A healthy controller for `radix` outputs with the configured
-    /// transient-retry budget.
+    /// A healthy controller for `radix` outputs with the legacy fixed
+    /// retry budget ([`BackoffPolicy::immediate`]).
     #[must_use]
     pub fn new(radix: usize, retry_budget: u32) -> Self {
+        FaultControl::with_policy(radix, BackoffPolicy::immediate(retry_budget))
+    }
+
+    /// A healthy controller for `radix` outputs retrying under
+    /// `policy`.
+    #[must_use]
+    pub fn with_policy(radix: usize, policy: BackoffPolicy) -> Self {
         FaultControl {
             lrg_fallback: vec![false; radix],
             gl_demoted: vec![false; radix],
-            retries_left: vec![retry_budget; radix],
-            retry_budget,
+            retry: vec![RetryTimer::new(); radix],
+            policy,
+            rng: Xoshiro256StarStar::seed_from_u64(policy.seed()),
             armed: false,
         }
     }
@@ -92,22 +108,29 @@ impl FaultControl {
     /// Transient retries left for output `o`.
     #[must_use]
     pub fn retries_left(&self, o: usize) -> u32 {
-        self.retries_left[o]
+        self.retry.get(o).map_or(0, |t| {
+            self.policy.max_retries().saturating_sub(t.attempts())
+        })
     }
 
-    /// Consumes one retry for output `o`; returns `false` when the
-    /// budget is exhausted (the caller must escalate).
-    pub fn consume_retry(&mut self, o: usize) -> bool {
-        if self.retries_left[o] == 0 {
+    /// Asks the backoff policy for a retry at output `o`, cycle `now`:
+    /// `true` means keep retrying (a fresh attempt was consumed, or an
+    /// earlier attempt's hold window is still open); `false` means the
+    /// budget is exhausted and the caller must escalate. Under
+    /// [`BackoffPolicy::immediate`] this is exactly the legacy
+    /// countdown the fault campaigns pinned their verdicts against.
+    pub fn try_retry(&mut self, o: usize, now: u64) -> bool {
+        let Some(timer) = self.retry.get_mut(o) else {
             return false;
-        }
-        self.retries_left[o] -= 1;
-        true
+        };
+        timer.decide(&self.policy, now, &mut self.rng).retrying()
     }
 
     /// Refills output `o`'s retry budget (on heal or SSVC restore).
     pub fn reset_retries(&mut self, o: usize) {
-        self.retries_left[o] = self.retry_budget;
+        if let Some(timer) = self.retry.get_mut(o) {
+            timer.reset();
+        }
     }
 }
 
@@ -124,6 +147,13 @@ impl FaultControl {
     #[inline(always)]
     #[must_use]
     pub fn new(_radix: usize, _retry_budget: u32) -> Self {
+        FaultControl
+    }
+
+    /// A healthy controller (stub; the policy is never consulted).
+    #[inline(always)]
+    #[must_use]
+    pub fn with_policy(_radix: usize, _policy: crate::backoff::BackoffPolicy) -> Self {
         FaultControl
     }
 
@@ -157,13 +187,26 @@ mod tests {
     fn retries_run_down_and_reset() {
         let mut fc = FaultControl::new(4, 2);
         assert_eq!(fc.retries_left(1), 2);
-        assert!(fc.consume_retry(1));
-        assert!(fc.consume_retry(1));
-        assert!(!fc.consume_retry(1));
+        assert!(fc.try_retry(1, 10));
+        assert!(fc.try_retry(1, 11));
+        assert!(!fc.try_retry(1, 12));
         fc.reset_retries(1);
         assert_eq!(fc.retries_left(1), 2);
         // Other outputs were untouched.
         assert_eq!(fc.retries_left(0), 2);
+    }
+
+    #[test]
+    fn backoff_hold_windows_do_not_burn_budget() {
+        let policy = BackoffPolicy::exponential(1, 20, 2, 100);
+        let mut fc = FaultControl::with_policy(4, policy);
+        // One attempt opens a 20-cycle window; detections inside it
+        // ride the in-flight retry instead of escalating.
+        assert!(fc.try_retry(2, 100));
+        assert!(fc.try_retry(2, 110));
+        assert_eq!(fc.retries_left(2), 0);
+        // Past the window the budget is spent: escalate.
+        assert!(!fc.try_retry(2, 120));
     }
 
     #[test]

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod backoff;
 mod channel;
 mod config;
 pub mod faultctl;
@@ -83,6 +84,7 @@ mod switch;
 pub mod vcd;
 
 pub use analyze::{AnalysisOptions, GlContract};
+pub use backoff::{BackoffPolicy, RetryDecision, RetryTimer};
 pub use channel::{ChannelState, OutputChannel};
 pub use config::{ConfigError, Policy, SwitchConfig, SwitchConfigBuilder};
 pub use faultctl::FaultControl;

@@ -201,11 +201,11 @@ impl Reservations {
         self.gb[input.index() * self.radix + output.index()]
     }
 
-    /// The GL class allocation at `output`.
+    /// The GL class allocation at `output` (zero when `output` exceeds
+    /// the radix — an unknown output has nothing allocated).
     #[must_use]
     pub fn gl(&self, output: OutputId) -> Rate {
-        assert!(output.index() < self.radix);
-        self.gl[output.index()]
+        self.gl.get(output.index()).copied().unwrap_or(Rate::ZERO)
     }
 
     /// Total fraction of `output`'s bandwidth currently allocated

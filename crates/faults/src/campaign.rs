@@ -51,6 +51,14 @@ pub const SCENARIOS: &[(&str, &str)] = &[
         "post-fault capacity below the admitted load",
     ),
     ("sink-failure", "trace sink write failure mid-campaign"),
+    (
+        "flap-during-stuck",
+        "link flapping overlaps a stuck-wire window (budgets compose)",
+    ),
+    (
+        "fault-during-readmit",
+        "link down lands mid-readmission, healed later",
+    ),
 ];
 
 /// One scenario's outcome.
@@ -307,6 +315,45 @@ fn build_scenario(name: &str, seed: u64) -> Option<(QosSwitch, FaultPlan)> {
             });
             (switch, FaultPlan::new())
         }
+        "flap-during-stuck" => {
+            // Overlap: MTBF link flapping on input 1 runs across the
+            // stuck-wire window on input 0. Each fault consumes its own
+            // retries; the judge's composition check holds the Detected
+            // ↔ retry-Degraded pairing to 1:1 across both.
+            let mut switch = QosSwitch::new(gb_config(true, 3, &[0.4, 0.3])).expect("valid");
+            saturate(&mut switch, 2);
+            let scripted = FaultPlan::new()
+                .schedule(
+                    INJECT_AT,
+                    FaultKind::StickWire {
+                        lane: 0,
+                        input: 0,
+                        charged: false,
+                    },
+                )
+                .schedule(HEAL_AT, FaultKind::HealWire { lane: 0, input: 0 })
+                .schedule(HEAL_AT + 10, FaultKind::RestoreSsvc { output: 0 });
+            let plan = scripted.merge(FaultPlan::link_flaps(seed, 1, 700, 150, horizon));
+            (switch, plan)
+        }
+        "fault-during-readmit" => {
+            // A link dies five cycles into the post-readmission window,
+            // while the squeezed reservation set is still settling.
+            let mut switch = QosSwitch::new(gb_config(false, 2, &[0.4, 0.3, 0.2])).expect("valid");
+            saturate(&mut switch, 3);
+            let plan = FaultPlan::new()
+                .schedule(
+                    INJECT_AT,
+                    FaultKind::Readmit {
+                        output: 0,
+                        capacity: 0.7,
+                        gl_lane_lost: false,
+                    },
+                )
+                .schedule(INJECT_AT + 5, FaultKind::LinkDown { input: 1 })
+                .schedule(HEAL_AT, FaultKind::LinkUp { input: 1 });
+            (switch, plan)
+        }
         _ => return None,
     };
     Some((switch, plan))
@@ -388,6 +435,28 @@ mod tests {
                 result.name
             );
         }
+    }
+
+    #[test]
+    fn overlapping_faults_compose_their_retry_budgets() {
+        // Two concurrent fault stories must still satisfy the contract,
+        // and the judge's 1:1 Detected ↔ retry pairing must hold — a
+        // double-counted budget would surface as a SilentViolation.
+        for name in ["flap-during-stuck", "fault-during-readmit"] {
+            let result = run_scenario(name, 7).unwrap();
+            assert!(
+                result.verdict.is_acceptable(),
+                "{name}: {:?}",
+                result.verdict
+            );
+        }
+        // The overlapped schedule really does interleave both stories.
+        let result = run_scenario("flap-during-stuck", 7).unwrap();
+        assert!(
+            result.fault_injections >= 2,
+            "expected overlapping injections, got {}",
+            result.fault_injections
+        );
     }
 
     #[test]

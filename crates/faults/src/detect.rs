@@ -56,14 +56,34 @@ pub fn judge(outcome: &MonitorOutcome, events: &[Event]) -> Verdict {
     let mut revocations = 0;
     let mut degradations = 0;
     let mut detections = 0;
+    let mut retry_degradations = 0;
     for e in events {
         match &e.kind {
             EventKind::GuaranteeRevoked { .. } => revocations += 1,
-            EventKind::Degraded { .. } => degradations += 1,
+            EventKind::Degraded { mode, .. } => {
+                degradations += 1;
+                if mode == "retry" {
+                    retry_degradations += 1;
+                }
+            }
             EventKind::Detected { .. } => detections += 1,
             EventKind::Readmitted { action, .. } if action != "keep" => degradations += 1,
             _ => {}
         }
+    }
+    // Composition check: a transient retry is consumed once per
+    // detection (switch `detected_degrade` pairs them 1:1), so under
+    // overlapping faults the per-fault budgets must add up, never
+    // double-count. More retry transitions than detections means two
+    // fault paths burned the budget for one classified event — an
+    // accounting corruption the campaign must not wave through.
+    if retry_degradations > detections {
+        return Verdict::SilentViolation {
+            reason: format!(
+                "retry budget double-counted: {retry_degradations} retry \
+                 degradations for {detections} detections"
+            ),
+        };
     }
     let loud = revocations > 0 || degradations > 0;
     match outcome {
@@ -193,6 +213,45 @@ mod tests {
             action: "keep".into(),
         })];
         assert_eq!(judge(&completed(), &events), Verdict::BoundsPreserved);
+    }
+
+    #[test]
+    fn unpaired_retry_degradations_flag_budget_double_counting() {
+        // One detection, two retry consumptions: some second fault path
+        // burned the shared budget without classifying its own event.
+        let events = vec![
+            ev(EventKind::Detected {
+                output: 0,
+                code: "SSQV003".into(),
+                detail: 9,
+            }),
+            ev(EventKind::Degraded {
+                output: 0,
+                mode: "retry".into(),
+            }),
+            ev(EventKind::Degraded {
+                output: 0,
+                mode: "retry".into(),
+            }),
+        ];
+        let verdict = judge(&completed(), &events);
+        assert!(
+            matches!(&verdict, Verdict::SilentViolation { reason } if reason.contains("double-counted")),
+            "got {verdict:?}"
+        );
+        // The paired case composes cleanly.
+        let paired = vec![
+            ev(EventKind::Detected {
+                output: 0,
+                code: "SSQV003".into(),
+                detail: 9,
+            }),
+            ev(EventKind::Degraded {
+                output: 0,
+                mode: "retry".into(),
+            }),
+        ];
+        assert!(judge(&completed(), &paired).is_acceptable());
     }
 
     #[test]

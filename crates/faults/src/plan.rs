@@ -202,6 +202,19 @@ impl FaultPlan {
         plan
     }
 
+    /// Interleaves `other` into this plan by cycle, keeping both plans'
+    /// internal orderings (same-cycle steps apply `self` first). This is
+    /// how overlapping-fault scenarios are built: script one fault
+    /// story, merge an MTBF schedule over it.
+    #[must_use]
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        for step in other.steps {
+            let pos = self.steps.partition_point(|s| s.at <= step.at);
+            self.steps.insert(pos, step);
+        }
+        self
+    }
+
     /// The scheduled steps, sorted by cycle.
     #[must_use]
     pub fn steps(&self) -> &[FaultStep] {
@@ -264,6 +277,32 @@ mod tests {
         }
         let c = FaultPlan::link_flaps(43, 3, 500, 100, 20_000);
         assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn merge_interleaves_by_cycle_keeping_relative_order() {
+        let scripted = FaultPlan::new()
+            .schedule(
+                100,
+                FaultKind::StickWire {
+                    lane: 0,
+                    input: 0,
+                    charged: false,
+                },
+            )
+            .schedule(300, FaultKind::HealWire { lane: 0, input: 0 });
+        let flaps = FaultPlan::new()
+            .schedule(100, FaultKind::LinkDown { input: 1 })
+            .schedule(200, FaultKind::LinkUp { input: 1 });
+        let merged = scripted.merge(flaps);
+        let ats: Vec<u64> = merged.steps().iter().map(|s| s.at).collect();
+        assert_eq!(ats, vec![100, 100, 200, 300]);
+        // Same-cycle: the receiving plan's step applies first.
+        assert!(matches!(
+            merged.steps()[0].kind,
+            FaultKind::StickWire { .. }
+        ));
+        assert!(matches!(merged.steps()[1].kind, FaultKind::LinkDown { .. }));
     }
 
     #[test]

@@ -146,7 +146,7 @@ impl Default for EngineConfig {
             panic_root_fn: "step".to_string(),
             panic_root_file: "crates/core/src/switch.rs".to_string(),
             kernel_crates: owned(&["types", "arbiter", "circuit", "core", "sim", "prof"]),
-            feature_exempt_crates: owned(&["faults"]),
+            feature_exempt_crates: owned(&["faults", "net"]),
             hot_arith_files: owned(&["crates/core/src/decide.rs"]),
             graph_exempt_crates: owned(&["lint", "xtask"]),
         }

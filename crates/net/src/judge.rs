@@ -1,0 +1,333 @@
+//! The end-to-end oracle: per-hop and whole-path verdicts.
+//!
+//! Extends the single-switch two-outcome oracle
+//! ([`ssq_faults::judge`]) to a fabric run. Each node's flight-recorder
+//! ring is judged on its own (per-hop verdicts), and the whole path is
+//! judged once more with the fabric-level hop events folded in: a loud
+//! fabric event — a fault-attributable `drop` or a `reroute` — counts
+//! as a degradation exactly like a node's `degraded` transition, so a
+//! run that loses packets to a dead wire is [`Verdict::Revoked`], not
+//! silent. `queue_full` drops (congestion on a lossy link),
+//! retransmissions, and credit pauses are the fabric doing its job and
+//! stay quiet.
+//!
+//! A tripped run with no loud record anywhere is a
+//! [`Verdict::SilentViolation`]; [`PathVerdict::first_violation`]
+//! pins the earliest loud (or, for a silent trip, the tripping) site
+//! and cycle, so a campaign report can name the hop that spoke first.
+
+use ssq_faults::{judge, Verdict};
+use ssq_sim::MonitorOutcome;
+use ssq_trace::{Event, EventKind};
+use ssq_types::Cycle;
+
+use crate::fabric::{is_loud_reason, NO_LINK};
+
+/// The end-to-end oracle's ruling on one fabric run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathVerdict {
+    /// The whole-path ruling (node events + loud fabric events).
+    pub overall: Verdict,
+    /// One single-switch verdict per node, from its own ring only.
+    pub per_node: Vec<Verdict>,
+    /// The earliest loud site and cycle — `("node2", 1510)`,
+    /// `("link1", 1502)`, or `("path", at)` for a silent trip.
+    pub first_violation: Option<(String, u64)>,
+}
+
+impl PathVerdict {
+    /// Whether the run satisfied the two-outcome contract end to end.
+    #[must_use]
+    pub fn is_acceptable(&self) -> bool {
+        self.overall.is_acceptable()
+    }
+}
+
+/// Loud fabric-event accounting: `(degradations, first_loud)` where a
+/// loud event is a fault-attributable drop or a reroute.
+fn fabric_loudness(events: &[Event]) -> (usize, Option<(String, u64)>) {
+    let mut degradations = 0;
+    let mut first: Option<(String, u64)> = None;
+    for e in events {
+        let site = match &e.kind {
+            EventKind::Drop { link, reason, .. } if is_loud_reason(reason) => {
+                if *link == NO_LINK {
+                    "path".to_string()
+                } else {
+                    format!("link{link}")
+                }
+            }
+            EventKind::Reroute { node, .. } => format!("node{node}"),
+            _ => continue,
+        };
+        degradations += 1;
+        if first.is_none() {
+            first = Some((site, e.cycle));
+        }
+    }
+    (degradations, first)
+}
+
+/// First loud node-level event (`guarantee_revoked`, `degraded`, or a
+/// non-keep `readmitted`) in `events`, as `(cycle)`.
+fn first_loud_node_event(events: &[Event]) -> Option<u64> {
+    events.iter().find_map(|e| match &e.kind {
+        EventKind::GuaranteeRevoked { .. } | EventKind::Degraded { .. } => Some(e.cycle),
+        EventKind::Readmitted { action, .. } if action != "keep" => Some(e.cycle),
+        _ => None,
+    })
+}
+
+/// Judges a fabric run: per-hop verdicts from each node's own trace,
+/// and a whole-path verdict that also hears the fabric's hop events.
+///
+/// `node_events[i]` is node `i`'s flight-recorder ring
+/// ([`crate::Fabric::node_events`]); `fabric_events` is
+/// [`crate::Fabric::events`].
+#[must_use]
+pub fn judge_path(
+    outcome: &MonitorOutcome,
+    node_events: &[Vec<Event>],
+    fabric_events: &[Event],
+) -> PathVerdict {
+    // Per-hop verdicts judge each ring in isolation against a
+    // completed outcome: a hop is "loud" or "quiet" on its own record;
+    // trip attribution belongs to the whole path.
+    let completed = MonitorOutcome::Completed(Cycle::ZERO);
+    let per_node: Vec<Verdict> = node_events.iter().map(|ev| judge(&completed, ev)).collect();
+
+    let mut revocations = 0;
+    let mut degradations = 0;
+    let mut detections = 0;
+    for v in &per_node {
+        if let Verdict::Revoked {
+            revocations: r,
+            degradations: d,
+            detections: t,
+        } = v
+        {
+            revocations += r;
+            degradations += d;
+            detections += t;
+        }
+    }
+    let (fabric_degradations, fabric_first) = fabric_loudness(fabric_events);
+    degradations += fabric_degradations;
+
+    // Earliest loud site across nodes and fabric.
+    let node_first = node_events
+        .iter()
+        .enumerate()
+        .filter_map(|(i, ev)| first_loud_node_event(ev).map(|at| (format!("node{i}"), at)))
+        .min_by_key(|&(_, at)| at);
+    let first_loud = match (node_first, fabric_first) {
+        (Some(n), Some(f)) => Some(if n.1 <= f.1 { n } else { f }),
+        (a, b) => a.or(b),
+    };
+
+    let loud = revocations > 0 || degradations > 0;
+    let (overall, first_violation) = match outcome {
+        MonitorOutcome::Tripped { at, reason } if !loud => (
+            Verdict::SilentViolation {
+                reason: reason.clone(),
+            },
+            Some(("path".to_string(), at.value())),
+        ),
+        _ if loud => (
+            Verdict::Revoked {
+                revocations,
+                degradations,
+                detections,
+            },
+            first_loud,
+        ),
+        _ => (Verdict::BoundsPreserved, None),
+    };
+    PathVerdict {
+        overall,
+        per_node,
+        first_violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_types::TrafficClass;
+
+    fn ev(cycle: u64, kind: EventKind) -> Event {
+        Event { cycle, kind }
+    }
+
+    fn loud_drop(cycle: u64, link: u32) -> Event {
+        ev(
+            cycle,
+            EventKind::Drop {
+                link,
+                input: 0,
+                output: 3,
+                class: TrafficClass::GuaranteedBandwidth,
+                packet: 1,
+                reason: "link_down".to_string(),
+            },
+        )
+    }
+
+    fn completed() -> MonitorOutcome {
+        MonitorOutcome::Completed(Cycle::new(100))
+    }
+
+    fn tripped(at: u64) -> MonitorOutcome {
+        MonitorOutcome::Tripped {
+            at: Cycle::new(at),
+            reason: "stall".to_string(),
+        }
+    }
+
+    #[test]
+    fn quiet_run_preserves_bounds_on_every_hop() {
+        let nodes = vec![Vec::new(), Vec::new(), Vec::new()];
+        let v = judge_path(&completed(), &nodes, &[]);
+        assert_eq!(v.overall, Verdict::BoundsPreserved);
+        assert!(v.per_node.iter().all(|n| *n == Verdict::BoundsPreserved));
+        assert_eq!(v.first_violation, None);
+        assert!(v.is_acceptable());
+    }
+
+    #[test]
+    fn loud_fabric_drop_makes_the_path_revoked_with_its_hop() {
+        let nodes = vec![Vec::new(), Vec::new()];
+        let v = judge_path(&completed(), &nodes, &[loud_drop(1_502, 1)]);
+        assert!(matches!(
+            v.overall,
+            Verdict::Revoked {
+                degradations: 1,
+                ..
+            }
+        ));
+        // The hop itself was quiet — only the path verdict hears links.
+        assert_eq!(v.per_node[0], Verdict::BoundsPreserved);
+        assert_eq!(v.first_violation, Some(("link1".to_string(), 1_502)));
+    }
+
+    #[test]
+    fn queue_full_and_retransmits_stay_quiet() {
+        let fabric = vec![
+            ev(
+                10,
+                EventKind::Drop {
+                    link: 0,
+                    input: 0,
+                    output: 1,
+                    class: TrafficClass::BestEffort,
+                    packet: 7,
+                    reason: "queue_full".to_string(),
+                },
+            ),
+            ev(
+                11,
+                EventKind::NackRetransmit {
+                    link: 0,
+                    packet: 8,
+                    attempt: 1,
+                    delay: 4,
+                },
+            ),
+            ev(
+                12,
+                EventKind::CreditPause {
+                    link: 0,
+                    occupancy: 8,
+                },
+            ),
+        ];
+        let v = judge_path(&completed(), &[Vec::new()], &fabric);
+        assert_eq!(v.overall, Verdict::BoundsPreserved);
+    }
+
+    #[test]
+    fn tripped_with_no_loud_record_is_a_silent_violation() {
+        let v = judge_path(&tripped(2_000), &[Vec::new(), Vec::new()], &[]);
+        assert!(matches!(v.overall, Verdict::SilentViolation { .. }));
+        assert_eq!(v.first_violation, Some(("path".to_string(), 2_000)));
+        assert!(!v.is_acceptable());
+    }
+
+    #[test]
+    fn tripped_with_a_revocation_on_record_is_loud() {
+        let node0 = vec![ev(
+            1_500,
+            EventKind::GuaranteeRevoked {
+                output: 0,
+                input: 4,
+                class: TrafficClass::GuaranteedBandwidth,
+                bound: 0,
+                forfeited: true,
+            },
+        )];
+        let v = judge_path(&tripped(3_000), &[node0, Vec::new()], &[]);
+        assert!(matches!(v.overall, Verdict::Revoked { revocations: 1, .. }));
+        assert_eq!(
+            v.per_node[0],
+            Verdict::Revoked {
+                revocations: 1,
+                degradations: 0,
+                detections: 0
+            }
+        );
+        assert_eq!(v.first_violation, Some(("node0".to_string(), 1_500)));
+    }
+
+    #[test]
+    fn earliest_loud_site_wins_between_node_and_fabric() {
+        // A retry degradation rides its pairing detection (the judge's
+        // composition rule flags an unpaired one as double-counting).
+        let node1 = vec![
+            ev(
+                1_490,
+                EventKind::Detected {
+                    output: 0,
+                    code: "parity".to_string(),
+                    detail: 1,
+                },
+            ),
+            ev(
+                1_490,
+                EventKind::Degraded {
+                    output: 0,
+                    mode: "retry".to_string(),
+                },
+            ),
+        ];
+        let v = judge_path(&completed(), &[Vec::new(), node1], &[loud_drop(1_502, 0)]);
+        assert_eq!(v.first_violation, Some(("node1".to_string(), 1_490)));
+        assert!(matches!(
+            v.overall,
+            Verdict::Revoked {
+                degradations: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reroutes_are_loud_degradations() {
+        let fabric = vec![ev(
+            900,
+            EventKind::Reroute {
+                node: 0,
+                dest: 3,
+                via: 2,
+            },
+        )];
+        let v = judge_path(&completed(), &[Vec::new()], &fabric);
+        assert!(matches!(
+            v.overall,
+            Verdict::Revoked {
+                degradations: 1,
+                ..
+            }
+        ));
+        assert_eq!(v.first_violation, Some(("node0".to_string(), 900)));
+    }
+}

@@ -1,0 +1,247 @@
+//! Links between fabric nodes: latency, capacity, a bounded queue, and
+//! one of three loss disciplines.
+//!
+//! A [`LinkSpec`] joins an output port of one node's switch to an input
+//! port of another. Packets launched onto the wire serialize at
+//! `capacity` flits per cycle, fly for `latency` cycles, and land in the
+//! downstream [`LinkQueue`], from which the fabric offers them to the
+//! downstream switch one per cycle. What happens when the queue is full
+//! (or the wire is dead) is the link's [`LinkDiscipline`]:
+//!
+//! * **Credit** — PFC-style backpressure: launches pause while the
+//!   downstream queue (plus the wire) holds `queue_depth` packets, so
+//!   nothing is ever lost to overflow. `credit_pause`/`credit_resume`
+//!   trace events bracket each pause window.
+//! * **Lossy** — overflow and dead-wire packets are dropped with a
+//!   per-flow loss account and a `drop` trace event.
+//! * **Nack** — dropped packets are retransmitted from the upstream
+//!   copy under a shared [`BackoffPolicy`] (exponential backoff, seeded
+//!   jitter); budget exhaustion escalates to an explicit loud drop.
+
+use std::collections::VecDeque;
+
+use ssq_core::BackoffPolicy;
+use ssq_types::PacketSpec;
+
+/// What a link does with packets it cannot deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDiscipline {
+    /// Credit/PFC backpressure: pause upstream launches when the
+    /// downstream queue is full; lossless except for explicit
+    /// revocation flushes on a killed wire.
+    Credit,
+    /// Drop on overflow or dead wire, with per-flow loss accounting.
+    Lossy,
+    /// Drop plus bounded retransmission under the given backoff policy.
+    Nack(BackoffPolicy),
+}
+
+impl LinkDiscipline {
+    /// Stable label used in reports.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            LinkDiscipline::Credit => "credit",
+            LinkDiscipline::Lossy => "lossy",
+            LinkDiscipline::Nack(_) => "nack",
+        }
+    }
+}
+
+/// One directed link of the topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Upstream node index.
+    pub src: usize,
+    /// Output port of the upstream node's switch this link drains.
+    pub src_port: usize,
+    /// Downstream node index.
+    pub dst: usize,
+    /// Input port of the downstream node's switch this link feeds.
+    pub dst_port: usize,
+    /// Wire latency in cycles (packets arrive `latency` cycles after
+    /// their last flit is serialized).
+    pub latency: u64,
+    /// Wire capacity in flits per cycle (serialization rate).
+    pub capacity: u64,
+    /// Downstream queue depth in packets; also the credit pool of the
+    /// `Credit` discipline.
+    pub queue_depth: usize,
+    /// The link's loss discipline.
+    pub discipline: LinkDiscipline,
+}
+
+impl LinkSpec {
+    /// A 1-cycle, 8-flits/cycle link with an 8-packet queue — the
+    /// default hop used by the topology builders.
+    #[must_use]
+    pub fn new(src: usize, src_port: usize, dst: usize, dst_port: usize) -> Self {
+        LinkSpec {
+            src,
+            src_port,
+            dst,
+            dst_port,
+            latency: 1,
+            capacity: 8,
+            queue_depth: 8,
+            discipline: LinkDiscipline::Credit,
+        }
+    }
+
+    /// Sets the wire latency.
+    #[must_use]
+    pub fn latency(mut self, cycles: u64) -> Self {
+        self.latency = cycles;
+        self
+    }
+
+    /// Sets the serialization capacity in flits per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity (the wire could never move a flit).
+    #[must_use]
+    pub fn capacity(mut self, flits_per_cycle: u64) -> Self {
+        assert!(flits_per_cycle > 0, "link capacity must be positive");
+        self.capacity = flits_per_cycle;
+        self
+    }
+
+    /// Sets the downstream queue depth in packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero depth (nothing could ever arrive).
+    #[must_use]
+    pub fn queue_depth(mut self, packets: usize) -> Self {
+        assert!(packets > 0, "link queue depth must be positive");
+        self.queue_depth = packets;
+        self
+    }
+
+    /// Sets the loss discipline.
+    #[must_use]
+    pub fn discipline(mut self, discipline: LinkDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Cycles the wire is busy serializing one packet of `len` flits.
+    #[must_use]
+    pub fn serialize_cycles(&self, len_flits: u64) -> u64 {
+        len_flits.div_ceil(self.capacity).max(1)
+    }
+}
+
+/// The bounded packet queue at a link's downstream end.
+///
+/// Plain FIFO semantics; the *discipline* decides what happens when
+/// [`LinkQueue::push`] is refused.
+#[derive(Debug, Clone, Default)]
+pub struct LinkQueue {
+    packets: VecDeque<PacketSpec>,
+    depth: usize,
+}
+
+impl LinkQueue {
+    /// An empty queue holding at most `depth` packets.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        LinkQueue {
+            packets: VecDeque::new(),
+            depth,
+        }
+    }
+
+    /// Enqueues `packet` if there is room; `false` means the queue is
+    /// full and the caller must apply the link discipline.
+    pub fn push(&mut self, packet: PacketSpec) -> bool {
+        if self.packets.len() >= self.depth {
+            return false;
+        }
+        self.packets.push_back(packet);
+        true
+    }
+
+    /// The packet at the head, if any.
+    #[must_use]
+    pub fn front(&self) -> Option<&PacketSpec> {
+        self.packets.front()
+    }
+
+    /// Removes and returns the head packet.
+    pub fn pop(&mut self) -> Option<PacketSpec> {
+        self.packets.pop_front()
+    }
+
+    /// Current occupancy in packets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The configured depth in packets.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Drains every queued packet (revocation flush).
+    pub fn drain(&mut self) -> Vec<PacketSpec> {
+        self.packets.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssq_types::{Cycle, FlowId, InputId, OutputId, PacketId, TrafficClass};
+
+    fn spec(id: u64) -> PacketSpec {
+        PacketSpec::new(
+            PacketId::new(id),
+            FlowId::new(InputId::new(0), OutputId::new(0)),
+            TrafficClass::BestEffort,
+            8,
+            Cycle::new(0),
+        )
+    }
+
+    #[test]
+    fn queue_refuses_past_depth_and_keeps_fifo_order() {
+        let mut q = LinkQueue::new(2);
+        assert!(q.push(spec(1)));
+        assert!(q.push(spec(2)));
+        assert!(!q.push(spec(3)), "third packet must be refused");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().id(), PacketId::new(1));
+        assert!(q.push(spec(3)), "room after a pop");
+        assert_eq!(q.pop().unwrap().id(), PacketId::new(2));
+    }
+
+    #[test]
+    fn serialization_rounds_up_and_never_hits_zero() {
+        let link = LinkSpec::new(0, 0, 1, 0).capacity(8);
+        assert_eq!(link.serialize_cycles(8), 1);
+        assert_eq!(link.serialize_cycles(9), 2);
+        assert_eq!(link.serialize_cycles(1), 1);
+        let wide = LinkSpec::new(0, 0, 1, 0).capacity(64);
+        assert_eq!(wide.serialize_cycles(8), 1);
+    }
+
+    #[test]
+    fn discipline_labels_are_stable() {
+        assert_eq!(LinkDiscipline::Credit.label(), "credit");
+        assert_eq!(LinkDiscipline::Lossy.label(), "lossy");
+        assert_eq!(
+            LinkDiscipline::Nack(BackoffPolicy::immediate(3)).label(),
+            "nack"
+        );
+    }
+}

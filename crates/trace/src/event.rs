@@ -166,6 +166,45 @@ pub enum EventKind {
         class: TrafficClass,
         action: String,
     },
+    /// Multi-hop fabric (DESIGN.md §13): a delivered packet entered the
+    /// egress queue of link `link` at node `node`, bound for the next
+    /// hop.
+    HopEnqueue {
+        node: u32,
+        link: u32,
+        packet: u64,
+        len_flits: u64,
+    },
+    /// Credit/PFC-style backpressure engaged on `link`: the downstream
+    /// queue reached `occupancy` flits and the upstream end paused.
+    CreditPause { link: u32, occupancy: u64 },
+    /// Credit/PFC-style backpressure released on `link`: the downstream
+    /// queue drained to `occupancy` flits and the upstream end resumed.
+    CreditResume { link: u32, occupancy: u64 },
+    /// A packet was dropped at a hop: `reason` is a stable label
+    /// (`queue_full`, `link_down`, `no_route`, `retries_exhausted`).
+    /// Per-flow loss accounting keys on (`input` → `output`, `class`)
+    /// of the end-to-end flow.
+    Drop {
+        link: u32,
+        input: u32,
+        output: u32,
+        class: TrafficClass,
+        packet: u64,
+        reason: String,
+    },
+    /// The NACK discipline scheduled retransmission `attempt` of
+    /// `packet` on `link`, `delay` cycles out (bounded exponential
+    /// backoff, DESIGN.md §13).
+    NackRetransmit {
+        link: u32,
+        packet: u64,
+        attempt: u32,
+        delay: u64,
+    },
+    /// Traffic toward node `dest` was rerouted at `node` onto link
+    /// `via` after a topology fault removed the primary path.
+    Reroute { node: u32, dest: u32, via: u32 },
 }
 
 impl EventKind {
@@ -186,6 +225,12 @@ impl EventKind {
             EventKind::Degraded { .. } => "degraded",
             EventKind::GuaranteeRevoked { .. } => "guarantee_revoked",
             EventKind::Readmitted { .. } => "readmitted",
+            EventKind::HopEnqueue { .. } => "hop_enqueue",
+            EventKind::CreditPause { .. } => "credit_pause",
+            EventKind::CreditResume { .. } => "credit_resume",
+            EventKind::Drop { .. } => "drop",
+            EventKind::NackRetransmit { .. } => "nack_retransmit",
+            EventKind::Reroute { .. } => "reroute",
         }
     }
 }
@@ -334,6 +379,56 @@ impl Event {
                 push_str(&mut s, "class", class.label());
                 push_str(&mut s, "action", action);
             }
+            EventKind::HopEnqueue {
+                node,
+                link,
+                packet,
+                len_flits,
+            } => {
+                push_num(&mut s, "node", u64::from(*node));
+                push_num(&mut s, "link", u64::from(*link));
+                push_num(&mut s, "packet", *packet);
+                push_num(&mut s, "len_flits", *len_flits);
+            }
+            EventKind::CreditPause { link, occupancy } => {
+                push_num(&mut s, "link", u64::from(*link));
+                push_num(&mut s, "occupancy", *occupancy);
+            }
+            EventKind::CreditResume { link, occupancy } => {
+                push_num(&mut s, "link", u64::from(*link));
+                push_num(&mut s, "occupancy", *occupancy);
+            }
+            EventKind::Drop {
+                link,
+                input,
+                output,
+                class,
+                packet,
+                reason,
+            } => {
+                push_num(&mut s, "link", u64::from(*link));
+                push_num(&mut s, "input", u64::from(*input));
+                push_num(&mut s, "output", u64::from(*output));
+                push_str(&mut s, "class", class.label());
+                push_num(&mut s, "packet", *packet);
+                push_str(&mut s, "reason", reason);
+            }
+            EventKind::NackRetransmit {
+                link,
+                packet,
+                attempt,
+                delay,
+            } => {
+                push_num(&mut s, "link", u64::from(*link));
+                push_num(&mut s, "packet", *packet);
+                push_num(&mut s, "attempt", u64::from(*attempt));
+                push_num(&mut s, "delay", *delay);
+            }
+            EventKind::Reroute { node, dest, via } => {
+                push_num(&mut s, "node", u64::from(*node));
+                push_num(&mut s, "dest", u64::from(*dest));
+                push_num(&mut s, "via", u64::from(*via));
+            }
         }
         s.push('}');
         s
@@ -422,6 +517,39 @@ impl Event {
                 input: fields.num32("input")?,
                 class: fields.class()?,
                 action: fields.str("action")?.to_string(),
+            },
+            "hop_enqueue" => EventKind::HopEnqueue {
+                node: fields.num32("node")?,
+                link: fields.num32("link")?,
+                packet: fields.num("packet")?,
+                len_flits: fields.num("len_flits")?,
+            },
+            "credit_pause" => EventKind::CreditPause {
+                link: fields.num32("link")?,
+                occupancy: fields.num("occupancy")?,
+            },
+            "credit_resume" => EventKind::CreditResume {
+                link: fields.num32("link")?,
+                occupancy: fields.num("occupancy")?,
+            },
+            "drop" => EventKind::Drop {
+                link: fields.num32("link")?,
+                input: fields.num32("input")?,
+                output: fields.num32("output")?,
+                class: fields.class()?,
+                packet: fields.num("packet")?,
+                reason: fields.str("reason")?.to_string(),
+            },
+            "nack_retransmit" => EventKind::NackRetransmit {
+                link: fields.num32("link")?,
+                packet: fields.num("packet")?,
+                attempt: fields.num32("attempt")?,
+                delay: fields.num("delay")?,
+            },
+            "reroute" => EventKind::Reroute {
+                node: fields.num32("node")?,
+                dest: fields.num32("dest")?,
+                via: fields.num32("via")?,
             },
             other => return Err(ParseError::new(format!("unknown event kind `{other}`"))),
         };
@@ -539,6 +667,45 @@ impl fmt::Display for Event {
                 "readmit    out{output} in{input} {} -> {action}",
                 class.label()
             ),
+            EventKind::HopEnqueue {
+                node,
+                link,
+                packet,
+                len_flits,
+            } => write!(
+                f,
+                "hop-enq    node{node} link{link} pkt{packet} len={len_flits}"
+            ),
+            EventKind::CreditPause { link, occupancy } => {
+                write!(f, "cr-pause   link{link} occupancy={occupancy}")
+            }
+            EventKind::CreditResume { link, occupancy } => {
+                write!(f, "cr-resume  link{link} occupancy={occupancy}")
+            }
+            EventKind::Drop {
+                link,
+                input,
+                output,
+                class,
+                packet,
+                reason,
+            } => write!(
+                f,
+                "drop       link{link} in{input} -> out{output} {} pkt{packet} ({reason})",
+                class.label()
+            ),
+            EventKind::NackRetransmit {
+                link,
+                packet,
+                attempt,
+                delay,
+            } => write!(
+                f,
+                "nack-rtx   link{link} pkt{packet} attempt={attempt} delay={delay}"
+            ),
+            EventKind::Reroute { node, dest, via } => {
+                write!(f, "reroute    node{node} dest=node{dest} via=link{via}")
+            }
         }
     }
 }
@@ -814,6 +981,57 @@ mod tests {
                     action: "evict".to_string(),
                 },
             },
+            Event {
+                cycle: 14,
+                kind: EventKind::HopEnqueue {
+                    node: 1,
+                    link: 0,
+                    packet: 4_294_967_299,
+                    len_flits: 8,
+                },
+            },
+            Event {
+                cycle: 15,
+                kind: EventKind::CreditPause {
+                    link: 0,
+                    occupancy: 32,
+                },
+            },
+            Event {
+                cycle: 16,
+                kind: EventKind::CreditResume {
+                    link: 0,
+                    occupancy: 16,
+                },
+            },
+            Event {
+                cycle: 17,
+                kind: EventKind::Drop {
+                    link: 2,
+                    input: 1,
+                    output: 0,
+                    class: TrafficClass::GuaranteedBandwidth,
+                    packet: 77,
+                    reason: "queue_full".to_string(),
+                },
+            },
+            Event {
+                cycle: 18,
+                kind: EventKind::NackRetransmit {
+                    link: 2,
+                    packet: 77,
+                    attempt: 1,
+                    delay: 12,
+                },
+            },
+            Event {
+                cycle: 19,
+                kind: EventKind::Reroute {
+                    node: 0,
+                    dest: 3,
+                    via: 4,
+                },
+            },
         ]
     }
 
@@ -833,6 +1051,21 @@ mod tests {
             ev.to_jsonl(),
             "{\"cycle\":2,\"kind\":\"grant\",\"output\":0,\"input\":2,\"class\":\"GL\",\
              \"len_flits\":8,\"waited\":5}"
+        );
+    }
+
+    #[test]
+    fn hop_wire_formats_are_stable() {
+        let drop = &all_kinds()[16];
+        assert_eq!(
+            drop.to_jsonl(),
+            "{\"cycle\":17,\"kind\":\"drop\",\"link\":2,\"input\":1,\"output\":0,\
+             \"class\":\"GB\",\"packet\":77,\"reason\":\"queue_full\"}"
+        );
+        let pause = &all_kinds()[14];
+        assert_eq!(
+            pause.to_jsonl(),
+            "{\"cycle\":15,\"kind\":\"credit_pause\",\"link\":0,\"occupancy\":32}"
         );
     }
 
@@ -889,5 +1122,75 @@ mod tests {
         let s = all_kinds()[1].to_string();
         assert!(s.contains("grant"), "{s}");
         assert!(s.contains("waited=5"), "{s}");
+    }
+
+    /// Seeded corruption fuzz over the JSONL replay path, focused on the
+    /// hop-level kinds a fabric capture is made of: whatever a damaged
+    /// `<scenario>.jsonl` looks like — flipped bytes, deletions, torn
+    /// writes, spliced junk — `from_jsonl` either reproduces an event
+    /// exactly (re-render matches) or returns a structured error. It
+    /// never panics, so a chaos campaign's replay tooling can stream a
+    /// half-written capture without crashing.
+    #[test]
+    fn corrupted_hop_jsonl_never_panics_and_good_lines_round_trip() {
+        use ssq_types::rng::Xoshiro256StarStar;
+
+        let hop_lines: Vec<String> = all_kinds()
+            .iter()
+            .skip(13) // hop_enqueue onward: the fabric's event taxonomy
+            .map(Event::to_jsonl)
+            .collect();
+        assert_eq!(hop_lines.len(), 6, "all six hop-level kinds covered");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x905_13);
+        for round in 0..500 {
+            let base = &hop_lines[round % hop_lines.len()];
+            let mut bytes = base.clone().into_bytes();
+            for _ in 0..=rng.index(3) {
+                match rng.index(4) {
+                    // Flip one byte to a random printable character.
+                    0 => {
+                        let at = rng.index(bytes.len());
+                        bytes[at] = 0x20 + rng.below(0x5f) as u8;
+                    }
+                    // Delete one byte.
+                    1 => {
+                        let at = rng.index(bytes.len());
+                        bytes.remove(at);
+                    }
+                    // Truncate mid-line (torn write).
+                    2 => bytes.truncate(rng.index(bytes.len() + 1)),
+                    // Splice junk into the middle.
+                    _ => {
+                        let junk: &[u8] = match rng.index(3) {
+                            0 => b"\"link\":18446744073709551616,",
+                            1 => b"}{",
+                            _ => b"\\u00",
+                        };
+                        let at = rng.index(bytes.len() + 1);
+                        let mut spliced = bytes[..at].to_vec();
+                        spliced.extend_from_slice(junk);
+                        spliced.extend_from_slice(&bytes[at..]);
+                        bytes = spliced;
+                    }
+                }
+                if bytes.is_empty() {
+                    bytes.push(b' ');
+                }
+            }
+            let text = String::from_utf8_lossy(&bytes).into_owned();
+            match Event::from_jsonl(&text) {
+                // A corruption that still parses must re-render to a
+                // line that parses back to the same event — the replay
+                // path cannot silently reinterpret damaged captures.
+                Ok(ev) => {
+                    let re = ev.to_jsonl();
+                    assert_eq!(Event::from_jsonl(&re).expect(&re), ev, "{text}");
+                }
+                // The error formats without panicking.
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
     }
 }

@@ -76,6 +76,16 @@ pub struct TraceSummary {
     pub revocations: BTreeMap<(u32, u32), u64>,
     /// Re-admission decisions keyed by action label.
     pub readmissions: BTreeMap<String, u64>,
+    /// Hop enqueues per fabric link (multi-hop runs only).
+    pub hop_enqueues: BTreeMap<u32, u64>,
+    /// Credit/PFC pause events per fabric link.
+    pub credit_pauses: BTreeMap<u32, u64>,
+    /// Per-flow hop losses keyed by `(input, output, reason label)`.
+    pub hop_drops: BTreeMap<(u32, u32, String), u64>,
+    /// NACK retransmissions per fabric link.
+    pub retransmits: BTreeMap<u32, u64>,
+    /// Reroute decisions keyed by `(node, dest)`.
+    pub reroutes: BTreeMap<(u32, u32), u64>,
     /// First and last event cycles.
     pub span: Option<(u64, u64)>,
 }
@@ -169,7 +179,30 @@ impl TraceSummary {
             EventKind::Readmitted { action, .. } => {
                 *self.readmissions.entry(action.clone()).or_default() += 1;
             }
-            EventKind::Decision { .. } => {}
+            EventKind::HopEnqueue { link, .. } => {
+                *self.hop_enqueues.entry(*link).or_default() += 1;
+            }
+            EventKind::CreditPause { link, .. } => {
+                *self.credit_pauses.entry(*link).or_default() += 1;
+            }
+            EventKind::Drop {
+                input,
+                output,
+                reason,
+                ..
+            } => {
+                *self
+                    .hop_drops
+                    .entry((*input, *output, reason.clone()))
+                    .or_default() += 1;
+            }
+            EventKind::NackRetransmit { link, .. } => {
+                *self.retransmits.entry(*link).or_default() += 1;
+            }
+            EventKind::Reroute { node, dest, .. } => {
+                *self.reroutes.entry((*node, *dest)).or_default() += 1;
+            }
+            EventKind::Decision { .. } | EventKind::CreditResume { .. } => {}
         }
     }
 
@@ -310,6 +343,62 @@ impl TraceSummary {
             && self.degradations.is_empty()
             && self.revocations.is_empty()
             && self.readmissions.is_empty())
+    }
+
+    /// Multi-hop fabric activity: hop enqueues, credit pauses, per-flow
+    /// hop losses, NACK retransmissions, and reroutes, flattened into
+    /// one `what / detail / count` table. Empty for single-switch runs,
+    /// so their reports are unchanged.
+    #[must_use]
+    pub fn fabric_table(&self) -> Table {
+        let mut t = Table::with_columns(&["what", "detail", "count"]);
+        t.numeric();
+        for (link, n) in &self.hop_enqueues {
+            t.row(vec![
+                "hop_enqueue".to_string(),
+                format!("link{link}"),
+                n.to_string(),
+            ]);
+        }
+        for (link, n) in &self.credit_pauses {
+            t.row(vec![
+                "credit_pause".to_string(),
+                format!("link{link}"),
+                n.to_string(),
+            ]);
+        }
+        for ((input, output, reason), n) in &self.hop_drops {
+            t.row(vec![
+                "drop".to_string(),
+                format!("in{input}->out{output} {reason}"),
+                n.to_string(),
+            ]);
+        }
+        for (link, n) in &self.retransmits {
+            t.row(vec![
+                "nack_retransmit".to_string(),
+                format!("link{link}"),
+                n.to_string(),
+            ]);
+        }
+        for ((node, dest), n) in &self.reroutes {
+            t.row(vec![
+                "reroute".to_string(),
+                format!("node{node}->dest{dest}"),
+                n.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Whether the trace contained any hop-level fabric events at all.
+    #[must_use]
+    pub fn has_fabric_activity(&self) -> bool {
+        !(self.hop_enqueues.is_empty()
+            && self.credit_pauses.is_empty()
+            && self.hop_drops.is_empty()
+            && self.retransmits.is_empty()
+            && self.reroutes.is_empty())
     }
 
     /// Admission rejections.
@@ -493,5 +582,74 @@ mod tests {
         assert!(text.contains("inject"), "{text}");
         assert!(text.contains("heal"), "{text}");
         assert!(text.contains("revoked"), "{text}");
+    }
+
+    #[test]
+    fn fabric_family_is_aggregated() {
+        let events = vec![
+            Event {
+                cycle: 1,
+                kind: EventKind::HopEnqueue {
+                    node: 1,
+                    link: 0,
+                    packet: 9,
+                    len_flits: 8,
+                },
+            },
+            Event {
+                cycle: 2,
+                kind: EventKind::CreditPause {
+                    link: 0,
+                    occupancy: 32,
+                },
+            },
+            Event {
+                cycle: 3,
+                kind: EventKind::CreditResume {
+                    link: 0,
+                    occupancy: 16,
+                },
+            },
+            Event {
+                cycle: 4,
+                kind: EventKind::Drop {
+                    link: 1,
+                    input: 2,
+                    output: 0,
+                    class: TrafficClass::GuaranteedBandwidth,
+                    packet: 10,
+                    reason: "queue_full".to_string(),
+                },
+            },
+            Event {
+                cycle: 5,
+                kind: EventKind::NackRetransmit {
+                    link: 1,
+                    packet: 10,
+                    attempt: 1,
+                    delay: 4,
+                },
+            },
+            Event {
+                cycle: 6,
+                kind: EventKind::Reroute {
+                    node: 1,
+                    dest: 3,
+                    via: 2,
+                },
+            },
+        ];
+        let s = TraceSummary::from_events(events);
+        assert!(s.has_fabric_activity());
+        assert!(!s.has_fault_activity());
+        assert_eq!(s.hop_enqueues[&0], 1);
+        assert_eq!(s.credit_pauses[&0], 1);
+        assert_eq!(s.hop_drops[&(2, 0, "queue_full".to_string())], 1);
+        assert_eq!(s.retransmits[&1], 1);
+        assert_eq!(s.reroutes[&(1, 3)], 1);
+        let text = s.fabric_table().to_text();
+        assert!(text.contains("credit_pause"), "{text}");
+        assert!(text.contains("queue_full"), "{text}");
+        assert!(text.contains("node1->dest3"), "{text}");
     }
 }

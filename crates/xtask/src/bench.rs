@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use ssq_arbiter::CounterPolicy;
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
+use ssq_net::{Fabric, FlowSpec, LinkDiscipline, Topology};
 use ssq_prof::{trajectory, AmdahlPoint, BenchCell, BenchDoc, BenchEngine, BenchPhase, ProfReport};
 use ssq_sim::{CycleModel, ParRunner, Runner, Schedule};
 use ssq_traffic::{Bernoulli, Injector, Saturating, TrafficSource, UniformDest};
@@ -232,6 +233,48 @@ fn measure_cell(
     (cell, stages, kernel)
 }
 
+/// Multi-hop fabric throughput: a 3-hop credit-backpressure chain with
+/// two GB flows and a GL flow spanning the whole path (the healthy
+/// chain-credit campaign rig). One trajectory row pins the fabric's
+/// sequential cycles/sec, so a slowdown in the hop/link machinery fails
+/// the same gate as the switch kernels. Phases and Amdahl points stay
+/// empty: the fabric drives whole switches, so the kernel profiler's
+/// prepare/decide/commit split does not apply.
+fn measure_fabric_cell(schedule: Schedule) -> BenchCell {
+    let topology = Topology::chain(3, LinkDiscipline::Credit);
+    let flows = [
+        FlowSpec::new(0, 3, TrafficClass::GuaranteedBandwidth)
+            .rate(0.4)
+            .every(20),
+        FlowSpec::new(0, 3, TrafficClass::GuaranteedBandwidth)
+            .ports(5, 5)
+            .rate(0.2)
+            .every(40),
+        FlowSpec::new(0, 3, TrafficClass::GuaranteedLatency)
+            .ports(6, 6)
+            .rate(0.05)
+            .every(100),
+    ];
+    let mut fabric = Fabric::new(topology, &flows, 7).expect("valid fabric");
+    let start = Instant::now();
+    Runner::new(schedule).run(&mut fabric);
+    let secs = start.elapsed().as_secs_f64();
+    let cycles = schedule.warmup().value() + schedule.measure().value();
+    BenchCell {
+        radix: 8,
+        load: "fabric-chain3-credit".to_string(),
+        decide_fraction: 0.0,
+        phases: Vec::new(),
+        engines: vec![BenchEngine {
+            engine: "sequential".to_string(),
+            threads: 1,
+            cycles_per_sec: cycles as f64 / secs,
+            delivered_flits: fabric.counters().delivered_flits,
+        }],
+        amdahl: Vec::new(),
+    }
+}
+
 /// Prints one cell's human-readable summary.
 fn print_cell(cell: &BenchCell, stages: Option<&ProfReport>, shards: bool, kernel: &ProfReport) {
     for e in &cell.engines {
@@ -351,6 +394,19 @@ pub fn run(args: &[String], root: &Path) -> ExitCode {
             cells.push(cell);
         }
     }
+    let fabric_cell = measure_fabric_cell(schedule);
+    for e in &fabric_cell.engines {
+        println!(
+            "bench/radix{:<3} {:<14} {:<10} x{} {:>12.0} cycles/sec  ({} flits)",
+            fabric_cell.radix,
+            fabric_cell.load,
+            e.engine,
+            e.threads,
+            e.cycles_per_sec,
+            e.delivered_flits
+        );
+    }
+    cells.push(fabric_cell);
 
     let doc = BenchDoc {
         schema: trajectory::CURRENT_SCHEMA,
@@ -463,6 +519,19 @@ mod tests {
         }
         let stages = stages.expect("xtask builds ssq-sim with prof");
         assert!(stages.sampled_cycles > 0, "stage profiler sampled the run");
+    }
+
+    #[test]
+    fn fabric_cell_delivers_over_the_chain() {
+        let cell = measure_fabric_cell(Schedule::new(Cycles::new(50), Cycles::new(250)));
+        assert_eq!(cell.radix, 8);
+        assert_eq!(cell.load, "fabric-chain3-credit");
+        assert_eq!(cell.engines.len(), 1);
+        assert!(
+            cell.engines[0].delivered_flits > 0,
+            "the 3-hop chain must deliver within 300 cycles"
+        );
+        assert!(cell.phases.is_empty() && cell.amdahl.is_empty());
     }
 
     #[test]

@@ -53,6 +53,14 @@ echo "== fault smoke tier (ssq faults) =="
 # between them is reported as a silent violation.
 ./target/release/ssq faults --smoke --csv
 
+echo "== multi-hop fabric smoke tier (ssq net) =="
+# Every topology-fault scenario (dead links, MTBF flaps, node
+# partitions — across credit, lossy, and NACK link disciplines) must
+# either preserve its end-to-end bounds or revoke loudly at a named
+# hop. Each scenario runs twice from the same seed; any divergence is
+# reported as a silent violation.
+./target/release/ssq net --smoke --csv
+
 echo "== tests =="
 cargo test -q --workspace
 

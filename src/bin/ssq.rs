@@ -61,6 +61,10 @@ USAGE:
                              judge every scenario against the two-outcome
                              contract: bounds preserved, or a structured
                              revocation — never a silent violation
+  ssq net [OPTIONS]          run the multi-hop chaos catalog: fabrics of QoS
+                             switches under topology faults (dead links,
+                             MTBF flaps, node partitions), judged end to
+                             end by the per-hop/whole-path oracle
   ssq perf-report [OPTIONS]  render the cross-PR perf trajectory from the
                              recorded results/BENCH_<n>.json documents
   ssq gl-bound [OPTIONS]     evaluate the Eq. 1 worst-case GL waiting bound
@@ -138,6 +142,18 @@ FAULTS OPTIONS:
                           DIR/<scenario>.jsonl
   --csv                   emit the verdict table as CSV
 
+NET OPTIONS:
+  --smoke                 run the whole catalog, each scenario twice from
+                          the same seed as a determinism differential
+                          (the default; scripts/check.sh invokes this)
+  --scenario NAME         run one catalog scenario by name
+  --seed N                campaign seed; MTBF schedules and NACK jitter
+                          replay bit-identically from it (default 7)
+  --trace-dir DIR         write each scenario's fabric hop events to
+                          DIR/<scenario>.jsonl and each node's ring to
+                          DIR/<scenario>.node<i>.jsonl
+  --csv                   emit the verdict table as CSV
+
 GL-BOUND OPTIONS:
   --l-max N --l-min N --n-gl N --buffer N   (defaults 8, 1, 1, 4)
 
@@ -171,6 +187,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
         Some(leading) if leading.starts_with("--") && leading != "--help" => simulate(args),
         Some("verify") => verify(&args[1..]),
         Some("faults") => faults_cmd(&args[1..]),
+        Some("net") => net_cmd(&args[1..]),
         Some("gl-bound") => gl_bound(&args[1..]),
         Some("gl-burst") => gl_burst(&args[1..]),
         Some("storage") => storage(&args[1..]),
@@ -1036,6 +1053,116 @@ fn faults_cmd(args: &[String]) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// `ssq net [--smoke | --scenario NAME] [--seed N] [--trace-dir DIR]`:
+/// run the multi-hop chaos catalog (or one scenario) and judge each run
+/// with the end-to-end oracle. The smoke tier runs every scenario twice
+/// from the same seed; any divergence is reported as a silent
+/// violation. Exits non-zero if any scenario's verdict is unacceptable.
+fn net_cmd(args: &[String]) -> Result<(), Box<dyn Error>> {
+    use swizzle_qos::faults::Verdict;
+    use swizzle_qos::net::{run_net_scenario, run_net_smoke, NET_SCENARIOS};
+
+    let opts = Opts::parse(args, &["smoke", "csv"])?;
+    let seed = opts.num("seed", 7)?;
+    let results = match opts.get("scenario") {
+        Some(name) => {
+            let result = run_net_scenario(name, seed).ok_or_else(|| {
+                let names: Vec<&str> = NET_SCENARIOS.iter().map(|(n, _)| *n).collect();
+                err(format!(
+                    "unknown scenario {name:?}; catalog: {}",
+                    names.join(", ")
+                ))
+            })?;
+            vec![result]
+        }
+        None => run_net_smoke(seed),
+    };
+
+    if let Some(dir) = opts.get("trace-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| err(format!("creating {dir:?}: {e}")))?;
+        for r in &results {
+            let write = |path: std::path::PathBuf,
+                         events: &[swizzle_qos::trace::Event]|
+             -> Result<(), Box<dyn Error>> {
+                let mut text = String::new();
+                for event in events {
+                    text.push_str(&event.to_jsonl());
+                    text.push('\n');
+                }
+                std::fs::write(&path, text)
+                    .map_err(|e| err(format!("writing {}: {e}", path.display())))
+            };
+            let dir = std::path::Path::new(dir);
+            write(dir.join(format!("{}.jsonl", r.name)), &r.fabric_events)?;
+            for (i, ring) in r.node_events.iter().enumerate() {
+                write(dir.join(format!("{}.node{i}.jsonl", r.name)), ring)?;
+            }
+        }
+        if !opts.flag("csv") {
+            println!("scenario traces written to {dir}/<scenario>[.node<i>].jsonl");
+        }
+    }
+
+    let mut table = Table::with_columns(&[
+        "scenario",
+        "verdict",
+        "first violation",
+        "revoked",
+        "dropped",
+        "retransmits",
+        "reroutes",
+        "delivered flits",
+    ]);
+    table.numeric();
+    for r in &results {
+        let verdict = match &r.verdict.overall {
+            Verdict::BoundsPreserved => "bounds-preserved".to_owned(),
+            Verdict::Revoked { .. } => "revoked".to_owned(),
+            Verdict::SilentViolation { reason } => format!("SILENT VIOLATION: {reason}"),
+        };
+        let first = match &r.verdict.first_violation {
+            Some((site, at)) => format!("{site}@{at}"),
+            None => "-".to_owned(),
+        };
+        table.row(vec![
+            r.name.clone(),
+            verdict,
+            first,
+            r.counters.revocations.to_string(),
+            r.counters.dropped_packets.to_string(),
+            r.counters.retransmits.to_string(),
+            r.counters.reroutes.to_string(),
+            r.counters.delivered_flits.to_string(),
+        ]);
+    }
+    if opts.flag("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{}", table.to_text());
+    }
+
+    let silent: Vec<&str> = results
+        .iter()
+        .filter(|r| !r.verdict.is_acceptable())
+        .map(|r| r.name.as_str())
+        .collect();
+    if !silent.is_empty() {
+        return Err(err(format!(
+            "silent violation in scenario(s): {} — an end-to-end guarantee \
+             broke with no structured revocation on record",
+            silent.join(", ")
+        )));
+    }
+    if !opts.flag("csv") {
+        println!(
+            "\nfabric campaign clean: {} scenario(s), seed {seed} — every topology \
+             fault either absorbed or loudly revoked at a named hop",
+            results.len()
+        );
+    }
+    Ok(())
+}
+
 fn gl_bound(args: &[String]) -> Result<(), Box<dyn Error>> {
     let opts = Opts::parse(args, &[])?;
     let l_max = opts.num("l-max", 8)?;
@@ -1375,6 +1502,40 @@ mod tests {
     fn faults_single_scenario_runs_and_unknown_is_rejected() {
         faults_cmd(&strs(&["--scenario", "aux-seu", "--csv"])).unwrap();
         let e = faults_cmd(&strs(&["--scenario", "bogus"])).expect_err("not in catalog");
+        assert!(e.to_string().contains("catalog"), "got: {e}");
+    }
+
+    #[test]
+    fn net_smoke_is_clean_and_writes_parseable_traces() {
+        let dir = std::env::temp_dir().join(format!("ssq-cli-net-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_owned();
+        run(&strs(&[
+            "net",
+            "--smoke",
+            "--seed",
+            "7",
+            "--trace-dir",
+            &dir_s,
+            "--csv",
+        ]))
+        .unwrap();
+        // One parseable fabric JSONL trace per catalog scenario, plus a
+        // ring dump for node 0 at least.
+        for (name, _) in swizzle_qos::net::NET_SCENARIOS {
+            for file in [format!("{name}.jsonl"), format!("{name}.node0.jsonl")] {
+                let text = std::fs::read_to_string(dir.join(&file)).unwrap();
+                for line in text.lines() {
+                    Event::from_jsonl(line).unwrap();
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn net_single_scenario_runs_and_unknown_is_rejected() {
+        net_cmd(&strs(&["--scenario", "chain-nack-blip", "--csv"])).unwrap();
+        let e = net_cmd(&strs(&["--scenario", "bogus"])).expect_err("not in catalog");
         assert!(e.to_string().contains("catalog"), "got: {e}");
     }
 

@@ -33,6 +33,13 @@
 //!   schedules (scripted or MTBF mode), the [`faults::ChaosSwitch`]
 //!   harness, the two-outcome [`faults::judge`] oracle, and the
 //!   single-fault chaos-campaign catalog behind `ssq faults`.
+//! * [`net`] — multi-hop fabrics of QoS switches: topologies (chain,
+//!   fat tree, mesh) joined by credit-backpressured, lossy, or
+//!   NACK-retransmitting links, topology fault plans (dead links,
+//!   MTBF flaps, node partitions), the per-hop/whole-path
+//!   [`net::judge_path`] oracle, the static "Eq. 1 per hop" `SSQ013`
+//!   admission rule, and the seeded multi-hop chaos catalog behind
+//!   `ssq net`.
 //! * [`verify`] — the bounded exhaustive model checker: every reachable
 //!   state of a small switch, checked against the V1–V6 invariant
 //!   catalog (`SSQV00x` diagnostics), with minimal JSONL
@@ -93,6 +100,7 @@ pub use ssq_check as check;
 pub use ssq_circuit as circuit;
 pub use ssq_core as core;
 pub use ssq_faults as faults;
+pub use ssq_net as net;
 pub use ssq_physical as physical;
 pub use ssq_prof as prof;
 pub use ssq_sim as sim;
