@@ -21,6 +21,14 @@ use crate::{Arbiter, Request};
 /// The matrix always encodes a strict total order (a transitive
 /// tournament), so arbitration can never deadlock or pick two winners.
 ///
+/// The matrix is stored as packed `u64` row words (the crosspoint-row
+/// layout of the silicon: each crosspoint holds its row of pairwise
+/// bits as bitline charges, not as separate flags). Granting a winner
+/// is one row clear plus one column-bit set per row, and the word-wide
+/// [`Lrg::peek_mask`] resolves a whole candidate word with shift/AND
+/// containment tests — the software form of the one-cycle bitline
+/// arbitration the `bitpar` engine exploits.
+///
 /// # Examples
 ///
 /// ```
@@ -38,8 +46,11 @@ use crate::{Arbiter, Request};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lrg {
     n: usize,
-    /// Row-major pairwise bits; `beats[i * n + j]` = input i outranks j.
-    beats: Vec<bool>,
+    /// `u64` words per row (1 for every radix ≤ 64; strided beyond).
+    stride: usize,
+    /// Packed row-major pairwise bits; bit `j % 64` of
+    /// `rows[i * stride + j / 64]` = input `i` outranks `j`.
+    rows: Vec<u64>,
 }
 
 impl Lrg {
@@ -52,13 +63,15 @@ impl Lrg {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "arbiter needs at least one input");
-        let mut beats = vec![false; n * n];
+        let stride = n.div_ceil(64);
+        let mut rows = vec![0u64; n * stride];
         for i in 0..n {
             for j in (i + 1)..n {
-                beats[i * n + j] = true;
+                // ssq-lint: allow(mask-width-safety) — `j % 64` is < 64 by construction, so the shift stays inside the word
+                rows[i * stride + j / 64] |= 1u64 << (j % 64);
             }
         }
-        Lrg { n, beats }
+        Lrg { n, stride, rows }
     }
 
     /// Whether input `i` currently outranks input `j`.
@@ -67,12 +80,18 @@ impl Lrg {
     ///
     /// Panics if either index is out of range or `i == j`.
     #[must_use]
+    //
+    // The range assert IS the documented contract and bounds the row
+    // indexing; the index arithmetic is `i * stride + j / 64` with both
+    // factors below the radix, far inside usize.
+    // ssq-lint: allow(panic-freedom-reachability)
     pub fn beats(&self, i: usize, j: usize) -> bool {
         assert!(
             i < self.n && j < self.n && i != j,
             "invalid pair ({i}, {j})"
         );
-        self.beats[i * self.n + j]
+        // ssq-lint: allow(mask-width-safety) — `j % 64` is < 64 by construction, so the shift stays inside the word
+        self.rows[i * self.stride + j / 64] & (1u64 << (j % 64)) != 0
     }
 
     /// Selects the highest-priority member of `candidates` *without*
@@ -95,18 +114,73 @@ impl Lrg {
         best
     }
 
+    /// Word-wide [`Lrg::peek`]: selects the highest-priority member of a
+    /// candidate *word* (bit `i` ⇔ input `i` requests) without updating
+    /// state. The winner is the unique candidate whose row word contains
+    /// every rival — one AND-plus-compare per candidate, no pairwise
+    /// probing — which exists because the matrix encodes a strict total
+    /// order. Agrees with [`Lrg::peek`] on every candidate set (the
+    /// conformance tests hold the two to each other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arbiter has more than 64 inputs (one-word radix
+    /// premise) or a candidate bit is out of range.
+    #[must_use]
+    pub fn peek_mask(&self, candidates: u64) -> Option<usize> {
+        assert!(
+            self.stride == 1,
+            "peek_mask needs a one-word matrix (n = {} > 64)",
+            self.n
+        );
+        if candidates == 0 {
+            return None;
+        }
+        assert!(
+            self.n == 64 || candidates >> self.n == 0,
+            "candidate bits above radix {}",
+            self.n
+        );
+        let mut rest = candidates;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            // ssq-lint: allow(mask-width-safety) — `i` = trailing_zeros of a nonzero u64, hence < 64
+            let rivals = candidates & !(1u64 << i);
+            if self.rows[i] & rivals == rivals {
+                return Some(i);
+            }
+            // ssq-lint: allow(mask-width-safety) — lowest-set-bit clear on a checked-nonzero word
+            rest &= rest - 1;
+        }
+        // A strict total order always has a maximum.
+        unreachable!("no row contained all rivals: matrix not a total order")
+    }
+
     /// Records that `winner` was granted: it now loses to every other
-    /// input (becomes most recently granted).
+    /// input (becomes most recently granted). In matrix terms this is
+    /// the move-to-back rotation: clear the winner's row, set its column
+    /// bit in every other row.
     ///
     /// # Panics
     ///
     /// Panics if `winner` is out of range.
+    //
+    // The range assert IS the documented contract and bounds every row
+    // slice; the index arithmetic stays below `n * stride`, far inside
+    // usize.
+    // ssq-lint: allow(panic-freedom-reachability)
     pub fn grant(&mut self, winner: usize) {
         assert!(winner < self.n, "input {winner} out of range");
+        let stride = self.stride;
+        for w in &mut self.rows[winner * stride..(winner + 1) * stride] {
+            *w = 0;
+        }
+        let word = winner / 64;
+        // ssq-lint: allow(mask-width-safety) — `winner % 64` is < 64 by construction, so the shift stays inside the word
+        let bit = 1u64 << (winner % 64);
         for other in 0..self.n {
             if other != winner {
-                self.beats[winner * self.n + other] = false;
-                self.beats[other * self.n + winner] = true;
+                self.rows[other * stride + word] |= bit;
             }
         }
     }
@@ -257,6 +331,58 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn grant_rejects_bad_index() {
         Lrg::new(2).grant(2);
+    }
+
+    #[test]
+    fn peek_mask_matches_peek_across_grant_histories() {
+        use ssq_types::rng::Xoshiro256StarStar;
+
+        for n in [1usize, 2, 3, 7, 31, 32, 63, 64] {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(0x9e37 + n as u64);
+            let mut lrg = Lrg::new(n);
+            for round in 0..200 {
+                let word = if n == 64 {
+                    rng.next_u64()
+                } else {
+                    rng.next_u64() & ((1u64 << n) - 1)
+                };
+                let list: Vec<usize> = (0..n).filter(|&i| word & (1 << i) != 0).collect();
+                let by_list = lrg.peek(&list);
+                let by_mask = lrg.peek_mask(word);
+                assert_eq!(
+                    by_list, by_mask,
+                    "n={n} round={round} word={word:#x}: peek {by_list:?} != peek_mask {by_mask:?}"
+                );
+                if let Some(w) = by_mask {
+                    lrg.grant(w);
+                } else {
+                    lrg.grant(rng.index(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_mask_empty_is_none() {
+        assert_eq!(Lrg::new(8).peek_mask(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate bits above radix")]
+    fn peek_mask_rejects_out_of_range_bits() {
+        let _ = Lrg::new(4).peek_mask(0b1_0000);
+    }
+
+    #[test]
+    fn matrix_supports_radix_above_word_width() {
+        // The strided representation still works past 64 inputs even
+        // though `peek_mask` (one-word premise) does not apply there.
+        let mut lrg = Lrg::new(130);
+        lrg.grant(0);
+        lrg.grant(129);
+        assert!(lrg.beats(1, 0));
+        assert!(lrg.beats(0, 129));
+        assert_eq!(lrg.peek(&[0, 64, 129]), Some(64));
     }
 
     #[test]

@@ -433,6 +433,48 @@ impl SsvcArbiter {
     pub const fn saturation_count(&self) -> u64 {
         self.saturations
     }
+
+    /// Advances the real-time subcounter by `n` ticks at once,
+    /// bit-identically to `n` consecutive [`Arbiter::tick`] calls —
+    /// including the epoch-skip fault swallowing. `on_epoch(offset,
+    /// epochs)` fires for every decay epoch the batch performs, where
+    /// `offset` is the 0-based tick index within the batch whose wrap
+    /// caused it and `epochs` the post-decay epoch count — exactly the
+    /// sampling a dense caller would observe around each single tick.
+    ///
+    /// This is the idle-skip clock for the `bitpar` engine: instead of
+    /// `n` per-cycle ticks it walks wrap to wrap, so the cost scales
+    /// with decay epochs (rare), not skipped cycles.
+    pub fn tick_batch(&mut self, n: u64, mut on_epoch: impl FnMut(u64, u64)) {
+        if self.config.policy() != CounterPolicy::SubtractRealClock {
+            return;
+        }
+        let step = self.config.msb_step();
+        let mut done = 0u64;
+        while done < n {
+            // Ticks until (and including) the next wrap; `max(1)`
+            // mirrors `tick()`'s `>=` wrap guard if `real_lsb` were
+            // ever at/above the step.
+            let to_wrap = step.saturating_sub(self.real_lsb).max(1);
+            if n - done < to_wrap {
+                self.real_lsb += n - done;
+                return;
+            }
+            done += to_wrap;
+            self.real_lsb = 0;
+            if self.skipped_epochs > 0 {
+                // Epoch-skip fault: the wrap happened but the broadcast
+                // subtraction was swallowed, so counters keep climbing.
+                self.skipped_epochs -= 1;
+                continue;
+            }
+            self.epochs += 1;
+            for a in &mut self.aux {
+                *a = a.saturating_sub(step);
+            }
+            on_epoch(done - 1, self.epochs);
+        }
+    }
 }
 
 impl Arbiter for SsvcArbiter {
@@ -538,6 +580,40 @@ mod tests {
     #[should_panic(expected = "sig_bits")]
     fn config_rejects_degenerate_widths() {
         let _ = SsvcConfig::new(8, 8, CounterPolicy::Reset);
+    }
+
+    #[test]
+    fn tick_batch_matches_repeated_ticks() {
+        for n in [0u64, 1, 7, 511, 512, 513, 5_000, 12_345] {
+            let mut batched = SsvcArbiter::new(cfg(CounterPolicy::SubtractRealClock), &[10, 20]);
+            let mut dense = batched.clone();
+            batched.set_aux_vc(0, 3000);
+            dense.set_aux_vc(0, 3000);
+            let mut batch_epochs = Vec::new();
+            batched.tick_batch(n, |off, epoch| batch_epochs.push((off, epoch)));
+            let mut dense_epochs = Vec::new();
+            for j in 0..n {
+                let before = dense.decay_epochs();
+                dense.tick();
+                if dense.decay_epochs() != before {
+                    dense_epochs.push((j, dense.decay_epochs()));
+                }
+            }
+            assert_eq!(batch_epochs, dense_epochs, "epoch stream differs at n={n}");
+            assert_eq!(batched.decay_epochs(), dense.decay_epochs(), "n={n}");
+            for i in 0..2 {
+                assert_eq!(batched.aux_vc(i), dense.aux_vc(i), "aux {i} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tick_batch_is_a_noop_off_the_real_clock_policy() {
+        let mut s = SsvcArbiter::new(cfg(CounterPolicy::Halve), &[10]);
+        s.set_aux_vc(0, 2000);
+        s.tick_batch(10_000, |_, _| panic!("no epochs under Halve"));
+        assert_eq!(s.aux_vc(0), 2000);
+        assert_eq!(s.decay_epochs(), 0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ use ssq_trace::{Event, EventKind, ShardBuffer};
 use ssq_types::{Cycle, OutputId, TrafficClass};
 
 use super::{wire, GbEngine, QosSwitch};
+use crate::bitmask::PortSet;
 use crate::channel::ChannelState;
 use crate::config::Policy;
 
@@ -37,13 +38,18 @@ pub struct OutputPlan {
 
 impl OutputPlan {
     /// Rough work estimate for load accounting: one unit plus the number
-    /// of requests the decision had to weigh.
+    /// of *distinct* requesting inputs the decision had to weigh — a
+    /// `count_ones` over the requester word. (Counting gathered request
+    /// vectors instead would tally an input once per class it requests
+    /// in, and the mask-built bitpar plans would then disagree with the
+    /// gathered seq/par plans on cost; the set population is
+    /// representation-independent.)
     #[must_use]
     pub fn cost(&self) -> u64 {
         match &self.action {
             PlanAction::Transmit | PlanAction::NoRequests => 1,
-            PlanAction::AwaitLatency { inputs } => 1 + inputs.len() as u64,
-            PlanAction::Arbitrate(arb) => 1 + arb.inputs.len() as u64,
+            PlanAction::AwaitLatency { inputs } => 1 + u64::from(inputs.len()),
+            PlanAction::Arbitrate(arb) => 1 + u64::from(arb.inputs.len()),
         }
     }
 }
@@ -60,7 +66,7 @@ pub(crate) enum PlanAction {
     /// `inputs` lists the requesters seen (the staleness probe).
     AwaitLatency {
         /// Inputs that contributed at least one request at decide time.
-        inputs: Vec<usize>,
+        inputs: PortSet,
     },
     /// The latency gate is open: a full arbitration decision, ready to
     /// commit.
@@ -72,7 +78,7 @@ pub(crate) struct ArbPlan {
     /// Every input that contributed a request at decide time. If any of
     /// them wins an earlier output during the merge, this plan is stale
     /// and the kernel re-decides with the updated blocked set.
-    pub(crate) inputs: Vec<usize>,
+    pub(crate) inputs: PortSet,
     /// Whether the GL policer withheld GL priority this cycle (the
     /// commit phase counts it).
     pub(crate) gl_policed: bool,
@@ -163,7 +169,10 @@ impl QosSwitch {
                 action: PlanAction::NoRequests,
             };
         }
-        let inputs: Vec<usize> = gl.iter().chain(&gb).chain(&be).map(|r| r.input()).collect();
+        let mut inputs = PortSet::EMPTY;
+        for r in gl.iter().chain(&gb).chain(&be) {
+            inputs.insert(r.input());
+        }
         let arb_latency = self.config.policy().arbitration_cycles();
         // ssq-lint: allow(unchecked-hot-arith) — `arb_wait` is sized num_ports and held below `arbitration_cycles` by commit; `o` is a port id < radix
         if self.arb_wait[o] + 1 < arb_latency {
@@ -171,6 +180,85 @@ impl QosSwitch {
                 action: PlanAction::AwaitLatency { inputs },
             };
         }
+        self.decide_gathered(output, now, gl, gb, be, inputs)
+    }
+
+    /// The word-wide twin of [`QosSwitch::decide_output`]: identical
+    /// contract (pure, per-output, returns the same plan byte for byte),
+    /// but the request sets come from the transposed request words
+    /// instead of `radix × 3` queue-head probes. `avail` is the word of
+    /// inputs allowed to compete — `!blocked & live_links` — so the two
+    /// cheap outcomes (`NoRequests`, `AwaitLatency`) resolve in a few
+    /// word ops without touching a single port, and only actual
+    /// requesters are probed to materialize the request vectors the
+    /// shared policy kernel consumes.
+    pub(crate) fn decide_output_fast(
+        &self,
+        output: OutputId,
+        now: Cycle,
+        avail: u64,
+    ) -> OutputPlan {
+        let o = output.index();
+        // ssq-lint: allow(unchecked-hot-arith) — per-output channel Vec sized num_ports at construction; `o` is a port id < radix
+        if matches!(self.channels[o].state(), ChannelState::Transmitting { .. }) {
+            return OutputPlan {
+                action: PlanAction::Transmit,
+            };
+        }
+        // ssq-lint: allow(unchecked-hot-arith) — per-output request-word Vecs sized num_ports at construction; `o` is a port id < radix
+        let glm = self.xreq[TrafficClass::GuaranteedLatency.priority() as usize][o] & avail;
+        // ssq-lint: allow(unchecked-hot-arith) — per-output request-word Vecs sized num_ports at construction; `o` is a port id < radix
+        let gbm = self.xreq[TrafficClass::GuaranteedBandwidth.priority() as usize][o] & avail;
+        // ssq-lint: allow(unchecked-hot-arith) — per-output request-word Vecs sized num_ports at construction; `o` is a port id < radix
+        let bem = self.xreq[TrafficClass::BestEffort.priority() as usize][o] & avail;
+        let all = glm | gbm | bem;
+        if all == 0 {
+            return OutputPlan {
+                action: PlanAction::NoRequests,
+            };
+        }
+        let inputs = PortSet::from_bits(all);
+        let arb_latency = self.config.policy().arbitration_cycles();
+        // ssq-lint: allow(unchecked-hot-arith) — `arb_wait` is sized num_ports and held below `arbitration_cycles` by commit; `o` is a port id < radix
+        if self.arb_wait[o] + 1 < arb_latency {
+            return OutputPlan {
+                action: PlanAction::AwaitLatency { inputs },
+            };
+        }
+        let gl = self.requests_from_mask(output, TrafficClass::GuaranteedLatency, glm);
+        let gb = self.requests_from_mask(output, TrafficClass::GuaranteedBandwidth, gbm);
+        let be = self.requests_from_mask(output, TrafficClass::BestEffort, bem);
+        self.decide_gathered(output, now, gl, gb, be, inputs)
+    }
+
+    /// Materializes one class's request vector from its requester word,
+    /// in ascending input order — the order the scalar `gather` loop
+    /// produces, which is what keeps mask-built plans byte-identical.
+    fn requests_from_mask(&self, output: OutputId, class: TrafficClass, mask: u64) -> Vec<Request> {
+        PortSet::from_bits(mask)
+            .iter()
+            .map(|i| {
+                // ssq-lint: allow(unchecked-hot-arith) — port Vec sized num_ports at construction; mask bits are port ids < radix by the sync invariant
+                let head = self.ports[i]
+                    .head(class, output)
+                    // ssq-lint: allow(no-unwrap) — a set request bit with no matching head means the incremental mask desynced from the queues: an invariant breach, not a recoverable condition
+                    .expect("request word set without a matching queue head");
+                Request::new(i, head.spec().len_flits())
+            })
+            .collect()
+    }
+
+    /// The gate + policy dispatch shared by the gathered and mask-built
+    /// request paths. `inputs` is the set of distinct requesters.
+    fn decide_gathered(
+        &self,
+        output: OutputId,
+        now: Cycle,
+        gl: Vec<Request>,
+        gb: Vec<Request>,
+        be: Vec<Request>,
+        inputs: PortSet,
+    ) -> OutputPlan {
         let arb = match self.config.policy() {
             Policy::LrgOnly => self.decide_flat_lrg(output, now, &gl, &gb, &be, inputs),
             Policy::FourLevel => self.decide_four_level(output, now, &gl, &gb, &be, inputs),
@@ -190,7 +278,7 @@ impl QosSwitch {
         gl: &[Request],
         gb: &[Request],
         be: &[Request],
-        inputs: Vec<usize>,
+        inputs: PortSet,
     ) -> ArbPlan {
         let o = output.index();
         let mut requesters: Vec<usize> = Vec::new();
@@ -227,7 +315,7 @@ impl QosSwitch {
         gl: &[Request],
         gb: &[Request],
         be: &[Request],
-        inputs: Vec<usize>,
+        inputs: PortSet,
     ) -> ArbPlan {
         let o = output.index();
         let mut reqs: Vec<Request> = Vec::new();
@@ -275,7 +363,7 @@ impl QosSwitch {
         gl: Vec<Request>,
         mut gb: Vec<Request>,
         be: Vec<Request>,
-        inputs: Vec<usize>,
+        inputs: PortSet,
     ) -> ArbPlan {
         let o = output.index();
         let watch = self.watching();
@@ -432,7 +520,7 @@ impl ArbPlan {
     /// cycle, so this is the *only* way a plan can go stale.
     pub(crate) fn stale(&self, blocked: &[bool]) -> bool {
         // ssq-lint: allow(unchecked-hot-arith) — `inputs` holds port ids < radix and `blocked` is sized num_ports by commit_cycle; the len==radix relation is outside the interval domain
-        self.inputs.iter().any(|&i| blocked[i])
+        self.inputs.iter().any(|i| blocked[i])
     }
 }
 

@@ -71,6 +71,7 @@
 
 pub mod analyze;
 pub mod backoff;
+pub mod bitmask;
 mod channel;
 mod config;
 pub mod faultctl;

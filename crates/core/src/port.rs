@@ -95,6 +95,15 @@ pub struct InputPort {
     be: Vec<ClassQueue>,
     gb: Vec<ClassQueue>,
     gl: ClassQueue,
+    /// Request word for the GB VOQs: bit `o` ⇔ `gb[o]` holds a packet.
+    /// Maintained incrementally at the two queue mutation points so the
+    /// bitpar engine reads per-port requests in O(1) instead of probing
+    /// `radix` queue heads.
+    gb_bits: u64,
+    /// Same for BE when running per-output virtual queues; unused (0) in
+    /// the single-FIFO organization, where the request word is the head
+    /// packet's destination bit.
+    be_bits: u64,
     /// Link state of the input channel. `false` models a downed (or
     /// currently-flapped-down) link: buffered packets stay put, but the
     /// port neither accepts new packets nor requests arbitration. The
@@ -112,7 +121,8 @@ impl InputPort {
     ///
     /// # Panics
     ///
-    /// Panics if `radix` is zero.
+    /// Panics if `radix` is zero or exceeds 64 (the paper's high-radix
+    /// ceiling, and the word width the request bitmaps rely on).
     #[must_use]
     pub fn new(
         input: InputId,
@@ -122,6 +132,10 @@ impl InputPort {
         gl_buffer_flits: u64,
     ) -> Self {
         assert!(radix > 0, "radix must be positive");
+        assert!(
+            radix <= 64,
+            "radix {radix} exceeds the paper's 64-port ceiling"
+        );
         InputPort {
             input,
             be: vec![ClassQueue::new(be_buffer_flits)],
@@ -129,6 +143,8 @@ impl InputPort {
                 .map(|_| ClassQueue::new(gb_buffer_flits))
                 .collect(),
             gl: ClassQueue::new(gl_buffer_flits),
+            gb_bits: 0,
+            be_bits: 0,
             #[cfg(feature = "faults")]
             link_up: true,
         }
@@ -143,6 +159,7 @@ impl InputPort {
         self.be = (0..radix)
             .map(|_| ClassQueue::new(be_buffer_flits))
             .collect();
+        self.be_bits = 0;
         self
     }
 
@@ -189,7 +206,11 @@ impl InputPort {
     pub fn try_enqueue(&mut self, packet: Packet) -> bool {
         let class = packet.spec().class();
         let output = packet.spec().flow().output();
-        self.queue_mut(class, output).push(packet)
+        let accepted = self.queue_mut(class, output).push(packet);
+        if accepted {
+            self.refresh_bit(class, output);
+        }
+        accepted
     }
 
     /// The head packet of `class` that is requesting `output`, if any.
@@ -216,7 +237,66 @@ impl InputPort {
             "no {class} head for {output} at {}",
             self.input
         );
-        self.queue_mut(class, output).transmit_head_flit()
+        let done = self.queue_mut(class, output).transmit_head_flit();
+        self.refresh_bit(class, output);
+        done
+    }
+
+    /// The per-output request word of `class`: bit `o` set iff
+    /// [`InputPort::head`]`(class, OutputId::new(o))` is `Some`. For the
+    /// virtual-queue classes this reads the incrementally maintained
+    /// word; for the single-FIFO classes it is the head packet's
+    /// destination bit (head-of-line blocking makes the word one-hot).
+    #[must_use]
+    //
+    // `self.be[0]` exists for every port: `new` always allocates at
+    // least one BE queue.
+    // ssq-lint: allow(panic-freedom-reachability)
+    pub fn request_bits(&self, class: TrafficClass) -> u64 {
+        match class {
+            TrafficClass::GuaranteedBandwidth => self.gb_bits,
+            TrafficClass::BestEffort if self.be.len() > 1 => self.be_bits,
+            TrafficClass::BestEffort => Self::front_bit(&self.be[0]),
+            TrafficClass::GuaranteedLatency => Self::front_bit(&self.gl),
+        }
+    }
+
+    fn front_bit(q: &ClassQueue) -> u64 {
+        match q.head() {
+            // ssq-lint: allow(mask-width-safety) — output index < radix <= 64 (asserted in `new`), so the shift stays inside the word
+            Some(p) => 1u64 << p.spec().flow().output().index(),
+            None => 0,
+        }
+    }
+
+    /// Re-derives the request bit of one `(class, output)` queue after a
+    /// mutation. Only the virtual-queue words carry state; the
+    /// single-FIFO words are computed on demand.
+    //
+    // `o < radix` is asserted in `new` and sizes both VOQ vectors; the
+    // shift is the waived one below.
+    // ssq-lint: allow(panic-freedom-reachability)
+    fn refresh_bit(&mut self, class: TrafficClass, output: OutputId) {
+        let o = output.index();
+        // ssq-lint: allow(mask-width-safety) — output index < radix <= 64 (asserted in `new`), so the shift stays inside the word
+        let bit = 1u64 << o;
+        match class {
+            TrafficClass::GuaranteedBandwidth => {
+                if self.gb[o].head().is_some() {
+                    self.gb_bits |= bit;
+                } else {
+                    self.gb_bits &= !bit;
+                }
+            }
+            TrafficClass::BestEffort if self.be.len() > 1 => {
+                if self.be[o].head().is_some() {
+                    self.be_bits |= bit;
+                } else {
+                    self.be_bits &= !bit;
+                }
+            }
+            TrafficClass::BestEffort | TrafficClass::GuaranteedLatency => {}
+        }
     }
 
     /// Flits currently buffered in `class` toward `output` (for BE/GL the
@@ -377,6 +457,74 @@ mod tests {
         assert_eq!(p.total_occupancy(), 2);
         p.fault_set_link(true);
         assert!(p.is_link_up());
+    }
+
+    #[test]
+    fn request_bits_mirror_head_probes() {
+        let mut p = port();
+        let check = |p: &InputPort| {
+            for class in [
+                TrafficClass::BestEffort,
+                TrafficClass::GuaranteedBandwidth,
+                TrafficClass::GuaranteedLatency,
+            ] {
+                let mut expect = 0u64;
+                for o in 0..4 {
+                    if p.head(class, OutputId::new(o)).is_some() {
+                        expect |= 1 << o;
+                    }
+                }
+                assert_eq!(p.request_bits(class), expect, "{class} word diverged");
+            }
+        };
+        check(&p);
+        assert!(p.try_enqueue(make(0, TrafficClass::GuaranteedBandwidth, 1, 2)));
+        assert!(p.try_enqueue(make(1, TrafficClass::GuaranteedBandwidth, 3, 2)));
+        assert!(p.try_enqueue(make(2, TrafficClass::BestEffort, 2, 2)));
+        assert!(p.try_enqueue(make(3, TrafficClass::BestEffort, 0, 2)));
+        assert!(p.try_enqueue(make(4, TrafficClass::GuaranteedLatency, 3, 1)));
+        check(&p);
+        // Drain the GB packet to output 1 flit by flit; the bit must drop
+        // only when the queue empties.
+        assert!(p
+            .transmit_head_flit(TrafficClass::GuaranteedBandwidth, OutputId::new(1))
+            .is_none());
+        check(&p);
+        assert!(p
+            .transmit_head_flit(TrafficClass::GuaranteedBandwidth, OutputId::new(1))
+            .is_some());
+        check(&p);
+        // Draining the BE head re-points the one-hot word at the next
+        // packet's destination.
+        for _ in 0..2 {
+            let _ = p.transmit_head_flit(TrafficClass::BestEffort, OutputId::new(2));
+        }
+        check(&p);
+        assert_eq!(p.request_bits(TrafficClass::BestEffort), 1 << 0);
+        let _ = p.transmit_head_flit(TrafficClass::GuaranteedLatency, OutputId::new(3));
+        check(&p);
+    }
+
+    #[test]
+    fn request_bits_track_be_voq() {
+        let mut p = port().with_be_voq(4, 4);
+        assert!(p.try_enqueue(make(0, TrafficClass::BestEffort, 1, 2)));
+        assert!(p.try_enqueue(make(1, TrafficClass::BestEffort, 3, 2)));
+        // Per-output BE queues request both destinations at once.
+        assert_eq!(
+            p.request_bits(TrafficClass::BestEffort),
+            (1 << 1) | (1 << 3)
+        );
+        for _ in 0..2 {
+            let _ = p.transmit_head_flit(TrafficClass::BestEffort, OutputId::new(1));
+        }
+        assert_eq!(p.request_bits(TrafficClass::BestEffort), 1 << 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "64-port ceiling")]
+    fn radix_above_word_width_is_rejected() {
+        let _ = InputPort::new(InputId::new(0), 65, 4, 4, 4);
     }
 
     #[test]

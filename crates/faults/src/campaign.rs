@@ -4,16 +4,17 @@
 //! switch, one fault from the DESIGN.md §8 taxonomy injected at a fixed
 //! cycle (or an MTBF schedule), optionally healed, and the run judged by
 //! the two-outcome oracle ([`crate::detect::judge`]). The smoke tier
-//! ([`run_smoke`]) runs every scenario through **both** execution
-//! engines — the sequential [`Runner`] and the sharded [`ParRunner`] —
-//! and asserts none ends in a silent violation; an engine divergence
-//! (verdict, counters, or trace bytes differing between the two) is
-//! itself reported as a silent violation, making every smoke run a
-//! differential test of the parallel engine under fault injection.
+//! ([`run_smoke`]) runs every scenario through **all three** execution
+//! engines — the sequential [`Runner`], the sharded [`ParRunner`], and
+//! the word-wide [`BitparRunner`] — and asserts none ends in a silent
+//! violation; an engine divergence (verdict, counters, or trace bytes
+//! differing between the runs) is itself reported as a silent
+//! violation, making every smoke run a differential test of the fast
+//! engines under fault injection.
 
 use ssq_arbiter::CounterPolicy;
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
-use ssq_sim::{MonitorOutcome, ParRunner, Runner, Schedule};
+use ssq_sim::{BitparRunner, MonitorOutcome, ParRunner, Runner, Schedule};
 use ssq_trace::{Event, EventKind, JsonlSink, RingSink};
 use ssq_traffic::{FixedDest, Injector, Periodic, Saturating};
 use ssq_types::{Cycles, Geometry, InputId, OutputId, Rate, TrafficClass};
@@ -150,6 +151,19 @@ pub fn run_scenario_par(name: &str, seed: u64, threads: usize) -> Option<Scenari
         threads,
     )
     .run_monitored(&mut chaos, Cycles::new(2_000), |_, _| {});
+    Some(finish(name, chaos, &outcome))
+}
+
+/// [`run_scenario`] on the word-wide bitpar engine. Monitored runs step
+/// densely (the watchdog is per executed cycle), so this exercises the
+/// mask-gather fast path under every fault in the catalog; the result
+/// must match [`run_scenario`] exactly, which [`run_smoke`] enforces.
+#[must_use]
+pub fn run_scenario_bitpar(name: &str, seed: u64) -> Option<ScenarioResult> {
+    let (switch, plan) = build_scenario(name, seed)?;
+    let mut chaos = arm(switch, plan);
+    let outcome = BitparRunner::new(Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE)))
+        .run_monitored(&mut chaos, Cycles::new(2_000), |_, _| {});
     Some(finish(name, chaos, &outcome))
 }
 
@@ -359,13 +373,14 @@ fn build_scenario(name: &str, seed: u64) -> Option<(QosSwitch, FaultPlan)> {
     Some((switch, plan))
 }
 
-/// Runs every catalog scenario with `seed` on both engines.
+/// Runs every catalog scenario with `seed` on all three engines.
 ///
 /// Each scenario executes under the sequential runner and again under
-/// the parallel engine (two threads); the sequential result is returned,
-/// except that any divergence between the two — verdict, injection or
-/// delivery counters, or the event trace — replaces the verdict with a
-/// [`Verdict::SilentViolation`] naming the differential failure.
+/// the parallel engine (two threads) and the bitpar engine; the
+/// sequential result is returned, except that any divergence between
+/// the runs — verdict, injection or delivery counters, or the event
+/// trace — replaces the verdict with a [`Verdict::SilentViolation`]
+/// naming the differential failure.
 #[must_use]
 pub fn run_smoke(seed: u64) -> Vec<ScenarioResult> {
     SCENARIOS
@@ -373,42 +388,44 @@ pub fn run_smoke(seed: u64) -> Vec<ScenarioResult> {
         .map(|(name, _)| {
             let seq = run_scenario(name, seed).expect("catalog names are valid");
             let par = run_scenario_par(name, seed, 2).expect("catalog names are valid");
-            differential(seq, &par)
+            let seq = differential(seq, &par, "parallel");
+            let bit = run_scenario_bitpar(name, seed).expect("catalog names are valid");
+            differential(seq, &bit, "bitpar")
         })
         .collect()
 }
 
-/// Folds a parallel-engine rerun into the sequential result: identical
-/// runs pass through; any observable difference is the one failure mode
-/// this subsystem exists to rule out, reported loudly.
-fn differential(mut seq: ScenarioResult, par: &ScenarioResult) -> ScenarioResult {
+/// Folds a fast-engine rerun into the sequential result: identical runs
+/// pass through; any observable difference is the one failure mode this
+/// subsystem exists to rule out, reported loudly.
+fn differential(mut seq: ScenarioResult, other: &ScenarioResult, engine: &str) -> ScenarioResult {
     let mut diffs = Vec::new();
-    if seq.verdict != par.verdict {
-        diffs.push(format!("verdict {:?} vs {:?}", seq.verdict, par.verdict));
+    if seq.verdict != other.verdict {
+        diffs.push(format!("verdict {:?} vs {:?}", seq.verdict, other.verdict));
     }
-    if seq.fault_injections != par.fault_injections {
+    if seq.fault_injections != other.fault_injections {
         diffs.push(format!(
             "fault_injections {} vs {}",
-            seq.fault_injections, par.fault_injections
+            seq.fault_injections, other.fault_injections
         ));
     }
-    if seq.delivered_flits != par.delivered_flits {
+    if seq.delivered_flits != other.delivered_flits {
         diffs.push(format!(
             "delivered_flits {} vs {}",
-            seq.delivered_flits, par.delivered_flits
+            seq.delivered_flits, other.delivered_flits
         ));
     }
-    if seq.events != par.events {
+    if seq.events != other.events {
         diffs.push(format!(
             "event trace ({} vs {} events)",
             seq.events.len(),
-            par.events.len()
+            other.events.len()
         ));
     }
     if !diffs.is_empty() {
         seq.verdict = Verdict::SilentViolation {
             reason: format!(
-                "parallel engine diverged from sequential: {}",
+                "{engine} engine diverged from sequential: {}",
                 diffs.join("; ")
             ),
         };
@@ -506,6 +523,7 @@ mod tests {
     fn unknown_scenario_is_none() {
         assert!(run_scenario("no-such-scenario", 0).is_none());
         assert!(run_scenario_par("no-such-scenario", 0, 2).is_none());
+        assert!(run_scenario_bitpar("no-such-scenario", 0).is_none());
     }
 
     #[test]
@@ -529,6 +547,14 @@ mod tests {
                 );
                 assert_eq!(seq.events, par.events, "{name} @ {threads} threads");
             }
+            let bit = run_scenario_bitpar(name, 7).unwrap();
+            assert_eq!(seq.verdict, bit.verdict, "{name} @ bitpar");
+            assert_eq!(
+                seq.fault_injections, bit.fault_injections,
+                "{name} @ bitpar"
+            );
+            assert_eq!(seq.delivered_flits, bit.delivered_flits, "{name} @ bitpar");
+            assert_eq!(seq.events, bit.events, "{name} @ bitpar");
         }
     }
 }

@@ -16,14 +16,21 @@
 //!   parallel engine: one cycle as parallel per-shard decisions plus a
 //!   serial in-order merge, bit-identical to the sequential runner at
 //!   any thread count.
+//! * [`EventModel`] / [`BitparRunner`] — the bit-parallel engine:
+//!   word-wide mask cycles plus event-driven idle skipping, held to the
+//!   same byte-identity bar.
 //!
 //! (The Value Change Dump writer lives in `ssq_core::vcd`, next to the
 //! switch recorder that uses it.)
 //!
 //! A single switch is simulated synchronously — every component advances
-//! each cycle — rather than with an event queue: at the saturated loads
-//! the paper studies, nearly every cycle carries events, so a dense loop
-//! is both simpler and faster.
+//! each cycle — rather than with a general event queue: at the saturated
+//! loads the paper studies, nearly every cycle carries events, so a
+//! dense loop is both simpler and faster. The one event-driven
+//! concession is [`BitparRunner`]'s idle skip, which jumps over
+//! provably-quiescent stretches (nothing buffered, nothing in flight)
+//! where the dense loop would burn a full cycle to decide "no requests"
+//! at every output.
 //!
 //! # Examples
 //!
@@ -53,11 +60,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitpar;
 mod par;
 pub mod prof;
 mod runner;
 mod sweep;
 
+pub use bitpar::{BitparRunner, EventModel};
 pub use par::{with_engine, Engine, ParRunner, ShardedModel};
 pub use prof::EngineProf;
 pub use runner::{CycleModel, MonitorOutcome, Monitored, Runner, Schedule};

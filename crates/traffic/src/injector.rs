@@ -96,6 +96,15 @@ impl Injector {
             len_flits,
         })
     }
+
+    /// The source's next predictable arrival at or after `now`
+    /// ([`TrafficSource::next_arrival`]); `None` when the source must be
+    /// polled densely. Destination patterns are consulted only on
+    /// arrival, so they never constrain the prediction.
+    #[must_use]
+    pub fn next_arrival(&self, now: Cycle) -> Option<Cycle> {
+        self.source.next_arrival(now)
+    }
 }
 
 impl std::fmt::Debug for Injector {

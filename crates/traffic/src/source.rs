@@ -19,6 +19,22 @@ pub trait TrafficSource {
     fn offered_load(&self) -> Option<f64> {
         None
     }
+
+    /// The earliest cycle `t >= now` at which `poll(t)` could return a
+    /// packet, if the process can predict it *without* consuming state.
+    /// `None` (the default) means unpredictable: the process draws
+    /// randomness every poll, so every cycle must be polled densely and
+    /// the idle-skip engine cannot jump it. `Some(Cycle::new(u64::MAX))`
+    /// means the process will never produce another packet.
+    ///
+    /// The contract backing the idle skip: if `next_arrival(now)` is
+    /// `Some(t)` with `t > now`, then for every cycle `c` in `now..t`,
+    /// `poll(c)` returns `None` *and* leaves the source in a state
+    /// identical to not having been polled at all.
+    fn next_arrival(&self, now: Cycle) -> Option<Cycle> {
+        let _ = now;
+        None
+    }
 }
 
 /// Bernoulli injection: each cycle a packet arrives with probability
@@ -114,6 +130,14 @@ impl TrafficSource for Periodic {
 
     fn offered_load(&self) -> Option<f64> {
         Some(self.len_flits as f64 / self.interval as f64)
+    }
+
+    fn next_arrival(&self, now: Cycle) -> Option<Cycle> {
+        // The smallest t >= now with t % interval == phase. Pure: `poll`
+        // keeps no state, so skipped cycles are exactly no-ops.
+        let rem = now.value() % self.interval;
+        let wait = (self.phase + self.interval - rem) % self.interval;
+        Some(Cycle::new(now.value().saturating_add(wait)))
     }
 }
 
@@ -228,6 +252,10 @@ impl TrafficSource for Saturating {
     fn offered_load(&self) -> Option<f64> {
         Some(1.0)
     }
+
+    fn next_arrival(&self, now: Cycle) -> Option<Cycle> {
+        Some(now) // a packet every polled cycle: never skippable
+    }
 }
 
 /// Replays an explicit `(cycle, len_flits)` schedule — used by the GL
@@ -280,6 +308,16 @@ impl TrafficSource for Trace {
             _ => None,
         }
     }
+
+    fn next_arrival(&self, now: Cycle) -> Option<Cycle> {
+        match self.events.get(self.next) {
+            // A pending event in the past can never match `poll`'s
+            // equality test again, so the source is permanently silent —
+            // exactly like an exhausted schedule.
+            Some(&(cycle, _)) if cycle >= now.value() => Some(Cycle::new(cycle)),
+            _ => Some(Cycle::new(u64::MAX)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +326,76 @@ mod tests {
 
     fn total_flits(src: &mut dyn TrafficSource, cycles: u64) -> u64 {
         (0..cycles).filter_map(|c| src.poll(Cycle::new(c))).sum()
+    }
+
+    /// The idle-skip contract: wherever `next_arrival` predicts, dense
+    /// polling must agree — no arrival strictly before the prediction,
+    /// an arrival exactly at it (when within the horizon).
+    fn check_prediction(src: &mut dyn TrafficSource, horizon: u64) {
+        let mut c = 0;
+        while c < horizon {
+            let predicted = src
+                .next_arrival(Cycle::new(c))
+                .expect("deterministic source must predict");
+            for probe in c..predicted.value().min(horizon) {
+                assert_eq!(
+                    src.poll(Cycle::new(probe)),
+                    None,
+                    "arrival before predicted cycle {predicted} (probe {probe})"
+                );
+            }
+            if predicted.value() >= horizon {
+                return;
+            }
+            assert!(
+                src.poll(predicted).is_some(),
+                "no arrival at predicted cycle {predicted}"
+            );
+            c = predicted.value() + 1;
+        }
+    }
+
+    #[test]
+    fn periodic_predicts_its_own_arrivals() {
+        check_prediction(&mut Periodic::new(7, 3, 4), 100);
+        check_prediction(&mut Periodic::new(1, 0, 2), 20);
+        check_prediction(&mut Periodic::new(160, 159, 8), 1000);
+    }
+
+    #[test]
+    fn trace_predicts_its_own_arrivals() {
+        check_prediction(&mut Trace::new(vec![(3, 2), (9, 8), (40, 1)]), 100);
+    }
+
+    #[test]
+    fn exhausted_trace_predicts_never() {
+        let mut t = Trace::new(vec![(1, 1)]);
+        assert_eq!(t.poll(Cycle::new(1)), Some(1));
+        assert_eq!(t.next_arrival(Cycle::new(2)), Some(Cycle::new(u64::MAX)));
+    }
+
+    #[test]
+    fn stale_trace_event_predicts_never() {
+        // An unmatched past event can never fire again under dense
+        // polling, and the prediction must say so rather than point
+        // backwards in time.
+        let t = Trace::new(vec![(5, 1)]);
+        assert_eq!(t.next_arrival(Cycle::new(6)), Some(Cycle::new(u64::MAX)));
+    }
+
+    #[test]
+    fn saturating_never_allows_a_skip() {
+        let s = Saturating::new(8);
+        assert_eq!(s.next_arrival(Cycle::new(17)), Some(Cycle::new(17)));
+    }
+
+    #[test]
+    fn random_sources_decline_to_predict() {
+        assert_eq!(
+            Bernoulli::new(0.5, 8, 1).next_arrival(Cycle::ZERO),
+            None,
+            "RNG-per-poll sources must force dense stepping"
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! `cargo xtask bench`: the perf-trajectory harness (ROADMAP item 5).
 //!
 //! Runs a small engine × radix × load matrix — sequential vs. 2-thread
-//! sharded engine, radix 16 and 64, Bernoulli-0.5 and saturated uniform
-//! traffic — and reports wall-clock simulated cycles/sec plus the
+//! sharded engine vs. the word-wide bitpar engine, radix 16 and 64,
+//! Bernoulli-0.5 / saturated / periodic-5% uniform traffic (the last is
+//! the idle-skipping showcase) — and reports wall-clock simulated
+//! cycles/sec plus the
 //! in-switch profiler's prepare/decide/commit breakdown (xtask compiles
 //! `ssq-core`/`ssq-sim` with the `prof` feature; feature unification
 //! keeps that scoped to this binary's build graph). The decide
@@ -35,8 +37,8 @@ use ssq_arbiter::CounterPolicy;
 use ssq_core::{Policy, QosSwitch, SwitchConfig};
 use ssq_net::{Fabric, FlowSpec, LinkDiscipline, Topology};
 use ssq_prof::{trajectory, AmdahlPoint, BenchCell, BenchDoc, BenchEngine, BenchPhase, ProfReport};
-use ssq_sim::{CycleModel, ParRunner, Runner, Schedule};
-use ssq_traffic::{Bernoulli, Injector, Saturating, TrafficSource, UniformDest};
+use ssq_sim::{BitparRunner, CycleModel, ParRunner, Runner, Schedule};
+use ssq_traffic::{Bernoulli, Injector, Periodic, Saturating, TrafficSource, UniformDest};
 use ssq_types::{Cycle, Cycles, Geometry, InputId, OutputId, Rate, TrafficClass};
 
 /// Full-matrix schedule (matches the BENCH_6 seed).
@@ -60,13 +62,17 @@ const AMDAHL_THREADS: &[u64] = &[2, 4, 8];
 /// multi-microsecond cycles it measures.
 const PAR_SAMPLE_EVERY: u64 = 64;
 
-/// The two offered-load points of the matrix.
+/// The offered-load points of the matrix.
 #[derive(Clone, Copy)]
 enum Load {
     /// Bernoulli arrivals at 0.5 flits/cycle/input.
     Bernoulli50,
     /// A source that always has a packet ready (saturation throughput).
     Saturated,
+    /// Deterministic 5% load: an 8-flit packet every 160 cycles. The
+    /// arrivals are predictable, so this is the cell where the bitpar
+    /// engine's idle skipping engages.
+    Periodic5,
 }
 
 impl Load {
@@ -74,6 +80,7 @@ impl Load {
         match self {
             Load::Bernoulli50 => "bernoulli-0.5",
             Load::Saturated => "saturated",
+            Load::Periodic5 => "periodic-0.05",
         }
     }
 
@@ -81,6 +88,13 @@ impl Load {
         match self {
             Load::Bernoulli50 => Box::new(Bernoulli::new(0.5, 8, seed)),
             Load::Saturated => Box::new(Saturating::new(8)),
+            // Aligned phases: every input bursts on the same cycle, so
+            // the switch drains to a genuinely quiescent window between
+            // bursts — the shape the idle wheel is built for.
+            Load::Periodic5 => {
+                let _ = seed;
+                Box::new(Periodic::new(160, 0, 8))
+            }
         }
     }
 }
@@ -127,6 +141,17 @@ fn timed_sequential(radix: usize, load: Load, schedule: Schedule) -> (f64, u64) 
     let mut switch = rig(radix, load);
     let start = Instant::now();
     Runner::new(schedule).run(&mut switch);
+    let secs = start.elapsed().as_secs_f64();
+    let cycles = schedule.warmup().value() + schedule.measure().value();
+    (cycles as f64 / secs, switch.counters().delivered_flits)
+}
+
+/// Times an unprofiled bitpar run (word-wide cycles plus idle skipping
+/// where the load permits): (cycles/sec, delivered flits).
+fn timed_bitpar(radix: usize, load: Load, schedule: Schedule) -> (f64, u64) {
+    let mut switch = rig(radix, load);
+    let start = Instant::now();
+    BitparRunner::new(schedule).run(&mut switch);
     let secs = start.elapsed().as_secs_f64();
     let cycles = schedule.warmup().value() + schedule.measure().value();
     (cycles as f64 / secs, switch.counters().delivered_flits)
@@ -189,6 +214,13 @@ fn measure_cell(
         "parallel engine diverged from sequential (radix {radix}, {})",
         load.name()
     );
+    let (bit_rate, bit_flits) = timed_bitpar(radix, load, schedule);
+    assert_eq!(
+        seq_flits,
+        bit_flits,
+        "bitpar engine diverged from sequential (radix {radix}, {})",
+        load.name()
+    );
     let kernel = kernel_profile(radix, load, schedule);
     let decide_fraction = kernel.decide_fraction().unwrap_or(0.0);
     let phases = kernel
@@ -226,6 +258,12 @@ fn measure_cell(
                 threads: PAR_THREADS as u64,
                 cycles_per_sec: par_rate,
                 delivered_flits: par_flits,
+            },
+            BenchEngine {
+                engine: "bitpar".to_string(),
+                threads: 1,
+                cycles_per_sec: bit_rate,
+                delivered_flits: bit_flits,
             },
         ],
         amdahl,
@@ -388,7 +426,7 @@ pub fn run(args: &[String], root: &Path) -> ExitCode {
 
     let mut cells = Vec::new();
     for &radix in radices {
-        for load in [Load::Bernoulli50, Load::Saturated] {
+        for load in [Load::Bernoulli50, Load::Saturated, Load::Periodic5] {
             let (cell, stages, kernel) = measure_cell(radix, load, schedule);
             print_cell(&cell, stages.as_ref(), shards, &kernel);
             cells.push(cell);
@@ -508,11 +546,14 @@ mod tests {
         let (cell, stages, _kernel) = measure_cell(8, Load::Bernoulli50, tiny_schedule());
         assert_eq!(cell.radix, 8);
         assert_eq!(cell.phases.len(), 3);
-        assert_eq!(cell.engines.len(), 2);
-        assert_eq!(
-            cell.engines[0].delivered_flits, cell.engines[1].delivered_flits,
-            "engines agree bit for bit"
-        );
+        assert_eq!(cell.engines.len(), 3);
+        for e in &cell.engines[1..] {
+            assert_eq!(
+                cell.engines[0].delivered_flits, e.delivered_flits,
+                "{} engine agrees bit for bit",
+                e.engine
+            );
+        }
         assert_eq!(cell.amdahl.len(), AMDAHL_THREADS.len());
         for a in &cell.amdahl {
             assert!(a.speedup >= 1.0 && a.speedup <= a.threads as f64);

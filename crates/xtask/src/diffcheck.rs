@@ -1,19 +1,20 @@
-//! Inline sequential-vs-parallel differential battery for `xtask verify`.
+//! Inline three-way engine differential battery for `xtask verify`.
 //!
 //! The fast verify tier model-checks the switch's invariants; this
 //! battery checks the *engines* against each other. Each scenario builds
-//! the same switch twice and drives one copy with the sequential
-//! [`Runner`] and the other with the sharded [`ParRunner`] at several
-//! thread counts, then compares every observable: the aggregate
-//! counters, the GB metrics table (as CSV bytes), and the full event
-//! trace. Any difference is a verify failure — the parallel engine's
-//! contract is bit-exactness, not statistical agreement.
+//! the same switch several times and drives the copies with the
+//! sequential [`Runner`], the sharded [`ParRunner`] at several thread
+//! counts, and the word-wide [`BitparRunner`], then compares every
+//! observable: the aggregate counters, the GB metrics table (as CSV
+//! bytes), and the full event trace. Any difference is a verify failure
+//! — the fast engines' contract is bit-exactness, not statistical
+//! agreement.
 
 use std::fmt::Write as _;
 
 use ssq_arbiter::CounterPolicy;
 use ssq_core::{Policy, QosSwitch, SwitchConfig, SwitchCounters};
-use ssq_sim::{ParRunner, Runner, Schedule};
+use ssq_sim::{BitparRunner, ParRunner, Runner, Schedule};
 use ssq_trace::{Event, RingSink};
 use ssq_traffic::{Bernoulli, FixedDest, Injector, Periodic, Saturating, UniformDest};
 use ssq_types::{Cycles, FlowId, Geometry, InputId, OutputId, Rate, TrafficClass};
@@ -254,6 +255,13 @@ fn run_parallel(build: fn() -> QosSwitch, threads: usize) -> Observation {
     observe(&switch)
 }
 
+fn run_bitpar(build: fn() -> QosSwitch) -> Observation {
+    let mut switch = build();
+    switch.tracer_mut().attach_ring(1 << 16);
+    BitparRunner::new(Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE))).run(&mut switch);
+    observe(&switch)
+}
+
 /// Compares two observations; `None` when identical, else what differed.
 fn diff(seq: &Observation, par: &Observation) -> Option<String> {
     if seq.counters != par.counters {
@@ -290,7 +298,8 @@ pub struct DiffReport {
     pub failures: Vec<String>,
 }
 
-/// Runs every scenario through both engines at all of [`THREADS`].
+/// Runs every scenario through all three engines (the sharded one at
+/// each of [`THREADS`]).
 #[must_use]
 pub fn run_battery() -> DiffReport {
     let mut lines = Vec::new();
@@ -303,8 +312,12 @@ pub fn run_battery() -> DiffReport {
                 failures.push(format!("{name} @ {threads} threads: {what}"));
             }
         }
+        let bit = run_bitpar(build);
+        if let Some(what) = diff(&seq, &bit) {
+            failures.push(format!("{name} @ bitpar: {what}"));
+        }
         lines.push(format!(
-            "verify[diff] {:<28} {:>7} events {:>8} flits  seq == par @ {THREADS:?} threads",
+            "verify[diff] {:<28} {:>7} events {:>8} flits  seq == par @ {THREADS:?} threads == bitpar",
             name,
             seq.events.len(),
             seq.counters.delivered_flits,

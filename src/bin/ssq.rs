@@ -23,7 +23,9 @@ use swizzle_qos::core::gl::{burst_budgets, latency_bound, GlScenario};
 use swizzle_qos::core::vcd::SwitchVcdRecorder;
 use swizzle_qos::core::{Policy, Preflight, QosSwitch, SwitchConfig};
 use swizzle_qos::physical::{DelayModel, StorageModel, TABLE2_RADICES, TABLE2_WIDTHS};
-use swizzle_qos::sim::{with_engine, CycleModel, MonitorOutcome, ParRunner, Runner, Schedule};
+use swizzle_qos::sim::{
+    with_engine, BitparRunner, CycleModel, EventModel, MonitorOutcome, ParRunner, Runner, Schedule,
+};
 use swizzle_qos::stats::Table;
 use swizzle_qos::trace::{flight, Event, MetricsRegistry, RingSink, TraceSummary};
 use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Saturating, TraceEvent, TraceFile};
@@ -81,9 +83,10 @@ SIMULATE OPTIONS:
                           (default ssvc-subtract)
   --cycles N              measured cycles (default 50000)
   --warmup N              warm-up cycles (default 5000)
-  --engine NAME           execution engine: seq (default) or par, the
-                          sharded parallel engine — bit-identical output
-                          at any thread count
+  --engine NAME           execution engine: seq (default); par, the
+                          sharded parallel engine; or bitpar, the
+                          word-wide engine with idle skipping — both
+                          bit-identical to seq
   --threads N             worker threads for --engine par (default: the
                           machine's available parallelism)
   --reserve IN:OUT:PCT[:LEN]   GB reservation, PCT of the output's bandwidth
@@ -400,11 +403,23 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
     let cycles = opts.num("cycles", 50_000)?;
     let warmup = opts.num("warmup", 5_000)?;
     let policy = parse_policy(opts.get("policy").unwrap_or("ssvc-subtract"))?;
-    let parallel = match opts.get("engine").unwrap_or("seq") {
-        "seq" => false,
-        "par" => true,
-        other => return Err(err(format!("--engine: expected seq or par, got {other:?}"))),
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum EngineChoice {
+        Seq,
+        Par,
+        Bitpar,
+    }
+    let engine = match opts.get("engine").unwrap_or("seq") {
+        "seq" => EngineChoice::Seq,
+        "par" => EngineChoice::Par,
+        "bitpar" => EngineChoice::Bitpar,
+        other => {
+            return Err(err(format!(
+                "--engine: expected seq, par, or bitpar, got {other:?}"
+            )))
+        }
     };
+    let parallel = engine == EngineChoice::Par;
     let threads = match opts.num("threads", 0)? as usize {
         0 => std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -428,6 +443,13 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
         ),
     };
     let profiling = opts.flag("prof");
+    if profiling && engine == EngineChoice::Bitpar {
+        return Err(err(
+            "--prof instruments the dense per-port cycle loop; the bitpar \
+             engine's word-wide fast path bypasses it — profile with \
+             --engine seq or par",
+        ));
+    }
     if profiling && (flight || gl_bound.is_some()) {
         return Err(err(
             "--prof times the plain measurement loop; drop --flight-recorder/--gl-bound \
@@ -564,18 +586,24 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
                     p.observe(sw, at);
                 }
             };
-            if parallel {
-                ParRunner::new(schedule, threads).run_monitored(
+            match engine {
+                EngineChoice::Par => ParRunner::new(schedule, threads).run_monitored(
                     &mut switch,
                     Cycles::new(stall_window.max(1)),
                     observe,
-                )
-            } else {
-                Runner::new(schedule).run_monitored(
+                ),
+                // Monitored bitpar runs are dense (the watchdog is
+                // defined per executed cycle) but keep the fast path.
+                EngineChoice::Bitpar => BitparRunner::new(schedule).run_monitored(
                     &mut switch,
                     Cycles::new(stall_window.max(1)),
                     observe,
-                )
+                ),
+                EngineChoice::Seq => Runner::new(schedule).run_monitored(
+                    &mut switch,
+                    Cycles::new(stall_window.max(1)),
+                    observe,
+                ),
             }
         }));
         let dump = |switch: &mut QosSwitch,
@@ -667,6 +695,32 @@ fn simulate(args: &[String]) -> Result<(), Box<dyn Error>> {
             return Err(err(format!("writing vcd: {e}")));
         }
         now = end;
+    } else if engine == EngineChoice::Bitpar {
+        if vcd.is_some() || probe.is_some() {
+            // Probes sample per executed cycle, so idle skipping would
+            // change what they record; keep the word-wide fast path but
+            // step densely.
+            let mut at = Cycle::ZERO;
+            for _ in 0..warmup {
+                switch.step_fast(at);
+                at = at.next();
+            }
+            switch.begin_measurement(at);
+            for _ in 0..cycles {
+                switch.step_fast(at);
+                if let Some(rec) = &mut vcd {
+                    rec.sample(&switch, at)?;
+                }
+                if let Some(p) = &mut probe {
+                    p.observe(&switch, at);
+                }
+                at = at.next();
+            }
+            now = at;
+        } else {
+            let schedule = Schedule::new(Cycles::new(warmup), Cycles::new(cycles));
+            now = BitparRunner::new(schedule).run(&mut switch);
+        }
     } else {
         let mut at = Cycle::ZERO;
         for _ in 0..warmup {

@@ -1,20 +1,21 @@
-//! Differential conformance: the sharded parallel engine must be
-//! **byte-identical** to the sequential runner — same grants, same
-//! counters, same per-flow metrics, same trace events — on every
-//! scenario at every thread count.
+//! Differential conformance: the sharded parallel engine AND the
+//! word-wide bitpar engine must be **byte-identical** to the sequential
+//! runner — same grants, same counters, same per-flow metrics, same
+//! trace events — on every scenario.
 //!
 //! The battery sweeps seeded random request matrices across all three
 //! SSVC counter policies and {BE, GB, GL} class mixes (216 scenarios),
-//! runs each through the sequential [`Runner`] and the [`ParRunner`] at
-//! 1, 2, and 8 threads, and compares the complete observable state. The
-//! final test exports the fig4-style scenario's JSONL trace through
-//! both engines and compares the files byte for byte.
+//! runs each through the sequential [`Runner`], the [`ParRunner`] at 1,
+//! 2, and 8 threads, and the [`BitparRunner`], and compares the
+//! complete observable state. The final test exports the fig4-style
+//! scenario's JSONL trace through all three engines and compares the
+//! files byte for byte.
 
 use std::io::Read as _;
 
 use swizzle_qos::arbiter::CounterPolicy;
 use swizzle_qos::core::{Policy, QosSwitch, SwitchConfig, SwitchCounters};
-use swizzle_qos::sim::{ParRunner, Runner, Schedule};
+use swizzle_qos::sim::{BitparRunner, ParRunner, Runner, Schedule};
 use swizzle_qos::trace::{Event, RingSink};
 use swizzle_qos::traffic::{Bernoulli, FixedDest, Injector, Periodic, Saturating, UniformDest};
 use swizzle_qos::types::{
@@ -197,15 +198,26 @@ fn observe(switch: &QosSwitch) -> Observation {
     }
 }
 
-fn run_engine(mut switch: QosSwitch, threads: Option<usize>) -> Observation {
+/// Which engine drives a run.
+#[derive(Clone, Copy, Debug)]
+enum Sel {
+    Seq,
+    Par(usize),
+    Bitpar,
+}
+
+fn run_engine(mut switch: QosSwitch, sel: Sel) -> Observation {
     switch.tracer_mut().attach_ring(1 << 16);
     let schedule = Schedule::new(Cycles::new(WARMUP), Cycles::new(MEASURE));
-    match threads {
-        None => {
+    match sel {
+        Sel::Seq => {
             Runner::new(schedule).run(&mut switch);
         }
-        Some(t) => {
+        Sel::Par(t) => {
             ParRunner::new(schedule, t).run(&mut switch);
+        }
+        Sel::Bitpar => {
+            BitparRunner::new(schedule).run(&mut switch);
         }
     }
     observe(&switch)
@@ -213,29 +225,33 @@ fn run_engine(mut switch: QosSwitch, threads: Option<usize>) -> Observation {
 
 fn assert_identical(
     seq: &Observation,
-    par: &Observation,
+    other: &Observation,
     policy: CounterPolicy,
     mix: Mix,
     seed: u64,
-    threads: usize,
+    sel: Sel,
 ) {
-    let tag = format!("[{policy:?}/{mix:?}/seed {seed} @ {threads} threads]");
-    assert_eq!(seq.counters, par.counters, "{tag} counters diverged");
-    assert_eq!(seq.metrics, par.metrics, "{tag} per-flow metrics diverged");
+    let tag = format!("[{policy:?}/{mix:?}/seed {seed} @ {sel:?}]");
+    assert_eq!(seq.counters, other.counters, "{tag} counters diverged");
+    assert_eq!(
+        seq.metrics, other.metrics,
+        "{tag} per-flow metrics diverged"
+    );
     assert_eq!(
         seq.events.len(),
-        par.events.len(),
+        other.events.len(),
         "{tag} event counts diverged"
     );
-    for (n, (a, b)) in seq.events.iter().zip(par.events.iter()).enumerate() {
+    for (n, (a, b)) in seq.events.iter().zip(other.events.iter()).enumerate() {
         assert_eq!(a, b, "{tag} first event divergence at index {n}");
     }
 }
 
-/// The headline battery: 216 seeded scenarios × 3 thread counts, every
-/// observable identical between the engines.
+/// The headline battery: 216 seeded scenarios, each run through the
+/// sequential engine, the sharded engine at 3 thread counts, and the
+/// bitpar engine — every observable identical across all five runs.
 #[test]
-fn parallel_engine_is_bit_identical_across_seeded_scenarios() {
+fn engines_are_bit_identical_across_seeded_scenarios() {
     for &policy in POLICIES {
         for &mix in MIXES {
             for s in 0..SEEDS_PER_CELL {
@@ -244,20 +260,22 @@ fn parallel_engine_is_bit_identical_across_seeded_scenarios() {
                 let seed = s
                     .wrapping_add(0x9E37_79B9 * (policy as u64 + 1))
                     .wrapping_add(0xC2B2_AE35 * (mix as u64 + 1));
-                let seq = run_engine(build(policy, mix, seed), None);
+                let seq = run_engine(build(policy, mix, seed), Sel::Seq);
                 for &threads in THREADS {
-                    let par = run_engine(build(policy, mix, seed), Some(threads));
-                    assert_identical(&seq, &par, policy, mix, seed, threads);
+                    let par = run_engine(build(policy, mix, seed), Sel::Par(threads));
+                    assert_identical(&seq, &par, policy, mix, seed, Sel::Par(threads));
                 }
+                let bit = run_engine(build(policy, mix, seed), Sel::Bitpar);
+                assert_identical(&seq, &bit, policy, mix, seed, Sel::Bitpar);
             }
         }
     }
 }
 
 /// A long saturated run exercising counter-policy epochs (decay, halve,
-/// reset) far past the short battery's horizon.
+/// reset) far past the short battery's horizon, on all three engines.
 #[test]
-fn parallel_engine_matches_on_long_saturated_run() {
+fn engines_match_on_long_saturated_run() {
     for &policy in POLICIES {
         let build_long = |policy| {
             let mut switch = build(policy, Mix::GbBe, 4242);
@@ -273,9 +291,18 @@ fn parallel_engine_matches_on_long_saturated_run() {
         let par = observe(&par_switch);
         assert!(
             seq == par,
-            "{policy:?}: long-run divergence (events {} vs {})",
+            "{policy:?}: long-run par divergence (events {} vs {})",
             seq.events.len(),
             par.events.len()
+        );
+        let mut bit_switch = build_long(policy);
+        BitparRunner::new(schedule).run(&mut bit_switch);
+        let bit = observe(&bit_switch);
+        assert!(
+            seq == bit,
+            "{policy:?}: long-run bitpar divergence (events {} vs {})",
+            seq.events.len(),
+            bit.events.len()
         );
     }
 }
@@ -316,10 +343,11 @@ fn fig4_switch() -> QosSwitch {
     switch
 }
 
-/// Trace-ordering golden: the JSONL trace the parallel engine writes for
-/// the fig4 scenario is byte-identical to the sequential engine's —
-/// per-shard event buffers must merge back into exactly the sequential
-/// emission order.
+/// Trace-ordering golden: the JSONL traces the parallel and bitpar
+/// engines write for the fig4 scenario are byte-identical to the
+/// sequential engine's — per-shard event buffers must merge back into
+/// exactly the sequential emission order, and the word-wide decide path
+/// must grant in exactly the sequential order.
 #[test]
 fn fig4_jsonl_trace_is_byte_identical() {
     let dir = std::env::temp_dir();
@@ -327,19 +355,27 @@ fn fig4_jsonl_trace_is_byte_identical() {
     let schedule = Schedule::new(Cycles::new(200), Cycles::new(3_000));
 
     let mut paths = Vec::new();
-    for (label, threads) in [("seq", None), ("par2", Some(2)), ("par8", Some(8))] {
+    for (label, sel) in [
+        ("seq", Sel::Seq),
+        ("par2", Sel::Par(2)),
+        ("par8", Sel::Par(8)),
+        ("bitpar", Sel::Bitpar),
+    ] {
         let path = dir.join(format!("ssq-fig4-conformance-{pid}-{label}.jsonl"));
         let file = std::fs::File::create(&path).expect("create trace file");
         let mut switch = fig4_switch();
         switch
             .tracer_mut()
             .attach_jsonl(Box::new(std::io::BufWriter::new(file)));
-        match threads {
-            None => {
+        match sel {
+            Sel::Seq => {
                 Runner::new(schedule).run(&mut switch);
             }
-            Some(t) => {
+            Sel::Par(t) => {
                 ParRunner::new(schedule, t).run(&mut switch);
+            }
+            Sel::Bitpar => {
+                BitparRunner::new(schedule).run(&mut switch);
             }
         }
         switch.tracer_mut().flush();
